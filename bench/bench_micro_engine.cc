@@ -1,0 +1,125 @@
+// Microbenchmarks of the engine primitives behind the paper's §II-H
+// complexity analysis: dense GEMM, sparse SpMM, one multi-task layer,
+// a full multi-view GCN refresh, and the BPR loss kernel. These back
+// the claim that one MTL layer costs O(K d^2) per sample and that the
+// multi-view propagation is the per-step fixed cost.
+
+#include <benchmark/benchmark.h>
+
+#include "core/expert_gate.h"
+#include "core/multi_view.h"
+#include "data/synthetic.h"
+#include "graph/gcn.h"
+#include "models/graph_inputs.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace mgbr {
+namespace {
+
+void BM_DenseGemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Var a(GaussianInit(n, n, &rng), false);
+  Var b(GaussianInit(n, n, &rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_DenseGemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SpMM(benchmark::State& state) {
+  const int64_t n = 2000;
+  const int64_t edges = state.range(0);
+  Rng rng(2);
+  std::vector<Coo> entries;
+  for (int64_t e = 0; e < edges; ++e) {
+    entries.push_back({static_cast<int64_t>(rng.UniformInt(n)),
+                       static_cast<int64_t>(rng.UniformInt(n)), 1.0f});
+  }
+  auto adj = MakeShared(
+      NormalizeAdjacency(CsrMatrix::FromCoo(n, n, std::move(entries))));
+  Var x(GaussianInit(n, 32, &rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpMM(adj, x).value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * adj->nnz() * 32);
+}
+BENCHMARK(BM_SpMM)->Arg(2000)->Arg(10000)->Arg(40000);
+
+void BM_MtlLayerForward(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  MgbrConfig config;
+  config.dim = 32;
+  config.n_experts = 6;
+  config.mtl_layers = 2;
+  Rng rng(3);
+  MultiTaskModule mtl(config, &rng);
+  Var e_u(GaussianInit(batch, 64, &rng), false);
+  Var e_i(GaussianInit(batch, 64, &rng), false);
+  Var e_p(GaussianInit(batch, 64, &rng), false);
+  for (auto _ : state) {
+    auto out = mtl.Forward(e_u, e_i, e_p);
+    benchmark::DoNotOptimize(out.g_a.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MtlLayerForward)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MtlForwardBackward(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  MgbrConfig config;
+  config.dim = 32;
+  config.n_experts = 6;
+  Rng rng(4);
+  MultiTaskModule mtl(config, &rng);
+  Var e_u(GaussianInit(batch, 64, &rng), true);
+  Var e_i(GaussianInit(batch, 64, &rng), true);
+  Var e_p(GaussianInit(batch, 64, &rng), true);
+  for (auto _ : state) {
+    auto out = mtl.Forward(e_u, e_i, e_p);
+    Var loss = Mean(Square(out.g_a));
+    loss.Backward();
+    benchmark::DoNotOptimize(e_u.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MtlForwardBackward)->Arg(64)->Arg(256);
+
+void BM_MultiViewRefresh(benchmark::State& state) {
+  BeibeiSimConfig sim;
+  sim.n_users = 400;
+  sim.n_items = 200;
+  sim.n_groups = static_cast<int64_t>(state.range(0));
+  GroupBuyingDataset data = GenerateBeibeiSim(sim);
+  GraphInputs graphs = BuildGraphInputs(data);
+  MgbrConfig config;
+  config.dim = 32;
+  Rng rng(5);
+  MultiViewEmbedding views(graphs, config, &rng);
+  for (auto _ : state) {
+    auto out = views.Forward();
+    benchmark::DoNotOptimize(out.users.value().data());
+  }
+}
+BENCHMARK(BM_MultiViewRefresh)->Arg(1000)->Arg(4000);
+
+void BM_BprLoss(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(6);
+  Var pos(GaussianInit(batch, 1, &rng), true);
+  Var neg(GaussianInit(batch, 1, &rng), true);
+  for (auto _ : state) {
+    Var loss = BprLoss(pos, neg);
+    loss.Backward();
+    benchmark::DoNotOptimize(pos.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BprLoss)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace mgbr
+
+BENCHMARK_MAIN();

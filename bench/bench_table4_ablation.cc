@@ -1,0 +1,83 @@
+// Reproduces paper Table IV: MGBR against its five ablated variants
+// (MGBR-M-R, MGBR-M, MGBR-G, MGBR-R, MGBR-D) on both sub-tasks, with
+// relative drops ("R. Drop") against full MGBR, exactly as the paper
+// reports them.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "bench/paper_reference.h"
+#include "eval/table.h"
+
+namespace mgbr::bench {
+namespace {
+
+const char* kVariants[] = {"MGBR-M-R", "MGBR-M", "MGBR-G",
+                           "MGBR-R",   "MGBR-D", "MGBR"};
+
+void PrintTaskTable(const char* task_name,
+                    const std::vector<RunResult>& results,
+                    const TaskMetrics RunResult::*task) {
+  const RunResult* full = nullptr;
+  for (const RunResult& r : results) {
+    if (r.name == "MGBR") full = &r;
+  }
+  AsciiTable table({"Model", "MRR@10", "R.Drop", "NDCG@10", "R.Drop",
+                    "MRR@100", "R.Drop", "NDCG@100", "R.Drop"});
+  for (const RunResult& r : results) {
+    const TaskMetrics& m = r.*task;
+    const TaskMetrics& f = full->*task;
+    const bool is_full = (&r == full);
+    auto drop = [&](double v, double base) {
+      return is_full ? std::string("-") : FmtPct(v, base);
+    };
+    table.AddRow({r.name, Fmt4(m.mrr10), drop(m.mrr10, f.mrr10),
+                  Fmt4(m.ndcg10), drop(m.ndcg10, f.ndcg10), Fmt4(m.mrr100),
+                  drop(m.mrr100, f.mrr100), Fmt4(m.ndcg100),
+                  drop(m.ndcg100, f.ndcg100)});
+  }
+  std::printf("\n%s\n%s", task_name, table.Render().c_str());
+}
+
+void PrintPaperTable() {
+  AsciiTable table({"Model", "A MRR@10", "A NDCG@10", "B MRR@10",
+                    "B NDCG@10"});
+  for (const PaperTable4Row& r : PaperTable4()) {
+    table.AddRow({r.model, Fmt4(r.a_mrr10), Fmt4(r.a_ndcg10),
+                  Fmt4(r.b_mrr10), Fmt4(r.b_ndcg10)});
+  }
+  std::printf("\nPaper Table IV (@10 columns; see paper for @100):\n%s",
+              table.Render().c_str());
+}
+
+int Main() {
+  ExperimentHarness harness(HarnessConfig::FromEnv());
+  std::printf("== Table IV bench: ablation study ==\n");
+  std::printf("data: %s\n", harness.DataSummary().c_str());
+
+  std::vector<RunResult> results;
+  uint64_t seed = 200;
+  for (const char* variant : kVariants) {
+    auto model = harness.MakeMgbr(harness.MgbrBenchConfig(variant), seed++);
+    std::printf("training %s (%lld params)...\n", variant,
+                static_cast<long long>(model->ParameterCount()));
+    std::fflush(stdout);
+    results.push_back(harness.TrainAndEvaluate(model.get()));
+  }
+
+  PrintTaskTable("Task A (unseen-pair protocol):", results,
+                 &RunResult::task_a);
+  PrintTaskTable("Task B (unseen-pair protocol):", results,
+                 &RunResult::task_b);
+  PrintTaskTable("Task A (all-test-groups protocol):", results,
+                 &RunResult::task_a_seen);
+  PrintTaskTable("Task B (all-test-groups protocol):", results,
+                 &RunResult::task_b_seen);
+  PrintPaperTable();
+  return 0;
+}
+
+}  // namespace
+}  // namespace mgbr::bench
+
+int main() { return mgbr::bench::Main(); }

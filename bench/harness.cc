@@ -1,0 +1,204 @@
+#include "bench/harness.h"
+
+#include <cstdlib>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "eval/metrics.h"
+#include "models/deep_mf.h"
+#include "models/diffnet.h"
+#include "models/eatnn.h"
+#include "models/gbgcn.h"
+#include "models/gbmf.h"
+#include "models/lightgcn.h"
+#include "models/ngcf.h"
+#include "models/popularity.h"
+
+namespace mgbr::bench {
+
+HarnessConfig HarnessConfig::FromEnv() {
+  HarnessConfig config;
+  config.sim.n_users = 500;
+  config.sim.n_items = 400;
+  config.sim.n_groups = 3000;
+  config.sim.temperature = 1.2;
+  config.sim.group_size_mean = 3.5;
+  config.sim.popularity_weight = 0.3;
+  config.sim.seed = 20230101;
+
+  config.baseline_train.epochs = config.baseline_epochs;
+  config.baseline_train.batch_size = 256;
+  config.baseline_train.negs_per_pos = 2;
+  config.baseline_train.learning_rate = 1e-2f;
+  config.baseline_train.weight_decay = 1e-5f;
+
+  config.mgbr_train = config.baseline_train;
+  config.mgbr_train.epochs = config.mgbr_epochs;
+  config.mgbr_train.weight_decay = 2e-4f;
+  config.mgbr_train.aux_batch_size = 24;
+
+  const char* fast = std::getenv("MGBR_BENCH_FAST");
+  if (fast != nullptr && fast[0] != '\0' && fast[0] != '0') {
+    config.fast = true;
+    config.sim.n_users = 200;
+    config.sim.n_items = 120;
+    config.sim.n_groups = 900;
+    config.baseline_train.epochs = config.baseline_epochs = 6;
+    config.mgbr_train.epochs = config.mgbr_epochs = 5;
+    config.eval_cap = 100;
+  }
+  return config;
+}
+
+ExperimentHarness::ExperimentHarness(HarnessConfig config)
+    : config_(std::move(config)),
+      data_(GenerateBeibeiSim(config_.sim).FilterMinInteractions(5)) {
+  Rng split_rng(config_.data_seed);
+  split_ = data_.SplitByRatio(7, 3, 1, &split_rng);
+  full_index_ = std::make_unique<InteractionIndex>(data_);
+  train_index_ = std::make_unique<InteractionIndex>(split_.train);
+  sampler_ = std::make_unique<TrainingSampler>(split_.train,
+                                               full_index_.get());
+  graphs_ = BuildGraphInputs(split_.train);
+
+  // Final evaluation uses the full held-out pool (validation + test).
+  // No hyper-parameter is selected on validation inside the benches, so
+  // this is leak-free and triples the instance count, which matters for
+  // the unseen-pair protocol where Task A instances are scarce.
+  std::vector<DealGroup> held = split_.validation.groups();
+  held.insert(held.end(), split_.test.groups().begin(),
+              split_.test.groups().end());
+  GroupBuyingDataset heldout(data_.n_users(), data_.n_items(),
+                             std::move(held));
+
+  Rng erng(config_.eval_seed);
+  const size_t cap = config_.eval_cap;
+  a10_ = BuildEvalInstancesA(heldout, *full_index_, 9, &erng, cap,
+                             train_index_.get());
+  a100_ = BuildEvalInstancesA(heldout, *full_index_, 99, &erng, cap,
+                              train_index_.get());
+  b10_ = BuildEvalInstancesB(heldout, *full_index_, 9, &erng, cap,
+                             train_index_.get());
+  b100_ = BuildEvalInstancesB(heldout, *full_index_, 99, &erng, cap,
+                              train_index_.get());
+  a10_seen_ = BuildEvalInstancesA(heldout, *full_index_, 9, &erng, cap);
+  a100_seen_ = BuildEvalInstancesA(heldout, *full_index_, 99, &erng, cap);
+  b10_seen_ = BuildEvalInstancesB(heldout, *full_index_, 9, &erng, cap);
+  b100_seen_ = BuildEvalInstancesB(heldout, *full_index_, 99, &erng, cap);
+}
+
+std::unique_ptr<RecModel> ExperimentHarness::MakeBaseline(
+    const std::string& name, uint64_t seed) const {
+  Rng rng(seed);
+  const int64_t d = config_.baseline_dim;
+  if (name == "DeepMF") {
+    return std::make_unique<DeepMf>(graphs_.n_users, graphs_.n_items, d, 2,
+                                    &rng);
+  }
+  if (name == "NGCF") {
+    return std::make_unique<Ngcf>(graphs_, d, 2, &rng);
+  }
+  if (name == "DiffNet") {
+    return std::make_unique<DiffNet>(graphs_, split_.train, d, 2, &rng);
+  }
+  if (name == "EATNN") {
+    return std::make_unique<Eatnn>(graphs_, d, &rng);
+  }
+  if (name == "GBGCN") {
+    return std::make_unique<Gbgcn>(graphs_, d, 2, &rng);
+  }
+  if (name == "GBMF") {
+    return std::make_unique<Gbmf>(graphs_.n_users, graphs_.n_items, d, &rng);
+  }
+  if (name == "LightGCN") {
+    return std::make_unique<LightGcn>(graphs_, d, 2, &rng);
+  }
+  if (name == "Popularity") {
+    return std::make_unique<Popularity>(split_.train);
+  }
+  MGBR_CHECK_MSG(false, "unknown baseline: ", name);
+  return nullptr;
+}
+
+MgbrConfig ExperimentHarness::MgbrBenchConfig(
+    const std::string& variant) const {
+  MgbrConfig config = MgbrConfig::Variant(variant);
+  config.dim = config_.fast ? 12 : config_.mgbr_dim;
+  config.aux_negatives = 4;
+  config.sigmoid_head = false;
+  return config;
+}
+
+std::unique_ptr<MgbrModel> ExperimentHarness::MakeMgbr(
+    const MgbrConfig& config_override, uint64_t seed) const {
+  Rng rng(seed);
+  return std::make_unique<MgbrModel>(graphs_, config_override, &rng);
+}
+
+RunResult ExperimentHarness::TrainAndEvaluate(RecModel* model) {
+  const bool is_mgbr = dynamic_cast<MgbrModel*>(model) != nullptr;
+  const TrainConfig& tc =
+      is_mgbr ? config_.mgbr_train : config_.baseline_train;
+  Trainer trainer(model, sampler_.get(), tc);
+  Stopwatch watch;
+  auto history = trainer.Train();
+  RunResult result = EvaluateOnly(model);
+  result.train_seconds = watch.ElapsedSeconds();
+  double epoch_seconds = 0.0;
+  for (const EpochStats& s : history) epoch_seconds += s.seconds;
+  if (!history.empty()) {
+    result.minutes_per_epoch =
+        epoch_seconds / static_cast<double>(history.size()) / 60.0;
+  }
+  return result;
+}
+
+RunResult ExperimentHarness::EvaluateOnly(RecModel* model) const {
+  model->Refresh();
+  TaskAScorer sa = model->MakeTaskAScorer();
+  TaskBScorer sb = model->MakeTaskBScorer();
+  RunResult result;
+  result.name = model->name();
+  result.param_count = model->ParameterCount();
+  auto fill_a = [&sa](const std::vector<EvalInstanceA>& i10,
+                      const std::vector<EvalInstanceA>& i100,
+                      TaskMetrics* out) {
+    RankingReport r10 = EvaluateTaskA(i10, sa, 10);
+    RankingReport r100 = EvaluateTaskA(i100, sa, 100);
+    out->mrr10 = r10.mrr;
+    out->ndcg10 = r10.ndcg;
+    out->mrr100 = r100.mrr;
+    out->ndcg100 = r100.ndcg;
+  };
+  auto fill_b = [&sb](const std::vector<EvalInstanceB>& i10,
+                      const std::vector<EvalInstanceB>& i100,
+                      TaskMetrics* out) {
+    RankingReport r10 = EvaluateTaskB(i10, sb, 10);
+    RankingReport r100 = EvaluateTaskB(i100, sb, 100);
+    out->mrr10 = r10.mrr;
+    out->ndcg10 = r10.ndcg;
+    out->mrr100 = r100.mrr;
+    out->ndcg100 = r100.ndcg;
+  };
+  fill_a(a10_, a100_, &result.task_a);
+  fill_b(b10_, b100_, &result.task_b);
+  fill_a(a10_seen_, a100_seen_, &result.task_a_seen);
+  fill_b(b10_seen_, b100_seen_, &result.task_b_seen);
+  return result;
+}
+
+std::string ExperimentHarness::DataSummary() const {
+  return StrCat(data_.StatsString(), " | train groups ",
+                split_.train.n_groups(), ", eval instances A ",
+                a10_.size(), " / B ", b10_.size(), " (unseen protocol)");
+}
+
+std::string Fmt4(double v) { return FormatFloat(v, 4); }
+
+std::string FmtPct(double x, double base) {
+  if (base == 0.0) return "n/a";
+  const double pct = (x - base) / base * 100.0;
+  return StrCat(pct >= 0 ? "+" : "", FormatFloat(pct, 2), "%");
+}
+
+}  // namespace mgbr::bench

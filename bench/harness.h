@@ -1,0 +1,120 @@
+#ifndef MGBR_BENCH_HARNESS_H_
+#define MGBR_BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mgbr.h"
+#include "data/sampler.h"
+#include "data/synthetic.h"
+#include "models/graph_inputs.h"
+#include "train/trainer.h"
+
+namespace mgbr::bench {
+
+/// Calibrated experiment setup shared by every table/figure bench.
+///
+/// The operating point (dataset scale, epochs, dims) was calibrated so
+/// that (a) every model trains to convergence on one CPU core in
+/// minutes, (b) the qualitative shape of the paper's results holds
+/// (see EXPERIMENTS.md). Setting environment variable MGBR_BENCH_FAST=1
+/// shrinks everything ~4x for smoke runs.
+struct HarnessConfig {
+  BeibeiSimConfig sim;
+  int64_t baseline_dim = 16;
+  int64_t baseline_epochs = 20;
+  int64_t mgbr_epochs = 18;
+  int64_t mgbr_dim = 24;
+  size_t eval_cap = 400;
+  uint64_t data_seed = 1;
+  uint64_t eval_seed = 3;
+  bool fast = false;
+
+  TrainConfig baseline_train;
+  TrainConfig mgbr_train;
+
+  /// Default calibrated config; honours MGBR_BENCH_FAST.
+  static HarnessConfig FromEnv();
+};
+
+/// Per-task ranking metrics at both of the paper's operating points
+/// (1:9 negatives => @10, 1:99 => @100).
+struct TaskMetrics {
+  double mrr10 = 0.0;
+  double ndcg10 = 0.0;
+  double mrr100 = 0.0;
+  double ndcg100 = 0.0;
+};
+
+/// One trained model's full scorecard.
+struct RunResult {
+  std::string name;
+  TaskMetrics task_a;       // unseen-pair protocol (primary)
+  TaskMetrics task_b;
+  TaskMetrics task_a_seen;  // paper-literal protocol (all test groups)
+  TaskMetrics task_b_seen;
+  int64_t param_count = 0;
+  double minutes_per_epoch = 0.0;
+  double train_seconds = 0.0;
+};
+
+/// Owns the synthetic dataset, splits, samplers and evaluation
+/// instances; trains models and produces RunResults.
+class ExperimentHarness {
+ public:
+  explicit ExperimentHarness(HarnessConfig config);
+
+  ExperimentHarness(const ExperimentHarness&) = delete;
+  ExperimentHarness& operator=(const ExperimentHarness&) = delete;
+
+  const HarnessConfig& config() const { return config_; }
+  const GraphInputs& graphs() const { return graphs_; }
+  const GroupBuyingDataset& train_data() const { return split_.train; }
+  const TrainingSampler& sampler() const { return *sampler_; }
+
+  /// Builds one of the six baselines by table name
+  /// ("DeepMF", "NGCF", "DiffNet", "EATNN", "GBGCN", "GBMF").
+  std::unique_ptr<RecModel> MakeBaseline(const std::string& name,
+                                         uint64_t seed) const;
+
+  /// Builds an MGBR variant; `config_override.dim` etc. are taken as
+  /// given (callers usually start from MgbrBenchConfig()).
+  std::unique_ptr<MgbrModel> MakeMgbr(const MgbrConfig& config_override,
+                                      uint64_t seed) const;
+
+  /// Calibrated MGBR config for this harness (dim, aux sizes, head).
+  MgbrConfig MgbrBenchConfig(const std::string& variant = "MGBR") const;
+
+  /// Trains with the right TrainConfig for the model type and
+  /// evaluates on all four protocol/cutoff combinations.
+  RunResult TrainAndEvaluate(RecModel* model);
+
+  /// Evaluation only (model must already be trained + Refreshed).
+  RunResult EvaluateOnly(RecModel* model) const;
+
+  /// One-line summary of the dataset ("users=..., groups=...").
+  std::string DataSummary() const;
+
+ private:
+  HarnessConfig config_;
+  GroupBuyingDataset data_;
+  DatasetSplit split_;
+  std::unique_ptr<InteractionIndex> full_index_;
+  std::unique_ptr<InteractionIndex> train_index_;
+  std::unique_ptr<TrainingSampler> sampler_;
+  GraphInputs graphs_;
+  // Evaluation instances: {unseen, seen} x {@10, @100} x {A, B}.
+  std::vector<EvalInstanceA> a10_, a100_, a10_seen_, a100_seen_;
+  std::vector<EvalInstanceB> b10_, b100_, b10_seen_, b100_seen_;
+};
+
+/// Formats a metric to the paper's 4 decimal places.
+std::string Fmt4(double v);
+
+/// Formats a relative change "(x - base)/base" as "+12.3%".
+std::string FmtPct(double x, double base);
+
+}  // namespace mgbr::bench
+
+#endif  // MGBR_BENCH_HARNESS_H_

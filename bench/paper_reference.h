@@ -1,0 +1,87 @@
+#ifndef MGBR_BENCH_PAPER_REFERENCE_H_
+#define MGBR_BENCH_PAPER_REFERENCE_H_
+
+#include <string>
+#include <vector>
+
+namespace mgbr::bench {
+
+/// A row of the paper's Table III (Beibei dataset, GPU testbed).
+/// Absolute values are not expected to transfer to the simulator — the
+/// benches print them alongside measured values so the reader can
+/// compare the *shape*: who wins, by roughly what factor.
+struct PaperTable3Row {
+  const char* model;
+  // Task A.
+  double a_mrr10, a_ndcg10, a_mrr100, a_ndcg100;
+  // Task B.
+  double b_mrr10, b_ndcg10, b_mrr100, b_ndcg100;
+};
+
+inline const std::vector<PaperTable3Row>& PaperTable3() {
+  static const std::vector<PaperTable3Row> kRows = {
+      {"DeepMF", 0.3763, 0.5183, 0.1672, 0.3046, 0.3070, 0.4656, 0.0654,
+       0.2209},
+      {"NGCF", 0.5607, 0.6617, 0.2841, 0.4150, 0.3778, 0.5211, 0.1254,
+       0.2748},
+      {"DiffNet", 0.3780, 0.5206, 0.1290, 0.2771, 0.3314, 0.4844, 0.0976,
+       0.2483},
+      {"EATNN", 0.5827, 0.6807, 0.2240, 0.3736, 0.3404, 0.4929, 0.0727,
+       0.2310},
+      {"GBGCN", 0.5095, 0.6231, 0.2775, 0.4006, 0.3668, 0.5127, 0.1168,
+       0.2665},
+      {"GBMF", 0.3718, 0.5135, 0.1433, 0.2867, 0.3254, 0.4794, 0.0884,
+       0.2406},
+      {"MGBR", 0.6401, 0.7292, 0.2876, 0.4501, 0.6484, 0.7327, 0.2877,
+       0.4471},
+  };
+  return kRows;
+}
+
+/// Paper Table IV rows (ablations), MRR@10 / NDCG@10 / MRR@100 /
+/// NDCG@100 per task.
+struct PaperTable4Row {
+  const char* model;
+  double a_mrr10, a_ndcg10, a_mrr100, a_ndcg100;
+  double b_mrr10, b_ndcg10, b_mrr100, b_ndcg100;
+};
+
+inline const std::vector<PaperTable4Row>& PaperTable4() {
+  static const std::vector<PaperTable4Row> kRows = {
+      {"MGBR-M-R", 0.2531, 0.4327, 0.0809, 0.2571, 0.2344, 0.4141, 0.1043,
+       0.2946},
+      {"MGBR-M", 0.2607, 0.4401, 0.1217, 0.3095, 0.2471, 0.4272, 0.1147,
+       0.3051},
+      {"MGBR-G", 0.6126, 0.7041, 0.2732, 0.4322, 0.4707, 0.6001, 0.1797,
+       0.3448},
+      {"MGBR-R", 0.4228, 0.5663, 0.1221, 0.3136, 0.4769, 0.6074, 0.1661,
+       0.3437},
+      {"MGBR-D", 0.5189, 0.6390, 0.2091, 0.3793, 0.4494, 0.5858, 0.1501,
+       0.3301},
+      {"MGBR", 0.6401, 0.7292, 0.2876, 0.4501, 0.6484, 0.7327, 0.2877,
+       0.4471},
+  };
+  return kRows;
+}
+
+/// Paper Table V: parameter count and minutes/epoch on the authors'
+/// RTX 3090 testbed.
+struct PaperTable5Row {
+  const char* model;
+  long long params;
+  double min_per_epoch;
+};
+
+inline const std::vector<PaperTable5Row>& PaperTable5() {
+  static const std::vector<PaperTable5Row> kRows = {
+      {"DeepMF", 155500LL, 0.34},   {"NGCF", 9962176LL, 3.17},
+      {"DiffNet", 15556217LL, 1.67}, {"EATNN", 33966534LL, 1.23},
+      {"GBGCN", 15555273LL, 1.79},  {"GBMF", 1555280LL, 1.03},
+      {"MGBR", 31341038LL, 8.35},
+  };
+  return kRows;
+}
+
+}  // namespace mgbr::bench
+
+#endif  // MGBR_BENCH_PAPER_REFERENCE_H_

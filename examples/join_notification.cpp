@@ -1,0 +1,130 @@
+// Scenario: the platform has a set of OPEN groups (launched but not yet
+// dealt) and a notification budget — which users should be pinged for
+// each group? That is Task B: rank candidate participants by
+// s(p | u, i). The example compares MGBR against two production-style
+// heuristics and reports how often each method's top pick actually
+// joined the (held-out) group:
+//   * social heuristic — users who co-bought with the initiator most
+//     often in the past;
+//   * item heuristic   — users who bought the item's neighbourhood.
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "core/mgbr.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "models/graph_inputs.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace mgbr;
+
+/// Counts historical co-occurrences (initiator, participant).
+class SocialHeuristic {
+ public:
+  explicit SocialHeuristic(const GroupBuyingDataset& train) {
+    for (const DealGroup& g : train.groups()) {
+      for (int64_t p : g.participants) {
+        ++counts_[Key(g.initiator, p)];
+      }
+    }
+  }
+  double Score(int64_t u, int64_t p) const {
+    auto it = counts_.find(Key(u, p));
+    return it == counts_.end() ? 0.0 : static_cast<double>(it->second);
+  }
+
+ private:
+  static uint64_t Key(int64_t a, int64_t b) {
+    return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+  }
+  std::unordered_map<uint64_t, int64_t> counts_;
+};
+
+/// Counts historical (user, item) purchases in any role.
+class ItemHeuristic {
+ public:
+  explicit ItemHeuristic(const GroupBuyingDataset& train) {
+    for (const DealGroup& g : train.groups()) {
+      ++counts_[Key(g.initiator, g.item)];
+      for (int64_t p : g.participants) ++counts_[Key(p, g.item)];
+    }
+  }
+  double Score(int64_t p, int64_t item) const {
+    auto it = counts_.find(Key(p, item));
+    return it == counts_.end() ? 0.0 : static_cast<double>(it->second);
+  }
+
+ private:
+  static uint64_t Key(int64_t a, int64_t b) {
+    return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+  }
+  std::unordered_map<uint64_t, int64_t> counts_;
+};
+
+}  // namespace
+
+int main() {
+  // --- Data and model ---------------------------------------------------
+  BeibeiSimConfig sim;
+  sim.n_users = 300;
+  sim.n_items = 120;
+  sim.n_groups = 1800;
+  GroupBuyingDataset data = GenerateBeibeiSim(sim).FilterMinInteractions(5);
+  Rng rng(11);
+  DatasetSplit split = data.SplitByRatio(7, 3, 1, &rng);
+  InteractionIndex index(data);
+  TrainingSampler sampler(split.train, &index);
+  GraphInputs graphs = BuildGraphInputs(split.train);
+
+  MgbrConfig mc;
+  mc.dim = 16;
+  mc.sigmoid_head = false;
+  Rng model_rng(12);
+  MgbrModel model(graphs, mc, &model_rng);
+  TrainConfig tc;
+  tc.epochs = 8;
+  tc.learning_rate = 1e-2f;
+  Trainer(&model, &sampler, tc).Train();
+  model.Refresh();
+
+  SocialHeuristic social(split.train);
+  ItemHeuristic item_h(split.train);
+
+  // --- "Open groups" = held-out test groups -----------------------------
+  Rng eval_rng(13);
+  auto instances = BuildEvalInstancesB(split.test, index, 9, &eval_rng, 200);
+  std::printf("notification ranking over %zu open-group instances\n",
+              instances.size());
+
+  TaskBScorer mgbr_scorer = model.MakeTaskBScorer();
+  TaskBScorer social_scorer = [&social](int64_t u, int64_t,
+                                        const std::vector<int64_t>& parts) {
+    std::vector<double> s;
+    for (int64_t p : parts) s.push_back(social.Score(u, p));
+    return s;
+  };
+  TaskBScorer item_scorer = [&item_h](int64_t, int64_t item,
+                                      const std::vector<int64_t>& parts) {
+    std::vector<double> s;
+    for (int64_t p : parts) s.push_back(item_h.Score(p, item));
+    return s;
+  };
+
+  RankingReport mgbr_r = EvaluateTaskB(instances, mgbr_scorer, 10);
+  RankingReport social_r = EvaluateTaskB(instances, social_scorer, 10);
+  RankingReport item_r = EvaluateTaskB(instances, item_scorer, 10);
+
+  std::printf("%-18s MRR@10=%.4f NDCG@10=%.4f Hit@1-ish(hit@10)=%.4f\n",
+              "MGBR", mgbr_r.mrr, mgbr_r.ndcg, mgbr_r.hit);
+  std::printf("%-18s MRR@10=%.4f NDCG@10=%.4f hit@10=%.4f\n",
+              "social heuristic", social_r.mrr, social_r.ndcg, social_r.hit);
+  std::printf("%-18s MRR@10=%.4f NDCG@10=%.4f hit@10=%.4f\n",
+              "item heuristic", item_r.mrr, item_r.ndcg, item_r.hit);
+  std::printf(
+      "\nMGBR conditions on the full (initiator, item, candidate) triple, "
+      "so it should beat both single-signal heuristics.\n");
+  return 0;
+}

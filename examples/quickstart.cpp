@@ -1,0 +1,105 @@
+// Quickstart: the whole MGBR pipeline in ~80 lines.
+//
+//   1. simulate a group-buying log (or load your own with
+//      GroupBuyingDataset::Load),
+//   2. preprocess and split it the way the paper does,
+//   3. train MGBR jointly on both sub-tasks,
+//   4. evaluate with MRR/NDCG@10,
+//   5. produce actual recommendations for one initiator.
+//
+// Build: cmake -B build -G Ninja && cmake --build build
+// Run:   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/mgbr.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "models/graph_inputs.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace mgbr;
+
+  // 1. Data: a small synthetic Beibei-like log (deterministic).
+  BeibeiSimConfig sim;
+  sim.n_users = 300;
+  sim.n_items = 120;
+  sim.n_groups = 1600;
+  GroupBuyingDataset raw = GenerateBeibeiSim(sim);
+  GroupBuyingDataset data = raw.FilterMinInteractions(5);
+  std::printf("dataset: %s\n", data.StatsString().c_str());
+
+  // 2. Split 7:3:1 into train/validation/test, build graphs & samplers.
+  Rng rng(7);
+  DatasetSplit split = data.SplitByRatio(7, 3, 1, &rng);
+  InteractionIndex full_index(data);
+  TrainingSampler sampler(split.train, &full_index);
+  GraphInputs graphs = BuildGraphInputs(split.train);
+
+  // 3. Model: MGBR with small dimensions for a fast demo.
+  MgbrConfig config;
+  config.dim = 16;
+  config.aux_negatives = 4;
+  config.sigmoid_head = false;  // rank on logits (monotone in sigma)
+  Rng model_rng(13);
+  MgbrModel model(graphs, config, &model_rng);
+  std::printf("MGBR (%s variant), %lld parameters\n",
+              model.name().c_str(),
+              static_cast<long long>(model.ParameterCount()));
+
+  TrainConfig train;
+  train.epochs = 10;
+  train.batch_size = 256;
+  train.learning_rate = 1e-2f;
+  train.verbose = true;
+  Trainer trainer(&model, &sampler, train);
+  trainer.Train();
+
+  // 4. Evaluate both sub-tasks on held-out groups (1 positive vs 9
+  //    sampled negatives per instance => MRR/NDCG@10).
+  Rng eval_rng(17);
+  auto inst_a = BuildEvalInstancesA(split.test, full_index, 9, &eval_rng, 150);
+  auto inst_b = BuildEvalInstancesB(split.test, full_index, 9, &eval_rng, 150);
+  model.Refresh();
+  RankingReport a = EvaluateTaskA(inst_a, model.MakeTaskAScorer(), 10);
+  RankingReport b = EvaluateTaskB(inst_b, model.MakeTaskBScorer(), 10);
+  std::printf("Task A (item to launch):      MRR@10=%.4f NDCG@10=%.4f\n",
+              a.mrr, a.ndcg);
+  std::printf("Task B (participant to join): MRR@10=%.4f NDCG@10=%.4f\n",
+              b.mrr, b.ndcg);
+
+  // 5. Recommend: top item for user 0 to launch, then the top
+  //    participant to invite for that (user, item) group.
+  const int64_t who = 0;
+  std::vector<int64_t> all_items(static_cast<size_t>(data.n_items()));
+  for (size_t i = 0; i < all_items.size(); ++i) {
+    all_items[i] = static_cast<int64_t>(i);
+  }
+  std::vector<double> item_scores = model.MakeTaskAScorer()(who, all_items);
+  int64_t best_item = 0;
+  for (size_t i = 1; i < item_scores.size(); ++i) {
+    if (item_scores[i] > item_scores[static_cast<size_t>(best_item)]) {
+      best_item = static_cast<int64_t>(i);
+    }
+  }
+
+  std::vector<int64_t> candidates;
+  for (int64_t p = 0; p < data.n_users(); ++p) {
+    if (p != who) candidates.push_back(p);
+  }
+  std::vector<double> join_scores =
+      model.MakeTaskBScorer()(who, best_item, candidates);
+  int64_t best_cand = 0;
+  for (size_t i = 1; i < join_scores.size(); ++i) {
+    if (join_scores[i] > join_scores[static_cast<size_t>(best_cand)]) {
+      best_cand = static_cast<int64_t>(i);
+    }
+  }
+  std::printf(
+      "recommendation: user %lld should launch item %lld and invite "
+      "user %lld first.\n",
+      static_cast<long long>(who), static_cast<long long>(best_item),
+      static_cast<long long>(candidates[static_cast<size_t>(best_cand)]));
+  return 0;
+}

@@ -1,0 +1,60 @@
+#ifndef MGBR_COMMON_CHECK_H_
+#define MGBR_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace mgbr::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& detail) {
+  std::fprintf(stderr, "MGBR_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               detail.c_str());
+  std::abort();
+}
+
+}  // namespace mgbr::internal
+
+/// Aborts when `cond` is false. Use for programmer invariants only —
+/// recoverable failures must go through Status/Result.
+#define MGBR_CHECK(cond)                                             \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::mgbr::internal::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+    }                                                                \
+  } while (false)
+
+/// MGBR_CHECK with a formatted detail message (StrCat-style varargs).
+#define MGBR_CHECK_MSG(cond, ...)                           \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::mgbr::internal::CheckFailed(__FILE__, __LINE__, #cond, \
+                                    ::mgbr::StrCat(__VA_ARGS__)); \
+    }                                                       \
+  } while (false)
+
+#define MGBR_CHECK_EQ(a, b) \
+  MGBR_CHECK_MSG((a) == (b), "(", (a), " vs ", (b), ")")
+#define MGBR_CHECK_NE(a, b) \
+  MGBR_CHECK_MSG((a) != (b), "(", (a), " vs ", (b), ")")
+#define MGBR_CHECK_LT(a, b) \
+  MGBR_CHECK_MSG((a) < (b), "(", (a), " vs ", (b), ")")
+#define MGBR_CHECK_LE(a, b) \
+  MGBR_CHECK_MSG((a) <= (b), "(", (a), " vs ", (b), ")")
+#define MGBR_CHECK_GT(a, b) \
+  MGBR_CHECK_MSG((a) > (b), "(", (a), " vs ", (b), ")")
+#define MGBR_CHECK_GE(a, b) \
+  MGBR_CHECK_MSG((a) >= (b), "(", (a), " vs ", (b), ")")
+
+#ifdef NDEBUG
+#define MGBR_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define MGBR_DCHECK(cond) MGBR_CHECK(cond)
+#endif
+
+#endif  // MGBR_COMMON_CHECK_H_

@@ -1,0 +1,120 @@
+#include "common/config.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace mgbr {
+
+Result<KeyValueConfig> KeyValueConfig::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError(StrCat("cannot open config: ", path));
+  }
+  KeyValueConfig config;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = StrTrim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          StrCat(path, ":", line_no, ": expected 'key = value', got '",
+                 trimmed, "'"));
+    }
+    const std::string key = StrTrim(trimmed.substr(0, eq));
+    const std::string value = StrTrim(trimmed.substr(eq + 1));
+    if (key.empty()) {
+      return Status::InvalidArgument(
+          StrCat(path, ":", line_no, ": empty key"));
+    }
+    config.Set(key, value);
+  }
+  return config;
+}
+
+KeyValueConfig KeyValueConfig::FromArgs(int argc, const char* const* argv) {
+  KeyValueConfig config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) continue;
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq <= 2) continue;
+    config.Set(arg.substr(2, eq - 2), arg.substr(eq + 1));
+  }
+  return config;
+}
+
+void KeyValueConfig::Set(const std::string& key, const std::string& value) {
+  if (values_.find(key) == values_.end()) order_.push_back(key);
+  values_[key] = value;
+}
+
+void KeyValueConfig::MergeFrom(const KeyValueConfig& other) {
+  for (const std::string& key : other.order_) {
+    Set(key, other.values_.at(key));
+  }
+}
+
+bool KeyValueConfig::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+Result<long long> KeyValueConfig::GetInt(const std::string& key,
+                                         long long fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  long long v = 0;
+  if (!ParseInt64(it->second, &v)) {
+    return Status::InvalidArgument(
+        StrCat("config key '", key, "': not an integer: '", it->second,
+               "'"));
+  }
+  return v;
+}
+
+Result<double> KeyValueConfig::GetDouble(const std::string& key,
+                                         double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  double v = 0.0;
+  if (!ParseDouble(it->second, &v)) {
+    return Status::InvalidArgument(
+        StrCat("config key '", key, "': not a number: '", it->second, "'"));
+  }
+  return v;
+}
+
+Result<bool> KeyValueConfig::GetBool(const std::string& key,
+                                     bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return Status::InvalidArgument(
+      StrCat("config key '", key, "': not a boolean: '", v, "'"));
+}
+
+std::string KeyValueConfig::GetString(const std::string& key,
+                                      const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::vector<std::string> KeyValueConfig::Keys() const { return order_; }
+
+std::string KeyValueConfig::ToString() const {
+  std::string out;
+  for (const std::string& key : order_) {
+    out += key;
+    out += " = ";
+    out += values_.at(key);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mgbr

@@ -1,0 +1,59 @@
+#ifndef MGBR_COMMON_CONFIG_H_
+#define MGBR_COMMON_CONFIG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mgbr {
+
+/// Ordered key=value configuration used by the experiment-runner
+/// example and tools. Sources compose: a file provides defaults,
+/// command-line `--key=value` flags override.
+///
+/// File format: one `key = value` per line, '#' comments, blank lines
+/// ignored. Values are stored as strings and parsed on access.
+class KeyValueConfig {
+ public:
+  KeyValueConfig() = default;
+
+  /// Parses a config file; fails on unreadable files or malformed
+  /// lines (anything without '=' that is not blank/comment).
+  static Result<KeyValueConfig> FromFile(const std::string& path);
+
+  /// Parses `--key=value` arguments; non-flag arguments are ignored.
+  static KeyValueConfig FromArgs(int argc, const char* const* argv);
+
+  /// Sets/overwrites a key.
+  void Set(const std::string& key, const std::string& value);
+
+  /// Merges `other` into this config, overwriting existing keys.
+  void MergeFrom(const KeyValueConfig& other);
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters returning `fallback` when the key is absent.
+  /// Malformed values return an error Status (not the fallback), so
+  /// typos fail loudly.
+  Result<long long> GetInt(const std::string& key, long long fallback) const;
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  Result<bool> GetBool(const std::string& key, bool fallback) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+
+  /// All keys in insertion order (for help/echo output).
+  std::vector<std::string> Keys() const;
+
+  /// "key = value" lines, one per key.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_COMMON_CONFIG_H_

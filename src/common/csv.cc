@@ -1,0 +1,40 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace mgbr {
+
+Result<std::vector<std::vector<std::string>>> Csv::ReadFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError(StrCat("cannot open for reading: ", path));
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string trimmed = StrTrim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    rows.push_back(StrSplit(trimmed, ','));
+  }
+  return rows;
+}
+
+Status Csv::WriteFile(const std::string& path,
+                      const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError(StrCat("cannot open for writing: ", path));
+  }
+  for (const auto& row : rows) {
+    out << StrJoin(row, ",") << '\n';
+  }
+  if (!out.good()) {
+    return Status::IoError(StrCat("write failed: ", path));
+  }
+  return Status::OK();
+}
+
+}  // namespace mgbr

@@ -1,0 +1,30 @@
+#ifndef MGBR_COMMON_CSV_H_
+#define MGBR_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mgbr {
+
+/// Minimal CSV support for dataset files and bench output.
+///
+/// The dialect is deliberately simple: comma separated, no quoting, no
+/// embedded commas/newlines in fields, optional '#' comment lines.
+/// This matches the formats this repository reads and writes (integer
+/// id lists and numeric result tables).
+class Csv {
+ public:
+  /// Reads all non-comment, non-empty rows of `path`, split on commas.
+  static Result<std::vector<std::vector<std::string>>> ReadFile(
+      const std::string& path);
+
+  /// Writes `rows` to `path`, one comma-joined line per row.
+  static Status WriteFile(const std::string& path,
+                          const std::vector<std::vector<std::string>>& rows);
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_COMMON_CSV_H_

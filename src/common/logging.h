@@ -1,0 +1,34 @@
+#ifndef MGBR_COMMON_LOGGING_H_
+#define MGBR_COMMON_LOGGING_H_
+
+#include <string>
+
+namespace mgbr {
+
+/// Severity of a log message.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimal stderr logger. Messages below the global threshold are
+/// dropped; the threshold defaults to Info.
+class Logger {
+ public:
+  /// Sets the global minimum severity that will be emitted.
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// Emits `message` at `level` with a "[LEVEL] " prefix.
+  static void Log(LogLevel level, const std::string& message);
+};
+
+}  // namespace mgbr
+
+#define MGBR_LOG_DEBUG(...) \
+  ::mgbr::Logger::Log(::mgbr::LogLevel::kDebug, ::mgbr::StrCat(__VA_ARGS__))
+#define MGBR_LOG_INFO(...) \
+  ::mgbr::Logger::Log(::mgbr::LogLevel::kInfo, ::mgbr::StrCat(__VA_ARGS__))
+#define MGBR_LOG_WARNING(...) \
+  ::mgbr::Logger::Log(::mgbr::LogLevel::kWarning, ::mgbr::StrCat(__VA_ARGS__))
+#define MGBR_LOG_ERROR(...) \
+  ::mgbr::Logger::Log(::mgbr::LogLevel::kError, ::mgbr::StrCat(__VA_ARGS__))
+
+#endif  // MGBR_COMMON_LOGGING_H_

@@ -1,0 +1,76 @@
+#ifndef MGBR_COMMON_RNG_H_
+#define MGBR_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+
+
+namespace mgbr {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// All randomness in the library flows through instances of this class
+/// so that every experiment is reproducible from a printed seed. The
+/// generator is not cryptographically secure and is not thread-safe;
+/// give each thread (or each pipeline stage) its own instance.
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Poisson-distributed count (Knuth's method; suitable for small lambda).
+  int Poisson(double lambda);
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Non-positive weights are treated as zero; requires a positive total.
+  std::size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (std::size_t i = v->size() - 1; i > 0; --i) {
+      std::size_t j = UniformInt(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Draws `k` distinct values from [0, n) (k <= n), in random order.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_COMMON_RNG_H_

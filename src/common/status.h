@@ -1,0 +1,148 @@
+#ifndef MGBR_COMMON_STATUS_H_
+#define MGBR_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace mgbr {
+
+/// Machine-readable category of a failure.
+///
+/// The set is intentionally small: callers generally branch on
+/// "ok vs not ok" and use the code only for reporting, mirroring the
+/// Status idiom used by Arrow and RocksDB.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kFailedPrecondition,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail without a value.
+///
+/// `Status` is cheap to copy in the success case (no allocation) and
+/// carries a code plus message otherwise. Functions that can fail for
+/// reasons the caller should handle return `Status` (or `Result<T>`);
+/// programmer errors use the MGBR_CHECK macros instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error holder, analogous to `arrow::Result<T>`.
+///
+/// A `Result` is either OK and holds a `T`, or holds a non-OK Status.
+/// Access the value only after checking `ok()`; `ValueOrDie()` aborts
+/// on error and is intended for tests and examples.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return t;` from Result-returning code.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status; aborts if given an OK status without value.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the value, aborting the process if the Result holds an error.
+  T ValueOrDie() &&;
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+T Result<T>::ValueOrDie() && {
+  if (!ok()) internal::DieOnBadResult(status_);
+  return std::move(*value_);
+}
+
+/// Propagates a non-OK Status to the caller.
+#define MGBR_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::mgbr::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// Evaluates a Result-returning expression, assigning the value on
+/// success and propagating the Status on failure.
+#define MGBR_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto MGBR_CONCAT_(_res_, __LINE__) = (expr);  \
+  if (!MGBR_CONCAT_(_res_, __LINE__).ok())      \
+    return MGBR_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(MGBR_CONCAT_(_res_, __LINE__)).value()
+
+#define MGBR_CONCAT_IMPL_(a, b) a##b
+#define MGBR_CONCAT_(a, b) MGBR_CONCAT_IMPL_(a, b)
+
+}  // namespace mgbr
+
+#endif  // MGBR_COMMON_STATUS_H_

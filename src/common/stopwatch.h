@@ -1,0 +1,31 @@
+#ifndef MGBR_COMMON_STOPWATCH_H_
+#define MGBR_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace mgbr {
+
+/// Wall-clock timer used for epoch timing (Table V) and benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_COMMON_STOPWATCH_H_

@@ -1,0 +1,75 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mgbr {
+
+std::vector<std::string> StrSplit(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string StrTrim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string FormatFloat(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return std::string(buf);
+}
+
+bool ParseInt64(std::string_view s, long long* out) {
+  if (s.empty()) return false;
+  std::string tmp(s);
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(tmp.c_str(), &end, 10);
+  if (errno != 0 || end != tmp.c_str() + tmp.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  std::string tmp(s);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(tmp.c_str(), &end);
+  if (errno != 0 || end != tmp.c_str() + tmp.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace mgbr

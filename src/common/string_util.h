@@ -1,0 +1,43 @@
+#ifndef MGBR_COMMON_STRING_UTIL_H_
+#define MGBR_COMMON_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mgbr {
+
+/// Concatenates all arguments via operator<< into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+/// Splits `s` on `delim`; consecutive delimiters yield empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string StrTrim(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string FormatFloat(double value, int digits);
+
+/// Parses a non-negative integer; returns false on malformed input.
+bool ParseInt64(std::string_view s, long long* out);
+
+/// Parses a floating point number; returns false on malformed input.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace mgbr
+
+#endif  // MGBR_COMMON_STRING_UTIL_H_

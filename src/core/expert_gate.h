@@ -1,0 +1,80 @@
+#ifndef MGBR_CORE_EXPERT_GATE_H_
+#define MGBR_CORE_EXPERT_GATE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/mgbr_config.h"
+#include "tensor/variable.h"
+
+namespace mgbr {
+
+/// MGBR's multi-task learning module (§II-D, Eqs. 7-15): L layers, each
+/// holding three sub-modules — task A, task B and shared S — of K
+/// linear expert networks plus one gate.
+///
+/// Gates A and B are *adjusted* gates (Eqs. 10-13): the generic
+/// mixture-of-experts section g1 (mixture weights from the previous
+/// layer's gate outputs) plus the adjusted section g2, whose mixture
+/// weights come from the pairwise object inputs:
+///   gate A: (e_u||e_i) weighs E_A;  (e_i||e_p), (e_u||e_p) weigh E_S;
+///   gate B: (e_u||e_i) weighs E_S;  (e_i||e_p), (e_u||e_p) weigh E_B;
+/// blended as g = g1 + α·g2. Gate S is generic over all 3K experts.
+///
+/// Implementation choices documented in DESIGN.md:
+///   * layer-1 experts consume g^0 = e_u||e_i||e_p (6d) directly — the
+///     dedup reading of the paper's stated W^1 sizes;
+///   * mixture weights pass through a row softmax (the MMoE/PLE
+///     convention the paper's "self-attention principle" references);
+///   * per-layer gate weight matrices (layer-1 input widths differ).
+///
+/// Variant MGBR-M (`use_shared_experts = false`) removes sub-module S:
+/// expert inputs shrink to the own-gate output, the generic mixture
+/// covers only the task's own K experts, and adjusted-gate terms that
+/// referenced E_S are dropped.
+class MultiTaskModule {
+ public:
+  MultiTaskModule(const MgbrConfig& config, Rng* rng);
+
+  /// Final-layer gate outputs for a batch of triples.
+  struct Output {
+    Var g_a;  // B x d — feeds MLP_A
+    Var g_b;  // B x d — feeds MLP_B
+  };
+
+  /// e_u, e_i, e_p are (B x 2d) rows of one triple each.
+  Output Forward(const Var& e_u, const Var& e_i, const Var& e_p) const;
+
+  std::vector<Var> Parameters() const;
+
+  int64_t dim() const { return dim_; }
+
+ private:
+  struct Layer {
+    // The K experts of a sub-module are one fused weight matrix
+    // (in x K*d); expert k is the k-th d-wide column block. This is
+    // mathematically identical to K separate (in x d) matrices but
+    // runs as a single GEMM.
+    Var experts_a;  // in_a x K*d
+    Var experts_b;  // in_b x K*d
+    Var experts_s;  // in_s x K*d; undefined when !shared
+    Var gate_a;                  // in_a x (2K or K)
+    Var gate_b;                  // in_b x (2K or K)
+    Var gate_s;                  // in_s x 3K; undefined when !shared
+    // Adjusted-gate weights (4d x K each); undefined when alpha == 0.
+    Var adj_a_ui, adj_a_ip, adj_a_up;
+    Var adj_b_ui, adj_b_ip, adj_b_up;
+  };
+
+  int64_t dim_;        // d
+  int64_t n_experts_;  // K
+  float alpha_a_;
+  float alpha_b_;
+  bool shared_;
+  bool softmax_gates_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_CORE_EXPERT_GATE_H_

@@ -1,0 +1,74 @@
+#include "core/group_success.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace mgbr {
+namespace {
+
+/// Numerically stable log sigmoid. Model scores may be raw logits
+/// (sigmoid_head = false) or probabilities already in (0,1); for the
+/// latter the sigmoid squashes again, which is monotone and therefore
+/// preserves the ranking this estimator produces.
+double LogSigmoid(double x) {
+  // log σ(x) = -softplus(-x), softplus(y) = max(y, 0) + log1p(e^{-|y|}).
+  const double softplus_neg_x =
+      std::max(-x, 0.0) + std::log1p(std::exp(-std::fabs(x)));
+  return -softplus_neg_x;
+}
+
+}  // namespace
+
+GroupSuccessEstimator::GroupSuccessEstimator(MgbrModel* model)
+    : model_(model) {
+  MGBR_CHECK(model != nullptr);
+  model_->Refresh();
+}
+
+double GroupSuccessEstimator::LogSuccessScore(
+    const OpenGroup& group, const std::vector<int64_t>& candidate_pool,
+    int64_t threshold) {
+  MGBR_CHECK(!candidate_pool.empty());
+  threshold = std::min<int64_t>(threshold,
+                                static_cast<int64_t>(candidate_pool.size()));
+  MGBR_CHECK_GE(threshold, 1);
+
+  // Task A term.
+  Var a = model_->ScoreA({group.initiator}, {group.item});
+  double total = LogSigmoid(a.value().item());
+
+  // Task B terms: top-`threshold` candidates.
+  std::vector<int64_t> users(candidate_pool.size(), group.initiator);
+  std::vector<int64_t> items(candidate_pool.size(), group.item);
+  Var b = model_->ScoreB(users, items, candidate_pool);
+  std::vector<double> scores(candidate_pool.size());
+  for (size_t k = 0; k < candidate_pool.size(); ++k) {
+    scores[k] = b.value().at(static_cast<int64_t>(k), 0);
+  }
+  std::partial_sort(scores.begin(),
+                    scores.begin() + static_cast<long>(threshold),
+                    scores.end(), std::greater<double>());
+  for (int64_t k = 0; k < threshold; ++k) {
+    total += LogSigmoid(scores[static_cast<size_t>(k)]);
+  }
+  return total;
+}
+
+std::vector<size_t> GroupSuccessEstimator::RankOpenGroups(
+    const std::vector<OpenGroup>& groups,
+    const std::vector<int64_t>& candidate_pool, int64_t threshold) {
+  std::vector<double> scores(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    scores[g] = LogSuccessScore(groups[g], candidate_pool, threshold);
+  }
+  std::vector<size_t> order(groups.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  return order;
+}
+
+}  // namespace mgbr

@@ -1,0 +1,50 @@
+#ifndef MGBR_CORE_GROUP_SUCCESS_H_
+#define MGBR_CORE_GROUP_SUCCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mgbr.h"
+
+namespace mgbr {
+
+/// Extension built on the paper's task formalization (§II-A): the
+/// probability of observing a dealt group factorizes as
+///   P(u, i, p_1..p_m) ∝ P(i|u) · Π_k P(p_k | u, i).
+/// This estimator turns a trained MGBR into a *group success* score:
+/// given an open group (u, i), a candidate participant pool and the
+/// deal threshold m (participants needed), it combines the Task A
+/// score with the m strongest Task B scores in log space. Useful for
+/// ranking open campaigns by how likely they are to fire — a direct
+/// product application the paper motivates but does not evaluate.
+class GroupSuccessEstimator {
+ public:
+  /// `model` must be trained and outlive the estimator; Refresh() is
+  /// called once here so scoring reuses cached embeddings.
+  explicit GroupSuccessEstimator(MgbrModel* model);
+
+  /// An open (launched, not yet dealt) group.
+  struct OpenGroup {
+    int64_t initiator = 0;
+    int64_t item = 0;
+  };
+
+  /// log σ(s(i|u)) + Σ over the `threshold` best candidates of
+  /// log σ(s(p|u,i)). Higher = more likely to deal. `threshold` is
+  /// clamped to the pool size.
+  double LogSuccessScore(const OpenGroup& group,
+                         const std::vector<int64_t>& candidate_pool,
+                         int64_t threshold);
+
+  /// Indices into `groups`, most-likely-to-deal first.
+  std::vector<size_t> RankOpenGroups(
+      const std::vector<OpenGroup>& groups,
+      const std::vector<int64_t>& candidate_pool, int64_t threshold);
+
+ private:
+  MgbrModel* model_;
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_CORE_GROUP_SUCCESS_H_

@@ -1,0 +1,68 @@
+#include "core/losses.h"
+
+#include "tensor/ops.h"
+
+namespace mgbr {
+
+Var TaskALoss(RecModel* model, const TaskABatch& batch) {
+  MGBR_CHECK(model != nullptr);
+  MGBR_CHECK_GT(batch.size(), 0u);
+  Var pos = model->ScoreA(batch.users, batch.pos_items);
+  Var neg = model->ScoreA(batch.users, batch.neg_items);
+  return BprLoss(pos, neg);
+}
+
+Var TaskBLoss(RecModel* model, const TaskBBatch& batch) {
+  MGBR_CHECK(model != nullptr);
+  MGBR_CHECK_GT(batch.size(), 0u);
+  Var pos = model->ScoreB(batch.users, batch.items, batch.pos_parts);
+  Var neg = model->ScoreB(batch.users, batch.items, batch.neg_parts);
+  return BprLoss(pos, neg);
+}
+
+Var AuxLossA(MgbrModel* model, const AuxBatch& batch) {
+  MGBR_CHECK(model != nullptr);
+  const int64_t rows = static_cast<int64_t>(batch.n_rows());
+  const int64_t width = static_cast<int64_t>(batch.row_width());
+  MGBR_CHECK_GT(rows, 0);
+
+  Var flat = model->ScoreTriple(batch.users, batch.items, batch.parts);
+  Var scores = Reshape(flat, rows, width);
+
+  // Target: y=1 for the true triple (col 0) and the participant-
+  // corrupted triples (cols [1+T, 1+2T)); y=0 for item-corrupted.
+  // Normalized so each row sums to 1 (a proper ListNet target).
+  Tensor target(rows, width);
+  const int64_t t = batch.n_corrupt;
+  const float mass = 1.0f / static_cast<float>(1 + t);
+  for (int64_t r = 0; r < rows; ++r) {
+    target.at(r, 0) = mass;
+    for (int64_t k = 0; k < t; ++k) {
+      target.at(r, 1 + t + k) = mass;
+    }
+  }
+  return ListNetLoss(scores, target);
+}
+
+Var AuxLossB(MgbrModel* model, const AuxBatch& batch) {
+  MGBR_CHECK(model != nullptr);
+  const int64_t rows = static_cast<int64_t>(batch.n_rows());
+  const int64_t width = static_cast<int64_t>(batch.row_width());
+  MGBR_CHECK_GT(rows, 0);
+  const int64_t t = batch.n_corrupt;
+
+  // Task B scores of all triples in the corruption lists; only the true
+  // triple (col 0) and the item-corrupted block (cols [1, 1+T)) are
+  // used by Eq. 24.
+  Var flat = model->ScoreB(batch.users, batch.items, batch.parts);
+  Var scores = Reshape(flat, rows, width);
+  Var pos = SliceCols(scores, 0, 1);          // rows x 1
+  Var neg = SliceCols(scores, 1, t);          // rows x T
+
+  // Broadcast pos across the T columns: ones(rows x T) * pos[r].
+  Var ones(Tensor::Full(rows, t, 1.0f), /*requires_grad=*/false);
+  Var pos_broadcast = MulColBroadcast(ones, pos);
+  return Neg(Mean(LogSigmoid(Sub(pos_broadcast, neg))));
+}
+
+}  // namespace mgbr

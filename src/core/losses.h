@@ -1,0 +1,29 @@
+#ifndef MGBR_CORE_LOSSES_H_
+#define MGBR_CORE_LOSSES_H_
+
+#include "core/mgbr.h"
+#include "data/sampler.h"
+#include "models/rec_model.h"
+
+namespace mgbr {
+
+/// L_A of Eq. 19: BPR over (positive item, sampled negative item)
+/// pairs. Works for any RecModel.
+Var TaskALoss(RecModel* model, const TaskABatch& batch);
+
+/// L_B of Eq. 19: BPR over (positive, negative participant) pairs.
+Var TaskBLoss(RecModel* model, const TaskBBatch& batch);
+
+/// L'_A of Eq. 21 (MGBR only): ListNet cross-entropy over each
+/// positive triple's corruption list. The target distribution marks the
+/// true triple and the participant-corrupted triples as relevant
+/// (replacing p must hurt s(u,i,p) *less* than replacing i).
+Var AuxLossA(MgbrModel* model, const AuxBatch& batch);
+
+/// L'_B of Eq. 24 (MGBR only): BPR enforcing
+/// s(p|u,i) > s(p|u,i') over the item-corrupted triples.
+Var AuxLossB(MgbrModel* model, const AuxBatch& batch);
+
+}  // namespace mgbr
+
+#endif  // MGBR_CORE_LOSSES_H_

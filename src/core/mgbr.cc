@@ -1,0 +1,73 @@
+#include "core/mgbr.h"
+
+#include "models/model_util.h"
+#include "tensor/ops.h"
+
+namespace mgbr {
+namespace {
+
+std::vector<int64_t> MlpDims(int64_t d) { return {d, d, 1}; }
+
+}  // namespace
+
+MgbrModel::MgbrModel(const GraphInputs& graphs, const MgbrConfig& config,
+                     Rng* rng)
+    : config_(config),
+      views_(graphs, config, rng),
+      mtl_(config, rng),
+      mlp_a_(MlpDims(config.dim), rng, Activation::kRelu, Activation::kNone),
+      mlp_b_(MlpDims(config.dim), rng, Activation::kRelu, Activation::kNone) {}
+
+std::vector<Var> MgbrModel::Parameters() const {
+  std::vector<Var> params;
+  AppendParams(&params, views_.Parameters());
+  AppendParams(&params, mtl_.Parameters());
+  AppendParams(&params, mlp_a_.Parameters());
+  AppendParams(&params, mlp_b_.Parameters());
+  return params;
+}
+
+void MgbrModel::Refresh() {
+  emb_ = views_.Forward();
+  mean_part_ = MeanOverRows(emb_.parts);
+}
+
+MultiTaskModule::Output MgbrModel::RunMtl(const std::vector<int64_t>& users,
+                                          const std::vector<int64_t>& items,
+                                          const Var& e_p) {
+  MGBR_CHECK(emb_.users.defined());
+  Var e_u = Rows(emb_.users, users);
+  Var e_i = Rows(emb_.items, items);
+  return mtl_.Forward(e_u, e_i, e_p);
+}
+
+Var MgbrModel::ScoreA(const std::vector<int64_t>& users,
+                      const std::vector<int64_t>& items) {
+  MGBR_CHECK(mean_part_.defined());
+  // Task A uses the average of all users' participant-role embeddings
+  // as e_p (paper, end of §II-E).
+  Var e_p = BroadcastRow(mean_part_, static_cast<int64_t>(users.size()));
+  MultiTaskModule::Output out = RunMtl(users, items, e_p);
+  Var logits = mlp_a_.Forward(out.g_a);
+  return config_.sigmoid_head ? Sigmoid(logits) : logits;
+}
+
+Var MgbrModel::ScoreB(const std::vector<int64_t>& users,
+                      const std::vector<int64_t>& items,
+                      const std::vector<int64_t>& parts) {
+  Var e_p = Rows(emb_.parts, parts);
+  MultiTaskModule::Output out = RunMtl(users, items, e_p);
+  Var logits = mlp_b_.Forward(out.g_b);
+  return config_.sigmoid_head ? Sigmoid(logits) : logits;
+}
+
+Var MgbrModel::ScoreTriple(const std::vector<int64_t>& users,
+                           const std::vector<int64_t>& items,
+                           const std::vector<int64_t>& parts) {
+  Var e_p = Rows(emb_.parts, parts);
+  MultiTaskModule::Output out = RunMtl(users, items, e_p);
+  Var logits = mlp_a_.Forward(out.g_a);
+  return config_.sigmoid_head ? Sigmoid(logits) : logits;
+}
+
+}  // namespace mgbr

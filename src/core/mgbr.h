@@ -1,0 +1,67 @@
+#ifndef MGBR_CORE_MGBR_H_
+#define MGBR_CORE_MGBR_H_
+
+#include "core/expert_gate.h"
+#include "core/mgbr_config.h"
+#include "core/multi_view.h"
+#include "models/rec_model.h"
+#include "tensor/nn.h"
+
+namespace mgbr {
+
+/// MGBR — the paper's model (Fig. 2): multi-view GCN embeddings feed a
+/// multi-task expert/gate module whose final gate outputs feed two
+/// prediction MLPs:
+///   s(i|u)   = σ(MLP_A(MTL_A(e_u || e_i || e_p)))   (Eq. 16)
+///   s(p|u,i) = σ(MLP_B(MTL_B(e_u || e_i || e_p)))   (Eq. 17)
+/// In Task A scoring, e_p is the mean participant embedding over all
+/// users; in Task B it is the candidate participant's embedding. The
+/// ablated variants of Table IV are configuration switches
+/// (MgbrConfig::Variant).
+class MgbrModel : public RecModel {
+ public:
+  MgbrModel(const GraphInputs& graphs, const MgbrConfig& config, Rng* rng);
+
+  std::string name() const override { return config_.VariantName(); }
+  std::vector<Var> Parameters() const override;
+  void Refresh() override;
+  Var ScoreA(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items) override;
+  Var ScoreB(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items,
+             const std::vector<int64_t>& parts) override;
+
+  /// s(u, i, p) of Eq. 20: the Task A head evaluated with an explicit
+  /// participant embedding instead of the user mean. Used by the
+  /// auxiliary ListNet loss L'_A.
+  Var ScoreTriple(const std::vector<int64_t>& users,
+                  const std::vector<int64_t>& items,
+                  const std::vector<int64_t>& parts);
+
+  const MgbrConfig& config() const { return config_; }
+
+  /// Cached propagated embeddings (valid after Refresh); used by the
+  /// Fig. 6 case study and by tests.
+  const Var& user_embeddings() const { return emb_.users; }
+  const Var& item_embeddings() const { return emb_.items; }
+  const Var& part_embeddings() const { return emb_.parts; }
+
+ private:
+  /// Shared scoring path: gathers triple embeddings, runs the MTL
+  /// module, applies the requested head.
+  MultiTaskModule::Output RunMtl(const std::vector<int64_t>& users,
+                                 const std::vector<int64_t>& items,
+                                 const Var& e_p);
+
+  MgbrConfig config_;
+  MultiViewEmbedding views_;
+  MultiTaskModule mtl_;
+  Mlp mlp_a_;
+  Mlp mlp_b_;
+  MultiViewEmbedding::Output emb_;  // cached by Refresh
+  Var mean_part_;                   // 1 x 2d, cached by Refresh
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_CORE_MGBR_H_

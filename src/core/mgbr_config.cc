@@ -1,0 +1,47 @@
+#include "core/mgbr_config.h"
+
+#include "common/check.h"
+
+namespace mgbr {
+
+MgbrConfig MgbrConfig::Variant(const std::string& name) {
+  MgbrConfig config;
+  if (name == "MGBR") {
+    return config;
+  }
+  if (name == "MGBR-M") {
+    config.use_shared_experts = false;
+    return config;
+  }
+  if (name == "MGBR-R") {
+    config.use_aux_losses = false;
+    return config;
+  }
+  if (name == "MGBR-M-R") {
+    config.use_shared_experts = false;
+    config.use_aux_losses = false;
+    return config;
+  }
+  if (name == "MGBR-G") {
+    config.alpha_a = 0.0f;
+    config.alpha_b = 0.0f;
+    return config;
+  }
+  if (name == "MGBR-D") {
+    config.use_single_hin = true;
+    return config;
+  }
+  MGBR_CHECK_MSG(false, "unknown MGBR variant: ", name);
+  return config;
+}
+
+std::string MgbrConfig::VariantName() const {
+  if (use_single_hin) return "MGBR-D";
+  if (!use_shared_experts && !use_aux_losses) return "MGBR-M-R";
+  if (!use_shared_experts) return "MGBR-M";
+  if (!use_aux_losses) return "MGBR-R";
+  if (alpha_a == 0.0f && alpha_b == 0.0f) return "MGBR-G";
+  return "MGBR";
+}
+
+}  // namespace mgbr

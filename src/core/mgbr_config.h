@@ -1,0 +1,75 @@
+#ifndef MGBR_CORE_MGBR_CONFIG_H_
+#define MGBR_CORE_MGBR_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/nn.h"
+
+namespace mgbr {
+
+/// Hyper-parameters of MGBR (paper Table II) plus the ablation
+/// switches of §III-B. Defaults keep the paper's ratios but scale the
+/// embedding width to the simulator-sized dataset; set `dim = 128`,
+/// `aux_negatives = 99`, etc. to reproduce the paper's exact setting.
+struct MgbrConfig {
+  /// GCN embedding dimension d. Multi-view embeddings are 2d wide; the
+  /// multi-task module works at width d.
+  int64_t dim = 32;
+  /// H — number of GCN layers per view.
+  int64_t gcn_layers = 2;
+  /// K — experts per sub-module per layer.
+  int64_t n_experts = 6;
+  /// L — layers of experts + gates in the multi-task module.
+  int64_t mtl_layers = 2;
+  /// α_A — control coefficient of the adjusted gate A (Eq. 12).
+  float alpha_a = 0.1f;
+  /// α_B — control coefficient of the adjusted gate B (Eq. 13).
+  float alpha_b = 0.1f;
+  /// β — weight of L_B in the overall loss (Eq. 25).
+  float beta = 1.0f;
+  /// β_A — weight of the Task A auxiliary (ListNet) loss L'_A.
+  float beta_a = 0.3f;
+  /// β_B — weight of the Task B auxiliary (BPR) loss L'_B.
+  float beta_b = 0.3f;
+  /// |T| — corruption-list size of the auxiliary losses (Table II uses
+  /// 99; simulator-scale default is smaller).
+  int64_t aux_negatives = 8;
+
+  /// Activation of the multi-view GCN layers. The paper writes σ
+  /// (Sigmoid); at simulator scale the saturating sigmoid trains
+  /// poorly, so the default is Tanh (a documented deviation, see
+  /// DESIGN.md — set kSigmoid for the literal paper form).
+  Activation gcn_activation = Activation::kTanh;
+  /// Apply the σ of Eqs. 16-17 to the prediction MLPs' outputs. The
+  /// sigmoid is monotone, so rankings are identical either way; raw
+  /// logits give BPR a stronger gradient at small scale.
+  bool sigmoid_head = true;
+  /// Normalize every gate's mixture weights with a row softmax (the
+  /// MMoE/PLE convention; DESIGN.md §7.1). false = raw linear mixture
+  /// weights, exactly as Eqs. 10-14 are written.
+  bool softmax_gates = true;
+
+  // -------------------------------------------------------------------
+  // Ablation switches (Table IV).
+  // -------------------------------------------------------------------
+
+  /// false => MGBR-M: drop expert network S and gate S entirely.
+  bool use_shared_experts = true;
+  /// false => MGBR-R: train without L'_A and L'_B.
+  bool use_aux_losses = true;
+  /// true => MGBR-D: replace the three views with one GCN over the
+  /// heterogeneous graph of all nodes and relations.
+  bool use_single_hin = false;
+
+  /// Builds the named variant of Table IV.
+  static MgbrConfig Variant(const std::string& name);
+
+  /// "MGBR", "MGBR-M", "MGBR-R", "MGBR-M-R", "MGBR-G" or "MGBR-D"
+  /// according to the switches (alpha == 0 on both gates => -G).
+  std::string VariantName() const;
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_CORE_MGBR_CONFIG_H_

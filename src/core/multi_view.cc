@@ -1,0 +1,61 @@
+#include "core/multi_view.h"
+
+#include "tensor/ops.h"
+
+namespace mgbr {
+
+MultiViewEmbedding::MultiViewEmbedding(const GraphInputs& graphs,
+                                       const MgbrConfig& config, Rng* rng)
+    : n_users_(graphs.n_users),
+      n_items_(graphs.n_items),
+      single_hin_(config.use_single_hin),
+      a_ui_(graphs.a_ui),
+      a_pi_(graphs.a_pi),
+      a_up_(graphs.a_up),
+      a_hin_(graphs.a_hin) {
+  const int64_t n_all = n_users_ + n_items_;
+  if (single_hin_) {
+    // One GCN of width 2d so downstream dimensions are unchanged.
+    stacks_.emplace_back(n_all, 2 * config.dim, config.gcn_layers, rng,
+                         config.gcn_activation);
+  } else {
+    const Activation act = config.gcn_activation;
+    stacks_.emplace_back(n_all, config.dim, config.gcn_layers, rng, act);
+    stacks_.emplace_back(n_all, config.dim, config.gcn_layers, rng, act);
+    stacks_.emplace_back(n_users_, config.dim, config.gcn_layers, rng, act);
+  }
+}
+
+MultiViewEmbedding::Output MultiViewEmbedding::Forward() const {
+  Output out;
+  if (single_hin_) {
+    Var x = stacks_[0].Forward(a_hin_);
+    out.users = SliceRows(x, 0, n_users_);
+    out.items = SliceRows(x, n_users_, n_items_);
+    out.parts = out.users;  // no role separation in the HIN variant
+    return out;
+  }
+  Var x_ui = stacks_[0].Forward(a_ui_);
+  Var x_pi = stacks_[1].Forward(a_pi_);
+  Var x_up = stacks_[2].Forward(a_up_);
+
+  Var u_ui = SliceRows(x_ui, 0, n_users_);
+  Var i_ui = SliceRows(x_ui, n_users_, n_items_);
+  Var p_pi = SliceRows(x_pi, 0, n_users_);
+  Var i_pi = SliceRows(x_pi, n_users_, n_items_);
+
+  out.users = ConcatCols({u_ui, x_up});  // e_u = e_u^UI || e_u^UP
+  out.items = ConcatCols({i_ui, i_pi});  // e_i = e_i^UI || e_i^PI
+  out.parts = ConcatCols({p_pi, x_up});  // e_p = e_p^PI || e_p^UP
+  return out;
+}
+
+std::vector<Var> MultiViewEmbedding::Parameters() const {
+  std::vector<Var> params;
+  for (const GcnStack& stack : stacks_) {
+    for (Var& p : stack.Parameters()) params.push_back(std::move(p));
+  }
+  return params;
+}
+
+}  // namespace mgbr

@@ -1,0 +1,216 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace mgbr {
+
+GroupBuyingDataset::GroupBuyingDataset(int64_t n_users, int64_t n_items,
+                                       std::vector<DealGroup> groups)
+    : n_users_(n_users), n_items_(n_items), groups_(std::move(groups)) {
+  for (const DealGroup& g : groups_) {
+    MGBR_CHECK(g.initiator >= 0 && g.initiator < n_users_);
+    MGBR_CHECK(g.item >= 0 && g.item < n_items_);
+    for (int64_t p : g.participants) {
+      MGBR_CHECK(p >= 0 && p < n_users_);
+    }
+  }
+}
+
+int64_t GroupBuyingDataset::n_joins() const {
+  int64_t total = 0;
+  for (const DealGroup& g : groups_) {
+    total += static_cast<int64_t>(g.participants.size());
+  }
+  return total;
+}
+
+std::vector<int64_t> GroupBuyingDataset::UserInteractionCounts() const {
+  std::vector<int64_t> counts(static_cast<size_t>(n_users_), 0);
+  for (const DealGroup& g : groups_) {
+    ++counts[static_cast<size_t>(g.initiator)];
+    for (int64_t p : g.participants) ++counts[static_cast<size_t>(p)];
+  }
+  return counts;
+}
+
+GroupBuyingDataset GroupBuyingDataset::FilterMinInteractions(
+    int64_t min_interactions) const {
+  std::vector<int64_t> counts = UserInteractionCounts();
+  std::vector<bool> keep_user(static_cast<size_t>(n_users_));
+  for (int64_t u = 0; u < n_users_; ++u) {
+    keep_user[static_cast<size_t>(u)] =
+        counts[static_cast<size_t>(u)] >= min_interactions;
+  }
+
+  // Keep only groups whose every member survives.
+  std::vector<DealGroup> kept;
+  for (const DealGroup& g : groups_) {
+    if (!keep_user[static_cast<size_t>(g.initiator)]) continue;
+    bool all = true;
+    for (int64_t p : g.participants) {
+      if (!keep_user[static_cast<size_t>(p)]) {
+        all = false;
+        break;
+      }
+    }
+    if (all) kept.push_back(g);
+  }
+
+  // Dense re-index of surviving users and items.
+  std::vector<int64_t> user_map(static_cast<size_t>(n_users_), -1);
+  std::vector<int64_t> item_map(static_cast<size_t>(n_items_), -1);
+  int64_t next_user = 0, next_item = 0;
+  for (const DealGroup& g : kept) {
+    if (user_map[static_cast<size_t>(g.initiator)] < 0) {
+      user_map[static_cast<size_t>(g.initiator)] = next_user++;
+    }
+    for (int64_t p : g.participants) {
+      if (user_map[static_cast<size_t>(p)] < 0) {
+        user_map[static_cast<size_t>(p)] = next_user++;
+      }
+    }
+    if (item_map[static_cast<size_t>(g.item)] < 0) {
+      item_map[static_cast<size_t>(g.item)] = next_item++;
+    }
+  }
+  for (DealGroup& g : kept) {
+    g.initiator = user_map[static_cast<size_t>(g.initiator)];
+    g.item = item_map[static_cast<size_t>(g.item)];
+    for (int64_t& p : g.participants) {
+      p = user_map[static_cast<size_t>(p)];
+    }
+  }
+  return GroupBuyingDataset(next_user, next_item, std::move(kept));
+}
+
+DatasetSplit GroupBuyingDataset::SplitByRatio(
+    int64_t train_part, int64_t valid_part, int64_t test_part,
+    Rng* rng) const {
+  MGBR_CHECK(rng != nullptr);
+  MGBR_CHECK_GT(train_part, 0);
+  MGBR_CHECK_GE(valid_part, 0);
+  MGBR_CHECK_GT(test_part, 0);
+  const int64_t total_parts = train_part + valid_part + test_part;
+
+  std::vector<size_t> order(groups_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  const int64_t n = n_groups();
+  const int64_t n_train = n * train_part / total_parts;
+  const int64_t n_valid = n * valid_part / total_parts;
+
+  std::vector<DealGroup> train, valid, test;
+  for (int64_t i = 0; i < n; ++i) {
+    const DealGroup& g = groups_[order[static_cast<size_t>(i)]];
+    if (i < n_train) {
+      train.push_back(g);
+    } else if (i < n_train + n_valid) {
+      valid.push_back(g);
+    } else {
+      test.push_back(g);
+    }
+  }
+  return DatasetSplit{GroupBuyingDataset(n_users_, n_items_, std::move(train)),
+               GroupBuyingDataset(n_users_, n_items_, std::move(valid)),
+               GroupBuyingDataset(n_users_, n_items_, std::move(test))};
+}
+
+Result<GroupBuyingDataset> GroupBuyingDataset::Load(const std::string& path) {
+  MGBR_ASSIGN_OR_RETURN(auto rows, Csv::ReadFile(path));
+  if (rows.empty()) {
+    return Status::InvalidArgument(StrCat("empty dataset file: ", path));
+  }
+  if (rows[0].size() != 2) {
+    return Status::InvalidArgument(
+        StrCat("bad header in ", path, ": expected n_users,n_items"));
+  }
+  long long n_users = 0, n_items = 0;
+  if (!ParseInt64(rows[0][0], &n_users) || !ParseInt64(rows[0][1], &n_items)) {
+    return Status::InvalidArgument(StrCat("bad header numbers in ", path));
+  }
+  std::vector<DealGroup> groups;
+  groups.reserve(rows.size() - 1);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() < 2) {
+      return Status::InvalidArgument(
+          StrCat("row ", r, " in ", path, " has fewer than 2 fields"));
+    }
+    DealGroup g;
+    long long v = 0;
+    if (!ParseInt64(rows[r][0], &v) || v < 0 || v >= n_users) {
+      return Status::InvalidArgument(
+          StrCat("row ", r, ": bad initiator '", rows[r][0], "'"));
+    }
+    g.initiator = v;
+    if (!ParseInt64(rows[r][1], &v) || v < 0 || v >= n_items) {
+      return Status::InvalidArgument(
+          StrCat("row ", r, ": bad item '", rows[r][1], "'"));
+    }
+    g.item = v;
+    for (size_t c = 2; c < rows[r].size(); ++c) {
+      if (!ParseInt64(rows[r][c], &v) || v < 0 || v >= n_users) {
+        return Status::InvalidArgument(
+            StrCat("row ", r, ": bad participant '", rows[r][c], "'"));
+      }
+      g.participants.push_back(v);
+    }
+    groups.push_back(std::move(g));
+  }
+  return GroupBuyingDataset(n_users, n_items, std::move(groups));
+}
+
+Status GroupBuyingDataset::Save(const std::string& path) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(groups_.size() + 1);
+  rows.push_back({std::to_string(n_users_), std::to_string(n_items_)});
+  for (const DealGroup& g : groups_) {
+    std::vector<std::string> row = {std::to_string(g.initiator),
+                                    std::to_string(g.item)};
+    for (int64_t p : g.participants) row.push_back(std::to_string(p));
+    rows.push_back(std::move(row));
+  }
+  return Csv::WriteFile(path, rows);
+}
+
+std::string GroupBuyingDataset::StatsString() const {
+  return StrCat("users=", n_users_, ", items=", n_items_,
+                ", groups=", n_groups(), ", joins=", n_joins());
+}
+
+const std::unordered_set<int64_t> InteractionIndex::kEmpty = {};
+
+InteractionIndex::InteractionIndex(const GroupBuyingDataset& dataset)
+    : user_items_(static_cast<size_t>(dataset.n_users())) {
+  for (const DealGroup& g : dataset.groups()) {
+    user_items_[static_cast<size_t>(g.initiator)].insert(g.item);
+    auto& members = group_members_[PairKey(g.initiator, g.item)];
+    members.insert(g.initiator);
+    for (int64_t p : g.participants) {
+      user_items_[static_cast<size_t>(p)].insert(g.item);
+      members.insert(p);
+    }
+  }
+}
+
+bool InteractionIndex::UserBoughtItem(int64_t u, int64_t i) const {
+  MGBR_DCHECK(u >= 0 && u < static_cast<int64_t>(user_items_.size()));
+  return user_items_[static_cast<size_t>(u)].count(i) > 0;
+}
+
+bool InteractionIndex::InGroup(int64_t u, int64_t i, int64_t p) const {
+  auto it = group_members_.find(PairKey(u, i));
+  if (it == group_members_.end()) return false;
+  return it->second.count(p) > 0;
+}
+
+const std::unordered_set<int64_t>& InteractionIndex::ItemsOf(int64_t u) const {
+  MGBR_DCHECK(u >= 0 && u < static_cast<int64_t>(user_items_.size()));
+  return user_items_[static_cast<size_t>(u)];
+}
+
+}  // namespace mgbr

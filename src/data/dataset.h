@@ -1,0 +1,111 @@
+#ifndef MGBR_DATA_DATASET_H_
+#define MGBR_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mgbr {
+
+struct DatasetSplit;
+
+/// One observed deal group <u, i, G>: initiator `u` launched a group
+/// buying of item `item`, joined by `participants` (possibly empty —
+/// a group that dealt with the initiator alone).
+struct DealGroup {
+  int64_t initiator = 0;
+  int64_t item = 0;
+  std::vector<int64_t> participants;
+};
+
+/// A group-buying interaction log: the unit the whole pipeline works
+/// on. Mirrors the Beibei dataset of the paper (§III-A): a list of deal
+/// groups over `n_users` users and `n_items` items, where any user can
+/// appear as initiator in some groups and participant in others.
+class GroupBuyingDataset {
+ public:
+  GroupBuyingDataset() = default;
+  GroupBuyingDataset(int64_t n_users, int64_t n_items,
+                     std::vector<DealGroup> groups);
+
+  int64_t n_users() const { return n_users_; }
+  int64_t n_items() const { return n_items_; }
+  const std::vector<DealGroup>& groups() const { return groups_; }
+  int64_t n_groups() const { return static_cast<int64_t>(groups_.size()); }
+
+  /// Total number of participation records (sum of group sizes).
+  int64_t n_joins() const;
+
+  /// Per-user interaction count (initiations + participations), the
+  /// quantity the paper's >=5 filter applies to.
+  std::vector<int64_t> UserInteractionCounts() const;
+
+  /// Paper §III-A2 preprocessing: drops every user with fewer than
+  /// `min_interactions` purchase records, then removes every group that
+  /// includes a dropped user (initiator or participant). User and item
+  /// ids are re-indexed densely; items with no remaining interaction
+  /// are dropped too.
+  GroupBuyingDataset FilterMinInteractions(int64_t min_interactions) const;
+
+  /// Splits groups into train/validation/test with the given integer
+  /// ratio parts (the paper uses 7:3:1), shuffling with `rng`.
+  DatasetSplit SplitByRatio(int64_t train_part, int64_t valid_part,
+                            int64_t test_part, Rng* rng) const;
+
+  /// On-disk format (CSV, '#' comments allowed):
+  ///   header row:  n_users,n_items
+  ///   group rows:  initiator,item[,participant...]
+  static Result<GroupBuyingDataset> Load(const std::string& path);
+  Status Save(const std::string& path) const;
+
+  /// "users=..., items=..., groups=..., joins=..." summary line.
+  std::string StatsString() const;
+
+ private:
+  int64_t n_users_ = 0;
+  int64_t n_items_ = 0;
+  std::vector<DealGroup> groups_;
+};
+
+/// Result of GroupBuyingDataset::SplitByRatio.
+struct DatasetSplit {
+  GroupBuyingDataset train;
+  GroupBuyingDataset validation;
+  GroupBuyingDataset test;
+};
+
+/// Index over a dataset answering the membership queries samplers and
+/// evaluators need in O(1):
+///   * which items `u` has interacted with (as initiator or participant),
+///   * which users belong to group (u, i) — the `G_{u,i}` of Eq. 21.
+class InteractionIndex {
+ public:
+  explicit InteractionIndex(const GroupBuyingDataset& dataset);
+
+  /// True if user `u` has bought item `i` in any role.
+  bool UserBoughtItem(int64_t u, int64_t i) const;
+
+  /// True if `p` participated in (or initiated) any group of (u, i).
+  bool InGroup(int64_t u, int64_t i, int64_t p) const;
+
+  /// Items user `u` interacted with (any role).
+  const std::unordered_set<int64_t>& ItemsOf(int64_t u) const;
+
+ private:
+  static uint64_t PairKey(int64_t a, int64_t b) {
+    return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+  }
+
+  std::vector<std::unordered_set<int64_t>> user_items_;
+  std::unordered_map<uint64_t, std::unordered_set<int64_t>> group_members_;
+  static const std::unordered_set<int64_t> kEmpty;
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_DATA_DATASET_H_

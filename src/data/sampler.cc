@@ -1,0 +1,209 @@
+#include "data/sampler.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace mgbr {
+
+TrainingSampler::TrainingSampler(const GroupBuyingDataset& train,
+                                 const InteractionIndex* full_index)
+    : n_users_(train.n_users()),
+      n_items_(train.n_items()),
+      full_index_(full_index) {
+  MGBR_CHECK(full_index != nullptr);
+  for (const DealGroup& g : train.groups()) {
+    pos_a_.emplace_back(g.initiator, g.item);
+    for (int64_t p : g.participants) {
+      pos_b_.push_back({g.initiator, g.item, p});
+    }
+  }
+}
+
+int64_t TrainingSampler::SampleNegativeItem(int64_t u, Rng* rng) const {
+  const auto& bought = full_index_->ItemsOf(u);
+  // Guard against pathological users who bought everything.
+  if (static_cast<int64_t>(bought.size()) >= n_items_) {
+    return static_cast<int64_t>(rng->UniformInt(n_items_));
+  }
+  while (true) {
+    const int64_t i = static_cast<int64_t>(rng->UniformInt(n_items_));
+    if (!bought.count(i)) return i;
+  }
+}
+
+int64_t TrainingSampler::SampleNegativeParticipant(int64_t u, int64_t i,
+                                                   Rng* rng) const {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const int64_t p = static_cast<int64_t>(rng->UniformInt(n_users_));
+    if (p != u && !full_index_->InGroup(u, i, p)) return p;
+  }
+  // Degenerate data (group covering nearly all users): fall back to any
+  // non-initiator.
+  int64_t p = static_cast<int64_t>(rng->UniformInt(n_users_));
+  return p == u ? (p + 1) % n_users_ : p;
+}
+
+std::vector<TaskABatch> TrainingSampler::EpochBatchesA(size_t batch_size,
+                                                       int64_t negs_per_pos,
+                                                       Rng* rng) const {
+  MGBR_CHECK_GT(batch_size, 0u);
+  MGBR_CHECK_GE(negs_per_pos, 1);
+  std::vector<size_t> order(pos_a_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  std::vector<TaskABatch> batches;
+  TaskABatch current;
+  for (size_t idx : order) {
+    const auto& [u, item] = pos_a_[idx];
+    for (int64_t k = 0; k < negs_per_pos; ++k) {
+      current.users.push_back(u);
+      current.pos_items.push_back(item);
+      current.neg_items.push_back(SampleNegativeItem(u, rng));
+      if (current.size() >= batch_size) {
+        batches.push_back(std::move(current));
+        current = TaskABatch();
+      }
+    }
+  }
+  if (current.size() > 0) batches.push_back(std::move(current));
+  return batches;
+}
+
+std::vector<TaskBBatch> TrainingSampler::EpochBatchesB(size_t batch_size,
+                                                       int64_t negs_per_pos,
+                                                       Rng* rng) const {
+  MGBR_CHECK_GT(batch_size, 0u);
+  MGBR_CHECK_GE(negs_per_pos, 1);
+  std::vector<size_t> order(pos_b_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  std::vector<TaskBBatch> batches;
+  TaskBBatch current;
+  for (size_t idx : order) {
+    const auto& t = pos_b_[idx];
+    for (int64_t k = 0; k < negs_per_pos; ++k) {
+      current.users.push_back(t[0]);
+      current.items.push_back(t[1]);
+      current.pos_parts.push_back(t[2]);
+      current.neg_parts.push_back(SampleNegativeParticipant(t[0], t[1], rng));
+      if (current.size() >= batch_size) {
+        batches.push_back(std::move(current));
+        current = TaskBBatch();
+      }
+    }
+  }
+  if (current.size() > 0) batches.push_back(std::move(current));
+  return batches;
+}
+
+std::vector<AuxBatch> TrainingSampler::EpochAuxBatches(size_t batch_size,
+                                                       int64_t n_corrupt,
+                                                       Rng* rng) const {
+  MGBR_CHECK_GT(batch_size, 0u);
+  MGBR_CHECK_GE(n_corrupt, 1);
+  std::vector<size_t> order(pos_b_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  std::vector<AuxBatch> batches;
+  AuxBatch current;
+  current.n_corrupt = n_corrupt;
+  size_t rows_in_current = 0;
+  for (size_t idx : order) {
+    const auto& t = pos_b_[idx];
+    const int64_t u = t[0], item = t[1], p = t[2];
+    // True triple.
+    current.users.push_back(u);
+    current.items.push_back(item);
+    current.parts.push_back(p);
+    // T_t^I: corrupted items.
+    for (int64_t k = 0; k < n_corrupt; ++k) {
+      current.users.push_back(u);
+      current.items.push_back(SampleNegativeItem(u, rng));
+      current.parts.push_back(p);
+    }
+    // T_t^P: corrupted participants.
+    for (int64_t k = 0; k < n_corrupt; ++k) {
+      current.users.push_back(u);
+      current.items.push_back(item);
+      current.parts.push_back(SampleNegativeParticipant(u, item, rng));
+    }
+    ++rows_in_current;
+    if (rows_in_current >= batch_size) {
+      batches.push_back(std::move(current));
+      current = AuxBatch();
+      current.n_corrupt = n_corrupt;
+      rows_in_current = 0;
+    }
+  }
+  if (rows_in_current > 0) batches.push_back(std::move(current));
+  return batches;
+}
+
+std::vector<EvalInstanceA> BuildEvalInstancesA(
+    const GroupBuyingDataset& heldout, const InteractionIndex& full_index,
+    int64_t n_negatives, Rng* rng, size_t max_instances,
+    const InteractionIndex* train_index) {
+  MGBR_CHECK(rng != nullptr);
+  std::vector<EvalInstanceA> out;
+  const int64_t n_items = heldout.n_items();
+  for (const DealGroup& g : heldout.groups()) {
+    if (max_instances > 0 && out.size() >= max_instances) break;
+    if (train_index != nullptr &&
+        train_index->UserBoughtItem(g.initiator, g.item)) {
+      continue;  // seen launch: recall, not generalization
+    }
+    EvalInstanceA inst;
+    inst.user = g.initiator;
+    inst.pos_item = g.item;
+    const auto& bought = full_index.ItemsOf(g.initiator);
+    inst.neg_items.reserve(static_cast<size_t>(n_negatives));
+    int guard = 0;
+    while (static_cast<int64_t>(inst.neg_items.size()) < n_negatives) {
+      const int64_t i = static_cast<int64_t>(rng->UniformInt(n_items));
+      if (bought.count(i) && ++guard < 100000) continue;
+      inst.neg_items.push_back(i);
+    }
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+std::vector<EvalInstanceB> BuildEvalInstancesB(
+    const GroupBuyingDataset& heldout, const InteractionIndex& full_index,
+    int64_t n_negatives, Rng* rng, size_t max_instances,
+    const InteractionIndex* train_index) {
+  MGBR_CHECK(rng != nullptr);
+  std::vector<EvalInstanceB> out;
+  const int64_t n_users = heldout.n_users();
+  for (const DealGroup& g : heldout.groups()) {
+    for (int64_t p : g.participants) {
+      if (max_instances > 0 && out.size() >= max_instances) break;
+      if (train_index != nullptr &&
+          train_index->InGroup(g.initiator, g.item, p)) {
+        continue;  // seen join
+      }
+      EvalInstanceB inst;
+      inst.user = g.initiator;
+      inst.item = g.item;
+      inst.pos_part = p;
+      inst.neg_parts.reserve(static_cast<size_t>(n_negatives));
+      int guard = 0;
+      while (static_cast<int64_t>(inst.neg_parts.size()) < n_negatives) {
+        const int64_t cand = static_cast<int64_t>(rng->UniformInt(n_users));
+        const bool in_group =
+            cand == g.initiator || full_index.InGroup(g.initiator, g.item, cand);
+        if (in_group && ++guard < 100000) continue;
+        inst.neg_parts.push_back(cand);
+      }
+      out.push_back(std::move(inst));
+    }
+    if (max_instances > 0 && out.size() >= max_instances) break;
+  }
+  return out;
+}
+
+}  // namespace mgbr

@@ -1,0 +1,138 @@
+#ifndef MGBR_DATA_SAMPLER_H_
+#define MGBR_DATA_SAMPLER_H_
+
+#include <array>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace mgbr {
+
+/// One Task A training pair set: parallel arrays of BPR triplets
+/// (initiator, positive item, sampled negative item).
+struct TaskABatch {
+  std::vector<int64_t> users;
+  std::vector<int64_t> pos_items;
+  std::vector<int64_t> neg_items;
+  size_t size() const { return users.size(); }
+};
+
+/// One Task B training pair set: (initiator, item, positive
+/// participant, sampled negative participant).
+struct TaskBBatch {
+  std::vector<int64_t> users;
+  std::vector<int64_t> items;
+  std::vector<int64_t> pos_parts;
+  std::vector<int64_t> neg_parts;
+  size_t size() const { return users.size(); }
+};
+
+/// Auxiliary-loss corruption lists for one mini-batch of positive
+/// triples t = (u, i, p) (Eqs. 21 & 24). For row b:
+///   * columns [0]                 : the true triple t,
+///   * columns [1, 1+n_corrupt]    : item-corrupted  (u, i', p) — T_t^I,
+///   * columns [1+n_corrupt, end)  : part-corrupted  (u, i, p') — T_t^P.
+/// All triples are stored flattened row-major, so scores computed on the
+/// flat arrays reshape to (batch x (1 + 2*n_corrupt)).
+struct AuxBatch {
+  int64_t n_corrupt = 0;  // |T| of the paper
+  std::vector<int64_t> users;
+  std::vector<int64_t> items;
+  std::vector<int64_t> parts;
+  size_t n_rows() const {
+    return n_corrupt == 0 ? 0
+                          : users.size() / (1 + 2 * static_cast<size_t>(
+                                                        n_corrupt));
+  }
+  size_t row_width() const { return 1 + 2 * static_cast<size_t>(n_corrupt); }
+};
+
+/// Ranked-evaluation instance for Task A: score the positive item
+/// against `neg_items` for initiator `u` (paper: 9 or 99 negatives).
+struct EvalInstanceA {
+  int64_t user = 0;
+  int64_t pos_item = 0;
+  std::vector<int64_t> neg_items;
+};
+
+/// Ranked-evaluation instance for Task B: given the group (u, i), score
+/// the positive participant against `neg_parts`.
+struct EvalInstanceB {
+  int64_t user = 0;
+  int64_t item = 0;
+  int64_t pos_part = 0;
+  std::vector<int64_t> neg_parts;
+};
+
+/// Extracts training positives and draws negative samples per the
+/// paper's protocol (§III-A2):
+///   * Task A positive: (u, i) of each deal group; negatives are items
+///     u never bought (any role, judged against the FULL dataset so
+///     held-out positives are never sampled as negatives).
+///   * Task B positive: (u, i, p) per participant; negatives are users
+///     outside G_{u,i}.
+class TrainingSampler {
+ public:
+  /// `train` provides the positives; `full_index` (built on the whole
+  /// dataset before splitting) provides the exclusion sets.
+  TrainingSampler(const GroupBuyingDataset& train,
+                  const InteractionIndex* full_index);
+
+  /// All Task A positives with `negs_per_pos` fresh negatives each,
+  /// shuffled; split into batches of `batch_size`.
+  std::vector<TaskABatch> EpochBatchesA(size_t batch_size,
+                                        int64_t negs_per_pos,
+                                        Rng* rng) const;
+
+  /// All Task B positives with `negs_per_pos` fresh negatives each.
+  std::vector<TaskBBatch> EpochBatchesB(size_t batch_size,
+                                        int64_t negs_per_pos,
+                                        Rng* rng) const;
+
+  /// Auxiliary corruption batches over the Task B positive triples
+  /// (each (u,i,p) positive feeds both L'_A and L'_B). `n_corrupt` is
+  /// the |T| of Table II.
+  std::vector<AuxBatch> EpochAuxBatches(size_t batch_size, int64_t n_corrupt,
+                                        Rng* rng) const;
+
+  size_t n_pos_a() const { return pos_a_.size(); }
+  size_t n_pos_b() const { return pos_b_.size(); }
+
+  int64_t n_users() const { return n_users_; }
+  int64_t n_items() const { return n_items_; }
+
+  /// Draws an item u has never bought.
+  int64_t SampleNegativeItem(int64_t u, Rng* rng) const;
+  /// Draws a user outside the group (u, i) (and != u).
+  int64_t SampleNegativeParticipant(int64_t u, int64_t i, Rng* rng) const;
+
+ private:
+  int64_t n_users_;
+  int64_t n_items_;
+  const InteractionIndex* full_index_;
+  std::vector<std::pair<int64_t, int64_t>> pos_a_;           // (u, i)
+  std::vector<std::array<int64_t, 3>> pos_b_;                // (u, i, p)
+};
+
+/// Builds Task A evaluation instances from the held-out groups: one
+/// instance per group with `n_negatives` negatives (9 => MRR/NDCG@10,
+/// 99 => MRR/NDCG@100). `max_instances` caps the list (0 = no cap).
+/// When `train_index` is given, instances whose (u, i) pair already
+/// occurs in the training split are skipped, so Task A measures
+/// generalization to new launches instead of recall of repeated ones.
+std::vector<EvalInstanceA> BuildEvalInstancesA(
+    const GroupBuyingDataset& heldout, const InteractionIndex& full_index,
+    int64_t n_negatives, Rng* rng, size_t max_instances = 0,
+    const InteractionIndex* train_index = nullptr);
+
+/// Builds Task B instances: one per (group, participant). When
+/// `train_index` is given, joins already observed for the same (u, i)
+/// group in training are skipped (unseen-join generalization).
+std::vector<EvalInstanceB> BuildEvalInstancesB(
+    const GroupBuyingDataset& heldout, const InteractionIndex& full_index,
+    int64_t n_negatives, Rng* rng, size_t max_instances = 0,
+    const InteractionIndex* train_index = nullptr);
+
+}  // namespace mgbr
+
+#endif  // MGBR_DATA_SAMPLER_H_

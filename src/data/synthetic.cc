@@ -1,0 +1,203 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace mgbr {
+namespace {
+
+/// Cosine similarity of two latent vectors.
+double Cosine(const std::vector<double>& a, const std::vector<double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 1e-12 ? dot / denom : 0.0;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double dot = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+  return dot;
+}
+
+/// Zipf-like weights: w_r ∝ (r+1)^{-s}, shuffled so ids are not sorted
+/// by popularity.
+std::vector<double> ZipfWeights(int64_t n, double s, Rng* rng) {
+  std::vector<double> w(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    w[static_cast<size_t>(r)] = std::pow(static_cast<double>(r + 1), -s);
+  }
+  rng->Shuffle(&w);
+  return w;
+}
+
+}  // namespace
+
+GroupBuyingDataset GenerateBeibeiSim(const BeibeiSimConfig& config) {
+  MGBR_CHECK_GT(config.n_users, 1);
+  MGBR_CHECK_GT(config.n_items, 1);
+  MGBR_CHECK_GT(config.n_groups, 0);
+  MGBR_CHECK_GT(config.latent_dim, 0);
+  MGBR_CHECK_GT(config.n_communities, 0);
+  MGBR_CHECK_GT(config.temperature, 0.0);
+
+  Rng rng(config.seed);
+  const int64_t k = config.latent_dim;
+
+  // Community centers.
+  std::vector<std::vector<double>> centers(
+      static_cast<size_t>(config.n_communities),
+      std::vector<double>(static_cast<size_t>(k)));
+  for (auto& c : centers) {
+    for (auto& v : c) v = rng.Gaussian();
+  }
+
+  // User latents around their community center.
+  std::vector<std::vector<double>> theta(
+      static_cast<size_t>(config.n_users),
+      std::vector<double>(static_cast<size_t>(k)));
+  std::vector<int64_t> community(static_cast<size_t>(config.n_users));
+  std::vector<std::vector<int64_t>> community_members(
+      static_cast<size_t>(config.n_communities));
+  for (int64_t u = 0; u < config.n_users; ++u) {
+    const int64_t comm = static_cast<int64_t>(
+        rng.UniformInt(static_cast<uint64_t>(config.n_communities)));
+    community[static_cast<size_t>(u)] = comm;
+    community_members[static_cast<size_t>(comm)].push_back(u);
+    const auto& center = centers[static_cast<size_t>(comm)];
+    for (int64_t d = 0; d < k; ++d) {
+      theta[static_cast<size_t>(u)][static_cast<size_t>(d)] =
+          center[static_cast<size_t>(d)] +
+          config.community_spread * rng.Gaussian();
+    }
+  }
+
+  // Initiator-role latents: correlated with the participant-role
+  // latents but not identical (dual-role preference).
+  const double rho = config.role_correlation;
+  const double rho_noise = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  std::vector<std::vector<double>> theta_init(
+      static_cast<size_t>(config.n_users),
+      std::vector<double>(static_cast<size_t>(k)));
+  for (int64_t u = 0; u < config.n_users; ++u) {
+    const auto& center = centers[static_cast<size_t>(
+        community[static_cast<size_t>(u)])];
+    for (int64_t d = 0; d < k; ++d) {
+      const double fresh = center[static_cast<size_t>(d)] +
+                           config.community_spread * rng.Gaussian();
+      theta_init[static_cast<size_t>(u)][static_cast<size_t>(d)] =
+          rho * theta[static_cast<size_t>(u)][static_cast<size_t>(d)] +
+          rho_noise * fresh;
+    }
+  }
+
+  // Item latents and popularity.
+  std::vector<std::vector<double>> phi(
+      static_cast<size_t>(config.n_items),
+      std::vector<double>(static_cast<size_t>(k)));
+  for (auto& f : phi) {
+    for (auto& v : f) v = rng.Gaussian();
+  }
+  std::vector<double> popularity =
+      ZipfWeights(config.n_items, config.popularity_zipf, &rng);
+
+  // Group appeal per (community, item): log(1 + latent participants) —
+  // the number of community members whose own affinity for the item
+  // clears the threshold. Nonlinear in the item latent, so it cannot be
+  // absorbed into a bilinear user-item score.
+  std::vector<std::vector<double>> appeal(
+      static_cast<size_t>(config.n_communities),
+      std::vector<double>(static_cast<size_t>(config.n_items), 0.0));
+  if (config.appeal_weight != 0.0) {
+    for (int64_t c = 0; c < config.n_communities; ++c) {
+      for (int64_t i = 0; i < config.n_items; ++i) {
+        int64_t interested = 0;
+        for (int64_t p : community_members[static_cast<size_t>(c)]) {
+          if (Dot(theta[static_cast<size_t>(p)],
+                  phi[static_cast<size_t>(i)]) > config.appeal_threshold) {
+            ++interested;
+          }
+        }
+        appeal[static_cast<size_t>(c)][static_cast<size_t>(i)] =
+            std::log1p(static_cast<double>(interested));
+      }
+    }
+  }
+  std::vector<double> activity =
+      ZipfWeights(config.n_users, config.activity_zipf, &rng);
+
+  const double inv_temp = 1.0 / config.temperature;
+
+  std::vector<DealGroup> groups;
+  groups.reserve(static_cast<size_t>(config.n_groups));
+
+  std::vector<double> item_scores(static_cast<size_t>(config.n_items));
+  std::vector<double> join_scores(static_cast<size_t>(config.n_users));
+
+  for (int64_t g = 0; g < config.n_groups; ++g) {
+    // 1. Initiator by activity.
+    const int64_t u = static_cast<int64_t>(rng.Categorical(activity));
+
+    // 2. Item by softmax of preference + popularity (Task A ground truth).
+    double mx = -1e300;
+    for (int64_t i = 0; i < config.n_items; ++i) {
+      double s = Dot(theta_init[static_cast<size_t>(u)],
+                     phi[static_cast<size_t>(i)]) +
+                 config.popularity_weight *
+                     std::log(popularity[static_cast<size_t>(i)] + 1e-12) +
+                 config.appeal_weight *
+                     appeal[static_cast<size_t>(
+                         community[static_cast<size_t>(u)])]
+                           [static_cast<size_t>(i)];
+      s *= inv_temp;
+      item_scores[static_cast<size_t>(i)] = s;
+      mx = std::max(mx, s);
+    }
+    for (auto& s : item_scores) s = std::exp(s - mx);
+    const int64_t item = static_cast<int64_t>(rng.Categorical(item_scores));
+
+    // 3. Participants by softmax of own item affinity + initiator
+    //    similarity (Task B ground truth).
+    DealGroup group;
+    group.initiator = u;
+    group.item = item;
+    const int size = rng.Poisson(std::max(0.0, config.group_size_mean - 1.0));
+    if (size > 0) {
+      double mj = -1e300;
+      for (int64_t p = 0; p < config.n_users; ++p) {
+        double s =
+            config.item_affinity_weight *
+                Dot(theta[static_cast<size_t>(p)],
+                    phi[static_cast<size_t>(item)]) +
+            config.social_weight * Cosine(theta[static_cast<size_t>(p)],
+                                          theta[static_cast<size_t>(u)]);
+        s *= inv_temp;
+        join_scores[static_cast<size_t>(p)] = s;
+        mj = std::max(mj, s);
+      }
+      for (auto& s : join_scores) s = std::exp(s - mj);
+      join_scores[static_cast<size_t>(u)] = 0.0;  // initiator cannot join
+
+      std::unordered_set<int64_t> chosen;
+      for (int s = 0; s < size; ++s) {
+        const int64_t p = static_cast<int64_t>(rng.Categorical(join_scores));
+        if (chosen.insert(p).second) {
+          group.participants.push_back(p);
+          join_scores[static_cast<size_t>(p)] = 0.0;  // without replacement
+        }
+      }
+    }
+    groups.push_back(std::move(group));
+  }
+
+  return GroupBuyingDataset(config.n_users, config.n_items,
+                            std::move(groups));
+}
+
+}  // namespace mgbr

@@ -1,0 +1,121 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mgbr {
+
+int64_t RankOfPositive(double pos_score,
+                       const std::vector<double>& neg_scores) {
+  int64_t rank = 1;
+  for (double s : neg_scores) {
+    if (s >= pos_score) ++rank;
+  }
+  return rank;
+}
+
+double MrrAt(int64_t rank, int64_t n) {
+  MGBR_CHECK_GE(rank, 1);
+  return rank <= n ? 1.0 / static_cast<double>(rank) : 0.0;
+}
+
+double NdcgAt(int64_t rank, int64_t n) {
+  MGBR_CHECK_GE(rank, 1);
+  return rank <= n ? 1.0 / std::log2(static_cast<double>(rank) + 1.0) : 0.0;
+}
+
+double HitAt(int64_t rank, int64_t n) {
+  MGBR_CHECK_GE(rank, 1);
+  return rank <= n ? 1.0 : 0.0;
+}
+
+RankingReport EvaluateTaskA(const std::vector<EvalInstanceA>& instances,
+                            const TaskAScorer& scorer, int64_t cutoff) {
+  RankingReport report;
+  report.cutoff = cutoff;
+  for (const EvalInstanceA& inst : instances) {
+    std::vector<int64_t> candidates;
+    candidates.reserve(1 + inst.neg_items.size());
+    candidates.push_back(inst.pos_item);
+    for (int64_t i : inst.neg_items) candidates.push_back(i);
+    std::vector<double> scores = scorer(inst.user, candidates);
+    MGBR_CHECK_EQ(scores.size(), candidates.size());
+    std::vector<double> negs(scores.begin() + 1, scores.end());
+    const int64_t rank = RankOfPositive(scores[0], negs);
+    report.mrr += MrrAt(rank, cutoff);
+    report.ndcg += NdcgAt(rank, cutoff);
+    report.hit += HitAt(rank, cutoff);
+    ++report.n_instances;
+  }
+  if (report.n_instances > 0) {
+    const double inv = 1.0 / static_cast<double>(report.n_instances);
+    report.mrr *= inv;
+    report.ndcg *= inv;
+    report.hit *= inv;
+  }
+  return report;
+}
+
+RankingReport EvaluateTaskB(const std::vector<EvalInstanceB>& instances,
+                            const TaskBScorer& scorer, int64_t cutoff) {
+  RankingReport report;
+  report.cutoff = cutoff;
+  for (const EvalInstanceB& inst : instances) {
+    std::vector<int64_t> candidates;
+    candidates.reserve(1 + inst.neg_parts.size());
+    candidates.push_back(inst.pos_part);
+    for (int64_t p : inst.neg_parts) candidates.push_back(p);
+    std::vector<double> scores = scorer(inst.user, inst.item, candidates);
+    MGBR_CHECK_EQ(scores.size(), candidates.size());
+    std::vector<double> negs(scores.begin() + 1, scores.end());
+    const int64_t rank = RankOfPositive(scores[0], negs);
+    report.mrr += MrrAt(rank, cutoff);
+    report.ndcg += NdcgAt(rank, cutoff);
+    report.hit += HitAt(rank, cutoff);
+    ++report.n_instances;
+  }
+  if (report.n_instances > 0) {
+    const double inv = 1.0 / static_cast<double>(report.n_instances);
+    report.mrr *= inv;
+    report.ndcg *= inv;
+    report.hit *= inv;
+  }
+  return report;
+}
+
+RankingReport EvaluateTaskAFullRanking(
+    const std::vector<EvalInstanceA>& instances, const TaskAScorer& scorer,
+    const InteractionIndex& full_index, int64_t n_items, int64_t cutoff) {
+  RankingReport report;
+  report.cutoff = cutoff;
+  std::vector<int64_t> all_items(static_cast<size_t>(n_items));
+  for (int64_t i = 0; i < n_items; ++i) {
+    all_items[static_cast<size_t>(i)] = i;
+  }
+  for (const EvalInstanceA& inst : instances) {
+    std::vector<double> scores = scorer(inst.user, all_items);
+    MGBR_CHECK_EQ(scores.size(), all_items.size());
+    const double pos_score = scores[static_cast<size_t>(inst.pos_item)];
+    // Rank among non-interacted items (the positive itself excluded).
+    int64_t rank = 1;
+    for (int64_t i = 0; i < n_items; ++i) {
+      if (i == inst.pos_item) continue;
+      if (full_index.UserBoughtItem(inst.user, i)) continue;
+      if (scores[static_cast<size_t>(i)] >= pos_score) ++rank;
+    }
+    report.mrr += MrrAt(rank, cutoff);
+    report.ndcg += NdcgAt(rank, cutoff);
+    report.hit += HitAt(rank, cutoff);
+    ++report.n_instances;
+  }
+  if (report.n_instances > 0) {
+    const double inv = 1.0 / static_cast<double>(report.n_instances);
+    report.mrr *= inv;
+    report.ndcg *= inv;
+    report.hit *= inv;
+  }
+  return report;
+}
+
+}  // namespace mgbr

@@ -1,0 +1,69 @@
+#ifndef MGBR_EVAL_METRICS_H_
+#define MGBR_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/sampler.h"
+
+namespace mgbr {
+
+/// Rank (1-based) of the positive among its candidates, where
+/// `pos_score` competes against `neg_scores`. Ties count against the
+/// positive (worst-case rank), making results deterministic and
+/// conservative.
+int64_t RankOfPositive(double pos_score, const std::vector<double>& neg_scores);
+
+/// MRR@N contribution of one instance: 1/rank if rank <= N else 0.
+double MrrAt(int64_t rank, int64_t n);
+
+/// NDCG@N contribution with a single relevant item: 1/log2(rank+1) if
+/// rank <= N else 0 (the ideal DCG is 1).
+double NdcgAt(int64_t rank, int64_t n);
+
+/// HitRate@N contribution: 1 if rank <= N else 0.
+double HitAt(int64_t rank, int64_t n);
+
+/// Aggregated ranking metrics over a set of evaluation instances.
+struct RankingReport {
+  double mrr = 0.0;
+  double ndcg = 0.0;
+  double hit = 0.0;
+  int64_t cutoff = 0;      // the N of @N
+  size_t n_instances = 0;
+};
+
+/// Scores a Task A candidate list: given (u, items) returns one score
+/// per item, in order.
+using TaskAScorer = std::function<std::vector<double>(
+    int64_t u, const std::vector<int64_t>& items)>;
+
+/// Scores a Task B candidate list: given (u, i, parts) returns one
+/// score per candidate participant.
+using TaskBScorer = std::function<std::vector<double>(
+    int64_t u, int64_t item, const std::vector<int64_t>& parts)>;
+
+/// Runs the paper's ranked-list protocol on Task A: for each instance
+/// the positive plus its negatives are scored together and ranked.
+/// `cutoff` is the N of MRR/NDCG@N (candidate list size = 1+negatives).
+RankingReport EvaluateTaskA(const std::vector<EvalInstanceA>& instances,
+                            const TaskAScorer& scorer, int64_t cutoff);
+
+/// Ranked-list protocol on Task B.
+RankingReport EvaluateTaskB(const std::vector<EvalInstanceB>& instances,
+                            const TaskBScorer& scorer, int64_t cutoff);
+
+/// Full-ranking protocol for Task A (extension beyond the paper's
+/// sampled-candidate protocol): for each instance the positive item is
+/// ranked against EVERY item the user has not interacted with, removing
+/// the sampled-negative bias. `full_index` supplies the per-user
+/// exclusion sets; `n_items` is the catalogue size. Expensive — prefer
+/// for final reporting, not inner loops.
+RankingReport EvaluateTaskAFullRanking(
+    const std::vector<EvalInstanceA>& instances, const TaskAScorer& scorer,
+    const InteractionIndex& full_index, int64_t n_items, int64_t cutoff);
+
+}  // namespace mgbr
+
+#endif  // MGBR_EVAL_METRICS_H_

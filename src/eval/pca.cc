@@ -1,0 +1,174 @@
+#include "eval/pca.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mgbr {
+namespace {
+
+/// y = M x for a dense symmetric matrix stored row-major in `m` (d x d).
+void SymMatVec(const std::vector<double>& m, int64_t d,
+               const std::vector<double>& x, std::vector<double>* y) {
+  for (int64_t r = 0; r < d; ++r) {
+    double acc = 0.0;
+    const double* row = m.data() + r * d;
+    for (int64_t c = 0; c < d; ++c) acc += row[c] * x[static_cast<size_t>(c)];
+    (*y)[static_cast<size_t>(r)] = acc;
+  }
+}
+
+double Normalize(std::vector<double>* v) {
+  double norm = 0.0;
+  for (double x : *v) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm > 1e-300) {
+    for (double& x : *v) x /= norm;
+  }
+  return norm;
+}
+
+}  // namespace
+
+Tensor PcaProject(const Tensor& data, int64_t k, int64_t max_iters,
+                  double tol) {
+  const int64_t n = data.rows();
+  const int64_t d = data.cols();
+  MGBR_CHECK_GT(n, 1);
+  MGBR_CHECK_GE(d, k);
+  MGBR_CHECK_GT(k, 0);
+
+  // Column means.
+  std::vector<double> mean(static_cast<size_t>(d), 0.0);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < d; ++c) {
+      mean[static_cast<size_t>(c)] += data.at(r, c);
+    }
+  }
+  for (auto& m : mean) m /= static_cast<double>(n);
+
+  // Covariance (d x d).
+  std::vector<double> cov(static_cast<size_t>(d * d), 0.0);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t a = 0; a < d; ++a) {
+      const double xa = data.at(r, a) - mean[static_cast<size_t>(a)];
+      for (int64_t b = a; b < d; ++b) {
+        const double xb = data.at(r, b) - mean[static_cast<size_t>(b)];
+        cov[static_cast<size_t>(a * d + b)] += xa * xb;
+      }
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(n - 1);
+  for (int64_t a = 0; a < d; ++a) {
+    for (int64_t b = a; b < d; ++b) {
+      const double v = cov[static_cast<size_t>(a * d + b)] * inv_n;
+      cov[static_cast<size_t>(a * d + b)] = v;
+      cov[static_cast<size_t>(b * d + a)] = v;
+    }
+  }
+
+  // Power iteration with deflation for the top-k eigenvectors.
+  std::vector<std::vector<double>> components;
+  for (int64_t comp = 0; comp < k; ++comp) {
+    std::vector<double> v(static_cast<size_t>(d));
+    // Deterministic start vector (quasi-random but fixed).
+    for (int64_t i = 0; i < d; ++i) {
+      v[static_cast<size_t>(i)] =
+          std::sin(static_cast<double>((comp + 1) * (i + 1)));
+    }
+    Normalize(&v);
+    std::vector<double> next(static_cast<size_t>(d));
+    double prev_lambda = 0.0;
+    for (int64_t iter = 0; iter < max_iters; ++iter) {
+      SymMatVec(cov, d, v, &next);
+      // Deflate against previously found components.
+      for (const auto& c : components) {
+        double dot = 0.0;
+        for (int64_t i = 0; i < d; ++i) {
+          dot += next[static_cast<size_t>(i)] * c[static_cast<size_t>(i)];
+        }
+        for (int64_t i = 0; i < d; ++i) {
+          next[static_cast<size_t>(i)] -= dot * c[static_cast<size_t>(i)];
+        }
+      }
+      const double lambda = Normalize(&next);
+      v.swap(next);
+      if (std::fabs(lambda - prev_lambda) < tol) break;
+      prev_lambda = lambda;
+    }
+    components.push_back(v);
+  }
+
+  // Project.
+  Tensor out(n, k);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t comp = 0; comp < k; ++comp) {
+      double acc = 0.0;
+      for (int64_t c = 0; c < d; ++c) {
+        acc += (data.at(r, c) - mean[static_cast<size_t>(c)]) *
+               components[static_cast<size_t>(comp)][static_cast<size_t>(c)];
+      }
+      out.at(r, comp) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+double ClusterCohesionRatio(const Tensor& points,
+                            const std::vector<int64_t>& labels) {
+  MGBR_CHECK_EQ(points.rows(), static_cast<int64_t>(labels.size()));
+  const int64_t n = points.rows();
+  const int64_t d = points.cols();
+  MGBR_CHECK_GT(n, 0);
+
+  // Centroids per label.
+  std::map<int64_t, std::pair<std::vector<double>, int64_t>> acc;
+  for (int64_t r = 0; r < n; ++r) {
+    auto& [sum, count] = acc[labels[static_cast<size_t>(r)]];
+    if (sum.empty()) sum.assign(static_cast<size_t>(d), 0.0);
+    for (int64_t c = 0; c < d; ++c) sum[static_cast<size_t>(c)] += points.at(r, c);
+    ++count;
+  }
+  std::map<int64_t, std::vector<double>> centroids;
+  for (auto& [label, pair] : acc) {
+    auto& [sum, count] = pair;
+    for (auto& v : sum) v /= static_cast<double>(count);
+    centroids[label] = sum;
+  }
+
+  // Mean distance of a point to its own centroid.
+  double intra = 0.0;
+  for (int64_t r = 0; r < n; ++r) {
+    const auto& c = centroids[labels[static_cast<size_t>(r)]];
+    double dist2 = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      const double diff = points.at(r, j) - c[static_cast<size_t>(j)];
+      dist2 += diff * diff;
+    }
+    intra += std::sqrt(dist2);
+  }
+  intra /= static_cast<double>(n);
+
+  // Mean pairwise centroid distance.
+  double inter = 0.0;
+  int64_t pairs = 0;
+  for (auto it1 = centroids.begin(); it1 != centroids.end(); ++it1) {
+    for (auto it2 = std::next(it1); it2 != centroids.end(); ++it2) {
+      double dist2 = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        const double diff =
+            it1->second[static_cast<size_t>(j)] - it2->second[static_cast<size_t>(j)];
+        dist2 += diff * diff;
+      }
+      inter += std::sqrt(dist2);
+      ++pairs;
+    }
+  }
+  if (pairs == 0 || inter <= 1e-300) return 0.0;
+  inter /= static_cast<double>(pairs);
+  return intra / inter;
+}
+
+}  // namespace mgbr

@@ -1,0 +1,28 @@
+#ifndef MGBR_EVAL_PCA_H_
+#define MGBR_EVAL_PCA_H_
+
+#include "tensor/tensor.h"
+
+namespace mgbr {
+
+/// Projects the rows of `data` (n x d) onto their top `k` principal
+/// components (n x k), exactly as the paper's Fig. 6 case study does
+/// with k = 2.
+///
+/// Implementation: mean-center, form the d x d covariance, extract the
+/// top-k eigenvectors by power iteration with deflation. Deterministic
+/// (fixed internal start vectors). Suitable for the small d of
+/// experiment embeddings.
+Tensor PcaProject(const Tensor& data, int64_t k, int64_t max_iters = 300,
+                  double tol = 1e-9);
+
+/// Ratio of mean intra-group distance to mean inter-group (centroid)
+/// distance for points labelled by `labels` (same length as rows).
+/// Lower = tighter, better-separated clusters; quantifies the visual
+/// claim of Fig. 6.
+double ClusterCohesionRatio(const Tensor& points,
+                            const std::vector<int64_t>& labels);
+
+}  // namespace mgbr
+
+#endif  // MGBR_EVAL_PCA_H_

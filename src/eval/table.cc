@@ -1,0 +1,63 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mgbr {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : n_cols_(header.size()), header_(std::move(header)) {
+  MGBR_CHECK_GT(n_cols_, 0u);
+}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  MGBR_CHECK_EQ(row.size(), n_cols_);
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string AsciiTable::Render() const {
+  std::vector<size_t> widths(n_cols_, 0);
+  for (size_t c = 0; c < n_cols_; ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto line = [&]() {
+    std::string s = "+";
+    for (size_t c = 0; c < n_cols_; ++c) {
+      s += std::string(widths[c] + 2, '-');
+      s += "+";
+    }
+    s += "\n";
+    return s;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (size_t c = 0; c < n_cols_; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      s += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::ostringstream out;
+  out << line() << render_row(header_) << line();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out << line();
+    } else {
+      out << render_row(row);
+    }
+  }
+  out << line();
+  return out.str();
+}
+
+}  // namespace mgbr

@@ -1,0 +1,38 @@
+#ifndef MGBR_EVAL_TABLE_H_
+#define MGBR_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace mgbr {
+
+/// Plain ASCII table renderer for bench output, mimicking the paper's
+/// result tables. Usage:
+///
+///   AsciiTable t({"Model", "MRR@10", "NDCG@10"});
+///   t.AddRow({"MGBR", "0.6401", "0.7292"});
+///   std::cout << t.Render();
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders with column-aligned cells and +---+ borders.
+  std::string Render() const;
+
+  size_t n_rows() const { return rows_.size(); }
+
+ private:
+  size_t n_cols_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_EVAL_TABLE_H_

@@ -1,0 +1,121 @@
+#include "graph/csr_matrix.h"
+
+#include <algorithm>
+
+namespace mgbr {
+
+CsrMatrix::CsrMatrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols),
+      row_ptr_(static_cast<size_t>(rows) + 1, 0) {
+  MGBR_CHECK_GE(rows, 0);
+  MGBR_CHECK_GE(cols, 0);
+}
+
+CsrMatrix CsrMatrix::FromCoo(int64_t rows, int64_t cols,
+                             std::vector<Coo> entries) {
+  for (const Coo& e : entries) {
+    MGBR_CHECK_MSG(e.row >= 0 && e.row < rows && e.col >= 0 && e.col < cols,
+                   "COO entry out of bounds: (", e.row, ", ", e.col,
+                   ") for shape ", rows, "x", cols);
+  }
+  std::sort(entries.begin(), entries.end(), [](const Coo& a, const Coo& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  CsrMatrix m(rows, cols);
+  m.col_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+  size_t i = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    while (i < entries.size() && entries[i].row == r) {
+      // Merge duplicates.
+      int64_t c = entries[i].col;
+      float v = 0.0f;
+      while (i < entries.size() && entries[i].row == r &&
+             entries[i].col == c) {
+        v += entries[i].value;
+        ++i;
+      }
+      m.col_idx_.push_back(c);
+      m.values_.push_back(v);
+    }
+    m.row_ptr_[static_cast<size_t>(r) + 1] =
+        static_cast<int64_t>(m.col_idx_.size());
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::Identity(int64_t n) {
+  std::vector<Coo> entries;
+  entries.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) entries.push_back({i, i, 1.0f});
+  return FromCoo(n, n, std::move(entries));
+}
+
+float CsrMatrix::At(int64_t r, int64_t c) const {
+  auto [begin, end] = RowRange(r);
+  auto first = col_idx_.begin() + begin;
+  auto last = col_idx_.begin() + end;
+  auto it = std::lower_bound(first, last, c);
+  if (it != last && *it == c) {
+    return values_[static_cast<size_t>(it - col_idx_.begin())];
+  }
+  return 0.0f;
+}
+
+Tensor CsrMatrix::Multiply(const Tensor& dense) const {
+  MGBR_CHECK_EQ(dense.rows(), cols_);
+  const int64_t d = dense.cols();
+  Tensor out(rows_, d);
+  for (int64_t r = 0; r < rows_; ++r) {
+    auto [begin, end] = RowRange(r);
+    float* orow = out.data() + r * d;
+    for (int64_t k = begin; k < end; ++k) {
+      const float v = values_[static_cast<size_t>(k)];
+      const float* xrow =
+          dense.data() + col_idx_[static_cast<size_t>(k)] * d;
+      for (int64_t j = 0; j < d; ++j) orow[j] += v * xrow[j];
+    }
+  }
+  return out;
+}
+
+Tensor CsrMatrix::TransposeMultiply(const Tensor& dense) const {
+  MGBR_CHECK_EQ(dense.rows(), rows_);
+  const int64_t d = dense.cols();
+  Tensor out(cols_, d);
+  for (int64_t r = 0; r < rows_; ++r) {
+    auto [begin, end] = RowRange(r);
+    const float* xrow = dense.data() + r * d;
+    for (int64_t k = begin; k < end; ++k) {
+      const float v = values_[static_cast<size_t>(k)];
+      float* orow = out.data() + col_idx_[static_cast<size_t>(k)] * d;
+      for (int64_t j = 0; j < d; ++j) orow[j] += v * xrow[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> CsrMatrix::RowSums() const {
+  std::vector<double> sums(static_cast<size_t>(rows_), 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    auto [begin, end] = RowRange(r);
+    for (int64_t k = begin; k < end; ++k) {
+      sums[static_cast<size_t>(r)] += values_[static_cast<size_t>(k)];
+    }
+  }
+  return sums;
+}
+
+Tensor CsrMatrix::ToDense() const {
+  Tensor out(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    auto [begin, end] = RowRange(r);
+    for (int64_t k = begin; k < end; ++k) {
+      out.at(r, col_idx_[static_cast<size_t>(k)]) =
+          values_[static_cast<size_t>(k)];
+    }
+  }
+  return out;
+}
+
+}  // namespace mgbr

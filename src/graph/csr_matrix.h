@@ -1,0 +1,77 @@
+#ifndef MGBR_GRAPH_CSR_MATRIX_H_
+#define MGBR_GRAPH_CSR_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "tensor/tensor.h"
+
+namespace mgbr {
+
+/// A single weighted edge used to build sparse matrices.
+struct Coo {
+  int64_t row;
+  int64_t col;
+  float value;
+};
+
+/// Immutable square-or-rectangular sparse matrix in CSR layout.
+///
+/// Built once from COO triplets (duplicates are summed) and then used
+/// read-only for SpMM inside GCN propagation. Row-major CSR matches the
+/// dense row-major Tensor layout so `out = A @ X` streams X rows.
+class CsrMatrix {
+ public:
+  /// Empty matrix of the given shape.
+  CsrMatrix(int64_t rows, int64_t cols);
+
+  /// Builds from COO triplets; duplicate (row, col) entries are summed.
+  static CsrMatrix FromCoo(int64_t rows, int64_t cols,
+                           std::vector<Coo> entries);
+
+  /// Identity matrix of size n.
+  static CsrMatrix Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Entries in row `r` as [begin, end) offsets into col_idx/values.
+  std::pair<int64_t, int64_t> RowRange(int64_t r) const {
+    MGBR_DCHECK(r >= 0 && r < rows_);
+    return {row_ptr_[static_cast<size_t>(r)],
+            row_ptr_[static_cast<size_t>(r) + 1]};
+  }
+
+  /// Value at (r, c); zero if no entry exists (O(log nnz_row)).
+  float At(int64_t r, int64_t c) const;
+
+  /// out = this @ dense. dense must be (cols() x d).
+  Tensor Multiply(const Tensor& dense) const;
+
+  /// out = thisᵀ @ dense. dense must be (rows() x d). Used by the SpMM
+  /// backward pass.
+  Tensor TransposeMultiply(const Tensor& dense) const;
+
+  /// Per-row sum of values (weighted out-degree).
+  std::vector<double> RowSums() const;
+
+  /// Materializes to a dense Tensor (tests only; O(rows*cols) memory).
+  Tensor ToDense() const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int64_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_GRAPH_CSR_MATRIX_H_

@@ -1,0 +1,57 @@
+#include "graph/gcn.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace mgbr {
+
+Var SpMM(const SharedCsr& a, const Var& x) {
+  MGBR_CHECK(a != nullptr);
+  MGBR_CHECK_EQ(a->cols(), x.rows());
+  Tensor out = a->Multiply(x.value());
+  return internal::MakeOpVar(
+      std::move(out), {x}, [a](internal::VarNode& n) {
+        if (n.parents[0]->requires_grad) {
+          Tensor dx = a->TransposeMultiply(n.grad);
+          n.parents[0]->EnsureGrad().AccumulateInPlace(dx);
+        }
+      });
+}
+
+GcnLayer::GcnLayer(int64_t dim, Rng* rng, Activation act)
+    : linear_(dim, dim, rng, /*with_bias=*/false), act_(act) {}
+
+Var GcnLayer::Forward(const SharedCsr& a_hat, const Var& x) const {
+  return ApplyActivation(linear_.Forward(SpMM(a_hat, x)), act_);
+}
+
+std::vector<Var> GcnLayer::Parameters() const { return linear_.Parameters(); }
+
+GcnStack::GcnStack(int64_t n_nodes, int64_t dim, int64_t n_layers, Rng* rng,
+                   Activation act)
+    : x0_(GaussianInit(n_nodes, dim, rng, 0.0f, 1.0f),
+          /*requires_grad=*/true) {
+  MGBR_CHECK_GE(n_layers, 1);
+  layers_.reserve(static_cast<size_t>(n_layers));
+  for (int64_t l = 0; l < n_layers; ++l) {
+    layers_.emplace_back(dim, rng, act);
+  }
+}
+
+Var GcnStack::Forward(const SharedCsr& a_hat) const {
+  Var h = x0_;
+  for (const GcnLayer& layer : layers_) {
+    h = layer.Forward(a_hat, h);
+  }
+  return h;
+}
+
+std::vector<Var> GcnStack::Parameters() const {
+  std::vector<Var> out = {x0_};
+  for (const GcnLayer& layer : layers_) {
+    for (Var& p : layer.Parameters()) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace mgbr

@@ -1,0 +1,60 @@
+#ifndef MGBR_GRAPH_GCN_H_
+#define MGBR_GRAPH_GCN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "tensor/nn.h"
+#include "tensor/variable.h"
+
+namespace mgbr {
+
+/// Autograd-aware sparse-dense product: out = A @ X.
+/// Backward: dX = Aᵀ @ dOut. A is constant (no gradient).
+Var SpMM(const SharedCsr& a, const Var& x);
+
+/// One GCN layer per Eqs. 1-3: X^l = act(Â X^{l-1} W^{l-1}).
+///
+/// The paper uses the Sigmoid activation; NGCF-style models reuse this
+/// layer with other activations.
+class GcnLayer {
+ public:
+  GcnLayer(int64_t dim, Rng* rng, Activation act = Activation::kSigmoid);
+
+  /// Applies propagation with the (normalized) adjacency `a_hat`.
+  Var Forward(const SharedCsr& a_hat, const Var& x) const;
+
+  std::vector<Var> Parameters() const;
+
+ private:
+  Linear linear_;
+  Activation act_;
+};
+
+/// A stack of H GCN layers over one graph plus its trainable layer-0
+/// node embedding matrix X^0 ~ N(0, 1) (per the paper).
+class GcnStack {
+ public:
+  /// `n_nodes` rows of dimension `dim`, `n_layers` propagation layers.
+  GcnStack(int64_t n_nodes, int64_t dim, int64_t n_layers, Rng* rng,
+           Activation act = Activation::kSigmoid);
+
+  /// Returns X^H, the final-layer node embedding matrix (n_nodes x dim).
+  Var Forward(const SharedCsr& a_hat) const;
+
+  /// Layer-0 embeddings plus all layer weights.
+  std::vector<Var> Parameters() const;
+
+  const Var& embeddings0() const { return x0_; }
+  int64_t n_nodes() const { return x0_.rows(); }
+  int64_t dim() const { return x0_.cols(); }
+
+ private:
+  Var x0_;
+  std::vector<GcnLayer> layers_;
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_GRAPH_GCN_H_

@@ -1,0 +1,133 @@
+#include "graph/graph.h"
+
+#include <cmath>
+
+namespace mgbr {
+namespace {
+
+/// Emits both directions of an undirected edge.
+void AddSymmetric(std::vector<Coo>* entries, int64_t a, int64_t b) {
+  entries->push_back({a, b, 1.0f});
+  entries->push_back({b, a, 1.0f});
+}
+
+
+/// Replaces every stored value with 1 (binary adjacency), merging
+/// duplicate interactions.
+CsrMatrix BinaryClamp(const CsrMatrix& raw) {
+  std::vector<Coo> binary;
+  binary.reserve(static_cast<size_t>(raw.nnz()));
+  for (int64_t r = 0; r < raw.rows(); ++r) {
+    auto [begin, end] = raw.RowRange(r);
+    for (int64_t k = begin; k < end; ++k) {
+      binary.push_back({r, raw.col_idx()[static_cast<size_t>(k)], 1.0f});
+    }
+  }
+  return CsrMatrix::FromCoo(raw.rows(), raw.cols(), std::move(binary));
+}
+
+}  // namespace
+
+void GraphBuilder::AddLaunch(int64_t u, int64_t i) {
+  MGBR_CHECK(u >= 0 && u < n_users_);
+  MGBR_CHECK(i >= 0 && i < n_items_);
+  launches_.emplace_back(u, i);
+}
+
+void GraphBuilder::AddJoin(int64_t p, int64_t i) {
+  MGBR_CHECK(p >= 0 && p < n_users_);
+  MGBR_CHECK(i >= 0 && i < n_items_);
+  joins_.emplace_back(p, i);
+}
+
+void GraphBuilder::AddSocial(int64_t u, int64_t p) {
+  MGBR_CHECK(u >= 0 && u < n_users_);
+  MGBR_CHECK(p >= 0 && p < n_users_);
+  if (u == p) return;  // no self edges
+  socials_.emplace_back(u, p);
+}
+
+CsrMatrix GraphBuilder::BuildUserItem() const {
+  const int64_t n = n_users_ + n_items_;
+  std::vector<Coo> entries;
+  entries.reserve(launches_.size() * 2);
+  for (const auto& [u, i] : launches_) {
+    AddSymmetric(&entries, u, n_users_ + i);
+  }
+  return BinaryClamp(CsrMatrix::FromCoo(n, n, std::move(entries)));
+}
+
+CsrMatrix GraphBuilder::BuildParticipantItem() const {
+  const int64_t n = n_users_ + n_items_;
+  std::vector<Coo> entries;
+  entries.reserve(joins_.size() * 2);
+  for (const auto& [p, i] : joins_) {
+    AddSymmetric(&entries, p, n_users_ + i);
+  }
+  return BinaryClamp(CsrMatrix::FromCoo(n, n, std::move(entries)));
+}
+
+CsrMatrix GraphBuilder::BuildUserUser() const {
+  std::vector<Coo> entries;
+  entries.reserve(socials_.size() * 2);
+  for (const auto& [u, p] : socials_) {
+    AddSymmetric(&entries, u, p);
+  }
+  return BinaryClamp(CsrMatrix::FromCoo(n_users_, n_users_, std::move(entries)));
+}
+
+CsrMatrix GraphBuilder::BuildJointUserItem() const {
+  const int64_t n = n_users_ + n_items_;
+  std::vector<Coo> entries;
+  entries.reserve((launches_.size() + joins_.size()) * 2);
+  for (const auto& [u, i] : launches_) {
+    AddSymmetric(&entries, u, n_users_ + i);
+  }
+  for (const auto& [p, i] : joins_) {
+    AddSymmetric(&entries, p, n_users_ + i);
+  }
+  return BinaryClamp(CsrMatrix::FromCoo(n, n, std::move(entries)));
+}
+
+CsrMatrix GraphBuilder::BuildHeterogeneous() const {
+  const int64_t n = n_users_ + n_items_;
+  std::vector<Coo> entries;
+  entries.reserve((launches_.size() + joins_.size() + socials_.size()) * 2);
+  for (const auto& [u, i] : launches_) {
+    AddSymmetric(&entries, u, n_users_ + i);
+  }
+  for (const auto& [p, i] : joins_) {
+    AddSymmetric(&entries, p, n_users_ + i);
+  }
+  for (const auto& [u, p] : socials_) {
+    AddSymmetric(&entries, u, p);
+  }
+  return BinaryClamp(CsrMatrix::FromCoo(n, n, std::move(entries)));
+}
+
+CsrMatrix NormalizeAdjacency(const CsrMatrix& adj) {
+  MGBR_CHECK_EQ(adj.rows(), adj.cols());
+  const int64_t n = adj.rows();
+  // Degrees of A + I.
+  std::vector<double> degree = adj.RowSums();
+  for (auto& d : degree) d += 1.0;
+
+  std::vector<Coo> entries;
+  entries.reserve(static_cast<size_t>(adj.nnz()) + static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    auto [begin, end] = adj.RowRange(r);
+    const double dr = 1.0 / std::sqrt(degree[static_cast<size_t>(r)]);
+    for (int64_t k = begin; k < end; ++k) {
+      const int64_t c = adj.col_idx()[static_cast<size_t>(k)];
+      const double dc = 1.0 / std::sqrt(degree[static_cast<size_t>(c)]);
+      entries.push_back(
+          {r, c,
+           static_cast<float>(adj.values()[static_cast<size_t>(k)] * dr * dc)});
+    }
+    // Self loop.
+    entries.push_back({r, r, static_cast<float>(dr * dr)});
+  }
+  return CsrMatrix::FromCoo(n, n, std::move(entries));
+}
+
+}  // namespace mgbr

@@ -1,0 +1,80 @@
+#ifndef MGBR_GRAPH_GRAPH_H_
+#define MGBR_GRAPH_GRAPH_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/csr_matrix.h"
+
+namespace mgbr {
+
+/// Undirected edge list between two node classes (or within one).
+///
+/// GraphBuilder assembles the paper's three views:
+///  * initiator-view  G_UI: users [0, n_users) and items
+///    [n_users, n_users + n_items) in one node space, edge per launch;
+///  * participant-view G_PI: same node space, edge per join;
+///  * social-view      G_UP: users only, edge initiator-participant.
+/// It can also merge everything into one heterogeneous graph (variant
+/// MGBR-D).
+class GraphBuilder {
+ public:
+  GraphBuilder(int64_t n_users, int64_t n_items)
+      : n_users_(n_users), n_items_(n_items) {}
+
+  /// Records that user `u` launched a group for item `i`.
+  void AddLaunch(int64_t u, int64_t i);
+
+  /// Records that user `p` joined a group buying of item `i`.
+  void AddJoin(int64_t p, int64_t i);
+
+  /// Records that participant `p` joined a group launched by `u`.
+  void AddSocial(int64_t u, int64_t p);
+
+  int64_t n_users() const { return n_users_; }
+  int64_t n_items() const { return n_items_; }
+
+  /// Symmetric adjacency (no self-loops) of the initiator view;
+  /// shape (U+I) x (U+I), items offset by n_users.
+  CsrMatrix BuildUserItem() const;
+
+  /// Symmetric adjacency of the participant view; shape (U+I) x (U+I).
+  CsrMatrix BuildParticipantItem() const;
+
+  /// Symmetric adjacency of the social view; shape U x U. Per the
+  /// paper, participant-participant edges are never added.
+  CsrMatrix BuildUserUser() const;
+
+  /// Bipartite user-item graph merging BOTH roles' interactions
+  /// (launches and joins, no social edges); the graph NGCF runs on.
+  CsrMatrix BuildJointUserItem() const;
+
+  /// Single heterogeneous graph over (U+I) nodes containing launch,
+  /// join and social edges together (ablation MGBR-D).
+  CsrMatrix BuildHeterogeneous() const;
+
+ private:
+  int64_t n_users_;
+  int64_t n_items_;
+  std::vector<std::pair<int64_t, int64_t>> launches_;  // (u, i)
+  std::vector<std::pair<int64_t, int64_t>> joins_;     // (p, i)
+  std::vector<std::pair<int64_t, int64_t>> socials_;   // (u, p)
+};
+
+/// Symmetrically normalized adjacency with self-loops:
+///   Â = D^{-1/2} (A + I) D^{-1/2},
+/// the GCN propagation operator of Kipf & Welling used in Eqs. 1-3.
+/// `adj` must be square and is expected to be symmetric.
+CsrMatrix NormalizeAdjacency(const CsrMatrix& adj);
+
+/// Shared handle used by models so one normalized adjacency can be
+/// captured by many autograd closures without copies.
+using SharedCsr = std::shared_ptr<const CsrMatrix>;
+
+inline SharedCsr MakeShared(CsrMatrix m) {
+  return std::make_shared<const CsrMatrix>(std::move(m));
+}
+
+}  // namespace mgbr
+
+#endif  // MGBR_GRAPH_GRAPH_H_

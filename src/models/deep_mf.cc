@@ -1,0 +1,53 @@
+#include "models/deep_mf.h"
+
+#include "models/model_util.h"
+#include "tensor/init.h"
+
+namespace mgbr {
+namespace {
+
+std::vector<int64_t> TowerDims(int64_t dim, int64_t layers) {
+  std::vector<int64_t> dims(static_cast<size_t>(layers) + 1, dim);
+  return dims;
+}
+
+}  // namespace
+
+DeepMf::DeepMf(int64_t n_users, int64_t n_items, int64_t dim,
+               int64_t tower_layers, Rng* rng)
+    : user_emb_(GaussianInit(n_users, dim, rng, 0.0f, 0.1f), true),
+      item_emb_(GaussianInit(n_items, dim, rng, 0.0f, 0.1f), true),
+      user_tower_(TowerDims(dim, tower_layers), rng, Activation::kRelu,
+                  Activation::kNone),
+      item_tower_(TowerDims(dim, tower_layers), rng, Activation::kRelu,
+                  Activation::kNone) {
+  MGBR_CHECK_GE(tower_layers, 1);
+}
+
+std::vector<Var> DeepMf::Parameters() const {
+  std::vector<Var> params = {user_emb_, item_emb_};
+  AppendParams(&params, user_tower_.Parameters());
+  AppendParams(&params, item_tower_.Parameters());
+  return params;
+}
+
+void DeepMf::Refresh() {
+  user_latent_ = user_tower_.Forward(user_emb_);
+  item_latent_ = item_tower_.Forward(item_emb_);
+}
+
+Var DeepMf::ScoreA(const std::vector<int64_t>& users,
+                   const std::vector<int64_t>& items) {
+  MGBR_CHECK(user_latent_.defined());
+  return RowDot(Rows(user_latent_, users), Rows(item_latent_, items));
+}
+
+Var DeepMf::ScoreB(const std::vector<int64_t>& users,
+                   const std::vector<int64_t>& items,
+                   const std::vector<int64_t>& parts) {
+  (void)items;  // tailored Task B head: user-user inner product
+  MGBR_CHECK(user_latent_.defined());
+  return RowDot(Rows(user_latent_, users), Rows(user_latent_, parts));
+}
+
+}  // namespace mgbr

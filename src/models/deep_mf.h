@@ -1,0 +1,40 @@
+#ifndef MGBR_MODELS_DEEP_MF_H_
+#define MGBR_MODELS_DEEP_MF_H_
+
+#include "models/rec_model.h"
+#include "tensor/nn.h"
+
+namespace mgbr {
+
+/// DeepMF baseline (Xue et al., IJCAI'17): deep matrix factorization.
+/// User and item latent vectors are produced by per-side multi-layer
+/// non-linear projection towers; the match score is their inner
+/// product. Tailored to Task B with the inner product of the two users'
+/// projected representations.
+class DeepMf : public RecModel {
+ public:
+  /// `tower_layers` hidden layers of width `dim` on each side.
+  DeepMf(int64_t n_users, int64_t n_items, int64_t dim, int64_t tower_layers,
+         Rng* rng);
+
+  std::string name() const override { return "DeepMF"; }
+  std::vector<Var> Parameters() const override;
+  void Refresh() override;
+  Var ScoreA(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items) override;
+  Var ScoreB(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items,
+             const std::vector<int64_t>& parts) override;
+
+ private:
+  Var user_emb_;
+  Var item_emb_;
+  Mlp user_tower_;
+  Mlp item_tower_;
+  Var user_latent_;  // cached by Refresh
+  Var item_latent_;
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_MODELS_DEEP_MF_H_

@@ -1,0 +1,71 @@
+#include "models/diffnet.h"
+
+#include <unordered_set>
+
+#include "graph/gcn.h"
+#include "models/model_util.h"
+#include "tensor/init.h"
+
+namespace mgbr {
+namespace {
+
+/// Row-normalized user-item interaction matrix (any role).
+CsrMatrix BuildRowNormalizedInteractions(const GroupBuyingDataset& train) {
+  std::vector<std::unordered_set<int64_t>> items_of(
+      static_cast<size_t>(train.n_users()));
+  for (const DealGroup& g : train.groups()) {
+    items_of[static_cast<size_t>(g.initiator)].insert(g.item);
+    for (int64_t p : g.participants) {
+      items_of[static_cast<size_t>(p)].insert(g.item);
+    }
+  }
+  std::vector<Coo> entries;
+  for (int64_t u = 0; u < train.n_users(); ++u) {
+    const auto& items = items_of[static_cast<size_t>(u)];
+    if (items.empty()) continue;
+    const float w = 1.0f / static_cast<float>(items.size());
+    for (int64_t i : items) entries.push_back({u, i, w});
+  }
+  return CsrMatrix::FromCoo(train.n_users(), train.n_items(),
+                            std::move(entries));
+}
+
+}  // namespace
+
+DiffNet::DiffNet(const GraphInputs& graphs, const GroupBuyingDataset& train,
+                 int64_t dim, int64_t n_hops, Rng* rng)
+    : a_social_(graphs.a_up),
+      r_norm_(MakeShared(BuildRowNormalizedInteractions(train))),
+      n_hops_(n_hops),
+      user_emb_(GaussianInit(graphs.n_users, dim, rng, 0.0f, 0.1f), true),
+      item_emb_(GaussianInit(graphs.n_items, dim, rng, 0.0f, 0.1f), true) {
+  MGBR_CHECK_GE(n_hops, 1);
+}
+
+std::vector<Var> DiffNet::Parameters() const {
+  return {user_emb_, item_emb_};
+}
+
+void DiffNet::Refresh() {
+  Var h = user_emb_;
+  for (int64_t hop = 0; hop < n_hops_; ++hop) {
+    h = SpMM(a_social_, h);
+  }
+  user_final_ = Add(h, SpMM(r_norm_, item_emb_));
+}
+
+Var DiffNet::ScoreA(const std::vector<int64_t>& users,
+                    const std::vector<int64_t>& items) {
+  MGBR_CHECK(user_final_.defined());
+  return RowDot(Rows(user_final_, users), Rows(item_emb_, items));
+}
+
+Var DiffNet::ScoreB(const std::vector<int64_t>& users,
+                    const std::vector<int64_t>& items,
+                    const std::vector<int64_t>& parts) {
+  (void)items;
+  MGBR_CHECK(user_final_.defined());
+  return RowDot(Rows(user_final_, users), Rows(user_final_, parts));
+}
+
+}  // namespace mgbr

@@ -1,0 +1,44 @@
+#ifndef MGBR_MODELS_DIFFNET_H_
+#define MGBR_MODELS_DIFFNET_H_
+
+#include "data/dataset.h"
+#include "models/graph_inputs.h"
+#include "models/rec_model.h"
+#include "tensor/nn.h"
+
+namespace mgbr {
+
+/// DiffNet baseline (Wu et al., SIGIR'19): social influence diffusion.
+/// User embeddings are diffused over the social graph for L hops and
+/// fused with the mean embedding of the user's consumed items:
+///   u_final = (Ŝ^L P)_u + (R̄ Q)_u
+/// where Ŝ is the normalized social adjacency (here the
+/// initiator-participant co-occurrence graph, which the paper argues is
+/// a *fake* social signal — the reason DiffNet underperforms), and R̄
+/// is the row-normalized user-item interaction matrix.
+class DiffNet : public RecModel {
+ public:
+  DiffNet(const GraphInputs& graphs, const GroupBuyingDataset& train,
+          int64_t dim, int64_t n_hops, Rng* rng);
+
+  std::string name() const override { return "DiffNet"; }
+  std::vector<Var> Parameters() const override;
+  void Refresh() override;
+  Var ScoreA(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items) override;
+  Var ScoreB(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items,
+             const std::vector<int64_t>& parts) override;
+
+ private:
+  SharedCsr a_social_;
+  SharedCsr r_norm_;  // row-normalized U x I interaction matrix
+  int64_t n_hops_;
+  Var user_emb_;
+  Var item_emb_;
+  Var user_final_;  // cached by Refresh
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_MODELS_DIFFNET_H_

@@ -1,0 +1,46 @@
+#include "models/eatnn.h"
+
+#include "graph/gcn.h"
+#include "models/model_util.h"
+#include "tensor/init.h"
+
+namespace mgbr {
+
+Eatnn::Eatnn(const GraphInputs& graphs, int64_t dim, Rng* rng)
+    : a_social_(graphs.a_up),
+      shared_emb_(GaussianInit(graphs.n_users, dim, rng, 0.0f, 0.1f), true),
+      item_dom_emb_(GaussianInit(graphs.n_users, dim, rng, 0.0f, 0.1f), true),
+      soc_dom_emb_(GaussianInit(graphs.n_users, dim, rng, 0.0f, 0.1f), true),
+      item_emb_(GaussianInit(graphs.n_items, dim, rng, 0.0f, 0.1f), true),
+      gate_(2 * dim, dim, rng) {}
+
+std::vector<Var> Eatnn::Parameters() const {
+  std::vector<Var> params = {shared_emb_, item_dom_emb_, soc_dom_emb_,
+                             item_emb_};
+  AppendParams(&params, gate_.Parameters());
+  return params;
+}
+
+void Eatnn::Refresh() {
+  Var g = Sigmoid(gate_.Forward(ConcatCols({item_dom_emb_, soc_dom_emb_})));
+  Var one_minus_g = AddScalar(Neg(g), 1.0f);
+  user_item_ = Add(shared_emb_, Mul(g, item_dom_emb_));
+  Var social = Add(shared_emb_, Mul(one_minus_g, soc_dom_emb_));
+  user_social_ = SpMM(a_social_, social);
+}
+
+Var Eatnn::ScoreA(const std::vector<int64_t>& users,
+                  const std::vector<int64_t>& items) {
+  MGBR_CHECK(user_item_.defined());
+  return RowDot(Rows(user_item_, users), Rows(item_emb_, items));
+}
+
+Var Eatnn::ScoreB(const std::vector<int64_t>& users,
+                  const std::vector<int64_t>& items,
+                  const std::vector<int64_t>& parts) {
+  (void)items;
+  MGBR_CHECK(user_social_.defined());
+  return RowDot(Rows(user_social_, users), Rows(user_social_, parts));
+}
+
+}  // namespace mgbr

@@ -1,0 +1,45 @@
+#ifndef MGBR_MODELS_EATNN_H_
+#define MGBR_MODELS_EATNN_H_
+
+#include "models/graph_inputs.h"
+#include "models/rec_model.h"
+#include "tensor/nn.h"
+
+namespace mgbr {
+
+/// EATNN baseline (Chen et al., SIGIR'19): efficient adaptive transfer
+/// between the item domain and the social domain. Each user carries
+/// THREE embeddings (shared, item-domain-specific, social-domain-
+/// specific — this triple is why EATNN tops the parameter count in
+/// Table V); a per-user attention gate decides how much of each
+/// domain-specific embedding transfers into the domain representation:
+///   g_u      = sigmoid(W_g [c_u || s_u])
+///   u_item   = m_u + g_u ⊙ c_u
+///   u_social = m_u + (1 - g_u) ⊙ s_u, then one social propagation hop.
+class Eatnn : public RecModel {
+ public:
+  Eatnn(const GraphInputs& graphs, int64_t dim, Rng* rng);
+
+  std::string name() const override { return "EATNN"; }
+  std::vector<Var> Parameters() const override;
+  void Refresh() override;
+  Var ScoreA(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items) override;
+  Var ScoreB(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items,
+             const std::vector<int64_t>& parts) override;
+
+ private:
+  SharedCsr a_social_;
+  Var shared_emb_;   // m_u
+  Var item_dom_emb_;  // c_u
+  Var soc_dom_emb_;   // s_u
+  Var item_emb_;
+  Linear gate_;
+  Var user_item_;    // cached by Refresh
+  Var user_social_;  // cached by Refresh
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_MODELS_EATNN_H_

@@ -1,0 +1,51 @@
+#include "models/gbgcn.h"
+
+#include "models/model_util.h"
+
+namespace mgbr {
+
+Gbgcn::Gbgcn(const GraphInputs& graphs, int64_t dim, int64_t n_layers,
+             Rng* rng)
+    : n_users_(graphs.n_users),
+      a_ui_(graphs.a_ui),
+      a_pi_(graphs.a_pi),
+      a_up_(graphs.a_up),
+      stack_ui_(graphs.n_users + graphs.n_items, dim, n_layers, rng,
+                Activation::kTanh),
+      stack_pi_(graphs.n_users + graphs.n_items, dim, n_layers, rng,
+                Activation::kTanh) {}
+
+std::vector<Var> Gbgcn::Parameters() const {
+  std::vector<Var> params;
+  AppendParams(&params, stack_ui_.Parameters());
+  AppendParams(&params, stack_pi_.Parameters());
+  return params;
+}
+
+void Gbgcn::Refresh() {
+  const int64_t n_items = stack_ui_.n_nodes() - n_users_;
+  Var x_ui = stack_ui_.Forward(a_ui_);
+  Var x_pi = stack_pi_.Forward(a_pi_);
+  Var users_ui = SliceRows(x_ui, 0, n_users_);
+  Var users_pi = SliceRows(x_pi, 0, n_users_);
+  init_user_ = Add(users_ui, SpMM(a_up_, users_pi));
+  part_user_ = Add(users_pi, SpMM(a_up_, users_ui));
+  item_final_ = Add(SliceRows(x_ui, n_users_, n_items),
+                    SliceRows(x_pi, n_users_, n_items));
+}
+
+Var Gbgcn::ScoreA(const std::vector<int64_t>& users,
+                  const std::vector<int64_t>& items) {
+  MGBR_CHECK(init_user_.defined());
+  return RowDot(Rows(init_user_, users), Rows(item_final_, items));
+}
+
+Var Gbgcn::ScoreB(const std::vector<int64_t>& users,
+                  const std::vector<int64_t>& items,
+                  const std::vector<int64_t>& parts) {
+  (void)items;
+  MGBR_CHECK(init_user_.defined());
+  return RowDot(Rows(init_user_, users), Rows(part_user_, parts));
+}
+
+}  // namespace mgbr

@@ -1,0 +1,45 @@
+#ifndef MGBR_MODELS_GBGCN_H_
+#define MGBR_MODELS_GBGCN_H_
+
+#include "graph/gcn.h"
+#include "models/graph_inputs.h"
+#include "models/rec_model.h"
+
+namespace mgbr {
+
+/// GBGCN baseline (Zhang et al., ICDE'21): group-buying GCN with dual
+/// user roles. Two GCN stacks propagate over the initiator view and the
+/// participant view; cross-view information flows through one social
+/// hop applied to the *other* view's user block:
+///   u_init = X_UI[u] + (Ŝ · users(X_PI))[u]
+///   p_part = X_PI[p] + (Ŝ · users(X_UI))[p]
+///   item   = X_UI[i] + X_PI[i]
+/// Scores: s(i|u) = <u_init, item>; tailored s(p|u,i) = <u_init, p_part>.
+class Gbgcn : public RecModel {
+ public:
+  Gbgcn(const GraphInputs& graphs, int64_t dim, int64_t n_layers, Rng* rng);
+
+  std::string name() const override { return "GBGCN"; }
+  std::vector<Var> Parameters() const override;
+  void Refresh() override;
+  Var ScoreA(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items) override;
+  Var ScoreB(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items,
+             const std::vector<int64_t>& parts) override;
+
+ private:
+  int64_t n_users_;
+  SharedCsr a_ui_;
+  SharedCsr a_pi_;
+  SharedCsr a_up_;
+  GcnStack stack_ui_;
+  GcnStack stack_pi_;
+  Var init_user_;  // cached by Refresh
+  Var part_user_;
+  Var item_final_;
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_MODELS_GBGCN_H_

@@ -1,0 +1,29 @@
+#include "models/gbmf.h"
+
+#include "models/model_util.h"
+#include "tensor/init.h"
+
+namespace mgbr {
+
+Gbmf::Gbmf(int64_t n_users, int64_t n_items, int64_t dim, Rng* rng)
+    : init_emb_(GaussianInit(n_users, dim, rng, 0.0f, 0.1f), true),
+      part_emb_(GaussianInit(n_users, dim, rng, 0.0f, 0.1f), true),
+      item_emb_(GaussianInit(n_items, dim, rng, 0.0f, 0.1f), true) {}
+
+std::vector<Var> Gbmf::Parameters() const {
+  return {init_emb_, part_emb_, item_emb_};
+}
+
+Var Gbmf::ScoreA(const std::vector<int64_t>& users,
+                 const std::vector<int64_t>& items) {
+  return RowDot(Rows(init_emb_, users), Rows(item_emb_, items));
+}
+
+Var Gbmf::ScoreB(const std::vector<int64_t>& users,
+                 const std::vector<int64_t>& items,
+                 const std::vector<int64_t>& parts) {
+  (void)items;
+  return RowDot(Rows(init_emb_, users), Rows(part_emb_, parts));
+}
+
+}  // namespace mgbr

@@ -1,0 +1,35 @@
+#ifndef MGBR_MODELS_GBMF_H_
+#define MGBR_MODELS_GBMF_H_
+
+#include "models/rec_model.h"
+#include "tensor/nn.h"
+
+namespace mgbr {
+
+/// GBMF baseline (Zhang et al., ICDE'21): matrix factorization with
+/// dual-role user embeddings. Each user owns an initiator-role and a
+/// participant-role embedding; scores are plain dot products.
+///   * s(i|u)    = <init_u, item_i>
+///   * s(p|u,i)  = <init_u, part_p>   (the paper's tailoring)
+class Gbmf : public RecModel {
+ public:
+  Gbmf(int64_t n_users, int64_t n_items, int64_t dim, Rng* rng);
+
+  std::string name() const override { return "GBMF"; }
+  std::vector<Var> Parameters() const override;
+  void Refresh() override {}
+  Var ScoreA(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items) override;
+  Var ScoreB(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items,
+             const std::vector<int64_t>& parts) override;
+
+ private:
+  Var init_emb_;
+  Var part_emb_;
+  Var item_emb_;
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_MODELS_GBMF_H_

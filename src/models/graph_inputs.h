@@ -1,0 +1,30 @@
+#ifndef MGBR_MODELS_GRAPH_INPUTS_H_
+#define MGBR_MODELS_GRAPH_INPUTS_H_
+
+#include "data/dataset.h"
+#include "graph/graph.h"
+
+namespace mgbr {
+
+/// Normalized adjacencies every graph-based model consumes, built from
+/// the TRAINING split only (no held-out leakage). Shapes:
+///   * a_ui / a_pi / a_hin: (U+I) x (U+I), items offset by n_users;
+///   * a_up: U x U.
+struct GraphInputs {
+  int64_t n_users = 0;
+  int64_t n_items = 0;
+  SharedCsr a_ui;   // initiator view   Â(G_UI)
+  SharedCsr a_pi;   // participant view Â(G_PI)
+  SharedCsr a_up;   // social view      Â(G_UP)
+  SharedCsr a_joint;  // bipartite UI graph of both roles (NGCF et al.)
+  SharedCsr a_hin;    // single heterogeneous graph (variant MGBR-D)
+};
+
+/// Builds all four normalized adjacencies from the training groups:
+/// a launch edge per (initiator, item), a join edge per (participant,
+/// item), a social edge per (initiator, participant). No p-p edges.
+GraphInputs BuildGraphInputs(const GroupBuyingDataset& train);
+
+}  // namespace mgbr
+
+#endif  // MGBR_MODELS_GRAPH_INPUTS_H_

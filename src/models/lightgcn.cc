@@ -1,0 +1,50 @@
+#include "models/lightgcn.h"
+
+#include "graph/gcn.h"
+#include "models/model_util.h"
+#include "tensor/init.h"
+
+namespace mgbr {
+
+LightGcn::LightGcn(const GraphInputs& graphs, int64_t dim, int64_t n_layers,
+                   Rng* rng)
+    : n_users_(graphs.n_users),
+      n_layers_(n_layers),
+      a_joint_(graphs.a_joint),
+      x0_(GaussianInit(graphs.n_users + graphs.n_items, dim, rng, 0.0f,
+                       0.1f),
+          /*requires_grad=*/true) {
+  MGBR_CHECK_GE(n_layers, 1);
+}
+
+std::vector<Var> LightGcn::Parameters() const { return {x0_}; }
+
+void LightGcn::Refresh() {
+  Var h = x0_;
+  Var sum = x0_;
+  for (int64_t l = 0; l < n_layers_; ++l) {
+    h = SpMM(a_joint_, h);
+    sum = Add(sum, h);
+  }
+  final_ = MulScalar(sum, 1.0f / static_cast<float>(n_layers_ + 1));
+}
+
+Var LightGcn::ScoreA(const std::vector<int64_t>& users,
+                     const std::vector<int64_t>& items) {
+  MGBR_CHECK(final_.defined());
+  std::vector<int64_t> item_nodes(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    item_nodes[i] = n_users_ + items[i];
+  }
+  return RowDot(Rows(final_, users), Rows(final_, item_nodes));
+}
+
+Var LightGcn::ScoreB(const std::vector<int64_t>& users,
+                     const std::vector<int64_t>& items,
+                     const std::vector<int64_t>& parts) {
+  (void)items;
+  MGBR_CHECK(final_.defined());
+  return RowDot(Rows(final_, users), Rows(final_, parts));
+}
+
+}  // namespace mgbr

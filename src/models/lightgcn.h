@@ -1,0 +1,40 @@
+#ifndef MGBR_MODELS_LIGHTGCN_H_
+#define MGBR_MODELS_LIGHTGCN_H_
+
+#include "models/graph_inputs.h"
+#include "models/rec_model.h"
+
+namespace mgbr {
+
+/// LightGCN (He et al., SIGIR'20 — the paper's reference [9]), included
+/// as an extension baseline beyond Table III. Propagation without
+/// feature transforms or nonlinearities:
+///   X^{l+1} = Â X^l,   final = mean(X^0 ... X^L),
+/// scores are inner products. Often the strongest pure-CF baseline;
+/// useful to sanity-check how much of NGCF's strength is the graph
+/// rather than its transforms.
+class LightGcn : public RecModel {
+ public:
+  LightGcn(const GraphInputs& graphs, int64_t dim, int64_t n_layers,
+           Rng* rng);
+
+  std::string name() const override { return "LightGCN"; }
+  std::vector<Var> Parameters() const override;
+  void Refresh() override;
+  Var ScoreA(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items) override;
+  Var ScoreB(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items,
+             const std::vector<int64_t>& parts) override;
+
+ private:
+  int64_t n_users_;
+  int64_t n_layers_;
+  SharedCsr a_joint_;
+  Var x0_;
+  Var final_;  // cached by Refresh
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_MODELS_LIGHTGCN_H_

@@ -1,0 +1,20 @@
+#ifndef MGBR_MODELS_MODEL_UTIL_H_
+#define MGBR_MODELS_MODEL_UTIL_H_
+
+#include "tensor/ops.h"
+
+namespace mgbr {
+
+/// Per-row inner product of two (B x d) batches -> (B x 1); the score
+/// head the baselines use ("we used inner product of two embeddings to
+/// measure their distance", §III-B).
+inline Var RowDot(const Var& a, const Var& b) { return RowSum(Mul(a, b)); }
+
+/// Appends `extra`'s elements to `params`.
+inline void AppendParams(std::vector<Var>* params, std::vector<Var> extra) {
+  for (Var& p : extra) params->push_back(std::move(p));
+}
+
+}  // namespace mgbr
+
+#endif  // MGBR_MODELS_MODEL_UTIL_H_

@@ -1,0 +1,46 @@
+#ifndef MGBR_MODELS_NGCF_H_
+#define MGBR_MODELS_NGCF_H_
+
+#include "models/graph_inputs.h"
+#include "models/rec_model.h"
+#include "tensor/nn.h"
+
+namespace mgbr {
+
+/// NGCF baseline (Wang et al., SIGIR'19): neural graph collaborative
+/// filtering over the user-item bipartite graph. Propagation layer
+/// (self-interaction form):
+///   X^{l+1} = LeakyReLU( (Â X^l) W1 + (Â X^l ⊙ X^l) W2 )
+/// and the final representation concatenates all layer outputs, giving
+/// higher-order collaborative signals. The graph merges both roles'
+/// interactions (launches and joins), which is why NGCF is the
+/// strongest baseline: it has no social-channel assumptions to violate.
+class Ngcf : public RecModel {
+ public:
+  /// `a_joint` is the normalized adjacency over (U+I) nodes built from
+  /// ALL user-item interactions (the heterogeneous graph without
+  /// social edges works too; we use GraphInputs::a_hin restricted by
+  /// construction to train data).
+  Ngcf(const GraphInputs& graphs, int64_t dim, int64_t n_layers, Rng* rng);
+
+  std::string name() const override { return "NGCF"; }
+  std::vector<Var> Parameters() const override;
+  void Refresh() override;
+  Var ScoreA(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items) override;
+  Var ScoreB(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items,
+             const std::vector<int64_t>& parts) override;
+
+ private:
+  int64_t n_users_;
+  SharedCsr a_joint_;
+  Var x0_;
+  std::vector<Linear> w1_;
+  std::vector<Linear> w2_;
+  Var final_;  // (U+I) x (dim * (L+1)), cached by Refresh
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_MODELS_NGCF_H_

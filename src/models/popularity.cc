@@ -1,0 +1,45 @@
+#include "models/popularity.h"
+
+#include "common/check.h"
+
+namespace mgbr {
+
+Popularity::Popularity(const GroupBuyingDataset& train)
+    : item_popularity_(static_cast<size_t>(train.n_items()), 0.0f),
+      user_activity_(static_cast<size_t>(train.n_users()), 0.0f) {
+  for (const DealGroup& g : train.groups()) {
+    item_popularity_[static_cast<size_t>(g.item)] += 1.0f;
+    for (int64_t p : g.participants) {
+      item_popularity_[static_cast<size_t>(g.item)] += 1.0f;
+      user_activity_[static_cast<size_t>(p)] += 1.0f;
+    }
+  }
+}
+
+Var Popularity::ScoreA(const std::vector<int64_t>& users,
+                       const std::vector<int64_t>& items) {
+  (void)users;
+  Tensor out(static_cast<int64_t>(items.size()), 1);
+  for (size_t i = 0; i < items.size(); ++i) {
+    MGBR_CHECK(items[i] >= 0 &&
+               items[i] < static_cast<int64_t>(item_popularity_.size()));
+    out.data()[i] = item_popularity_[static_cast<size_t>(items[i])];
+  }
+  return Var(std::move(out), /*requires_grad=*/false);
+}
+
+Var Popularity::ScoreB(const std::vector<int64_t>& users,
+                       const std::vector<int64_t>& items,
+                       const std::vector<int64_t>& parts) {
+  (void)users;
+  (void)items;
+  Tensor out(static_cast<int64_t>(parts.size()), 1);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    MGBR_CHECK(parts[i] >= 0 &&
+               parts[i] < static_cast<int64_t>(user_activity_.size()));
+    out.data()[i] = user_activity_[static_cast<size_t>(parts[i])];
+  }
+  return Var(std::move(out), /*requires_grad=*/false);
+}
+
+}  // namespace mgbr

@@ -1,0 +1,33 @@
+#ifndef MGBR_MODELS_POPULARITY_H_
+#define MGBR_MODELS_POPULARITY_H_
+
+#include "data/dataset.h"
+#include "models/rec_model.h"
+
+namespace mgbr {
+
+/// Non-learned sanity baseline: Task A scores items by training-set
+/// popularity, Task B scores participants by training-set join
+/// activity. Any learned model must beat it; it anchors the bottom of
+/// comparison tables and is handy in tests (no training required).
+class Popularity : public RecModel {
+ public:
+  explicit Popularity(const GroupBuyingDataset& train);
+
+  std::string name() const override { return "Popularity"; }
+  std::vector<Var> Parameters() const override { return {}; }
+  void Refresh() override {}
+  Var ScoreA(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items) override;
+  Var ScoreB(const std::vector<int64_t>& users,
+             const std::vector<int64_t>& items,
+             const std::vector<int64_t>& parts) override;
+
+ private:
+  std::vector<float> item_popularity_;
+  std::vector<float> user_activity_;
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_MODELS_POPULARITY_H_

@@ -1,0 +1,36 @@
+#include "models/rec_model.h"
+
+#include "tensor/nn.h"
+
+namespace mgbr {
+
+int64_t RecModel::ParameterCount() const {
+  return CountParameters(Parameters());
+}
+
+TaskAScorer RecModel::MakeTaskAScorer() {
+  return [this](int64_t u, const std::vector<int64_t>& items) {
+    std::vector<int64_t> users(items.size(), u);
+    Var scores = ScoreA(users, items);
+    std::vector<double> out(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      out[i] = scores.value().at(static_cast<int64_t>(i), 0);
+    }
+    return out;
+  };
+}
+
+TaskBScorer RecModel::MakeTaskBScorer() {
+  return [this](int64_t u, int64_t item, const std::vector<int64_t>& parts) {
+    std::vector<int64_t> users(parts.size(), u);
+    std::vector<int64_t> items(parts.size(), item);
+    Var scores = ScoreB(users, items, parts);
+    std::vector<double> out(parts.size());
+    for (size_t i = 0; i < parts.size(); ++i) {
+      out[i] = scores.value().at(static_cast<int64_t>(i), 0);
+    }
+    return out;
+  };
+}
+
+}  // namespace mgbr

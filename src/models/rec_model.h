@@ -1,0 +1,59 @@
+#ifndef MGBR_MODELS_REC_MODEL_H_
+#define MGBR_MODELS_REC_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "tensor/variable.h"
+
+namespace mgbr {
+
+/// Common interface of every compared recommender (MGBR, its variants
+/// and the six baselines). All models serve BOTH sub-tasks, exactly as
+/// §III-B tailors the baselines:
+///   * Task A — s(i|u), general item recommendation;
+///   * Task B — s(p|u,i); baselines not designed for it use the inner
+///     product of u's and p's representations.
+///
+/// Usage contract: after any parameter update, call `Refresh()` to
+/// rebuild the propagation tape (GCN layers etc.); then any number of
+/// ScoreA/ScoreB calls reuse the cached propagated embeddings within
+/// that tape. The trainer calls Refresh once per mini-batch; the
+/// evaluator once per evaluation pass.
+class RecModel {
+ public:
+  virtual ~RecModel() = default;
+
+  /// Display name used in result tables ("MGBR", "NGCF", ...).
+  virtual std::string name() const = 0;
+
+  /// All trainable parameters.
+  virtual std::vector<Var> Parameters() const = 0;
+
+  /// Rebuilds cached propagated embeddings from current parameters.
+  virtual void Refresh() = 0;
+
+  /// Task A batch scores: returns a (B x 1) Var with s(items[b] |
+  /// users[b]). Differentiable.
+  virtual Var ScoreA(const std::vector<int64_t>& users,
+                     const std::vector<int64_t>& items) = 0;
+
+  /// Task B batch scores: (B x 1) Var with s(parts[b] | users[b],
+  /// items[b]). Differentiable.
+  virtual Var ScoreB(const std::vector<int64_t>& users,
+                     const std::vector<int64_t>& items,
+                     const std::vector<int64_t>& parts) = 0;
+
+  /// Total number of scalar parameters (Table V).
+  int64_t ParameterCount() const;
+
+  /// Evaluation adapters wrapping ScoreA/ScoreB (no Refresh inside —
+  /// caller refreshes once per pass).
+  TaskAScorer MakeTaskAScorer();
+  TaskBScorer MakeTaskBScorer();
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_MODELS_REC_MODEL_H_

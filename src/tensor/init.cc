@@ -1,0 +1,32 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace mgbr {
+
+Tensor GaussianInit(int64_t rows, int64_t cols, Rng* rng, float mean,
+                    float stddev) {
+  MGBR_CHECK(rng != nullptr);
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng->Gaussian(mean, stddev));
+  }
+  return t;
+}
+
+Tensor XavierInit(int64_t rows, int64_t cols, Rng* rng) {
+  MGBR_CHECK(rng != nullptr);
+  const float a = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  return UniformInit(rows, cols, rng, -a, a);
+}
+
+Tensor UniformInit(int64_t rows, int64_t cols, Rng* rng, float lo, float hi) {
+  MGBR_CHECK(rng != nullptr);
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+}  // namespace mgbr

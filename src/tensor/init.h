@@ -1,0 +1,23 @@
+#ifndef MGBR_TENSOR_INIT_H_
+#define MGBR_TENSOR_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace mgbr {
+
+/// Tensor with i.i.d. N(mean, stddev^2) entries. The paper initializes
+/// the layer-0 GCN embeddings from a standard Gaussian.
+Tensor GaussianInit(int64_t rows, int64_t cols, Rng* rng, float mean = 0.0f,
+                    float stddev = 1.0f);
+
+/// Xavier/Glorot uniform init: U(-a, a) with a = sqrt(6/(fan_in+fan_out)).
+/// Used for all trainable weight matrices.
+Tensor XavierInit(int64_t rows, int64_t cols, Rng* rng);
+
+/// Uniform init in [lo, hi).
+Tensor UniformInit(int64_t rows, int64_t cols, Rng* rng, float lo, float hi);
+
+}  // namespace mgbr
+
+#endif  // MGBR_TENSOR_INIT_H_

@@ -1,0 +1,78 @@
+#include "tensor/nn.h"
+
+#include "tensor/init.h"
+
+namespace mgbr {
+
+Var ApplyActivation(const Var& x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kSigmoid:
+      return Sigmoid(x);
+    case Activation::kTanh:
+      return Tanh(x);
+  }
+  return x;
+}
+
+Linear::Linear(int64_t in_dim, int64_t out_dim, Rng* rng, bool with_bias)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weight_(XavierInit(in_dim, out_dim, rng), /*requires_grad=*/true) {
+  if (with_bias) {
+    bias_ = Var(Tensor::Zeros(1, out_dim), /*requires_grad=*/true);
+  }
+}
+
+Var Linear::Forward(const Var& x) const {
+  MGBR_CHECK_EQ(x.cols(), in_dim_);
+  Var y = MatMul(x, weight_);
+  if (bias_.defined()) y = AddRowBroadcast(y, bias_);
+  return y;
+}
+
+std::vector<Var> Linear::Parameters() const {
+  std::vector<Var> out = {weight_};
+  if (bias_.defined()) out.push_back(bias_);
+  return out;
+}
+
+Mlp::Mlp(const std::vector<int64_t>& dims, Rng* rng, Activation hidden_act,
+         Activation output_act)
+    : hidden_act_(hidden_act), output_act_(output_act) {
+  MGBR_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Var Mlp::Forward(const Var& x) const {
+  Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    const bool last = (i + 1 == layers_.size());
+    h = ApplyActivation(h, last ? output_act_ : hidden_act_);
+  }
+  return h;
+}
+
+std::vector<Var> Mlp::Parameters() const {
+  std::vector<Var> out;
+  for (const Linear& layer : layers_) {
+    for (Var& p : layer.Parameters()) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+int64_t Mlp::ParameterCount() const { return CountParameters(Parameters()); }
+
+int64_t CountParameters(const std::vector<Var>& params) {
+  int64_t total = 0;
+  for (const Var& p : params) total += p.value().numel();
+  return total;
+}
+
+}  // namespace mgbr

@@ -1,0 +1,72 @@
+#ifndef MGBR_TENSOR_NN_H_
+#define MGBR_TENSOR_NN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/variable.h"
+
+namespace mgbr {
+
+/// Activation applied after a Linear layer inside an Mlp.
+enum class Activation { kNone, kRelu, kSigmoid, kTanh };
+
+/// Applies `act` to `x`.
+Var ApplyActivation(const Var& x, Activation act);
+
+/// Fully-connected layer: y = x @ W + b (bias optional).
+///
+/// W is (in x out) so inputs are row-major batches (B x in).
+class Linear {
+ public:
+  /// Xavier-initializes W (and zero-initializes b when `with_bias`).
+  Linear(int64_t in_dim, int64_t out_dim, Rng* rng, bool with_bias = true);
+
+  /// Forward pass for a (B x in) batch.
+  Var Forward(const Var& x) const;
+
+  /// Trainable parameters (W, then b when present).
+  std::vector<Var> Parameters() const;
+
+  int64_t in_dim() const { return in_dim_; }
+  int64_t out_dim() const { return out_dim_; }
+
+ private:
+  int64_t in_dim_;
+  int64_t out_dim_;
+  Var weight_;
+  Var bias_;  // undefined when constructed without bias
+};
+
+/// Multi-layer perceptron: Linear layers with an activation between
+/// them (and optionally after the last layer).
+class Mlp {
+ public:
+  /// `dims` is the full layer spec, e.g. {64, 32, 1}: two Linear layers
+  /// 64->32->1. `hidden_act` is applied after every layer except the
+  /// last; `output_act` after the last.
+  Mlp(const std::vector<int64_t>& dims, Rng* rng,
+      Activation hidden_act = Activation::kRelu,
+      Activation output_act = Activation::kNone);
+
+  Var Forward(const Var& x) const;
+
+  std::vector<Var> Parameters() const;
+
+  /// Total number of scalar parameters.
+  int64_t ParameterCount() const;
+
+ private:
+  std::vector<Linear> layers_;
+  Activation hidden_act_;
+  Activation output_act_;
+};
+
+/// Counts scalars across a parameter list.
+int64_t CountParameters(const std::vector<Var>& params);
+
+}  // namespace mgbr
+
+#endif  // MGBR_TENSOR_NN_H_

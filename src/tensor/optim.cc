@@ -1,0 +1,90 @@
+#include "tensor/optim.h"
+
+#include <cmath>
+
+namespace mgbr {
+
+Optimizer::Optimizer(std::vector<Var> params) : params_(std::move(params)) {
+  for (const Var& p : params_) {
+    MGBR_CHECK(p.defined());
+    MGBR_CHECK(p.requires_grad());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Var& p : params_) p.ZeroGrad();
+}
+
+double ClipGradNorm(std::vector<Var>& params, double max_norm) {
+  double total = 0.0;
+  for (const Var& p : params) {
+    const Tensor& g = p.grad();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      total += static_cast<double>(g.data()[i]) * g.data()[i];
+    }
+  }
+  const double norm = std::sqrt(total);
+  if (max_norm > 0.0 && norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (Var& p : params) {
+      // Safe: grad() exposes the node's buffer; scaling in place is the
+      // optimizer's prerogative between Backward() and Step().
+      const_cast<Tensor&>(p.grad()).ScaleInPlace(scale);
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Var> params, float lr)
+    : Optimizer(std::move(params)), lr_(lr) {}
+
+void Sgd::Step() {
+  for (Var& p : params_) {
+    Tensor& value = p.mutable_value();
+    const Tensor& grad = p.grad();
+    float* vp = value.data();
+    const float* gp = grad.data();
+    for (int64_t i = 0; i < value.numel(); ++i) vp[i] -= lr_ * gp[i];
+  }
+}
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t idx = 0; idx < params_.size(); ++idx) {
+    Tensor& value = params_[idx].mutable_value();
+    const Tensor& grad = params_[idx].grad();
+    float* vp = value.data();
+    const float* gp = grad.data();
+    float* mp = m_[idx].data();
+    float* sp = v_[idx].data();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      float g = gp[i];
+      if (weight_decay_ != 0.0f) g += weight_decay_ * vp[i];
+      mp[i] = beta1_ * mp[i] + (1.0f - beta1_) * g;
+      sp[i] = beta2_ * sp[i] + (1.0f - beta2_) * g * g;
+      const float m_hat = mp[i] / bc1;
+      const float v_hat = sp[i] / bc2;
+      vp[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace mgbr

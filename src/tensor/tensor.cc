@@ -1,0 +1,81 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mgbr {
+
+Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
+  Tensor t(rows, cols);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) { return Full(1, 1, value); }
+
+Tensor Tensor::FromVector(int64_t rows, int64_t cols,
+                          const std::vector<float>& values) {
+  MGBR_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+  Tensor t(rows, cols);
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::AccumulateInPlace(const Tensor& other) {
+  MGBR_CHECK(same_shape(other));
+  const float* src = other.data();
+  float* dst = data();
+  for (int64_t i = 0; i < numel(); ++i) dst[i] += src[i];
+}
+
+void Tensor::ScaleInPlace(float s) {
+  for (auto& v : data_) v *= s;
+}
+
+double Tensor::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return acc;
+}
+
+double Tensor::Norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+double Tensor::AbsMax() const {
+  double m = 0.0;
+  for (float v : data_) m = std::max(m, static_cast<double>(std::fabs(v)));
+  return m;
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream oss;
+  oss << "Tensor(" << rows_ << "x" << cols_ << ")[";
+  int64_t shown = std::min<int64_t>(numel(), 8);
+  for (int64_t i = 0; i < shown; ++i) {
+    if (i > 0) oss << ", ";
+    oss << data_[static_cast<size_t>(i)];
+  }
+  if (numel() > shown) oss << ", ...";
+  oss << "]";
+  return oss.str();
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, double atol) {
+  if (!a.same_shape(b)) return false;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (std::fabs(static_cast<double>(a.data()[i]) - b.data()[i]) > atol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mgbr

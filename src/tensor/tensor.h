@@ -1,0 +1,116 @@
+#ifndef MGBR_TENSOR_TENSOR_H_
+#define MGBR_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mgbr {
+
+/// Dense row-major matrix of float32.
+///
+/// Every value in the engine is a 2-D tensor: scalars are 1x1, row
+/// vectors are 1xN, column vectors are Nx1. Keeping a single rank
+/// removes a whole class of broadcasting ambiguities; the few
+/// broadcast forms the models need are explicit ops (see ops.h).
+///
+/// Tensors own their storage (std::vector<float>) and have value
+/// semantics: copying a Tensor copies the buffer. At the scale this
+/// library targets (experiment-sized recommender models) this is the
+/// simplest correct choice; the autograd layer shares tensors through
+/// Var, not through Tensor aliasing.
+class Tensor {
+ public:
+  /// Empty 0x0 tensor.
+  Tensor() : rows_(0), cols_(0) {}
+
+  /// Uninitialized-to-zero tensor of the given shape.
+  Tensor(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0f) {
+    MGBR_CHECK_GE(rows, 0);
+    MGBR_CHECK_GE(cols, 0);
+  }
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  /// All-zero tensor.
+  static Tensor Zeros(int64_t rows, int64_t cols) {
+    return Tensor(rows, cols);
+  }
+
+  /// Tensor filled with `value`.
+  static Tensor Full(int64_t rows, int64_t cols, float value);
+
+  /// 1x1 scalar tensor.
+  static Tensor Scalar(float value);
+
+  /// Builds a rows x cols tensor from a flat row-major vector.
+  static Tensor FromVector(int64_t rows, int64_t cols,
+                           const std::vector<float>& values);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t numel() const { return rows_ * cols_; }
+  bool empty() const { return numel() == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int64_t r, int64_t c) {
+    MGBR_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    MGBR_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  /// Value of a 1x1 tensor.
+  float item() const {
+    MGBR_CHECK_EQ(numel(), 1);
+    return data_[0];
+  }
+
+  bool same_shape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Element-wise in-place accumulate: this += other. Shapes must match.
+  void AccumulateInPlace(const Tensor& other);
+
+  /// In-place scale: this *= s.
+  void ScaleInPlace(float s);
+
+  /// Sum of all elements (double accumulator).
+  double Sum() const;
+
+  /// Frobenius norm.
+  double Norm() const;
+
+  /// Largest absolute element (0 for empty tensors).
+  double AbsMax() const;
+
+  /// "Tensor(2x3)[...]" preview for debugging; shows at most 8 values.
+  std::string ToString() const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<float> data_;
+};
+
+/// True if all elements differ by at most `atol`.
+bool AllClose(const Tensor& a, const Tensor& b, double atol = 1e-5);
+
+}  // namespace mgbr
+
+#endif  // MGBR_TENSOR_TENSOR_H_

@@ -1,0 +1,105 @@
+#include "tensor/variable.h"
+
+#include <unordered_set>
+
+namespace mgbr {
+
+namespace internal {
+
+Tensor& VarNode::EnsureGrad() {
+  if (!grad_allocated) {
+    grad = Tensor::Zeros(value.rows(), value.cols());
+    grad_allocated = true;
+  }
+  return grad;
+}
+
+Var MakeOpVar(Tensor value, std::vector<Var> parents,
+              std::function<void(VarNode&)> backward) {
+  bool needs = false;
+  for (const Var& p : parents) {
+    MGBR_CHECK(p.defined());
+    needs = needs || p.requires_grad();
+  }
+  Var out(std::move(value), needs);
+  if (needs) {
+    auto& node = *out.node();
+    node.parents.reserve(parents.size());
+    for (Var& p : parents) node.parents.push_back(p.node());
+    node.backward = std::move(backward);
+  }
+  return out;
+}
+
+}  // namespace internal
+
+Var::Var(Tensor value, bool requires_grad)
+    : node_(std::make_shared<internal::VarNode>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Var::value() const {
+  MGBR_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Var::mutable_value() {
+  MGBR_CHECK(defined());
+  return node_->value;
+}
+
+const Tensor& Var::grad() const {
+  MGBR_CHECK(defined());
+  return node_->EnsureGrad();
+}
+
+bool Var::requires_grad() const {
+  MGBR_CHECK(defined());
+  return node_->requires_grad;
+}
+
+void Var::ZeroGrad() {
+  MGBR_CHECK(defined());
+  node_->EnsureGrad().Fill(0.0f);
+}
+
+void Var::Backward() const {
+  MGBR_CHECK(defined());
+  MGBR_CHECK_MSG(value().numel() == 1,
+                 "Backward() requires a scalar output, got shape ",
+                 value().rows(), "x", value().cols());
+  if (!node_->requires_grad) return;
+
+  // Iterative post-order DFS to get a reverse topological order.
+  std::vector<internal::VarNode*> order;
+  std::unordered_set<internal::VarNode*> visited;
+  struct Frame {
+    internal::VarNode* node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({node_.get(), 0});
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_child < top.node->parents.size()) {
+      internal::VarNode* child = top.node->parents[top.next_child++].get();
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.push_back({child, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+
+  node_->EnsureGrad().Fill(1.0f);
+  // order is post-order (children first); walk from the output backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::VarNode* n = *it;
+    if (n->backward) n->backward(*n);
+  }
+}
+
+}  // namespace mgbr

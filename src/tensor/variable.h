@@ -1,0 +1,92 @@
+#ifndef MGBR_TENSOR_VARIABLE_H_
+#define MGBR_TENSOR_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mgbr {
+
+namespace internal {
+struct VarNode;
+}  // namespace internal
+
+/// Handle to a node in a dynamically-built reverse-mode autograd tape.
+///
+/// A `Var` wraps a Tensor value plus (when `requires_grad`) a gradient
+/// buffer and a backward closure connecting it to its inputs. Ops on
+/// Vars (ops.h) build the tape; `Backward()` on a scalar output walks
+/// it in reverse topological order and accumulates gradients into every
+/// reachable leaf.
+///
+/// Vars are cheap shared handles: copying a Var aliases the same node.
+/// A default-constructed Var is null (`defined()` is false).
+class Var {
+ public:
+  Var() = default;
+
+  /// Wraps `value` as a tape node. Leaf parameters pass
+  /// `requires_grad=true`; constant inputs pass false.
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  Var(const Var&) = default;
+  Var& operator=(const Var&) = default;
+  Var(Var&&) = default;
+  Var& operator=(Var&&) = default;
+
+  /// True when this handle points at a node.
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const;
+  Tensor& mutable_value();
+
+  /// Gradient w.r.t. this node; zero tensor before any Backward().
+  const Tensor& grad() const;
+
+  bool requires_grad() const;
+
+  int64_t rows() const { return value().rows(); }
+  int64_t cols() const { return value().cols(); }
+
+  /// Resets this node's gradient buffer to zero.
+  void ZeroGrad();
+
+  /// Runs backpropagation from this node, which must hold a 1x1 scalar.
+  /// Gradients accumulate (+=) into every node with requires_grad, so
+  /// call ZeroGrad (or optimizer ZeroGrad) between steps.
+  void Backward() const;
+
+  /// Internal node access for op implementations.
+  const std::shared_ptr<internal::VarNode>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<internal::VarNode> node_;
+};
+
+namespace internal {
+
+/// Tape node: value, gradient, inputs and the backward closure.
+struct VarNode {
+  Tensor value;
+  Tensor grad;  // allocated lazily on first access
+  bool requires_grad = false;
+  bool grad_allocated = false;
+  std::vector<std::shared_ptr<VarNode>> parents;
+  /// Accumulates this node's grad into its parents' grads.
+  std::function<void(VarNode&)> backward;
+
+  Tensor& EnsureGrad();
+};
+
+/// Builds a non-leaf node from parents; requires_grad is inherited.
+Var MakeOpVar(Tensor value, std::vector<Var> parents,
+              std::function<void(VarNode&)> backward);
+
+}  // namespace internal
+
+}  // namespace mgbr
+
+#endif  // MGBR_TENSOR_VARIABLE_H_

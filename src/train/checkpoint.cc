@@ -1,0 +1,92 @@
+#include "train/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace mgbr {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'G', 'B', 'R', 'C', 'K', 'P', '1'};
+
+}  // namespace
+
+Status SaveParameters(const std::vector<Var>& params,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IoError(StrCat("cannot open for writing: ", path));
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Var& p : params) {
+    if (!p.defined()) {
+      return Status::InvalidArgument("undefined Var in parameter list");
+    }
+    const int64_t rows = p.value().rows();
+    const int64_t cols = p.value().cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p.value().data()),
+              static_cast<std::streamsize>(p.value().numel() *
+                                           sizeof(float)));
+  }
+  if (!out.good()) {
+    return Status::IoError(StrCat("write failed: ", path));
+  }
+  return Status::OK();
+}
+
+Status LoadParameters(const std::string& path, std::vector<Var>* params) {
+  if (params == nullptr) {
+    return Status::InvalidArgument("params must not be null");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError(StrCat("cannot open for reading: ", path));
+  }
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::string(magic, sizeof(magic)) !=
+                        std::string(kMagic, sizeof(kMagic))) {
+    return Status::InvalidArgument(StrCat("bad checkpoint magic in ", path));
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in.good() || count != params->size()) {
+    return Status::InvalidArgument(
+        StrCat("parameter count mismatch: file has ", count, ", model has ",
+               params->size()));
+  }
+
+  // Stage into temporaries first so a corrupt file cannot leave the
+  // model half-loaded.
+  std::vector<Tensor> staged;
+  staged.reserve(params->size());
+  for (size_t idx = 0; idx < params->size(); ++idx) {
+    int64_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    const Var& p = (*params)[idx];
+    if (!in.good() || rows != p.value().rows() || cols != p.value().cols()) {
+      return Status::InvalidArgument(
+          StrCat("shape mismatch at parameter ", idx, ": file ", rows, "x",
+                 cols, ", model ", p.value().rows(), "x", p.value().cols()));
+    }
+    Tensor t(rows, cols);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!in.good()) {
+      return Status::IoError(StrCat("truncated checkpoint: ", path));
+    }
+    staged.push_back(std::move(t));
+  }
+  for (size_t idx = 0; idx < params->size(); ++idx) {
+    (*params)[idx].mutable_value() = std::move(staged[idx]);
+  }
+  return Status::OK();
+}
+
+}  // namespace mgbr

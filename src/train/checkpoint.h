@@ -1,0 +1,25 @@
+#ifndef MGBR_TRAIN_CHECKPOINT_H_
+#define MGBR_TRAIN_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/variable.h"
+
+namespace mgbr {
+
+/// Writes all parameter tensors to `path` in a small binary format
+/// (magic, count, then per-tensor shape + float32 payload). Parameter
+/// ORDER is the contract: save and load must use the same
+/// model->Parameters() ordering.
+Status SaveParameters(const std::vector<Var>& params,
+                      const std::string& path);
+
+/// Restores parameter values in place. Fails (without partial writes to
+/// the model) if the count or any shape mismatches.
+Status LoadParameters(const std::string& path, std::vector<Var>* params);
+
+}  // namespace mgbr
+
+#endif  // MGBR_TRAIN_CHECKPOINT_H_

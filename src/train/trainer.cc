@@ -1,0 +1,172 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/losses.h"
+#include "train/checkpoint.h"
+#include "tensor/ops.h"
+
+namespace mgbr {
+
+Trainer::Trainer(RecModel* model, const TrainingSampler* sampler,
+                 TrainConfig config)
+    : model_(model),
+      mgbr_(dynamic_cast<MgbrModel*>(model)),
+      sampler_(sampler),
+      config_(config),
+      rng_(config.seed) {
+  MGBR_CHECK(model != nullptr);
+  MGBR_CHECK(sampler != nullptr);
+  optimizer_ = std::make_unique<Adam>(model_->Parameters(),
+                                      config_.learning_rate, 0.9f, 0.999f,
+                                      1e-8f, config_.weight_decay);
+}
+
+EpochStats Trainer::RunEpoch() {
+  Stopwatch watch;
+  EpochStats stats;
+
+  const bool use_aux = mgbr_ != nullptr && mgbr_->config().use_aux_losses;
+  const float beta = mgbr_ != nullptr ? mgbr_->config().beta : config_.beta;
+  const float beta_a = mgbr_ != nullptr ? mgbr_->config().beta_a : 0.0f;
+  const float beta_b = mgbr_ != nullptr ? mgbr_->config().beta_b : 0.0f;
+
+  std::vector<TaskABatch> batches_a =
+      sampler_->EpochBatchesA(config_.batch_size, config_.negs_per_pos, &rng_);
+  std::vector<TaskBBatch> batches_b =
+      sampler_->EpochBatchesB(config_.batch_size, config_.negs_per_pos, &rng_);
+  std::vector<AuxBatch> batches_aux;
+  if (use_aux) {
+    batches_aux = sampler_->EpochAuxBatches(
+        config_.aux_batch_size, mgbr_->config().aux_negatives, &rng_);
+  }
+
+  const size_t steps = std::max(batches_a.size(), batches_b.size());
+  MGBR_CHECK_GT(steps, 0u);
+  for (size_t step = 0; step < steps; ++step) {
+    model_->Refresh();
+
+    // When the shorter task's batch list is exhausted mid-epoch,
+    // regenerate it so revisited positives get FRESH negative samples
+    // instead of replaying stale ones.
+    if (!batches_a.empty() && step > 0 && step % batches_a.size() == 0 &&
+        batches_a.size() < steps) {
+      batches_a = sampler_->EpochBatchesA(config_.batch_size,
+                                          config_.negs_per_pos, &rng_);
+    }
+    if (!batches_b.empty() && step > 0 && step % batches_b.size() == 0 &&
+        batches_b.size() < steps) {
+      batches_b = sampler_->EpochBatchesB(config_.batch_size,
+                                          config_.negs_per_pos, &rng_);
+    }
+    if (use_aux && !batches_aux.empty() && step > 0 &&
+        step % batches_aux.size() == 0 && batches_aux.size() < steps) {
+      batches_aux = sampler_->EpochAuxBatches(
+          config_.aux_batch_size, mgbr_->config().aux_negatives, &rng_);
+    }
+
+    Var loss;
+    if (!batches_a.empty()) {
+      const TaskABatch& ba = batches_a[step % batches_a.size()];
+      Var la = TaskALoss(model_, ba);
+      stats.loss_a += la.value().item();
+      loss = la;
+    }
+    if (!batches_b.empty()) {
+      const TaskBBatch& bb = batches_b[step % batches_b.size()];
+      Var lb = TaskBLoss(model_, bb);
+      stats.loss_b += lb.value().item();
+      Var weighted = MulScalar(lb, beta);
+      loss = loss.defined() ? Add(loss, weighted) : weighted;
+    }
+    if (use_aux && !batches_aux.empty()) {
+      const AuxBatch& bx = batches_aux[step % batches_aux.size()];
+      Var laa = AuxLossA(mgbr_, bx);
+      Var lab = AuxLossB(mgbr_, bx);
+      stats.aux_a += laa.value().item();
+      stats.aux_b += lab.value().item();
+      loss = Add(loss, Add(MulScalar(laa, beta_a), MulScalar(lab, beta_b)));
+    }
+
+    optimizer_->ZeroGrad();
+    loss.Backward();
+    if (config_.clip_grad_norm > 0.0f) {
+      ClipGradNorm(optimizer_->params_mutable(), config_.clip_grad_norm);
+    }
+    optimizer_->Step();
+    ++stats.steps;
+  }
+
+  stats.seconds = watch.ElapsedSeconds();
+  return stats;
+}
+
+std::vector<EpochStats> Trainer::Train(int64_t epochs) {
+  if (epochs <= 0) epochs = config_.epochs;
+  std::vector<EpochStats> history;
+  const int64_t decay_epoch = static_cast<int64_t>(
+      static_cast<float>(epochs) * config_.lr_decay_after);
+  for (int64_t e = 0; e < epochs; ++e) {
+    if (config_.lr_decay_factor > 0.0f && config_.lr_decay_factor < 1.0f &&
+        e == decay_epoch && decay_epoch > 0) {
+      optimizer_->set_learning_rate(optimizer_->learning_rate() *
+                                    config_.lr_decay_factor);
+    }
+    EpochStats stats = RunEpoch();
+    if (config_.verbose) {
+      MGBR_LOG_INFO(model_->name(), " epoch ", e + 1, "/", epochs,
+                    " loss=", FormatFloat(stats.TotalLoss(), 4),
+                    " (A=", FormatFloat(stats.loss_a / stats.steps, 4),
+                    " B=", FormatFloat(stats.loss_b / stats.steps, 4),
+                    ") ", FormatFloat(stats.seconds, 2), "s");
+    }
+    history.push_back(stats);
+  }
+  return history;
+}
+
+ValidatedTrainResult TrainWithEarlyStopping(
+    Trainer* trainer, RecModel* model,
+    const std::function<double()>& validate, int64_t max_epochs,
+    int64_t patience, const std::string& checkpoint_path) {
+  MGBR_CHECK(trainer != nullptr);
+  MGBR_CHECK(model != nullptr);
+  MGBR_CHECK_GE(patience, 1);
+  ValidatedTrainResult result;
+  int64_t since_best = 0;
+  for (int64_t epoch = 0; epoch < max_epochs; ++epoch) {
+    result.history.push_back(trainer->RunEpoch());
+    const double metric = validate();
+    if (metric > result.best_metric) {
+      result.best_metric = metric;
+      result.best_epoch = epoch;
+      since_best = 0;
+      if (!checkpoint_path.empty()) {
+        auto params = model->Parameters();
+        Status s = SaveParameters(params, checkpoint_path);
+        if (!s.ok()) {
+          MGBR_LOG_WARNING("best-epoch checkpoint failed: ", s.ToString());
+        }
+      }
+    } else if (++since_best >= patience) {
+      result.stopped_early = true;
+      break;
+    }
+  }
+  return result;
+}
+
+bool EarlyStopping::ShouldStop(double metric) {
+  if (metric > best_) {
+    best_ = metric;
+    since_best_ = 0;
+    return false;
+  }
+  ++since_best_;
+  return since_best_ >= patience_;
+}
+
+}  // namespace mgbr

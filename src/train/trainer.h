@@ -1,0 +1,131 @@
+#ifndef MGBR_TRAIN_TRAINER_H_
+#define MGBR_TRAIN_TRAINER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mgbr.h"
+#include "data/sampler.h"
+#include "models/rec_model.h"
+#include "tensor/optim.h"
+
+namespace mgbr {
+
+/// Knobs of the joint training loop. Paper values (Table II): lr 2e-4,
+/// batch 64, 9 negatives per positive, |T| = 99; defaults here are
+/// scaled to the simulator-sized dataset (larger lr, fewer negatives)
+/// while keeping the loss structure identical.
+struct TrainConfig {
+  int64_t epochs = 12;
+  size_t batch_size = 256;
+  /// Negatives drawn per positive (paper's 1:9 ratio => 9).
+  int64_t negs_per_pos = 2;
+  /// Positive triples per auxiliary-loss step (each expands to
+  /// 1 + 2|T| scored triples).
+  size_t aux_batch_size = 48;
+  float learning_rate = 5e-3f;
+  float weight_decay = 0.0f;
+  /// Global gradient-norm clip applied before each Adam step
+  /// (<= 0 disables). Deep expert/gate stacks occasionally spike.
+  float clip_grad_norm = 5.0f;
+  /// Learning-rate decay: after `lr_decay_after` fraction of the
+  /// scheduled epochs, lr is multiplied by `lr_decay_factor` once
+  /// (a simple step schedule that stabilizes the final optimum).
+  float lr_decay_after = 0.7f;
+  float lr_decay_factor = 0.3f;
+  /// β of Eq. 18 for baselines (MGBR reads β, β_A, β_B from its own
+  /// MgbrConfig instead).
+  float beta = 1.0f;
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+/// Per-epoch training telemetry.
+struct EpochStats {
+  double loss_a = 0.0;
+  double loss_b = 0.0;
+  double aux_a = 0.0;
+  double aux_b = 0.0;
+  double seconds = 0.0;
+  int64_t steps = 0;
+  /// Mean combined loss per step.
+  double TotalLoss() const {
+    return steps > 0 ? (loss_a + loss_b + aux_a + aux_b) /
+                           static_cast<double>(steps)
+                     : 0.0;
+  }
+};
+
+/// Joint two-task trainer used by every compared model (the paper
+/// trains all baselines on both sub-tasks simultaneously). For MGBR
+/// models with auxiliary losses enabled, each step optimizes
+///   L = L_A + β L_B + β_A L'_A + β_B L'_B          (Eq. 25)
+/// and plain L = L_A + β L_B otherwise (Eq. 18). Optimizer: Adam.
+class Trainer {
+ public:
+  /// `model` and `sampler` must outlive the trainer. If `model` is an
+  /// MgbrModel whose config enables auxiliary losses, they are added
+  /// automatically.
+  Trainer(RecModel* model, const TrainingSampler* sampler,
+          TrainConfig config);
+
+  /// Runs one epoch over all Task A and Task B positives.
+  EpochStats RunEpoch();
+
+  /// Runs `config.epochs` epochs (or `epochs` if > 0) and returns
+  /// per-epoch stats.
+  std::vector<EpochStats> Train(int64_t epochs = 0);
+
+  Adam* optimizer() { return optimizer_.get(); }
+
+ private:
+  RecModel* model_;
+  MgbrModel* mgbr_;  // non-null when model_ is an MgbrModel
+  const TrainingSampler* sampler_;
+  TrainConfig config_;
+  Rng rng_;
+  std::unique_ptr<Adam> optimizer_;
+};
+
+/// Result of TrainWithEarlyStopping.
+struct ValidatedTrainResult {
+  std::vector<EpochStats> history;
+  /// Best validation metric seen and the (0-based) epoch it occurred.
+  double best_metric = -1e300;
+  int64_t best_epoch = -1;
+  /// True when training ended because patience ran out (vs max epochs).
+  bool stopped_early = false;
+};
+
+/// Runs up to `max_epochs` epochs, calling `validate` (higher = better)
+/// after each; stops after `patience` epochs without improvement.
+/// `checkpoint_path` (optional, may be empty) receives the parameters
+/// of the best epoch so callers can restore the best model with
+/// LoadParameters.
+ValidatedTrainResult TrainWithEarlyStopping(
+    Trainer* trainer, RecModel* model,
+    const std::function<double()>& validate, int64_t max_epochs,
+    int64_t patience, const std::string& checkpoint_path = "");
+
+/// Patience-based early stopping on a maximized validation metric.
+class EarlyStopping {
+ public:
+  explicit EarlyStopping(int64_t patience) : patience_(patience) {}
+
+  /// Records `metric`; returns true when training should stop (no
+  /// improvement for `patience` consecutive updates).
+  bool ShouldStop(double metric);
+
+  double best() const { return best_; }
+
+ private:
+  int64_t patience_;
+  double best_ = -1e300;
+  int64_t since_best_ = 0;
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_TRAIN_TRAINER_H_

@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include "core/losses.h"
+#include "core/mgbr.h"
+#include "tensor/optim.h"
+#include "tests/test_util.h"
+
+namespace mgbr {
+namespace {
+
+using mgbr::testing::TinyDataset;
+
+// ---------------------------------------------------------------------------
+// MgbrConfig variants.
+// ---------------------------------------------------------------------------
+
+TEST(MgbrConfigTest, VariantRoundTrip) {
+  for (const char* name :
+       {"MGBR", "MGBR-M", "MGBR-R", "MGBR-M-R", "MGBR-G", "MGBR-D"}) {
+    MgbrConfig config = MgbrConfig::Variant(name);
+    EXPECT_EQ(config.VariantName(), name);
+  }
+}
+
+TEST(MgbrConfigTest, VariantSwitchesMatchPaper) {
+  EXPECT_FALSE(MgbrConfig::Variant("MGBR-M").use_shared_experts);
+  EXPECT_TRUE(MgbrConfig::Variant("MGBR-M").use_aux_losses);
+  EXPECT_FALSE(MgbrConfig::Variant("MGBR-R").use_aux_losses);
+  EXPECT_FALSE(MgbrConfig::Variant("MGBR-M-R").use_shared_experts);
+  EXPECT_FALSE(MgbrConfig::Variant("MGBR-M-R").use_aux_losses);
+  EXPECT_EQ(MgbrConfig::Variant("MGBR-G").alpha_a, 0.0f);
+  EXPECT_EQ(MgbrConfig::Variant("MGBR-G").alpha_b, 0.0f);
+  EXPECT_TRUE(MgbrConfig::Variant("MGBR-D").use_single_hin);
+}
+
+TEST(MgbrConfigDeathTest, UnknownVariantAborts) {
+  EXPECT_DEATH(MgbrConfig::Variant("MGBR-X"), "unknown MGBR variant");
+}
+
+// ---------------------------------------------------------------------------
+// Fixture with a tiny dataset + graphs.
+// ---------------------------------------------------------------------------
+
+class CoreTest : public ::testing::Test {
+ protected:
+  CoreTest()
+      : dataset_(TinyDataset(10, 5, 35, 77)),
+        graphs_(BuildGraphInputs(dataset_)) {
+    config_.dim = 6;
+    config_.n_experts = 3;
+    config_.mtl_layers = 2;
+    config_.aux_negatives = 2;
+  }
+
+  GroupBuyingDataset dataset_;
+  GraphInputs graphs_;
+  MgbrConfig config_;
+};
+
+// ---------------------------------------------------------------------------
+// MultiViewEmbedding.
+// ---------------------------------------------------------------------------
+
+TEST_F(CoreTest, MultiViewShapes) {
+  Rng rng(1);
+  MultiViewEmbedding views(graphs_, config_, &rng);
+  auto out = views.Forward();
+  EXPECT_EQ(out.users.rows(), graphs_.n_users);
+  EXPECT_EQ(out.users.cols(), 2 * config_.dim);
+  EXPECT_EQ(out.items.rows(), graphs_.n_items);
+  EXPECT_EQ(out.items.cols(), 2 * config_.dim);
+  EXPECT_EQ(out.parts.rows(), graphs_.n_users);
+  EXPECT_EQ(out.parts.cols(), 2 * config_.dim);
+}
+
+TEST_F(CoreTest, MultiViewRolesDiffer) {
+  // e_u and e_p share the UP view but differ in the first half (UI vs
+  // PI view), so initiator-role and participant-role embeddings of the
+  // same user must not coincide.
+  Rng rng(2);
+  MultiViewEmbedding views(graphs_, config_, &rng);
+  auto out = views.Forward();
+  EXPECT_FALSE(AllClose(out.users.value(), out.parts.value()));
+  // Second half (UP view) is identical for both roles.
+  const int64_t d = config_.dim;
+  for (int64_t u = 0; u < graphs_.n_users; ++u) {
+    for (int64_t c = 0; c < d; ++c) {
+      EXPECT_FLOAT_EQ(out.users.value().at(u, d + c),
+                      out.parts.value().at(u, d + c));
+    }
+  }
+}
+
+TEST_F(CoreTest, SingleHinVariantSharesRoles) {
+  config_.use_single_hin = true;
+  Rng rng(3);
+  MultiViewEmbedding views(graphs_, config_, &rng);
+  auto out = views.Forward();
+  EXPECT_TRUE(AllClose(out.users.value(), out.parts.value()));
+  EXPECT_EQ(out.users.cols(), 2 * config_.dim);
+}
+
+// ---------------------------------------------------------------------------
+// MultiTaskModule.
+// ---------------------------------------------------------------------------
+
+Var RandomBatch(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.Gaussian(0.0, 0.5));
+  }
+  return Var(std::move(t), /*requires_grad=*/true);
+}
+
+TEST_F(CoreTest, MtlOutputShapes) {
+  Rng rng(4);
+  MultiTaskModule mtl(config_, &rng);
+  const int64_t b = 5;
+  Var e_u = RandomBatch(b, 2 * config_.dim, 10);
+  Var e_i = RandomBatch(b, 2 * config_.dim, 11);
+  Var e_p = RandomBatch(b, 2 * config_.dim, 12);
+  auto out = mtl.Forward(e_u, e_i, e_p);
+  EXPECT_EQ(out.g_a.rows(), b);
+  EXPECT_EQ(out.g_a.cols(), config_.dim);
+  EXPECT_EQ(out.g_b.rows(), b);
+  EXPECT_EQ(out.g_b.cols(), config_.dim);
+}
+
+TEST_F(CoreTest, MtlParameterCountMatchesFormula) {
+  Rng rng(5);
+  MultiTaskModule mtl(config_, &rng);
+  const int64_t d = config_.dim, k = config_.n_experts;
+  // Layer 1: experts 3 x (6d x kd); gates A,B (6d x 2k), S (6d x 3k);
+  // adjusted 6 x (4d x k).
+  const int64_t l1 = 3 * (6 * d * k * d) + 2 * (6 * d * 2 * k) +
+                     (6 * d * 3 * k) + 6 * (4 * d * k);
+  // Layer 2 (final): experts A,B (2d x kd), S (3d x kd); gates A,B
+  // (2d x 2k); NO gate S (g_S^L is never consumed); adjusted
+  // 6 x (4d x k).
+  const int64_t l2 = 2 * (2 * d * k * d) + (3 * d * k * d) +
+                     2 * (2 * d * 2 * k) + 6 * (4 * d * k);
+  EXPECT_EQ(CountParameters(mtl.Parameters()), l1 + l2);
+}
+
+TEST_F(CoreTest, MtlSharedOffReducesParameters) {
+  Rng rng(6);
+  MultiTaskModule full(config_, &rng);
+  MgbrConfig no_shared = config_;
+  no_shared.use_shared_experts = false;
+  Rng rng2(6);
+  MultiTaskModule ablated(no_shared, &rng2);
+  EXPECT_LT(CountParameters(ablated.Parameters()),
+            CountParameters(full.Parameters()));
+}
+
+TEST_F(CoreTest, MtlGenericGateVariantDropsAdjustedWeights) {
+  MgbrConfig generic = config_;
+  generic.alpha_a = 0.0f;
+  generic.alpha_b = 0.0f;
+  Rng rng(7);
+  MultiTaskModule mtl(generic, &rng);
+  const int64_t d = config_.dim, k = config_.n_experts;
+  // No adjusted weights anywhere: subtract 6 x (4d x k) per layer.
+  Rng rng2(7);
+  MultiTaskModule full(config_, &rng2);
+  EXPECT_EQ(CountParameters(full.Parameters()) -
+                CountParameters(mtl.Parameters()),
+            2 * 6 * (4 * d * k));
+}
+
+TEST_F(CoreTest, MtlGradientsFlowToAllParameters) {
+  Rng rng(8);
+  MultiTaskModule mtl(config_, &rng);
+  Var e_u = RandomBatch(4, 2 * config_.dim, 20);
+  Var e_i = RandomBatch(4, 2 * config_.dim, 21);
+  Var e_p = RandomBatch(4, 2 * config_.dim, 22);
+  auto out = mtl.Forward(e_u, e_i, e_p);
+  Var loss = Add(Sum(Square(out.g_a)), Sum(Square(out.g_b)));
+  for (Var& p : mtl.Parameters()) p.ZeroGrad();
+  loss.Backward();
+  for (const Var& p : mtl.Parameters()) {
+    EXPECT_GT(p.grad().Norm(), 0.0) << "dead MTL parameter";
+  }
+  // Inputs receive gradients too.
+  EXPECT_GT(e_u.grad().Norm(), 0.0);
+  EXPECT_GT(e_p.grad().Norm(), 0.0);
+}
+
+TEST_F(CoreTest, MtlGradCheckSmall) {
+  // Full finite-difference check of the entire MTL module on a tiny
+  // configuration.
+  MgbrConfig small;
+  small.dim = 3;
+  small.n_experts = 2;
+  small.mtl_layers = 2;
+  Rng rng(9);
+  MultiTaskModule mtl(small, &rng);
+  std::vector<Var> leaves = {RandomBatch(2, 6, 30), RandomBatch(2, 6, 31),
+                             RandomBatch(2, 6, 32)};
+  mgbr::testing::CheckGradients(leaves, [&] {
+    auto out = mtl.Forward(leaves[0], leaves[1], leaves[2]);
+    return Add(Mean(Square(out.g_a)), Mean(Square(out.g_b)));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// MgbrModel.
+// ---------------------------------------------------------------------------
+
+TEST_F(CoreTest, ModelScoresHaveRightShape) {
+  Rng rng(10);
+  MgbrModel model(graphs_, config_, &rng);
+  model.Refresh();
+  Var a = model.ScoreA({0, 1}, {0, 1});
+  EXPECT_EQ(a.rows(), 2);
+  EXPECT_EQ(a.cols(), 1);
+  Var b = model.ScoreB({0, 1}, {0, 1}, {2, 3});
+  EXPECT_EQ(b.rows(), 2);
+  Var t = model.ScoreTriple({0}, {0}, {2});
+  EXPECT_EQ(t.rows(), 1);
+}
+
+TEST_F(CoreTest, SigmoidHeadBoundsScores) {
+  config_.sigmoid_head = true;
+  Rng rng(11);
+  MgbrModel model(graphs_, config_, &rng);
+  model.Refresh();
+  Var s = model.ScoreA({0, 1, 2}, {0, 1, 2});
+  for (int64_t r = 0; r < s.rows(); ++r) {
+    EXPECT_GT(s.value().at(r, 0), 0.0f);
+    EXPECT_LT(s.value().at(r, 0), 1.0f);
+  }
+}
+
+TEST_F(CoreTest, TaskBScoreDependsOnItem) {
+  // Unlike the baselines' tailored heads, MGBR's s(p|u,i) must change
+  // when the item changes — that is the point of Task B conditioning.
+  Rng rng(12);
+  MgbrModel model(graphs_, config_, &rng);
+  model.Refresh();
+  Var s = model.ScoreB({0, 0}, {0, 1}, {2, 2});
+  EXPECT_NE(s.value().at(0, 0), s.value().at(1, 0));
+}
+
+TEST_F(CoreTest, VariantNamesPropagate) {
+  for (const char* name :
+       {"MGBR", "MGBR-M", "MGBR-R", "MGBR-M-R", "MGBR-G", "MGBR-D"}) {
+    MgbrConfig config = MgbrConfig::Variant(name);
+    config.dim = 4;
+    config.n_experts = 2;
+    Rng rng(13);
+    MgbrModel model(graphs_, config, &rng);
+    EXPECT_EQ(model.name(), name);
+    model.Refresh();
+    Var s = model.ScoreA({0}, {0});
+    EXPECT_GT(s.value().numel(), 0);
+  }
+}
+
+TEST_F(CoreTest, AllVariantsTrainOneStep) {
+  InteractionIndex index(dataset_);
+  TrainingSampler sampler(dataset_, &index);
+  Rng srng(14);
+  auto batches_a = sampler.EpochBatchesA(16, 1, &srng);
+  auto batches_b = sampler.EpochBatchesB(16, 1, &srng);
+  auto batches_x = sampler.EpochAuxBatches(4, 2, &srng);
+  ASSERT_FALSE(batches_a.empty());
+  ASSERT_FALSE(batches_b.empty());
+  ASSERT_FALSE(batches_x.empty());
+
+  for (const char* name :
+       {"MGBR", "MGBR-M", "MGBR-R", "MGBR-M-R", "MGBR-G", "MGBR-D"}) {
+    MgbrConfig config = MgbrConfig::Variant(name);
+    config.dim = 4;
+    config.n_experts = 2;
+    config.aux_negatives = 2;
+    Rng rng(15);
+    MgbrModel model(graphs_, config, &rng);
+    Adam opt(model.Parameters(), 0.01f);
+    model.Refresh();
+    Var loss = Add(TaskALoss(&model, batches_a[0]),
+                   TaskBLoss(&model, batches_b[0]));
+    if (config.use_aux_losses) {
+      loss = Add(loss, Add(AuxLossA(&model, batches_x[0]),
+                           AuxLossB(&model, batches_x[0])));
+    }
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+    EXPECT_TRUE(std::isfinite(loss.value().item())) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Losses.
+// ---------------------------------------------------------------------------
+
+TEST_F(CoreTest, TaskLossesArePositiveAndFinite) {
+  InteractionIndex index(dataset_);
+  TrainingSampler sampler(dataset_, &index);
+  Rng srng(16);
+  auto ba = sampler.EpochBatchesA(16, 1, &srng);
+  auto bb = sampler.EpochBatchesB(16, 1, &srng);
+  Rng rng(17);
+  MgbrModel model(graphs_, config_, &rng);
+  model.Refresh();
+  const double la = TaskALoss(&model, ba[0]).value().item();
+  const double lb = TaskBLoss(&model, bb[0]).value().item();
+  EXPECT_GT(la, 0.0);
+  EXPECT_GT(lb, 0.0);
+  EXPECT_TRUE(std::isfinite(la));
+  EXPECT_TRUE(std::isfinite(lb));
+  // An untrained model's BPR loss should be near log(2).
+  EXPECT_NEAR(la, std::log(2.0), 0.3);
+}
+
+TEST_F(CoreTest, AuxLossAFavorsTrueAndParticipantCorrupted) {
+  // Build a fake 1-row aux batch and check the loss drops when the
+  // model scores the "relevant" triples higher.
+  InteractionIndex index(dataset_);
+  TrainingSampler sampler(dataset_, &index);
+  Rng srng(18);
+  auto bx = sampler.EpochAuxBatches(2, 2, &srng);
+  ASSERT_FALSE(bx.empty());
+  Rng rng(19);
+  MgbrModel model(graphs_, config_, &rng);
+  model.Refresh();
+  const double before = AuxLossA(&model, bx[0]).value().item();
+  EXPECT_TRUE(std::isfinite(before));
+  EXPECT_GT(before, 0.0);
+  // Train a few steps on the aux loss alone: it must decrease.
+  Adam opt(model.Parameters(), 0.02f);
+  for (int step = 0; step < 12; ++step) {
+    model.Refresh();
+    Var loss = AuxLossA(&model, bx[0]);
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+  }
+  model.Refresh();
+  EXPECT_LT(AuxLossA(&model, bx[0]).value().item(), before);
+}
+
+TEST_F(CoreTest, AuxLossBDecreasesUnderTraining) {
+  InteractionIndex index(dataset_);
+  TrainingSampler sampler(dataset_, &index);
+  Rng srng(20);
+  auto bx = sampler.EpochAuxBatches(2, 2, &srng);
+  Rng rng(21);
+  MgbrModel model(graphs_, config_, &rng);
+  model.Refresh();
+  const double before = AuxLossB(&model, bx[0]).value().item();
+  Adam opt(model.Parameters(), 0.02f);
+  for (int step = 0; step < 12; ++step) {
+    model.Refresh();
+    Var loss = AuxLossB(&model, bx[0]);
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+  }
+  model.Refresh();
+  EXPECT_LT(AuxLossB(&model, bx[0]).value().item(), before);
+}
+
+TEST_F(CoreTest, ParameterCountScalesWithVariant) {
+  // Full MGBR > MGBR-M (no shared experts) and > MGBR-G (no adjusted
+  // gate weights).
+  auto count = [&](const char* name) {
+    MgbrConfig config = MgbrConfig::Variant(name);
+    config.dim = 6;
+    config.n_experts = 3;
+    Rng rng(22);
+    MgbrModel model(graphs_, config, &rng);
+    return model.ParameterCount();
+  };
+  EXPECT_GT(count("MGBR"), count("MGBR-M"));
+  EXPECT_GT(count("MGBR"), count("MGBR-G"));
+  EXPECT_EQ(count("MGBR"), count("MGBR-R"));  // losses don't change params
+}
+
+}  // namespace
+}  // namespace mgbr

@@ -1,0 +1,277 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/pca.h"
+#include "eval/table.h"
+#include "tests/test_util.h"
+
+namespace mgbr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rank + metric primitives.
+// ---------------------------------------------------------------------------
+
+TEST(RankTest, BasicOrdering) {
+  EXPECT_EQ(RankOfPositive(5.0, {1.0, 2.0, 3.0}), 1);
+  EXPECT_EQ(RankOfPositive(2.5, {1.0, 2.0, 3.0}), 2);
+  EXPECT_EQ(RankOfPositive(0.0, {1.0, 2.0, 3.0}), 4);
+}
+
+TEST(RankTest, TiesCountAgainstPositive) {
+  EXPECT_EQ(RankOfPositive(2.0, {2.0, 1.0}), 2);
+  EXPECT_EQ(RankOfPositive(2.0, {2.0, 2.0}), 3);
+}
+
+TEST(MetricTest, MrrValues) {
+  EXPECT_DOUBLE_EQ(MrrAt(1, 10), 1.0);
+  EXPECT_DOUBLE_EQ(MrrAt(4, 10), 0.25);
+  EXPECT_DOUBLE_EQ(MrrAt(11, 10), 0.0);  // outside cutoff
+}
+
+TEST(MetricTest, NdcgValues) {
+  EXPECT_DOUBLE_EQ(NdcgAt(1, 10), 1.0);
+  EXPECT_NEAR(NdcgAt(2, 10), 1.0 / std::log2(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(NdcgAt(11, 10), 0.0);
+}
+
+TEST(MetricTest, HitValues) {
+  EXPECT_DOUBLE_EQ(HitAt(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(HitAt(11, 10), 0.0);
+}
+
+TEST(MetricTest, NdcgDominatesMrrBelowRankOne) {
+  // For any rank in (1, N], 1/log2(rank+1) > 1/rank — NDCG is gentler.
+  for (int64_t rank = 2; rank <= 10; ++rank) {
+    EXPECT_GT(NdcgAt(rank, 10), MrrAt(rank, 10));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ranked-list evaluation protocol.
+// ---------------------------------------------------------------------------
+
+std::vector<EvalInstanceA> MakeInstancesA() {
+  std::vector<EvalInstanceA> out;
+  for (int64_t u = 0; u < 4; ++u) {
+    EvalInstanceA inst;
+    inst.user = u;
+    inst.pos_item = 0;
+    inst.neg_items = {1, 2, 3};
+    out.push_back(inst);
+  }
+  return out;
+}
+
+TEST(EvaluateTest, PerfectScorerGetsOne) {
+  auto scorer = [](int64_t, const std::vector<int64_t>& items) {
+    std::vector<double> s;
+    for (int64_t i : items) s.push_back(i == 0 ? 10.0 : 0.0);
+    return s;
+  };
+  RankingReport r = EvaluateTaskA(MakeInstancesA(), scorer, 10);
+  EXPECT_DOUBLE_EQ(r.mrr, 1.0);
+  EXPECT_DOUBLE_EQ(r.ndcg, 1.0);
+  EXPECT_DOUBLE_EQ(r.hit, 1.0);
+  EXPECT_EQ(r.n_instances, 4u);
+}
+
+TEST(EvaluateTest, WorstScorerGetsBottomRank) {
+  auto scorer = [](int64_t, const std::vector<int64_t>& items) {
+    std::vector<double> s;
+    for (int64_t i : items) s.push_back(i == 0 ? -10.0 : 1.0);
+    return s;
+  };
+  RankingReport r = EvaluateTaskA(MakeInstancesA(), scorer, 10);
+  EXPECT_DOUBLE_EQ(r.mrr, 0.25);  // rank 4 of 4
+  EXPECT_NEAR(r.ndcg, 1.0 / std::log2(5.0), 1e-12);
+}
+
+TEST(EvaluateTest, CutoffZerosOutDeepRanks) {
+  auto scorer = [](int64_t, const std::vector<int64_t>& items) {
+    std::vector<double> s;
+    for (int64_t i : items) s.push_back(i == 0 ? -10.0 : 1.0);
+    return s;
+  };
+  RankingReport r = EvaluateTaskA(MakeInstancesA(), scorer, 2);
+  EXPECT_DOUBLE_EQ(r.mrr, 0.0);
+  EXPECT_DOUBLE_EQ(r.hit, 0.0);
+}
+
+TEST(EvaluateTest, TaskBUsesTripleContext) {
+  std::vector<EvalInstanceB> instances;
+  EvalInstanceB inst;
+  inst.user = 0;
+  inst.item = 5;
+  inst.pos_part = 1;
+  inst.neg_parts = {2, 3};
+  instances.push_back(inst);
+  // Scorer checks that it receives the right context.
+  auto scorer = [](int64_t u, int64_t item,
+                   const std::vector<int64_t>& parts) {
+    EXPECT_EQ(u, 0);
+    EXPECT_EQ(item, 5);
+    std::vector<double> s;
+    for (int64_t p : parts) s.push_back(p == 1 ? 1.0 : 0.0);
+    return s;
+  };
+  RankingReport r = EvaluateTaskB(instances, scorer, 10);
+  EXPECT_DOUBLE_EQ(r.mrr, 1.0);
+}
+
+TEST(EvaluateTest, EmptyInstancesYieldZeroReport) {
+  RankingReport r = EvaluateTaskA(
+      {}, [](int64_t, const std::vector<int64_t>&) {
+        return std::vector<double>{};
+      },
+      10);
+  EXPECT_EQ(r.n_instances, 0u);
+  EXPECT_DOUBLE_EQ(r.mrr, 0.0);
+}
+
+TEST(EvaluateTest, RandomScorerNearTheoreticalMean) {
+  // With k candidates and random scores, E[1/rank] = H_k / k.
+  Rng rng(13);
+  std::vector<EvalInstanceA> instances;
+  for (int i = 0; i < 3000; ++i) {
+    EvalInstanceA inst;
+    inst.user = i;
+    inst.pos_item = 0;
+    inst.neg_items = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+    instances.push_back(inst);
+  }
+  auto scorer = [&rng](int64_t, const std::vector<int64_t>& items) {
+    std::vector<double> s;
+    for (size_t i = 0; i < items.size(); ++i) s.push_back(rng.Uniform());
+    return s;
+  };
+  RankingReport r = EvaluateTaskA(instances, scorer, 10);
+  double harmonic = 0.0;
+  for (int k = 1; k <= 10; ++k) harmonic += 1.0 / k;
+  EXPECT_NEAR(r.mrr, harmonic / 10.0, 0.02);  // ≈ 0.2929
+}
+
+// ---------------------------------------------------------------------------
+// PCA.
+// ---------------------------------------------------------------------------
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points along (1, 1, 0) with small noise: first PC ≈ that line, so
+  // the 1-D projection must preserve most of the variance.
+  Rng rng(17);
+  Tensor data(200, 3);
+  for (int64_t r = 0; r < 200; ++r) {
+    const float t = static_cast<float>(rng.Gaussian(0.0, 3.0));
+    data.at(r, 0) = t + static_cast<float>(rng.Gaussian(0.0, 0.05));
+    data.at(r, 1) = t + static_cast<float>(rng.Gaussian(0.0, 0.05));
+    data.at(r, 2) = static_cast<float>(rng.Gaussian(0.0, 0.05));
+  }
+  Tensor proj = PcaProject(data, 1);
+  EXPECT_EQ(proj.rows(), 200);
+  EXPECT_EQ(proj.cols(), 1);
+  double var_proj = 0.0, var_total = 0.0, mean = 0.0;
+  for (int64_t r = 0; r < 200; ++r) mean += proj.at(r, 0);
+  mean /= 200.0;
+  for (int64_t r = 0; r < 200; ++r) {
+    var_proj += (proj.at(r, 0) - mean) * (proj.at(r, 0) - mean);
+    for (int64_t c = 0; c < 3; ++c) {
+      var_total += data.at(r, c) * data.at(r, c);
+    }
+  }
+  EXPECT_GT(var_proj / var_total, 0.9);
+}
+
+TEST(PcaTest, ComponentsAreUncorrelated) {
+  Rng rng(19);
+  Tensor data(300, 5);
+  for (int64_t i = 0; i < data.numel(); ++i) {
+    data.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  Tensor proj = PcaProject(data, 2);
+  double c01 = 0.0, m0 = 0.0, m1 = 0.0;
+  for (int64_t r = 0; r < 300; ++r) {
+    m0 += proj.at(r, 0);
+    m1 += proj.at(r, 1);
+  }
+  m0 /= 300.0;
+  m1 /= 300.0;
+  double v0 = 0.0, v1 = 0.0;
+  for (int64_t r = 0; r < 300; ++r) {
+    c01 += (proj.at(r, 0) - m0) * (proj.at(r, 1) - m1);
+    v0 += (proj.at(r, 0) - m0) * (proj.at(r, 0) - m0);
+    v1 += (proj.at(r, 1) - m1) * (proj.at(r, 1) - m1);
+  }
+  EXPECT_LT(std::fabs(c01) / std::sqrt(v0 * v1), 0.05);
+}
+
+TEST(CohesionTest, TightClustersScoreLower) {
+  // Two tight, well-separated clusters vs two overlapping ones.
+  Rng rng(23);
+  auto make = [&](double spread) {
+    Tensor pts(100, 2);
+    std::vector<int64_t> labels(100);
+    for (int64_t r = 0; r < 100; ++r) {
+      const int64_t label = r % 2;
+      labels[static_cast<size_t>(r)] = label;
+      const double cx = label == 0 ? -5.0 : 5.0;
+      pts.at(r, 0) = static_cast<float>(cx + rng.Gaussian(0.0, spread));
+      pts.at(r, 1) = static_cast<float>(rng.Gaussian(0.0, spread));
+    }
+    return std::make_pair(pts, labels);
+  };
+  auto [tight_pts, tight_labels] = make(0.3);
+  auto [loose_pts, loose_labels] = make(4.0);
+  EXPECT_LT(ClusterCohesionRatio(tight_pts, tight_labels),
+            ClusterCohesionRatio(loose_pts, loose_labels));
+}
+
+// ---------------------------------------------------------------------------
+// AsciiTable.
+// ---------------------------------------------------------------------------
+
+TEST(TableTest, RendersAlignedCells) {
+  AsciiTable t({"Model", "MRR"});
+  t.AddRow({"MGBR", "0.64"});
+  t.AddRow({"NGCF-long-name", "0.56"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| Model"), std::string::npos);
+  EXPECT_NE(out.find("| MGBR"), std::string::npos);
+  EXPECT_NE(out.find("NGCF-long-name"), std::string::npos);
+  // All lines equal length.
+  size_t len = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t next = out.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, len);
+    pos = next + 1;
+  }
+}
+
+TEST(TableTest, SeparatorRows) {
+  AsciiTable t({"a"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  const std::string out = t.Render();
+  // 5 border/separator lines: top, under-header, middle, bottom... count '+'-lines.
+  int plus_lines = 0;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    if (out[pos] == '+') ++plus_lines;
+    pos = out.find('\n', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+  }
+  EXPECT_EQ(plus_lines, 4);
+}
+
+TEST(TableDeathTest, ArityMismatchAborts) {
+  AsciiTable t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "CHECK");
+}
+
+}  // namespace
+}  // namespace mgbr

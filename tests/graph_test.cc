@@ -1,0 +1,266 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/gcn.h"
+#include "graph/graph.h"
+#include "tests/test_util.h"
+
+namespace mgbr {
+namespace {
+
+using mgbr::testing::CheckGradients;
+
+// ---------------------------------------------------------------------------
+// CsrMatrix.
+// ---------------------------------------------------------------------------
+
+TEST(CsrMatrixTest, FromCooBasics) {
+  CsrMatrix m = CsrMatrix::FromCoo(3, 4, {{0, 1, 2.0f}, {2, 3, 1.0f},
+                                          {0, 0, 1.0f}});
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.At(2, 3), 1.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 1), 0.0f);
+}
+
+TEST(CsrMatrixTest, DuplicatesSummed) {
+  CsrMatrix m = CsrMatrix::FromCoo(2, 2, {{0, 0, 1.0f}, {0, 0, 2.5f}});
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 3.5f);
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  CsrMatrix m(3, 3);
+  EXPECT_EQ(m.nnz(), 0);
+  Tensor x = Tensor::Full(3, 2, 1.0f);
+  Tensor y = m.Multiply(x);
+  EXPECT_TRUE(AllClose(y, Tensor::Zeros(3, 2)));
+}
+
+TEST(CsrMatrixTest, IdentityMultiplyIsNoop) {
+  CsrMatrix eye = CsrMatrix::Identity(4);
+  Tensor x = Tensor::FromVector(4, 2, {1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_TRUE(AllClose(eye.Multiply(x), x));
+  EXPECT_TRUE(AllClose(eye.TransposeMultiply(x), x));
+}
+
+TEST(CsrMatrixTest, MultiplyMatchesDense) {
+  Rng rng(5);
+  std::vector<Coo> entries;
+  for (int i = 0; i < 20; ++i) {
+    entries.push_back({static_cast<int64_t>(rng.UniformInt(5)),
+                       static_cast<int64_t>(rng.UniformInt(6)),
+                       static_cast<float>(rng.Gaussian())});
+  }
+  CsrMatrix m = CsrMatrix::FromCoo(5, 6, entries);
+  Tensor dense = m.ToDense();
+  Tensor x(6, 3);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  Tensor got = m.Multiply(x);
+  // Reference: dense matmul.
+  Tensor want(5, 3);
+  for (int64_t r = 0; r < 5; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      double acc = 0.0;
+      for (int64_t k = 0; k < 6; ++k) acc += dense.at(r, k) * x.at(k, c);
+      want.at(r, c) = static_cast<float>(acc);
+    }
+  }
+  EXPECT_TRUE(AllClose(got, want, 1e-4));
+}
+
+TEST(CsrMatrixTest, TransposeMultiplyMatchesDense) {
+  CsrMatrix m = CsrMatrix::FromCoo(2, 3, {{0, 1, 2.0f}, {1, 2, -1.0f}});
+  Tensor x = Tensor::FromVector(2, 2, {1, 2, 3, 4});
+  Tensor got = m.TransposeMultiply(x);  // (3x2)
+  Tensor want = Tensor::FromVector(3, 2, {0, 0, 2, 4, -3, -4});
+  EXPECT_TRUE(AllClose(got, want));
+}
+
+TEST(CsrMatrixTest, RowSums) {
+  CsrMatrix m = CsrMatrix::FromCoo(3, 3, {{0, 1, 2.0f}, {0, 2, 3.0f},
+                                          {2, 0, 1.0f}});
+  auto sums = m.RowSums();
+  EXPECT_DOUBLE_EQ(sums[0], 5.0);
+  EXPECT_DOUBLE_EQ(sums[1], 0.0);
+  EXPECT_DOUBLE_EQ(sums[2], 1.0);
+}
+
+TEST(CsrMatrixDeathTest, OutOfBoundsCooAborts) {
+  EXPECT_DEATH(CsrMatrix::FromCoo(2, 2, {{2, 0, 1.0f}}), "out of bounds");
+}
+
+// ---------------------------------------------------------------------------
+// GraphBuilder.
+// ---------------------------------------------------------------------------
+
+TEST(GraphBuilderTest, UserItemIsSymmetricBipartite) {
+  GraphBuilder b(3, 2);
+  b.AddLaunch(0, 1);
+  b.AddLaunch(2, 0);
+  b.AddLaunch(0, 1);  // duplicate collapses to weight 1
+  CsrMatrix m = b.BuildUserItem();
+  EXPECT_EQ(m.rows(), 5);
+  EXPECT_FLOAT_EQ(m.At(0, 3 + 1), 1.0f);  // u0 - item1 (offset 3)
+  EXPECT_FLOAT_EQ(m.At(3 + 1, 0), 1.0f);  // symmetric
+  EXPECT_FLOAT_EQ(m.At(2, 3 + 0), 1.0f);
+  EXPECT_EQ(m.nnz(), 4);
+}
+
+TEST(GraphBuilderTest, SocialViewSkipsSelfEdges) {
+  GraphBuilder b(3, 1);
+  b.AddSocial(0, 0);  // ignored
+  b.AddSocial(0, 1);
+  CsrMatrix m = b.BuildUserUser();
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 0.0f);
+}
+
+TEST(GraphBuilderTest, ViewsAreDisjointEdgeSets) {
+  GraphBuilder b(2, 2);
+  b.AddLaunch(0, 0);
+  b.AddJoin(1, 1);
+  CsrMatrix ui = b.BuildUserItem();
+  CsrMatrix pi = b.BuildParticipantItem();
+  EXPECT_FLOAT_EQ(ui.At(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(ui.At(1, 3), 0.0f);  // join not in UI view
+  EXPECT_FLOAT_EQ(pi.At(1, 3), 1.0f);
+  EXPECT_FLOAT_EQ(pi.At(0, 2), 0.0f);  // launch not in PI view
+}
+
+TEST(GraphBuilderTest, JointAndHinContainEverything) {
+  GraphBuilder b(2, 2);
+  b.AddLaunch(0, 0);
+  b.AddJoin(1, 0);
+  b.AddSocial(0, 1);
+  CsrMatrix joint = b.BuildJointUserItem();
+  EXPECT_FLOAT_EQ(joint.At(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(joint.At(1, 2), 1.0f);
+  EXPECT_FLOAT_EQ(joint.At(0, 1), 0.0f);  // no social edge in joint UI
+  CsrMatrix hin = b.BuildHeterogeneous();
+  EXPECT_FLOAT_EQ(hin.At(0, 1), 1.0f);  // social edge present in HIN
+  EXPECT_FLOAT_EQ(hin.At(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(hin.At(1, 2), 1.0f);
+}
+
+// ---------------------------------------------------------------------------
+// NormalizeAdjacency.
+// ---------------------------------------------------------------------------
+
+TEST(NormalizeTest, RowSumsBoundedByOne) {
+  // Â = D^{-1/2}(A+I)D^{-1/2} has spectral radius 1; for a regular
+  // graph every row sums to exactly 1.
+  GraphBuilder b(4, 0);
+  b.AddSocial(0, 1);
+  b.AddSocial(1, 2);
+  b.AddSocial(2, 3);
+  b.AddSocial(3, 0);  // 2-regular cycle
+  CsrMatrix norm = NormalizeAdjacency(b.BuildUserUser());
+  auto sums = norm.RowSums();
+  for (double s : sums) EXPECT_NEAR(s, 1.0, 1e-6);
+}
+
+TEST(NormalizeTest, IsolatedNodeGetsUnitSelfLoop) {
+  CsrMatrix empty(3, 3);
+  CsrMatrix norm = NormalizeAdjacency(empty);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(norm.At(i, i), 1.0f, 1e-6);
+  }
+  EXPECT_EQ(norm.nnz(), 3);
+}
+
+TEST(NormalizeTest, SymmetricOutput) {
+  GraphBuilder b(3, 2);
+  b.AddLaunch(0, 0);
+  b.AddLaunch(0, 1);
+  b.AddLaunch(2, 1);
+  CsrMatrix norm = NormalizeAdjacency(b.BuildUserItem());
+  for (int64_t r = 0; r < norm.rows(); ++r) {
+    for (int64_t c = 0; c < norm.cols(); ++c) {
+      EXPECT_NEAR(norm.At(r, c), norm.At(c, r), 1e-6);
+    }
+  }
+}
+
+TEST(NormalizeTest, KnownTwoNodeValues) {
+  // Two nodes with one edge: degrees (with self loop) are 2, 2;
+  // Â = [[1/2, 1/2], [1/2, 1/2]].
+  CsrMatrix adj = CsrMatrix::FromCoo(2, 2, {{0, 1, 1.0f}, {1, 0, 1.0f}});
+  CsrMatrix norm = NormalizeAdjacency(adj);
+  EXPECT_NEAR(norm.At(0, 0), 0.5f, 1e-6);
+  EXPECT_NEAR(norm.At(0, 1), 0.5f, 1e-6);
+  EXPECT_NEAR(norm.At(1, 1), 0.5f, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// SpMM + GCN.
+// ---------------------------------------------------------------------------
+
+TEST(SpMMTest, ForwardMatchesCsrMultiply) {
+  auto a = MakeShared(CsrMatrix::FromCoo(3, 3, {{0, 1, 1.0f}, {1, 0, 1.0f},
+                                                {2, 2, 2.0f}}));
+  Var x(Tensor::FromVector(3, 2, {1, 2, 3, 4, 5, 6}), false);
+  Tensor got = SpMM(a, x).value();
+  EXPECT_TRUE(AllClose(got, a->Multiply(x.value())));
+}
+
+TEST(SpMMTest, GradientMatchesFiniteDifference) {
+  auto a = MakeShared(CsrMatrix::FromCoo(
+      4, 4, {{0, 1, 0.5f}, {1, 0, 0.5f}, {2, 3, 1.5f}, {3, 3, -1.0f}}));
+  Rng rng(3);
+  Tensor x0(4, 3);
+  for (int64_t i = 0; i < x0.numel(); ++i) {
+    x0.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  std::vector<Var> leaves = {Var(x0, true)};
+  mgbr::testing::CheckGradients(
+      leaves, [&] { return Sum(Square(SpMM(a, leaves[0]))); });
+}
+
+TEST(GcnStackTest, OutputShapeAndParams) {
+  Rng rng(7);
+  GcnStack stack(6, 4, 2, &rng);
+  EXPECT_EQ(stack.n_nodes(), 6);
+  EXPECT_EQ(stack.dim(), 4);
+  auto a = MakeShared(NormalizeAdjacency(CsrMatrix(6, 6)));
+  Var out = stack.Forward(a);
+  EXPECT_EQ(out.rows(), 6);
+  EXPECT_EQ(out.cols(), 4);
+  // Params: X0 (6x4) + 2 layer weights (4x4).
+  EXPECT_EQ(CountParameters(stack.Parameters()), 6 * 4 + 2 * 4 * 4);
+}
+
+TEST(GcnStackTest, PropagationMixesNeighbors) {
+  // Node 0 and 1 connected; identity weights would mix their features.
+  Rng rng(8);
+  GcnStack stack(2, 2, 1, &rng, Activation::kNone);
+  auto a = MakeShared(
+      NormalizeAdjacency(CsrMatrix::FromCoo(2, 2, {{0, 1, 1.0f},
+                                                   {1, 0, 1.0f}})));
+  Var out = stack.Forward(a);
+  // With Â = [[.5,.5],[.5,.5]], both output rows must be identical
+  // (before weights they are the same mixture).
+  EXPECT_NEAR(out.value().at(0, 0), out.value().at(1, 0), 1e-5);
+  EXPECT_NEAR(out.value().at(0, 1), out.value().at(1, 1), 1e-5);
+}
+
+TEST(GcnStackTest, BackwardReachesEmbeddings) {
+  Rng rng(9);
+  GcnStack stack(3, 2, 2, &rng);
+  auto a = MakeShared(NormalizeAdjacency(
+      CsrMatrix::FromCoo(3, 3, {{0, 1, 1.0f}, {1, 0, 1.0f}})));
+  Var loss = Sum(Square(stack.Forward(a)));
+  loss.Backward();
+  EXPECT_GT(stack.embeddings0().grad().Norm(), 0.0);
+}
+
+}  // namespace
+}  // namespace mgbr

@@ -1,0 +1,275 @@
+// Property-style tests: randomized invariants that must hold for any
+// input, parameterized over shapes/seeds (TEST_P sweeps). These
+// complement the example-based unit tests with coverage of the
+// algebraic contracts the training stack silently relies on.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "graph/gcn.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace mgbr {
+namespace {
+
+Tensor RandomTensor(int64_t rows, int64_t cols, uint64_t seed,
+                    double scale = 1.0) {
+  Rng rng(seed);
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.Gaussian(0.0, scale));
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Linear-algebra laws of the op layer.
+// ---------------------------------------------------------------------------
+
+class OpLawsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OpLawsTest, MatMulDistributesOverAdd) {
+  const uint64_t seed = GetParam();
+  Var a(RandomTensor(4, 5, seed), false);
+  Var x(RandomTensor(5, 3, seed + 1), false);
+  Var y(RandomTensor(5, 3, seed + 2), false);
+  Tensor lhs = MatMul(a, Add(x, y)).value();
+  Tensor rhs = Add(MatMul(a, x), MatMul(a, y)).value();
+  EXPECT_TRUE(AllClose(lhs, rhs, 1e-3));
+}
+
+TEST_P(OpLawsTest, MatMulAssociatesWithScalar) {
+  const uint64_t seed = GetParam();
+  Var a(RandomTensor(3, 4, seed), false);
+  Var b(RandomTensor(4, 2, seed + 1), false);
+  Tensor lhs = MulScalar(MatMul(a, b), 2.5f).value();
+  Tensor rhs = MatMul(MulScalar(a, 2.5f), b).value();
+  EXPECT_TRUE(AllClose(lhs, rhs, 1e-3));
+}
+
+TEST_P(OpLawsTest, TransposeIsInvolution) {
+  const uint64_t seed = GetParam();
+  Var a(RandomTensor(4, 6, seed), false);
+  EXPECT_TRUE(AllClose(Transpose(Transpose(a)).value(), a.value(), 1e-6));
+}
+
+TEST_P(OpLawsTest, ConcatSliceRoundTrip) {
+  const uint64_t seed = GetParam();
+  Var a(RandomTensor(3, 2, seed), false);
+  Var b(RandomTensor(3, 4, seed + 1), false);
+  Var joined = ConcatCols({a, b});
+  EXPECT_TRUE(AllClose(SliceCols(joined, 0, 2).value(), a.value(), 1e-6));
+  EXPECT_TRUE(AllClose(SliceCols(joined, 2, 4).value(), b.value(), 1e-6));
+}
+
+TEST_P(OpLawsTest, SumEqualsRowSumThenSum) {
+  const uint64_t seed = GetParam();
+  Var a(RandomTensor(5, 7, seed), false);
+  EXPECT_NEAR(Sum(a).value().item(), Sum(RowSum(a)).value().item(), 1e-3);
+  EXPECT_NEAR(Sum(a).value().item(), Sum(SumOverRows(a)).value().item(),
+              1e-3);
+}
+
+TEST_P(OpLawsTest, GradientIsLinearInLossCombination) {
+  // grad(2f + 3g) = 2 grad(f) + 3 grad(g).
+  const uint64_t seed = GetParam();
+  Tensor x0 = RandomTensor(3, 3, seed);
+  auto grad_of = [&](float cf, float cg) {
+    Var x(x0, true);
+    Var f = Sum(Square(x));
+    Var g = Sum(Tanh(x));
+    Var loss = Add(MulScalar(f, cf), MulScalar(g, cg));
+    loss.Backward();
+    return x.grad();
+  };
+  Tensor combined = grad_of(2.0f, 3.0f);
+  Tensor f_only = grad_of(2.0f, 0.0f);
+  Tensor g_only = grad_of(0.0f, 3.0f);
+  f_only.AccumulateInPlace(g_only);
+  EXPECT_TRUE(AllClose(combined, f_only, 1e-3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpLawsTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+// ---------------------------------------------------------------------------
+// BPR loss analytic properties.
+// ---------------------------------------------------------------------------
+
+TEST(BprPropertyTest, SymmetrySumBound) {
+  // -log σ(x) - log σ(-x) >= 2 log 2, equality iff x = 0.
+  for (float x : {-3.0f, -0.5f, 0.0f, 0.7f, 4.0f}) {
+    Var pos(Tensor::Scalar(x), false);
+    Var zero(Tensor::Scalar(0.0f), false);
+    const double forward = BprLoss(pos, zero).value().item();
+    const double backward = BprLoss(zero, pos).value().item();
+    EXPECT_GE(forward + backward, 2.0 * std::log(2.0) - 1e-6);
+    if (x == 0.0f) {
+      EXPECT_NEAR(forward + backward, 2.0 * std::log(2.0), 1e-6);
+    }
+  }
+}
+
+TEST(BprPropertyTest, InvariantToCommonShift) {
+  // BPR depends only on pos - neg.
+  Var pos(Tensor::FromVector(2, 1, {1.0f, 2.0f}), false);
+  Var neg(Tensor::FromVector(2, 1, {0.5f, -1.0f}), false);
+  const double base = BprLoss(pos, neg).value().item();
+  Var pos_shift = AddScalar(pos, 10.0f);
+  Var neg_shift = AddScalar(neg, 10.0f);
+  EXPECT_NEAR(BprLoss(pos_shift, neg_shift).value().item(), base, 1e-5);
+}
+
+// ---------------------------------------------------------------------------
+// Normalized adjacency: spectral radius <= 1.
+// ---------------------------------------------------------------------------
+
+class SpectralTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpectralTest, PowerIterationStaysBounded) {
+  // Â = D^{-1/2}(A+I)D^{-1/2} has eigenvalues in [-1, 1]; repeated
+  // multiplication of a random vector must not blow up.
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const int64_t n = 30;
+  std::vector<Coo> entries;
+  for (int e = 0; e < 80; ++e) {
+    int64_t a = static_cast<int64_t>(rng.UniformInt(n));
+    int64_t b = static_cast<int64_t>(rng.UniformInt(n));
+    if (a == b) continue;
+    entries.push_back({a, b, 1.0f});
+    entries.push_back({b, a, 1.0f});
+  }
+  CsrMatrix norm = NormalizeAdjacency(
+      CsrMatrix::FromCoo(n, n, std::move(entries)));
+  Tensor v = RandomTensor(n, 1, seed + 7);
+  const double initial = v.Norm();
+  for (int iter = 0; iter < 50; ++iter) {
+    v = norm.Multiply(v);
+    EXPECT_LE(v.Norm(), initial * 1.0001) << "iteration " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpectralTest,
+                         ::testing::Values(3u, 17u, 29u));
+
+// ---------------------------------------------------------------------------
+// Metric inequalities.
+// ---------------------------------------------------------------------------
+
+TEST(MetricPropertyTest, MrrLeNdcgLeHitForAllRanks) {
+  for (int64_t rank = 1; rank <= 100; ++rank) {
+    const double mrr = MrrAt(rank, 100);
+    const double ndcg = NdcgAt(rank, 100);
+    const double hit = HitAt(rank, 100);
+    EXPECT_LE(mrr, ndcg + 1e-12) << rank;
+    EXPECT_LE(ndcg, hit + 1e-12) << rank;
+  }
+}
+
+TEST(MetricPropertyTest, AggregatesStayInUnitInterval) {
+  Rng rng(5);
+  std::vector<EvalInstanceA> instances;
+  for (int i = 0; i < 50; ++i) {
+    EvalInstanceA inst;
+    inst.user = i;
+    inst.pos_item = 0;
+    inst.neg_items = {1, 2, 3, 4};
+    instances.push_back(inst);
+  }
+  auto scorer = [&rng](int64_t, const std::vector<int64_t>& items) {
+    std::vector<double> s;
+    for (size_t i = 0; i < items.size(); ++i) s.push_back(rng.Uniform());
+    return s;
+  };
+  RankingReport r = EvaluateTaskA(instances, scorer, 5);
+  EXPECT_GE(r.mrr, 0.0);
+  EXPECT_LE(r.mrr, 1.0);
+  EXPECT_GE(r.ndcg, r.mrr);
+  EXPECT_LE(r.hit, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset pipeline invariants under random generator configs.
+// ---------------------------------------------------------------------------
+
+class PipelineInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineInvariantTest, FilterSplitPreserveStructure) {
+  const uint64_t seed = GetParam();
+  BeibeiSimConfig config;
+  config.n_users = 80;
+  config.n_items = 30;
+  config.n_groups = 400;
+  config.seed = seed;
+  GroupBuyingDataset raw = GenerateBeibeiSim(config);
+  GroupBuyingDataset filtered = raw.FilterMinInteractions(3);
+
+  // Filtering never increases counts and keeps ids dense.
+  EXPECT_LE(filtered.n_groups(), raw.n_groups());
+  EXPECT_LE(filtered.n_users(), raw.n_users());
+  for (int64_t c : filtered.UserInteractionCounts()) {
+    EXPECT_GE(c, 3);
+  }
+
+  // Split partitions exactly.
+  Rng rng(seed + 1);
+  DatasetSplit split = filtered.SplitByRatio(7, 3, 1, &rng);
+  EXPECT_EQ(split.train.n_groups() + split.validation.n_groups() +
+                split.test.n_groups(),
+            filtered.n_groups());
+
+  // Sampler invariants on the split.
+  InteractionIndex index(filtered);
+  TrainingSampler sampler(split.train, &index);
+  Rng srng(seed + 2);
+  if (sampler.n_pos_a() > 0) {
+    auto batches = sampler.EpochBatchesA(32, 1, &srng);
+    for (const auto& b : batches) {
+      for (size_t i = 0; i < b.size(); ++i) {
+        EXPECT_FALSE(index.UserBoughtItem(b.users[i], b.neg_items[i]));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineInvariantTest,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+// ---------------------------------------------------------------------------
+// Determinism of the whole stochastic stack.
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismTest, GeneratorFilterSplitSamplerAllReplay) {
+  auto run = [](uint64_t seed) {
+    BeibeiSimConfig config;
+    config.n_users = 60;
+    config.n_items = 25;
+    config.n_groups = 250;
+    config.seed = seed;
+    GroupBuyingDataset data =
+        GenerateBeibeiSim(config).FilterMinInteractions(3);
+    Rng rng(seed + 1);
+    DatasetSplit split = data.SplitByRatio(7, 3, 1, &rng);
+    InteractionIndex index(data);
+    TrainingSampler sampler(split.train, &index);
+    Rng srng(seed + 2);
+    auto batches = sampler.EpochBatchesA(64, 2, &srng);
+    std::vector<int64_t> flat;
+    for (const auto& b : batches) {
+      flat.insert(flat.end(), b.users.begin(), b.users.end());
+      flat.insert(flat.end(), b.neg_items.begin(), b.neg_items.end());
+    }
+    return flat;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+}  // namespace
+}  // namespace mgbr

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "data/sampler.h"
+#include "tests/test_util.h"
+
+namespace mgbr {
+namespace {
+
+using mgbr::testing::TinyDataset;
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  SamplerTest()
+      : dataset_(TinyDataset(14, 8, 50, 11)),
+        index_(dataset_),
+        sampler_(dataset_, &index_) {}
+
+  GroupBuyingDataset dataset_;
+  InteractionIndex index_;
+  TrainingSampler sampler_;
+};
+
+TEST_F(SamplerTest, PositiveCountsMatchDataset) {
+  EXPECT_EQ(sampler_.n_pos_a(), static_cast<size_t>(dataset_.n_groups()));
+  EXPECT_EQ(sampler_.n_pos_b(), static_cast<size_t>(dataset_.n_joins()));
+}
+
+TEST_F(SamplerTest, NegativeItemNeverBought) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int64_t u = static_cast<int64_t>(rng.UniformInt(14));
+    const int64_t neg = sampler_.SampleNegativeItem(u, &rng);
+    EXPECT_FALSE(index_.UserBoughtItem(u, neg))
+        << "user " << u << " bought sampled negative " << neg;
+  }
+}
+
+TEST_F(SamplerTest, NegativeParticipantOutsideGroup) {
+  Rng rng(2);
+  for (const DealGroup& g : dataset_.groups()) {
+    const int64_t neg =
+        sampler_.SampleNegativeParticipant(g.initiator, g.item, &rng);
+    EXPECT_NE(neg, g.initiator);
+    EXPECT_FALSE(index_.InGroup(g.initiator, g.item, neg));
+  }
+}
+
+TEST_F(SamplerTest, EpochBatchesACoverAllPositives) {
+  Rng rng(3);
+  auto batches = sampler_.EpochBatchesA(16, /*negs_per_pos=*/1, &rng);
+  size_t total = 0;
+  std::multiset<std::pair<int64_t, int64_t>> seen;
+  for (const TaskABatch& b : batches) {
+    EXPECT_LE(b.size(), 16u);
+    EXPECT_EQ(b.users.size(), b.pos_items.size());
+    EXPECT_EQ(b.users.size(), b.neg_items.size());
+    total += b.size();
+    for (size_t i = 0; i < b.size(); ++i) {
+      seen.insert({b.users[i], b.pos_items[i]});
+    }
+  }
+  EXPECT_EQ(total, sampler_.n_pos_a());
+  // Every dataset group appears exactly once as a positive.
+  std::multiset<std::pair<int64_t, int64_t>> expect;
+  for (const DealGroup& g : dataset_.groups()) {
+    expect.insert({g.initiator, g.item});
+  }
+  EXPECT_EQ(seen, expect);
+}
+
+TEST_F(SamplerTest, NegsPerPosMultipliesPairs) {
+  Rng rng(4);
+  auto batches = sampler_.EpochBatchesA(64, /*negs_per_pos=*/3, &rng);
+  size_t total = 0;
+  for (const auto& b : batches) total += b.size();
+  EXPECT_EQ(total, sampler_.n_pos_a() * 3);
+}
+
+TEST_F(SamplerTest, EpochBatchesBCoverAllTriples) {
+  Rng rng(5);
+  auto batches = sampler_.EpochBatchesB(32, 1, &rng);
+  size_t total = 0;
+  for (const TaskBBatch& b : batches) {
+    EXPECT_EQ(b.users.size(), b.items.size());
+    EXPECT_EQ(b.users.size(), b.pos_parts.size());
+    EXPECT_EQ(b.users.size(), b.neg_parts.size());
+    total += b.size();
+  }
+  EXPECT_EQ(total, sampler_.n_pos_b());
+}
+
+TEST_F(SamplerTest, AuxBatchLayout) {
+  Rng rng(6);
+  const int64_t t = 3;
+  auto batches = sampler_.EpochAuxBatches(8, t, &rng);
+  size_t rows = 0;
+  for (const AuxBatch& b : batches) {
+    EXPECT_EQ(b.n_corrupt, t);
+    EXPECT_EQ(b.row_width(), static_cast<size_t>(1 + 2 * t));
+    EXPECT_EQ(b.users.size() % b.row_width(), 0u);
+    rows += b.n_rows();
+    const size_t w = b.row_width();
+    for (size_t r = 0; r < b.n_rows(); ++r) {
+      const size_t base = r * w;
+      const int64_t u = b.users[base];
+      const int64_t item = b.items[base];
+      const int64_t p = b.parts[base];
+      // The true triple must be a real observation.
+      EXPECT_TRUE(index_.InGroup(u, item, p));
+      // T^I block: same u, p; corrupted items that u never bought.
+      for (int64_t k = 1; k <= t; ++k) {
+        EXPECT_EQ(b.users[base + k], u);
+        EXPECT_EQ(b.parts[base + k], p);
+        EXPECT_FALSE(index_.UserBoughtItem(u, b.items[base + k]));
+      }
+      // T^P block: same u, item; corrupted participants outside group.
+      for (int64_t k = t + 1; k <= 2 * t; ++k) {
+        EXPECT_EQ(b.users[base + k], u);
+        EXPECT_EQ(b.items[base + k], item);
+        EXPECT_FALSE(index_.InGroup(u, item, b.parts[base + k]));
+      }
+    }
+  }
+  EXPECT_EQ(rows, sampler_.n_pos_b());
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation instance builders.
+// ---------------------------------------------------------------------------
+
+TEST_F(SamplerTest, EvalInstancesAHaveCleanNegatives) {
+  Rng rng(7);
+  auto instances = BuildEvalInstancesA(dataset_, index_, 9, &rng);
+  EXPECT_EQ(instances.size(), static_cast<size_t>(dataset_.n_groups()));
+  for (const EvalInstanceA& inst : instances) {
+    EXPECT_EQ(inst.neg_items.size(), 9u);
+    for (int64_t i : inst.neg_items) {
+      EXPECT_FALSE(index_.UserBoughtItem(inst.user, i));
+    }
+  }
+}
+
+TEST_F(SamplerTest, EvalInstancesBOnePerJoin) {
+  Rng rng(8);
+  auto instances = BuildEvalInstancesB(dataset_, index_, 5, &rng);
+  EXPECT_EQ(instances.size(), static_cast<size_t>(dataset_.n_joins()));
+  for (const EvalInstanceB& inst : instances) {
+    EXPECT_EQ(inst.neg_parts.size(), 5u);
+    EXPECT_TRUE(index_.InGroup(inst.user, inst.item, inst.pos_part));
+    for (int64_t p : inst.neg_parts) {
+      EXPECT_NE(p, inst.user);
+      EXPECT_FALSE(index_.InGroup(inst.user, inst.item, p));
+    }
+  }
+}
+
+TEST_F(SamplerTest, MaxInstancesCapRespected) {
+  Rng rng(9);
+  auto a = BuildEvalInstancesA(dataset_, index_, 3, &rng, 5);
+  EXPECT_EQ(a.size(), 5u);
+  auto b = BuildEvalInstancesB(dataset_, index_, 3, &rng, 7);
+  EXPECT_EQ(b.size(), 7u);
+}
+
+TEST_F(SamplerTest, EpochsDifferAcrossRngState) {
+  Rng rng(10);
+  auto first = sampler_.EpochBatchesA(1000, 1, &rng);
+  auto second = sampler_.EpochBatchesA(1000, 1, &rng);
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  // Same positives overall, but order or negatives must differ.
+  bool differs = false;
+  for (size_t i = 0; i < first[0].size() && !differs; ++i) {
+    differs = first[0].users[i] != second[0].users[i] ||
+              first[0].neg_items[i] != second[0].neg_items[i];
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace mgbr

@@ -1,0 +1,110 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mgbr {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rows(), 0);
+  EXPECT_EQ(t.cols(), 0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.numel(), 12);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t.data()[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, FullAndScalar) {
+  Tensor t = Tensor::Full(2, 2, 3.5f);
+  EXPECT_EQ(t.at(1, 1), 3.5f);
+  Tensor s = Tensor::Scalar(-2.0f);
+  EXPECT_EQ(s.item(), -2.0f);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(TensorTest, FromVectorRowMajor) {
+  Tensor t = Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
+}
+
+TEST(TensorTest, AtIsWritable) {
+  Tensor t(2, 2);
+  t.at(0, 1) = 7.0f;
+  EXPECT_EQ(t.at(0, 1), 7.0f);
+  EXPECT_EQ(t.data()[1], 7.0f);
+}
+
+TEST(TensorTest, FillAndScale) {
+  Tensor t(2, 3);
+  t.Fill(2.0f);
+  t.ScaleInPlace(-1.5f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_FLOAT_EQ(t.data()[i], -3.0f);
+  }
+}
+
+TEST(TensorTest, AccumulateInPlace) {
+  Tensor a = Tensor::Full(2, 2, 1.0f);
+  Tensor b = Tensor::Full(2, 2, 2.5f);
+  a.AccumulateInPlace(b);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 3.5f);
+  EXPECT_FLOAT_EQ(b.at(0, 0), 2.5f);  // b untouched
+}
+
+TEST(TensorTest, SumNormAbsMax) {
+  Tensor t = Tensor::FromVector(1, 4, {1, -2, 3, -4});
+  EXPECT_DOUBLE_EQ(t.Sum(), -2.0);
+  EXPECT_NEAR(t.Norm(), std::sqrt(30.0), 1e-6);
+  EXPECT_DOUBLE_EQ(t.AbsMax(), 4.0);
+}
+
+TEST(TensorTest, SameShape) {
+  Tensor a(2, 3), b(2, 3), c(3, 2);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(TensorTest, AllClose) {
+  Tensor a = Tensor::Full(2, 2, 1.0f);
+  Tensor b = Tensor::Full(2, 2, 1.0f + 1e-7f);
+  EXPECT_TRUE(AllClose(a, b, 1e-5));
+  Tensor c = Tensor::Full(2, 2, 1.1f);
+  EXPECT_FALSE(AllClose(a, c, 1e-5));
+  Tensor d(2, 3);
+  EXPECT_FALSE(AllClose(a, d));  // shape mismatch
+}
+
+TEST(TensorTest, CopySemantics) {
+  Tensor a = Tensor::Full(2, 2, 1.0f);
+  Tensor b = a;
+  b.at(0, 0) = 9.0f;
+  EXPECT_FLOAT_EQ(a.at(0, 0), 1.0f);  // deep copy
+}
+
+TEST(TensorTest, ToStringPreview) {
+  Tensor t = Tensor::FromVector(1, 2, {1, 2});
+  EXPECT_EQ(t.ToString(), "Tensor(1x2)[1, 2]");
+  Tensor big(3, 5);
+  EXPECT_NE(big.ToString().find("..."), std::string::npos);
+}
+
+TEST(TensorDeathTest, ItemRequiresScalar) {
+  Tensor t(2, 2);
+  EXPECT_DEATH(t.item(), "numel");
+}
+
+}  // namespace
+}  // namespace mgbr

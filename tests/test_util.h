@@ -1,0 +1,79 @@
+#ifndef MGBR_TESTS_TEST_UTIL_H_
+#define MGBR_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "tensor/init.h"
+#include "tensor/variable.h"
+
+namespace mgbr::testing {
+
+/// Central finite-difference check of reverse-mode gradients.
+///
+/// `build` must construct a scalar Var from the current values of
+/// `leaves` (re-running the full forward). For every element of every
+/// leaf, the analytic gradient from Backward() is compared against
+/// (f(x+eps) - f(x-eps)) / (2 eps) with a mixed absolute/relative
+/// tolerance suited to float32 forward math.
+inline void CheckGradients(std::vector<Var>& leaves,
+                           const std::function<Var()>& build,
+                           double eps = 1e-2, double tol = 2e-2) {
+  // Analytic gradients.
+  for (Var& leaf : leaves) leaf.ZeroGrad();
+  Var out = build();
+  ASSERT_EQ(out.value().numel(), 1);
+  out.Backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(leaves.size());
+  for (Var& leaf : leaves) analytic.push_back(leaf.grad());
+
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    Tensor& value = leaves[li].mutable_value();
+    for (int64_t idx = 0; idx < value.numel(); ++idx) {
+      const float original = value.data()[idx];
+      value.data()[idx] = original + static_cast<float>(eps);
+      const double f_plus = build().value().item();
+      value.data()[idx] = original - static_cast<float>(eps);
+      const double f_minus = build().value().item();
+      value.data()[idx] = original;
+
+      const double numeric = (f_plus - f_minus) / (2.0 * eps);
+      const double got = analytic[li].data()[idx];
+      const double scale = std::max({1.0, std::fabs(numeric), std::fabs(got)});
+      EXPECT_NEAR(got, numeric, tol * scale)
+          << "leaf " << li << " element " << idx;
+    }
+  }
+}
+
+/// Small deterministic deal-group log used across tests: `n_groups`
+/// groups over `n_users` users / `n_items` items with 0-3 participants.
+inline GroupBuyingDataset TinyDataset(int64_t n_users = 12,
+                                      int64_t n_items = 6,
+                                      int64_t n_groups = 30,
+                                      uint64_t seed = 42) {
+  Rng rng(seed);
+  std::vector<DealGroup> groups;
+  for (int64_t g = 0; g < n_groups; ++g) {
+    DealGroup group;
+    group.initiator = static_cast<int64_t>(rng.UniformInt(n_users));
+    group.item = static_cast<int64_t>(rng.UniformInt(n_items));
+    const int n_parts = static_cast<int>(rng.UniformInt(4));
+    for (int p = 0; p < n_parts; ++p) {
+      int64_t cand = static_cast<int64_t>(rng.UniformInt(n_users));
+      if (cand != group.initiator) group.participants.push_back(cand);
+    }
+    groups.push_back(std::move(group));
+  }
+  return GroupBuyingDataset(n_users, n_items, std::move(groups));
+}
+
+}  // namespace mgbr::testing
+
+#endif  // MGBR_TESTS_TEST_UTIL_H_

@@ -1,0 +1,189 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/mgbr.h"
+#include "models/gbmf.h"
+#include "train/checkpoint.h"
+#include "train/trainer.h"
+#include "tests/test_util.h"
+
+namespace mgbr {
+namespace {
+
+using mgbr::testing::TinyDataset;
+
+class TrainTest : public ::testing::Test {
+ protected:
+  TrainTest()
+      : dataset_(TinyDataset(12, 6, 60, 55)),
+        index_(dataset_),
+        sampler_(dataset_, &index_),
+        graphs_(BuildGraphInputs(dataset_)) {}
+
+  GroupBuyingDataset dataset_;
+  InteractionIndex index_;
+  TrainingSampler sampler_;
+  GraphInputs graphs_;
+};
+
+TEST_F(TrainTest, LossDecreasesForBaseline) {
+  Rng rng(1);
+  Gbmf model(graphs_.n_users, graphs_.n_items, 8, &rng);
+  TrainConfig config;
+  config.epochs = 6;
+  config.batch_size = 64;
+  config.negs_per_pos = 1;
+  config.learning_rate = 0.02f;
+  Trainer trainer(&model, &sampler_, config);
+  auto history = trainer.Train();
+  ASSERT_EQ(history.size(), 6u);
+  EXPECT_LT(history.back().TotalLoss(), history.front().TotalLoss());
+  for (const EpochStats& s : history) {
+    EXPECT_GT(s.steps, 0);
+    EXPECT_GE(s.seconds, 0.0);
+    EXPECT_TRUE(std::isfinite(s.TotalLoss()));
+  }
+}
+
+TEST_F(TrainTest, LossDecreasesForMgbrWithAux) {
+  MgbrConfig mc;
+  mc.dim = 4;
+  mc.n_experts = 2;
+  mc.aux_negatives = 2;
+  Rng rng(2);
+  MgbrModel model(graphs_, mc, &rng);
+  TrainConfig config;
+  config.epochs = 5;
+  config.batch_size = 64;
+  config.negs_per_pos = 1;
+  config.aux_batch_size = 8;
+  config.learning_rate = 0.01f;
+  Trainer trainer(&model, &sampler_, config);
+  auto history = trainer.Train();
+  EXPECT_LT(history.back().TotalLoss(), history.front().TotalLoss());
+  // Aux losses were actually exercised.
+  EXPECT_GT(history.front().aux_a, 0.0);
+  EXPECT_GT(history.front().aux_b, 0.0);
+}
+
+TEST_F(TrainTest, AuxSkippedWhenVariantDisablesIt) {
+  MgbrConfig mc = MgbrConfig::Variant("MGBR-R");
+  mc.dim = 4;
+  mc.n_experts = 2;
+  Rng rng(3);
+  MgbrModel model(graphs_, mc, &rng);
+  TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 64;
+  Trainer trainer(&model, &sampler_, config);
+  auto history = trainer.Train();
+  EXPECT_EQ(history[0].aux_a, 0.0);
+  EXPECT_EQ(history[0].aux_b, 0.0);
+  EXPECT_GT(history[0].loss_a, 0.0);
+}
+
+TEST_F(TrainTest, TrainOverridesEpochCount) {
+  Rng rng(4);
+  Gbmf model(graphs_.n_users, graphs_.n_items, 4, &rng);
+  TrainConfig config;
+  config.epochs = 99;
+  Trainer trainer(&model, &sampler_, config);
+  auto history = trainer.Train(2);
+  EXPECT_EQ(history.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// EarlyStopping.
+// ---------------------------------------------------------------------------
+
+TEST(EarlyStoppingTest, StopsAfterPatienceExhausted) {
+  EarlyStopping stop(2);
+  EXPECT_FALSE(stop.ShouldStop(0.5));  // improvement
+  EXPECT_FALSE(stop.ShouldStop(0.6));  // improvement
+  EXPECT_FALSE(stop.ShouldStop(0.55));  // 1 bad
+  EXPECT_TRUE(stop.ShouldStop(0.58));   // 2 bad -> stop
+  EXPECT_DOUBLE_EQ(stop.best(), 0.6);
+}
+
+TEST(EarlyStoppingTest, ImprovementResetsCounter) {
+  EarlyStopping stop(2);
+  EXPECT_FALSE(stop.ShouldStop(0.5));
+  EXPECT_FALSE(stop.ShouldStop(0.4));
+  EXPECT_FALSE(stop.ShouldStop(0.6));  // reset
+  EXPECT_FALSE(stop.ShouldStop(0.5));
+  EXPECT_TRUE(stop.ShouldStop(0.5));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing.
+// ---------------------------------------------------------------------------
+
+TEST_F(TrainTest, CheckpointRoundTripRestoresScores) {
+  MgbrConfig mc;
+  mc.dim = 4;
+  mc.n_experts = 2;
+  Rng rng(5);
+  MgbrModel model(graphs_, mc, &rng);
+  model.Refresh();
+  const float score_before = model.ScoreA({0}, {0}).value().item();
+
+  const std::string path = ::testing::TempDir() + "/mgbr_ckpt_test.bin";
+  auto params = model.Parameters();
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+
+  // Corrupt the in-memory model, then restore.
+  for (Var& p : params) p.mutable_value().Fill(0.123f);
+  model.Refresh();
+  EXPECT_NE(model.ScoreA({0}, {0}).value().item(), score_before);
+
+  ASSERT_TRUE(LoadParameters(path, &params).ok());
+  model.Refresh();
+  EXPECT_FLOAT_EQ(model.ScoreA({0}, {0}).value().item(), score_before);
+  std::remove(path.c_str());
+}
+
+TEST_F(TrainTest, CheckpointRejectsWrongModel) {
+  Rng rng(6);
+  Gbmf small(graphs_.n_users, graphs_.n_items, 4, &rng);
+  Gbmf big(graphs_.n_users, graphs_.n_items, 8, &rng);
+  const std::string path = ::testing::TempDir() + "/mgbr_ckpt_mismatch.bin";
+  auto small_params = small.Parameters();
+  ASSERT_TRUE(SaveParameters(small_params, path).ok());
+  auto big_params = big.Parameters();
+  Status s = LoadParameters(path, &big_params);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsIoError) {
+  std::vector<Var> params = {Var(Tensor::Scalar(1.0f), true)};
+  Status s = LoadParameters("/no/such/checkpoint.bin", &params);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(CheckpointTest, TruncatedFileFailsCleanly) {
+  const std::string path = ::testing::TempDir() + "/mgbr_ckpt_trunc.bin";
+  std::vector<Var> params = {Var(Tensor::Full(4, 4, 2.0f), true)};
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+  // Truncate the payload.
+  {
+    FILE* f = fopen(path.c_str(), "r+");
+    ASSERT_NE(f, nullptr);
+    fseek(f, 0, SEEK_END);
+    long size = ftell(f);
+    ASSERT_EQ(ftruncate(fileno(f), size - 8), 0);
+    fclose(f);
+  }
+  std::vector<Var> restore = {Var(Tensor::Zeros(4, 4), true)};
+  Status s = LoadParameters(path, &restore);
+  EXPECT_FALSE(s.ok());
+  // Staged load: the target must be untouched on failure.
+  EXPECT_FLOAT_EQ(restore[0].value().at(0, 0), 0.0f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mgbr
