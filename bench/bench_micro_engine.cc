@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "core/expert_gate.h"
 #include "core/multi_view.h"
 #include "data/synthetic.h"
@@ -104,6 +105,95 @@ void BM_MultiViewRefresh(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MultiViewRefresh)->Arg(1000)->Arg(4000);
+
+// Thread-scaling sweeps: the same kernel at threads = {1, 2, 4, 8}.
+// Real time is the figure of merit; the CI artifact tracks the
+// speedup of 4 threads over 1 on the matmul and SpMM rows.
+
+void BM_DenseGemmThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ScopedNumThreads scoped(threads);
+  const int64_t n = 256;
+  Rng rng(1);
+  Var a(GaussianInit(n, n, &rng), false);
+  Var b(GaussianInit(n, n, &rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_DenseGemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_DenseGemmBackwardThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ScopedNumThreads scoped(threads);
+  const int64_t n = 192;
+  Rng rng(1);
+  Var a(GaussianInit(n, n, &rng), true);
+  Var b(GaussianInit(n, n, &rng), true);
+  for (auto _ : state) {
+    Var loss = Sum(MatMul(a, b));
+    loss.Backward();
+    benchmark::DoNotOptimize(a.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 6 * n * n * n);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_DenseGemmBackwardThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+void BM_SpMMThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ScopedNumThreads scoped(threads);
+  const int64_t n = 4000;
+  const int64_t edges = 80000;
+  Rng rng(2);
+  std::vector<Coo> entries;
+  for (int64_t e = 0; e < edges; ++e) {
+    entries.push_back({static_cast<int64_t>(rng.UniformInt(n)),
+                       static_cast<int64_t>(rng.UniformInt(n)), 1.0f});
+  }
+  auto adj = MakeShared(
+      NormalizeAdjacency(CsrMatrix::FromCoo(n, n, std::move(entries))));
+  Var x(GaussianInit(n, 64, &rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpMM(adj, x).value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * adj->nnz() * 64);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_SpMMThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_SpMMBackwardThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ScopedNumThreads scoped(threads);
+  const int64_t n = 4000;
+  Rng rng(2);
+  std::vector<Coo> entries;
+  for (int64_t e = 0; e < 80000; ++e) {
+    entries.push_back({static_cast<int64_t>(rng.UniformInt(n)),
+                       static_cast<int64_t>(rng.UniformInt(n)), 1.0f});
+  }
+  auto adj = MakeShared(
+      NormalizeAdjacency(CsrMatrix::FromCoo(n, n, std::move(entries))));
+  Tensor grad = GaussianInit(n, 64, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj->TransposeMultiply(grad).data());
+  }
+  state.SetItemsProcessed(state.iterations() * adj->nnz() * 64);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_SpMMBackwardThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void BM_BprLoss(benchmark::State& state) {
   const int64_t batch = state.range(0);

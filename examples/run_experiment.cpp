@@ -9,13 +9,14 @@
 //
 // Keys: model, dataset (path; empty = synthetic), users, items, groups,
 // seed, dim, epochs, lr, batch, negs, patience (0 = no early stopping),
-// eval_negatives, variant-specific MGBR keys (alpha, beta_a, beta_b,
-// aux_negatives).
+// eval_negatives, threads (0 = MGBR_NUM_THREADS env / hardware),
+// variant-specific MGBR keys (alpha, beta_a, beta_b, aux_negatives).
 
 #include <cstdio>
 #include <memory>
 
 #include "common/config.h"
+#include "common/parallel.h"
 #include "core/group_success.h"
 #include "core/mgbr.h"
 #include "data/synthetic.h"
@@ -96,6 +97,12 @@ int main(int argc, char** argv) {
   config.MergeFrom(flags);  // flags override file values
   std::printf("--- effective config ---\n%s------------------------\n",
               config.ToString().c_str());
+
+  // Compute threads: `threads` key overrides the MGBR_NUM_THREADS env
+  // var (0 = keep the env/hardware default).
+  const int64_t threads = Must(config.GetInt("threads", 0));
+  if (threads > 0) SetNumThreads(static_cast<int>(threads));
+  std::printf("threads: %d\n", NumThreads());
 
   // Data.
   GroupBuyingDataset data;

@@ -1,0 +1,225 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "common/check.h"
+
+namespace mgbr {
+
+namespace {
+
+/// True while the current thread is executing a ParallelFor chunk;
+/// nested ParallelFor calls detect this and run inline.
+thread_local bool t_in_parallel_region = false;
+
+int EnvNumThreads() {
+  const char* env = std::getenv("MGBR_NUM_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v >= 1) {
+      return static_cast<int>(v);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::mutex g_pool_mu;
+int g_num_threads = 0;  // 0 = not yet resolved
+std::unique_ptr<ThreadPool> g_pool;
+
+/// Returns the shared pool, creating it with NumThreads() - 1 workers
+/// (the calling thread is the remaining executor). Null when serial.
+ThreadPool* SharedPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_num_threads == 0) g_num_threads = EnvNumThreads();
+  if (g_num_threads <= 1) return nullptr;
+  if (g_pool == nullptr || g_pool->n_workers() != g_num_threads - 1) {
+    g_pool.reset();  // join old workers before spawning new ones
+    g_pool = std::make_unique<ThreadPool>(g_num_threads - 1);
+  }
+  return g_pool.get();
+}
+
+/// Shared state of one ParallelFor invocation.
+struct ForState {
+  int64_t begin = 0;
+  int64_t chunk_size = 0;
+  int64_t n_chunks = 0;
+  int64_t end = 0;
+  const std::function<void(int64_t, int64_t, int64_t)>* fn = nullptr;
+
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<bool> aborted{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int64_t chunks_finished = 0;
+  std::exception_ptr first_error;
+
+  /// Claims and runs chunks until none remain (or a chunk failed).
+  void RunChunks() {
+    const bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    while (true) {
+      const int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= n_chunks) break;
+      if (!aborted.load(std::memory_order_relaxed)) {
+        const int64_t lo = begin + c * chunk_size;
+        const int64_t hi = std::min(end, lo + chunk_size);
+        try {
+          (*fn)(c, lo, hi);
+        } catch (...) {
+          aborted.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (++chunks_finished == n_chunks) done_cv.notify_all();
+    }
+    t_in_parallel_region = was_in_region;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ThreadPool.
+// ---------------------------------------------------------------------------
+
+ThreadPool::ThreadPool(int n_workers) {
+  MGBR_CHECK_GE(n_workers, 0);
+  workers_.reserve(static_cast<size_t>(n_workers));
+  for (int i = 0; i < n_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MGBR_CHECK(!shutdown_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::InWorkerThread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const std::thread& w : workers_) {
+    if (w.get_id() == self) return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Global configuration.
+// ---------------------------------------------------------------------------
+
+int NumThreads() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_num_threads == 0) g_num_threads = EnvNumThreads();
+  return g_num_threads;
+}
+
+void SetNumThreads(int n) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_num_threads = std::max(1, n);
+  if (g_pool != nullptr && g_pool->n_workers() != g_num_threads - 1) {
+    g_pool.reset();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ParallelFor.
+// ---------------------------------------------------------------------------
+
+void ParallelForChunked(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+  MGBR_CHECK_GE(grain, 1);
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+
+  // Chunking depends only on (begin, end, grain) so that per-chunk
+  // state is reproducible across thread counts.
+  const int64_t chunk_size = grain;
+  const int64_t n_chunks = (n + chunk_size - 1) / chunk_size;
+
+  ThreadPool* pool = t_in_parallel_region ? nullptr : SharedPool();
+  if (pool == nullptr || n_chunks == 1) {
+    // Serial fallback: same chunk decomposition, same thread.
+    const bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    try {
+      for (int64_t c = 0; c < n_chunks; ++c) {
+        const int64_t lo = begin + c * chunk_size;
+        const int64_t hi = std::min(end, lo + chunk_size);
+        fn(c, lo, hi);
+      }
+    } catch (...) {
+      t_in_parallel_region = was_in_region;
+      throw;
+    }
+    t_in_parallel_region = was_in_region;
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->chunk_size = chunk_size;
+  state->n_chunks = n_chunks;
+  state->end = end;
+  state->fn = &fn;
+
+  // Fan out to at most one helper per remaining chunk; the caller is
+  // the (n_workers + 1)-th executor.
+  const int64_t helpers =
+      std::min<int64_t>(pool->n_workers(), n_chunks - 1);
+  for (int64_t i = 0; i < helpers; ++i) {
+    pool->Submit([state] { state->RunChunks(); });
+  }
+  state->RunChunks();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock,
+                      [&] { return state->chunks_finished == n_chunks; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  ParallelForChunked(begin, end, grain,
+                     [&fn](int64_t, int64_t lo, int64_t hi) { fn(lo, hi); });
+}
+
+}  // namespace mgbr

@@ -1,0 +1,106 @@
+#ifndef MGBR_COMMON_PARALLEL_H_
+#define MGBR_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mgbr {
+
+/// Fixed-size pool of worker threads consuming a FIFO task queue.
+///
+/// The pool is the execution substrate behind `ParallelFor`; most code
+/// should use that instead of submitting raw tasks. Tasks must not
+/// throw — `ParallelFor` wraps user bodies and routes exceptions back
+/// to the caller; raw `Submit` callables are executed as-is.
+///
+/// The destructor drains nothing: it wakes all workers, waits for
+/// in-flight tasks to finish, and joins. A pool can be created and
+/// destroyed repeatedly (see parallel_test.cc: shutdown/reuse).
+class ThreadPool {
+ public:
+  /// Spawns `n_workers` threads (>= 0; 0 is a valid, inert pool).
+  explicit ThreadPool(int n_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int n_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool InWorkerThread() const;
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+/// Number of threads compute kernels use. Resolution order:
+///   1. the last `SetNumThreads` call,
+///   2. the `MGBR_NUM_THREADS` environment variable (read once),
+///   3. `std::thread::hardware_concurrency()`.
+/// Always >= 1; 1 means fully serial (no pool is ever created).
+int NumThreads();
+
+/// Overrides the global thread count (clamped to >= 1). Existing pool
+/// workers are torn down and respawned lazily on the next parallel
+/// call. Not safe to call concurrently with running parallel regions.
+void SetNumThreads(int n);
+
+/// Scoped thread-count override for tests and benchmarks.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n) : saved_(NumThreads()) {
+    SetNumThreads(n);
+  }
+  ~ScopedNumThreads() { SetNumThreads(saved_); }
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// Runs `fn(chunk_begin, chunk_end)` over a partition of [begin, end).
+///
+/// Chunks are contiguous, disjoint, at least `grain` long (except the
+/// last) and processed by the shared pool plus the calling thread.
+/// Because every index is owned by exactly one chunk and the body runs
+/// sequentially within a chunk, a kernel whose chunks write disjoint
+/// outputs produces bit-identical results for every thread count.
+///
+/// Serial fallback — `fn(begin, end)` on the calling thread — when
+/// `NumThreads() == 1`, when the range is at most `grain`, or when
+/// called from inside another ParallelFor body (nested calls do not
+/// deadlock; they just run inline).
+///
+/// If any chunk throws, the first exception is captured, remaining
+/// unstarted chunks are skipped, and the exception is rethrown on the
+/// calling thread after all in-flight chunks finish.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Like ParallelFor but also hands the body its chunk index:
+/// `fn(chunk, chunk_begin, chunk_end)`. Chunking is a pure function of
+/// (begin, end, grain) — never of the thread count — so per-chunk
+/// state (e.g. an Rng stream seeded by `chunk`; see sampler.cc) gives
+/// results that are bit-identical for every thread count.
+void ParallelForChunked(int64_t begin, int64_t end, int64_t grain,
+                        const std::function<void(int64_t, int64_t, int64_t)>& fn);
+
+}  // namespace mgbr
+
+#endif  // MGBR_COMMON_PARALLEL_H_

@@ -19,6 +19,13 @@ inline uint64_t SplitMix64(uint64_t* state) {
 
 }  // namespace
 
+Rng Rng::ForStream(uint64_t base_seed, uint64_t stream) {
+  // Decorrelate adjacent stream ids before the constructor's SplitMix64
+  // expansion; (stream + 1) keeps stream 0 distinct from Rng(base_seed).
+  uint64_t mixed = base_seed ^ ((stream + 1) * 0xD1B54A32D192ED03ULL);
+  return Rng(mixed);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(&sm);

@@ -21,6 +21,12 @@ class Rng {
   /// Seeds the state via SplitMix64 expansion of `seed`.
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
+  /// Derives an independent stream from (base_seed, stream). Parallel
+  /// kernels give each work chunk `ForStream(base, chunk_index)` so the
+  /// drawn sequence depends only on the chunk decomposition, never on
+  /// which thread runs the chunk (see docs/parallelism.md).
+  static Rng ForStream(uint64_t base_seed, uint64_t stream);
+
   Rng(const Rng&) = default;
   Rng& operator=(const Rng&) = default;
 

@@ -12,7 +12,9 @@ namespace mgbr {
 template <typename... Args>
 std::string StrCat(const Args&... args) {
   std::ostringstream oss;
-  (oss << ... << args);
+  // void-cast: with an empty pack the fold collapses to plain `oss`,
+  // which -Wunused-value (and the CI -Werror gate) would reject.
+  static_cast<void>((oss << ... << args));
   return oss.str();
 }
 

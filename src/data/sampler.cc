@@ -3,8 +3,19 @@
 #include <array>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace mgbr {
+
+namespace {
+
+/// Positions per sampling chunk. Each chunk draws from its own
+/// Rng::ForStream(base, chunk) stream, so the sampled negatives depend
+/// only on the caller's Rng state and this constant — never on the
+/// thread count (see docs/parallelism.md).
+constexpr int64_t kSamplerGrain = 256;
+
+}  // namespace
 
 TrainingSampler::TrainingSampler(const GroupBuyingDataset& train,
                                  const InteractionIndex* full_index)
@@ -53,18 +64,32 @@ std::vector<TaskABatch> TrainingSampler::EpochBatchesA(size_t batch_size,
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng->Shuffle(&order);
 
+  // Draw all negatives up front, chunk-parallel with per-chunk streams.
+  const uint64_t base_seed = rng->Next();
+  const int64_t total = static_cast<int64_t>(order.size()) * negs_per_pos;
+  std::vector<int64_t> negs(static_cast<size_t>(total));
+  ParallelForChunked(
+      0, total, kSamplerGrain,
+      [&](int64_t chunk, int64_t lo, int64_t hi) {
+        Rng local = Rng::ForStream(base_seed, static_cast<uint64_t>(chunk));
+        for (int64_t t = lo; t < hi; ++t) {
+          const int64_t u = pos_a_[order[static_cast<size_t>(
+                                      t / negs_per_pos)]].first;
+          negs[static_cast<size_t>(t)] = SampleNegativeItem(u, &local);
+        }
+      });
+
   std::vector<TaskABatch> batches;
   TaskABatch current;
-  for (size_t idx : order) {
-    const auto& [u, item] = pos_a_[idx];
-    for (int64_t k = 0; k < negs_per_pos; ++k) {
-      current.users.push_back(u);
-      current.pos_items.push_back(item);
-      current.neg_items.push_back(SampleNegativeItem(u, rng));
-      if (current.size() >= batch_size) {
-        batches.push_back(std::move(current));
-        current = TaskABatch();
-      }
+  for (int64_t t = 0; t < total; ++t) {
+    const auto& [u, item] = pos_a_[order[static_cast<size_t>(
+                                t / negs_per_pos)]];
+    current.users.push_back(u);
+    current.pos_items.push_back(item);
+    current.neg_items.push_back(negs[static_cast<size_t>(t)]);
+    if (current.size() >= batch_size) {
+      batches.push_back(std::move(current));
+      current = TaskABatch();
     }
   }
   if (current.size() > 0) batches.push_back(std::move(current));
@@ -80,19 +105,32 @@ std::vector<TaskBBatch> TrainingSampler::EpochBatchesB(size_t batch_size,
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng->Shuffle(&order);
 
+  const uint64_t base_seed = rng->Next();
+  const int64_t total = static_cast<int64_t>(order.size()) * negs_per_pos;
+  std::vector<int64_t> negs(static_cast<size_t>(total));
+  ParallelForChunked(
+      0, total, kSamplerGrain,
+      [&](int64_t chunk, int64_t lo, int64_t hi) {
+        Rng local = Rng::ForStream(base_seed, static_cast<uint64_t>(chunk));
+        for (int64_t t = lo; t < hi; ++t) {
+          const auto& pos = pos_b_[order[static_cast<size_t>(
+                                       t / negs_per_pos)]];
+          negs[static_cast<size_t>(t)] =
+              SampleNegativeParticipant(pos[0], pos[1], &local);
+        }
+      });
+
   std::vector<TaskBBatch> batches;
   TaskBBatch current;
-  for (size_t idx : order) {
-    const auto& t = pos_b_[idx];
-    for (int64_t k = 0; k < negs_per_pos; ++k) {
-      current.users.push_back(t[0]);
-      current.items.push_back(t[1]);
-      current.pos_parts.push_back(t[2]);
-      current.neg_parts.push_back(SampleNegativeParticipant(t[0], t[1], rng));
-      if (current.size() >= batch_size) {
-        batches.push_back(std::move(current));
-        current = TaskBBatch();
-      }
+  for (int64_t t = 0; t < total; ++t) {
+    const auto& pos = pos_b_[order[static_cast<size_t>(t / negs_per_pos)]];
+    current.users.push_back(pos[0]);
+    current.items.push_back(pos[1]);
+    current.pos_parts.push_back(pos[2]);
+    current.neg_parts.push_back(negs[static_cast<size_t>(t)]);
+    if (current.size() >= batch_size) {
+      batches.push_back(std::move(current));
+      current = TaskBBatch();
     }
   }
   if (current.size() > 0) batches.push_back(std::move(current));
@@ -108,12 +146,37 @@ std::vector<AuxBatch> TrainingSampler::EpochAuxBatches(size_t batch_size,
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng->Shuffle(&order);
 
+  // For each positive triple draw its item corruptions (T_t^I) then its
+  // participant corruptions (T_t^P), chunk-parallel over triples.
+  const uint64_t base_seed = rng->Next();
+  const int64_t n_rows = static_cast<int64_t>(order.size());
+  std::vector<int64_t> corrupt_items(
+      static_cast<size_t>(n_rows * n_corrupt));
+  std::vector<int64_t> corrupt_parts(
+      static_cast<size_t>(n_rows * n_corrupt));
+  ParallelForChunked(
+      0, n_rows, kSamplerGrain,
+      [&](int64_t chunk, int64_t lo, int64_t hi) {
+        Rng local = Rng::ForStream(base_seed, static_cast<uint64_t>(chunk));
+        for (int64_t row = lo; row < hi; ++row) {
+          const auto& t = pos_b_[order[static_cast<size_t>(row)]];
+          for (int64_t k = 0; k < n_corrupt; ++k) {
+            corrupt_items[static_cast<size_t>(row * n_corrupt + k)] =
+                SampleNegativeItem(t[0], &local);
+          }
+          for (int64_t k = 0; k < n_corrupt; ++k) {
+            corrupt_parts[static_cast<size_t>(row * n_corrupt + k)] =
+                SampleNegativeParticipant(t[0], t[1], &local);
+          }
+        }
+      });
+
   std::vector<AuxBatch> batches;
   AuxBatch current;
   current.n_corrupt = n_corrupt;
   size_t rows_in_current = 0;
-  for (size_t idx : order) {
-    const auto& t = pos_b_[idx];
+  for (int64_t row = 0; row < n_rows; ++row) {
+    const auto& t = pos_b_[order[static_cast<size_t>(row)]];
     const int64_t u = t[0], item = t[1], p = t[2];
     // True triple.
     current.users.push_back(u);
@@ -122,14 +185,16 @@ std::vector<AuxBatch> TrainingSampler::EpochAuxBatches(size_t batch_size,
     // T_t^I: corrupted items.
     for (int64_t k = 0; k < n_corrupt; ++k) {
       current.users.push_back(u);
-      current.items.push_back(SampleNegativeItem(u, rng));
+      current.items.push_back(
+          corrupt_items[static_cast<size_t>(row * n_corrupt + k)]);
       current.parts.push_back(p);
     }
     // T_t^P: corrupted participants.
     for (int64_t k = 0; k < n_corrupt; ++k) {
       current.users.push_back(u);
       current.items.push_back(item);
-      current.parts.push_back(SampleNegativeParticipant(u, item, rng));
+      current.parts.push_back(
+          corrupt_parts[static_cast<size_t>(row * n_corrupt + k)]);
     }
     ++rows_in_current;
     if (rows_in_current >= batch_size) {

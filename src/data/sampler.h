@@ -65,7 +65,11 @@ struct EvalInstanceB {
 };
 
 /// Extracts training positives and draws negative samples per the
-/// paper's protocol (§III-A2):
+/// paper's protocol (§III-A2). Epoch batch construction shuffles with
+/// the caller's Rng, then draws negatives chunk-parallel with one
+/// derived Rng stream per fixed-size chunk (Rng::ForStream), so the
+/// output is bit-identical for every MGBR_NUM_THREADS value.
+/// Protocol:
 ///   * Task A positive: (u, i) of each deal group; negatives are items
 ///     u never bought (any role, judged against the FULL dataset so
 ///     held-out positives are never sampled as negatives).

@@ -3,8 +3,34 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace mgbr {
+
+namespace {
+
+/// Folds per-instance ranks into the averaged report. Accumulation is
+/// sequential in instance order, so parallel evaluation reproduces the
+/// serial totals bit-for-bit.
+RankingReport ReduceRanks(const std::vector<int64_t>& ranks, int64_t cutoff) {
+  RankingReport report;
+  report.cutoff = cutoff;
+  for (int64_t rank : ranks) {
+    report.mrr += MrrAt(rank, cutoff);
+    report.ndcg += NdcgAt(rank, cutoff);
+    report.hit += HitAt(rank, cutoff);
+    ++report.n_instances;
+  }
+  if (report.n_instances > 0) {
+    const double inv = 1.0 / static_cast<double>(report.n_instances);
+    report.mrr *= inv;
+    report.ndcg *= inv;
+    report.hit *= inv;
+  }
+  return report;
+}
+
+}  // namespace
 
 int64_t RankOfPositive(double pos_score,
                        const std::vector<double>& neg_scores) {
@@ -32,90 +58,77 @@ double HitAt(int64_t rank, int64_t n) {
 
 RankingReport EvaluateTaskA(const std::vector<EvalInstanceA>& instances,
                             const TaskAScorer& scorer, int64_t cutoff) {
-  RankingReport report;
-  report.cutoff = cutoff;
-  for (const EvalInstanceA& inst : instances) {
-    std::vector<int64_t> candidates;
-    candidates.reserve(1 + inst.neg_items.size());
-    candidates.push_back(inst.pos_item);
-    for (int64_t i : inst.neg_items) candidates.push_back(i);
-    std::vector<double> scores = scorer(inst.user, candidates);
-    MGBR_CHECK_EQ(scores.size(), candidates.size());
-    std::vector<double> negs(scores.begin() + 1, scores.end());
-    const int64_t rank = RankOfPositive(scores[0], negs);
-    report.mrr += MrrAt(rank, cutoff);
-    report.ndcg += NdcgAt(rank, cutoff);
-    report.hit += HitAt(rank, cutoff);
-    ++report.n_instances;
-  }
-  if (report.n_instances > 0) {
-    const double inv = 1.0 / static_cast<double>(report.n_instances);
-    report.mrr *= inv;
-    report.ndcg *= inv;
-    report.hit *= inv;
-  }
-  return report;
+  // Instances are scored in parallel (MGBR_NUM_THREADS); the scorer
+  // must therefore be safe to call concurrently. Model scorers qualify:
+  // they only read embeddings cached by Refresh().
+  std::vector<int64_t> ranks(instances.size());
+  ParallelFor(
+      0, static_cast<int64_t>(instances.size()), 1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t idx = lo; idx < hi; ++idx) {
+          const EvalInstanceA& inst = instances[static_cast<size_t>(idx)];
+          std::vector<int64_t> candidates;
+          candidates.reserve(1 + inst.neg_items.size());
+          candidates.push_back(inst.pos_item);
+          for (int64_t i : inst.neg_items) candidates.push_back(i);
+          std::vector<double> scores = scorer(inst.user, candidates);
+          MGBR_CHECK_EQ(scores.size(), candidates.size());
+          std::vector<double> negs(scores.begin() + 1, scores.end());
+          ranks[static_cast<size_t>(idx)] = RankOfPositive(scores[0], negs);
+        }
+      });
+  return ReduceRanks(ranks, cutoff);
 }
 
 RankingReport EvaluateTaskB(const std::vector<EvalInstanceB>& instances,
                             const TaskBScorer& scorer, int64_t cutoff) {
-  RankingReport report;
-  report.cutoff = cutoff;
-  for (const EvalInstanceB& inst : instances) {
-    std::vector<int64_t> candidates;
-    candidates.reserve(1 + inst.neg_parts.size());
-    candidates.push_back(inst.pos_part);
-    for (int64_t p : inst.neg_parts) candidates.push_back(p);
-    std::vector<double> scores = scorer(inst.user, inst.item, candidates);
-    MGBR_CHECK_EQ(scores.size(), candidates.size());
-    std::vector<double> negs(scores.begin() + 1, scores.end());
-    const int64_t rank = RankOfPositive(scores[0], negs);
-    report.mrr += MrrAt(rank, cutoff);
-    report.ndcg += NdcgAt(rank, cutoff);
-    report.hit += HitAt(rank, cutoff);
-    ++report.n_instances;
-  }
-  if (report.n_instances > 0) {
-    const double inv = 1.0 / static_cast<double>(report.n_instances);
-    report.mrr *= inv;
-    report.ndcg *= inv;
-    report.hit *= inv;
-  }
-  return report;
+  std::vector<int64_t> ranks(instances.size());
+  ParallelFor(
+      0, static_cast<int64_t>(instances.size()), 1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t idx = lo; idx < hi; ++idx) {
+          const EvalInstanceB& inst = instances[static_cast<size_t>(idx)];
+          std::vector<int64_t> candidates;
+          candidates.reserve(1 + inst.neg_parts.size());
+          candidates.push_back(inst.pos_part);
+          for (int64_t p : inst.neg_parts) candidates.push_back(p);
+          std::vector<double> scores =
+              scorer(inst.user, inst.item, candidates);
+          MGBR_CHECK_EQ(scores.size(), candidates.size());
+          std::vector<double> negs(scores.begin() + 1, scores.end());
+          ranks[static_cast<size_t>(idx)] = RankOfPositive(scores[0], negs);
+        }
+      });
+  return ReduceRanks(ranks, cutoff);
 }
 
 RankingReport EvaluateTaskAFullRanking(
     const std::vector<EvalInstanceA>& instances, const TaskAScorer& scorer,
     const InteractionIndex& full_index, int64_t n_items, int64_t cutoff) {
-  RankingReport report;
-  report.cutoff = cutoff;
   std::vector<int64_t> all_items(static_cast<size_t>(n_items));
   for (int64_t i = 0; i < n_items; ++i) {
     all_items[static_cast<size_t>(i)] = i;
   }
-  for (const EvalInstanceA& inst : instances) {
-    std::vector<double> scores = scorer(inst.user, all_items);
-    MGBR_CHECK_EQ(scores.size(), all_items.size());
-    const double pos_score = scores[static_cast<size_t>(inst.pos_item)];
-    // Rank among non-interacted items (the positive itself excluded).
-    int64_t rank = 1;
-    for (int64_t i = 0; i < n_items; ++i) {
-      if (i == inst.pos_item) continue;
-      if (full_index.UserBoughtItem(inst.user, i)) continue;
-      if (scores[static_cast<size_t>(i)] >= pos_score) ++rank;
-    }
-    report.mrr += MrrAt(rank, cutoff);
-    report.ndcg += NdcgAt(rank, cutoff);
-    report.hit += HitAt(rank, cutoff);
-    ++report.n_instances;
-  }
-  if (report.n_instances > 0) {
-    const double inv = 1.0 / static_cast<double>(report.n_instances);
-    report.mrr *= inv;
-    report.ndcg *= inv;
-    report.hit *= inv;
-  }
-  return report;
+  std::vector<int64_t> ranks(instances.size());
+  ParallelFor(
+      0, static_cast<int64_t>(instances.size()), 1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t idx = lo; idx < hi; ++idx) {
+          const EvalInstanceA& inst = instances[static_cast<size_t>(idx)];
+          std::vector<double> scores = scorer(inst.user, all_items);
+          MGBR_CHECK_EQ(scores.size(), all_items.size());
+          const double pos_score = scores[static_cast<size_t>(inst.pos_item)];
+          // Rank among non-interacted items (the positive itself excluded).
+          int64_t rank = 1;
+          for (int64_t i = 0; i < n_items; ++i) {
+            if (i == inst.pos_item) continue;
+            if (full_index.UserBoughtItem(inst.user, i)) continue;
+            if (scores[static_cast<size_t>(i)] >= pos_score) ++rank;
+          }
+          ranks[static_cast<size_t>(idx)] = rank;
+        }
+      });
+  return ReduceRanks(ranks, cutoff);
 }
 
 }  // namespace mgbr

@@ -2,11 +2,29 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
+
 namespace mgbr {
+
+namespace {
+
+/// Target scalar multiply-adds per SpMM chunk; rows are grouped so the
+/// fork/join overhead stays small on sparse rows.
+constexpr int64_t kSpmmChunkWork = 1 << 14;
+
+int64_t SpmmRowGrain(int64_t rows, int64_t nnz, int64_t dense_cols) {
+  if (rows <= 0) return 1;
+  const int64_t work_per_row =
+      std::max<int64_t>(1, (nnz / rows) * std::max<int64_t>(1, dense_cols));
+  return std::max<int64_t>(1, kSpmmChunkWork / work_per_row);
+}
+
+}  // namespace
 
 CsrMatrix::CsrMatrix(int64_t rows, int64_t cols)
     : rows_(rows), cols_(cols),
-      row_ptr_(static_cast<size_t>(rows) + 1, 0) {
+      row_ptr_(static_cast<size_t>(rows) + 1, 0),
+      t_row_ptr_(static_cast<size_t>(cols) + 1, 0) {
   MGBR_CHECK_GE(rows, 0);
   MGBR_CHECK_GE(cols, 0);
 }
@@ -41,7 +59,33 @@ CsrMatrix CsrMatrix::FromCoo(int64_t rows, int64_t cols,
     m.row_ptr_[static_cast<size_t>(r) + 1] =
         static_cast<int64_t>(m.col_idx_.size());
   }
+  m.BuildTranspose();
   return m;
+}
+
+void CsrMatrix::BuildTranspose() {
+  // Counting sort of the CSR entries by column. The per-column entry
+  // lists come out ordered by ascending original row, which keeps the
+  // TransposeMultiply accumulation order identical to the historical
+  // row-scan kernel.
+  const size_t nnz = values_.size();
+  t_col_idx_.assign(nnz, 0);
+  t_values_.assign(nnz, 0.0f);
+  std::fill(t_row_ptr_.begin(), t_row_ptr_.end(), 0);
+  for (int64_t c : col_idx_) ++t_row_ptr_[static_cast<size_t>(c) + 1];
+  for (size_t c = 1; c < t_row_ptr_.size(); ++c) {
+    t_row_ptr_[c] += t_row_ptr_[c - 1];
+  }
+  std::vector<int64_t> cursor(t_row_ptr_.begin(), t_row_ptr_.end() - 1);
+  for (int64_t r = 0; r < rows_; ++r) {
+    auto [begin, end] = RowRange(r);
+    for (int64_t k = begin; k < end; ++k) {
+      const int64_t c = col_idx_[static_cast<size_t>(k)];
+      const int64_t slot = cursor[static_cast<size_t>(c)]++;
+      t_col_idx_[static_cast<size_t>(slot)] = r;
+      t_values_[static_cast<size_t>(slot)] = values_[static_cast<size_t>(k)];
+    }
+  }
 }
 
 CsrMatrix CsrMatrix::Identity(int64_t n) {
@@ -66,16 +110,24 @@ Tensor CsrMatrix::Multiply(const Tensor& dense) const {
   MGBR_CHECK_EQ(dense.rows(), cols_);
   const int64_t d = dense.cols();
   Tensor out(rows_, d);
-  for (int64_t r = 0; r < rows_; ++r) {
-    auto [begin, end] = RowRange(r);
-    float* orow = out.data() + r * d;
-    for (int64_t k = begin; k < end; ++k) {
-      const float v = values_[static_cast<size_t>(k)];
-      const float* xrow =
-          dense.data() + col_idx_[static_cast<size_t>(k)] * d;
-      for (int64_t j = 0; j < d; ++j) orow[j] += v * xrow[j];
-    }
-  }
+  const float* xp = dense.data();
+  float* op = out.data();
+  // Row-partitioned: each output row is accumulated by exactly one
+  // chunk, sequentially over its CSR entries, so the result is
+  // bit-identical for every thread count.
+  ParallelFor(0, rows_, SpmmRowGrain(rows_, nnz(), d),
+              [&, xp, op, d](int64_t lo, int64_t hi) {
+                for (int64_t r = lo; r < hi; ++r) {
+                  auto [begin, end] = RowRange(r);
+                  float* orow = op + r * d;
+                  for (int64_t k = begin; k < end; ++k) {
+                    const float v = values_[static_cast<size_t>(k)];
+                    const float* xrow =
+                        xp + col_idx_[static_cast<size_t>(k)] * d;
+                    for (int64_t j = 0; j < d; ++j) orow[j] += v * xrow[j];
+                  }
+                }
+              });
   return out;
 }
 
@@ -83,15 +135,24 @@ Tensor CsrMatrix::TransposeMultiply(const Tensor& dense) const {
   MGBR_CHECK_EQ(dense.rows(), rows_);
   const int64_t d = dense.cols();
   Tensor out(cols_, d);
-  for (int64_t r = 0; r < rows_; ++r) {
-    auto [begin, end] = RowRange(r);
-    const float* xrow = dense.data() + r * d;
-    for (int64_t k = begin; k < end; ++k) {
-      const float v = values_[static_cast<size_t>(k)];
-      float* orow = out.data() + col_idx_[static_cast<size_t>(k)] * d;
-      for (int64_t j = 0; j < d; ++j) orow[j] += v * xrow[j];
-    }
-  }
+  const float* xp = dense.data();
+  float* op = out.data();
+  // Uses the precomputed transpose (CSC view) so every output row —
+  // a column of this matrix — is owned by exactly one chunk.
+  ParallelFor(0, cols_, SpmmRowGrain(cols_, nnz(), d),
+              [&, xp, op, d](int64_t lo, int64_t hi) {
+                for (int64_t c = lo; c < hi; ++c) {
+                  const int64_t begin = t_row_ptr_[static_cast<size_t>(c)];
+                  const int64_t end = t_row_ptr_[static_cast<size_t>(c) + 1];
+                  float* orow = op + c * d;
+                  for (int64_t k = begin; k < end; ++k) {
+                    const float v = t_values_[static_cast<size_t>(k)];
+                    const float* xrow =
+                        xp + t_col_idx_[static_cast<size_t>(k)] * d;
+                    for (int64_t j = 0; j < d; ++j) orow[j] += v * xrow[j];
+                  }
+                }
+              });
   return out;
 }
 

@@ -55,7 +55,8 @@ class CsrMatrix {
   Tensor Multiply(const Tensor& dense) const;
 
   /// out = thisᵀ @ dense. dense must be (rows() x d). Used by the SpMM
-  /// backward pass.
+  /// backward pass; reads the precomputed transpose layout so the
+  /// kernel is row-parallel over output rows.
   Tensor TransposeMultiply(const Tensor& dense) const;
 
   /// Per-row sum of values (weighted out-degree).
@@ -65,11 +66,21 @@ class CsrMatrix {
   Tensor ToDense() const;
 
  private:
+  /// Fills t_row_ptr_/t_col_idx_/t_values_ (the CSC view) from the CSR
+  /// arrays. Called once at construction; the matrix is immutable after.
+  void BuildTranspose();
+
   int64_t rows_;
   int64_t cols_;
   std::vector<int64_t> row_ptr_;
   std::vector<int64_t> col_idx_;
   std::vector<float> values_;
+  // Transpose in CSR layout (== CSC of this matrix), built eagerly so
+  // TransposeMultiply can partition output rows across threads without
+  // scatter races. Entry lists are ordered by ascending original row.
+  std::vector<int64_t> t_row_ptr_;
+  std::vector<int64_t> t_col_idx_;
+  std::vector<float> t_values_;
 };
 
 }  // namespace mgbr

@@ -8,6 +8,10 @@ namespace mgbr {
 Var SpMM(const SharedCsr& a, const Var& x) {
   MGBR_CHECK(a != nullptr);
   MGBR_CHECK_EQ(a->cols(), x.rows());
+  // Both the forward Multiply and the backward TransposeMultiply are
+  // row-partitioned across the thread pool; each output row is owned
+  // by exactly one chunk, so propagation is bit-deterministic for any
+  // MGBR_NUM_THREADS (docs/parallelism.md).
   Tensor out = a->Multiply(x.value());
   return internal::MakeOpVar(
       std::move(out), {x}, [a](internal::VarNode& n) {

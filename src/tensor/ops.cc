@@ -1,6 +1,9 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/parallel.h"
 
 namespace mgbr {
 
@@ -8,6 +11,16 @@ using internal::MakeOpVar;
 using internal::VarNode;
 
 namespace {
+
+/// Minimum scalar operations per ParallelFor chunk; below this the
+/// fork/join overhead dominates and the kernels run serially.
+constexpr int64_t kElemGrain = 1 << 14;
+
+/// Row grain sized so one chunk covers roughly kElemGrain scalar ops.
+inline int64_t RowGrain(int64_t work_per_row) {
+  return std::max<int64_t>(1,
+                           kElemGrain / std::max<int64_t>(1, work_per_row));
+}
 
 /// Accumulates `delta` into `parent`'s grad if the parent needs one.
 inline void Accumulate(const std::shared_ptr<VarNode>& parent,
@@ -51,7 +64,9 @@ Var Sub(const Var& a, const Var& b) {
   Tensor out = a.value();
   const float* bp = b.value().data();
   float* op = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) op[i] -= bp[i];
+  ParallelFor(0, out.numel(), kElemGrain, [op, bp](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) op[i] -= bp[i];
+  });
   return MakeOpVar(std::move(out), {a, b}, [](VarNode& n) {
     Accumulate(n.parents[0], n.grad);
     if (n.parents[1]->requires_grad) {
@@ -67,7 +82,9 @@ Var Mul(const Var& a, const Var& b) {
   Tensor out = a.value();
   const float* bp = b.value().data();
   float* op = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) op[i] *= bp[i];
+  ParallelFor(0, out.numel(), kElemGrain, [op, bp](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) op[i] *= bp[i];
+  });
   return MakeOpVar(std::move(out), {a, b}, [](VarNode& n) {
     const Tensor& av = n.parents[0]->value;
     const Tensor& bv = n.parents[1]->value;
@@ -75,14 +92,18 @@ Var Mul(const Var& a, const Var& b) {
       Tensor d = n.grad;
       float* dp = d.data();
       const float* bp2 = bv.data();
-      for (int64_t i = 0; i < d.numel(); ++i) dp[i] *= bp2[i];
+      ParallelFor(0, d.numel(), kElemGrain, [dp, bp2](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) dp[i] *= bp2[i];
+      });
       n.parents[0]->EnsureGrad().AccumulateInPlace(d);
     }
     if (n.parents[1]->requires_grad) {
       Tensor d = n.grad;
       float* dp = d.data();
       const float* ap = av.data();
-      for (int64_t i = 0; i < d.numel(); ++i) dp[i] *= ap[i];
+      ParallelFor(0, d.numel(), kElemGrain, [dp, ap](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) dp[i] *= ap[i];
+      });
       n.parents[1]->EnsureGrad().AccumulateInPlace(d);
     }
   });
@@ -93,7 +114,9 @@ Var Div(const Var& a, const Var& b) {
   Tensor out = a.value();
   const float* bp = b.value().data();
   float* op = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) op[i] /= bp[i];
+  ParallelFor(0, out.numel(), kElemGrain, [op, bp](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) op[i] /= bp[i];
+  });
   return MakeOpVar(std::move(out), {a, b}, [](VarNode& n) {
     const Tensor& av = n.parents[0]->value;
     const Tensor& bv = n.parents[1]->value;
@@ -231,7 +254,10 @@ Var BroadcastRow(const Var& row, int64_t n_rows) {
 
 namespace {
 
-/// C += A @ B with an i-k-j loop (row-major friendly).
+/// C += A @ B with an i-k-j loop (row-major friendly). Parallel over
+/// rows of C: each output row is owned by exactly one chunk and its
+/// k-accumulation runs sequentially, so results are bit-identical for
+/// every thread count.
 void GemmAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   MGBR_CHECK_EQ(b.rows(), k);
@@ -240,19 +266,22 @@ void GemmAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
   const float* ap = a.data();
   const float* bp = b.data();
   float* cp = c->data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = ap + i * k;
-    float* crow = cp + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = bp + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  ParallelFor(0, m, RowGrain(k * n), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* arow = ap + i * k;
+      float* crow = cp + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = bp + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
-/// C += Aᵀ @ B.
+/// C += Aᵀ @ B. Parallel over rows of C (columns of A); the per-row
+/// k-accumulation order matches the serial kernel exactly.
 void GemmAtBAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
   const int64_t m = a.cols(), k = a.rows(), n = b.cols();
   MGBR_CHECK_EQ(b.rows(), k);
@@ -261,19 +290,20 @@ void GemmAtBAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
   const float* ap = a.data();
   const float* bp = b.data();
   float* cp = c->data();
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = ap + kk * m;
-    const float* brow = bp + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      float av = arow[i];
-      if (av == 0.0f) continue;
+  ParallelFor(0, m, RowGrain(k * n), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
       float* crow = cp + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      for (int64_t kk = 0; kk < k; ++kk) {
+        float av = ap[kk * m + i];
+        if (av == 0.0f) continue;
+        const float* brow = bp + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
-/// C += A @ Bᵀ.
+/// C += A @ Bᵀ. Parallel over rows of C.
 void GemmABtAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
   MGBR_CHECK_EQ(b.cols(), k);
@@ -282,16 +312,18 @@ void GemmABtAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
   const float* ap = a.data();
   const float* bp = b.data();
   float* cp = c->data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = ap + i * k;
-    float* crow = cp + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = bp + j * k;
-      double acc = 0.0;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] += static_cast<float>(acc);
+  ParallelFor(0, m, RowGrain(k * n), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* arow = ap + i * k;
+      float* crow = cp + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = bp + j * k;
+        double acc = 0.0;
+        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] += static_cast<float>(acc);
+      }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -499,7 +531,9 @@ template <typename Fwd, typename Dydx>
 Var UnaryOp(const Var& a, Fwd fwd, Dydx dydx) {
   Tensor out = a.value();
   float* op = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) op[i] = fwd(op[i]);
+  ParallelFor(0, out.numel(), kElemGrain, [op, &fwd](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) op[i] = fwd(op[i]);
+  });
   Tensor saved = out;  // many derivatives are cheaper in terms of y
   return MakeOpVar(std::move(out), {a},
                    [saved, dydx](VarNode& n) {
@@ -509,9 +543,12 @@ Var UnaryOp(const Var& a, Fwd fwd, Dydx dydx) {
                      float* dp = d.data();
                      const float* xp = xv.data();
                      const float* yp = saved.data();
-                     for (int64_t i = 0; i < d.numel(); ++i) {
-                       dp[i] *= dydx(xp[i], yp[i]);
-                     }
+                     ParallelFor(0, d.numel(), kElemGrain,
+                                 [&](int64_t lo, int64_t hi) {
+                                   for (int64_t i = lo; i < hi; ++i) {
+                                     dp[i] *= dydx(xp[i], yp[i]);
+                                   }
+                                 });
                      n.parents[0]->EnsureGrad().AccumulateInPlace(d);
                    });
 }
@@ -665,80 +702,100 @@ Var BlockMix(const Var& blocks, const Var& weights, int64_t block_dim) {
     const float* ep = blocks.value().data();
     const float* wp = weights.value().data();
     float* op = out.data();
-    for (int64_t r = 0; r < b; ++r) {
-      const float* erow = ep + r * k * block_dim;
-      const float* wrow = wp + r * k;
-      float* orow = op + r * block_dim;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float w = wrow[kk];
-        const float* eblk = erow + kk * block_dim;
-        for (int64_t j = 0; j < block_dim; ++j) orow[j] += w * eblk[j];
+    ParallelFor(0, b, RowGrain(k * block_dim), [=](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        const float* erow = ep + r * k * block_dim;
+        const float* wrow = wp + r * k;
+        float* orow = op + r * block_dim;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float w = wrow[kk];
+          const float* eblk = erow + kk * block_dim;
+          for (int64_t j = 0; j < block_dim; ++j) orow[j] += w * eblk[j];
+        }
       }
-    }
+    });
   }
   return MakeOpVar(
       std::move(out), {blocks, weights}, [block_dim, k](VarNode& n) {
         const Tensor& ev = n.parents[0]->value;
         const Tensor& wv = n.parents[1]->value;
         const int64_t b2 = ev.rows();
+        const int64_t grain = RowGrain(k * block_dim);
         if (n.parents[0]->requires_grad) {
           Tensor& eg = n.parents[0]->EnsureGrad();
-          for (int64_t r = 0; r < b2; ++r) {
-            const float* grow = n.grad.data() + r * block_dim;
-            const float* wrow = wv.data() + r * k;
-            float* egrow = eg.data() + r * k * block_dim;
-            for (int64_t kk = 0; kk < k; ++kk) {
-              const float w = wrow[kk];
-              float* eblk = egrow + kk * block_dim;
-              for (int64_t j = 0; j < block_dim; ++j) eblk[j] += w * grow[j];
+          ParallelFor(0, b2, grain, [&, block_dim, k](int64_t lo, int64_t hi) {
+            for (int64_t r = lo; r < hi; ++r) {
+              const float* grow = n.grad.data() + r * block_dim;
+              const float* wrow = wv.data() + r * k;
+              float* egrow = eg.data() + r * k * block_dim;
+              for (int64_t kk = 0; kk < k; ++kk) {
+                const float w = wrow[kk];
+                float* eblk = egrow + kk * block_dim;
+                for (int64_t j = 0; j < block_dim; ++j) eblk[j] += w * grow[j];
+              }
             }
-          }
+          });
         }
         if (n.parents[1]->requires_grad) {
           Tensor& wg = n.parents[1]->EnsureGrad();
-          for (int64_t r = 0; r < b2; ++r) {
-            const float* grow = n.grad.data() + r * block_dim;
-            const float* erow = ev.data() + r * k * block_dim;
-            float* wgrow = wg.data() + r * k;
-            for (int64_t kk = 0; kk < k; ++kk) {
-              const float* eblk = erow + kk * block_dim;
-              double acc = 0.0;
-              for (int64_t j = 0; j < block_dim; ++j) acc += grow[j] * eblk[j];
-              wgrow[kk] += static_cast<float>(acc);
+          ParallelFor(0, b2, grain, [&, block_dim, k](int64_t lo, int64_t hi) {
+            for (int64_t r = lo; r < hi; ++r) {
+              const float* grow = n.grad.data() + r * block_dim;
+              const float* erow = ev.data() + r * k * block_dim;
+              float* wgrow = wg.data() + r * k;
+              for (int64_t kk = 0; kk < k; ++kk) {
+                const float* eblk = erow + kk * block_dim;
+                double acc = 0.0;
+                for (int64_t j = 0; j < block_dim; ++j) {
+                  acc += grow[j] * eblk[j];
+                }
+                wgrow[kk] += static_cast<float>(acc);
+              }
             }
-          }
+          });
         }
       });
 }
 
 Var RowSoftmax(const Var& a) {
   Tensor out = a.value();
-  for (int64_t r = 0; r < out.rows(); ++r) {
-    float* row = out.data() + r * out.cols();
-    float mx = row[0];
-    for (int64_t c = 1; c < out.cols(); ++c) mx = std::max(mx, row[c]);
-    double denom = 0.0;
-    for (int64_t c = 0; c < out.cols(); ++c) {
-      row[c] = std::exp(row[c] - mx);
-      denom += row[c];
+  const int64_t cols = out.cols();
+  float* op = out.data();
+  ParallelFor(0, out.rows(), RowGrain(cols), [op, cols](int64_t lo,
+                                                        int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      float* row = op + r * cols;
+      float mx = row[0];
+      for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+      double denom = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        row[c] = std::exp(row[c] - mx);
+        denom += row[c];
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (int64_t c = 0; c < cols; ++c) row[c] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t c = 0; c < out.cols(); ++c) row[c] *= inv;
-  }
+  });
   Tensor saved = out;
   return MakeOpVar(std::move(out), {a}, [saved](VarNode& n) {
     if (!n.parents[0]->requires_grad) return;
     // dx = y ⊙ (g - rowsum(g ⊙ y))
     Tensor d = n.grad;
-    for (int64_t r = 0; r < d.rows(); ++r) {
-      float* dp = d.data() + r * d.cols();
-      const float* yp = saved.data() + r * d.cols();
-      double dot = 0.0;
-      for (int64_t c = 0; c < d.cols(); ++c) dot += dp[c] * yp[c];
-      for (int64_t c = 0; c < d.cols(); ++c) {
-        dp[c] = yp[c] * (dp[c] - static_cast<float>(dot));
-      }
-    }
+    const int64_t dcols = d.cols();
+    float* dbase = d.data();
+    const float* ybase = saved.data();
+    ParallelFor(0, d.rows(), RowGrain(dcols),
+                [dbase, ybase, dcols](int64_t lo, int64_t hi) {
+                  for (int64_t r = lo; r < hi; ++r) {
+                    float* dp = dbase + r * dcols;
+                    const float* yp = ybase + r * dcols;
+                    double dot = 0.0;
+                    for (int64_t c = 0; c < dcols; ++c) dot += dp[c] * yp[c];
+                    for (int64_t c = 0; c < dcols; ++c) {
+                      dp[c] = yp[c] * (dp[c] - static_cast<float>(dot));
+                    }
+                  }
+                });
     n.parents[0]->EnsureGrad().AccumulateInPlace(d);
   });
 }

@@ -4,7 +4,14 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/parallel.h"
+
 namespace mgbr {
+
+namespace {
+// Below this size the parallel fork/join overhead exceeds the loop.
+constexpr int64_t kElemGrain = 1 << 14;
+}  // namespace
 
 Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
   Tensor t(rows, cols);
@@ -30,11 +37,16 @@ void Tensor::AccumulateInPlace(const Tensor& other) {
   MGBR_CHECK(same_shape(other));
   const float* src = other.data();
   float* dst = data();
-  for (int64_t i = 0; i < numel(); ++i) dst[i] += src[i];
+  ParallelFor(0, numel(), kElemGrain, [dst, src](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) dst[i] += src[i];
+  });
 }
 
 void Tensor::ScaleInPlace(float s) {
-  for (auto& v : data_) v *= s;
+  float* dst = data();
+  ParallelFor(0, numel(), kElemGrain, [dst, s](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) dst[i] *= s;
+  });
 }
 
 double Tensor::Sum() const {
