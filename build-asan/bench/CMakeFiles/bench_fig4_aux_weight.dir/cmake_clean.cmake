@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_aux_weight.dir/bench_fig4_aux_weight.cc.o"
+  "CMakeFiles/bench_fig4_aux_weight.dir/bench_fig4_aux_weight.cc.o.d"
+  "bench_fig4_aux_weight"
+  "bench_fig4_aux_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_aux_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_scale.dir/bench_table5_scale.cc.o"
+  "CMakeFiles/bench_table5_scale.dir/bench_table5_scale.cc.o.d"
+  "bench_table5_scale"
+  "bench_table5_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

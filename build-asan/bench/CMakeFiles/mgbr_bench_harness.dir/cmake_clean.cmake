@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgbr_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/mgbr_bench_harness.dir/harness.cc.o.d"
+  "libmgbr_bench_harness.a"
+  "libmgbr_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgbr_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

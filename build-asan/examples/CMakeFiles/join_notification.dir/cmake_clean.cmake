@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_notification.dir/join_notification.cpp.o"
+  "CMakeFiles/join_notification.dir/join_notification.cpp.o.d"
+  "join_notification"
+  "join_notification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_notification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/launch_campaign.dir/launch_campaign.cpp.o"
+  "CMakeFiles/launch_campaign.dir/launch_campaign.cpp.o.d"
+  "launch_campaign"
+  "launch_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/launch_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgbr_common.dir/config.cc.o"
+  "CMakeFiles/mgbr_common.dir/config.cc.o.d"
+  "CMakeFiles/mgbr_common.dir/csv.cc.o"
+  "CMakeFiles/mgbr_common.dir/csv.cc.o.d"
+  "CMakeFiles/mgbr_common.dir/logging.cc.o"
+  "CMakeFiles/mgbr_common.dir/logging.cc.o.d"
+  "CMakeFiles/mgbr_common.dir/parallel.cc.o"
+  "CMakeFiles/mgbr_common.dir/parallel.cc.o.d"
+  "CMakeFiles/mgbr_common.dir/rng.cc.o"
+  "CMakeFiles/mgbr_common.dir/rng.cc.o.d"
+  "CMakeFiles/mgbr_common.dir/status.cc.o"
+  "CMakeFiles/mgbr_common.dir/status.cc.o.d"
+  "CMakeFiles/mgbr_common.dir/string_util.cc.o"
+  "CMakeFiles/mgbr_common.dir/string_util.cc.o.d"
+  "libmgbr_common.a"
+  "libmgbr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgbr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgbr_core.dir/expert_gate.cc.o"
+  "CMakeFiles/mgbr_core.dir/expert_gate.cc.o.d"
+  "CMakeFiles/mgbr_core.dir/group_success.cc.o"
+  "CMakeFiles/mgbr_core.dir/group_success.cc.o.d"
+  "CMakeFiles/mgbr_core.dir/losses.cc.o"
+  "CMakeFiles/mgbr_core.dir/losses.cc.o.d"
+  "CMakeFiles/mgbr_core.dir/mgbr.cc.o"
+  "CMakeFiles/mgbr_core.dir/mgbr.cc.o.d"
+  "CMakeFiles/mgbr_core.dir/mgbr_config.cc.o"
+  "CMakeFiles/mgbr_core.dir/mgbr_config.cc.o.d"
+  "CMakeFiles/mgbr_core.dir/multi_view.cc.o"
+  "CMakeFiles/mgbr_core.dir/multi_view.cc.o.d"
+  "libmgbr_core.a"
+  "libmgbr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgbr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

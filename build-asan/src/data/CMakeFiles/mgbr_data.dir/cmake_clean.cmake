@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgbr_data.dir/dataset.cc.o"
+  "CMakeFiles/mgbr_data.dir/dataset.cc.o.d"
+  "CMakeFiles/mgbr_data.dir/sampler.cc.o"
+  "CMakeFiles/mgbr_data.dir/sampler.cc.o.d"
+  "CMakeFiles/mgbr_data.dir/synthetic.cc.o"
+  "CMakeFiles/mgbr_data.dir/synthetic.cc.o.d"
+  "libmgbr_data.a"
+  "libmgbr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgbr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

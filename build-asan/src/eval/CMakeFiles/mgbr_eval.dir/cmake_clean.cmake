@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgbr_eval.dir/metrics.cc.o"
+  "CMakeFiles/mgbr_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/mgbr_eval.dir/pca.cc.o"
+  "CMakeFiles/mgbr_eval.dir/pca.cc.o.d"
+  "CMakeFiles/mgbr_eval.dir/table.cc.o"
+  "CMakeFiles/mgbr_eval.dir/table.cc.o.d"
+  "libmgbr_eval.a"
+  "libmgbr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgbr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

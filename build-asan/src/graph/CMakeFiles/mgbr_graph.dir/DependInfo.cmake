@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr_matrix.cc" "src/graph/CMakeFiles/mgbr_graph.dir/csr_matrix.cc.o" "gcc" "src/graph/CMakeFiles/mgbr_graph.dir/csr_matrix.cc.o.d"
+  "/root/repo/src/graph/gcn.cc" "src/graph/CMakeFiles/mgbr_graph.dir/gcn.cc.o" "gcc" "src/graph/CMakeFiles/mgbr_graph.dir/gcn.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/mgbr_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/mgbr_graph.dir/graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/mgbr_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tensor/CMakeFiles/mgbr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgbr_graph.dir/csr_matrix.cc.o"
+  "CMakeFiles/mgbr_graph.dir/csr_matrix.cc.o.d"
+  "CMakeFiles/mgbr_graph.dir/gcn.cc.o"
+  "CMakeFiles/mgbr_graph.dir/gcn.cc.o.d"
+  "CMakeFiles/mgbr_graph.dir/graph.cc.o"
+  "CMakeFiles/mgbr_graph.dir/graph.cc.o.d"
+  "libmgbr_graph.a"
+  "libmgbr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgbr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/deep_mf.cc" "src/models/CMakeFiles/mgbr_models.dir/deep_mf.cc.o" "gcc" "src/models/CMakeFiles/mgbr_models.dir/deep_mf.cc.o.d"
+  "/root/repo/src/models/diffnet.cc" "src/models/CMakeFiles/mgbr_models.dir/diffnet.cc.o" "gcc" "src/models/CMakeFiles/mgbr_models.dir/diffnet.cc.o.d"
+  "/root/repo/src/models/eatnn.cc" "src/models/CMakeFiles/mgbr_models.dir/eatnn.cc.o" "gcc" "src/models/CMakeFiles/mgbr_models.dir/eatnn.cc.o.d"
+  "/root/repo/src/models/gbgcn.cc" "src/models/CMakeFiles/mgbr_models.dir/gbgcn.cc.o" "gcc" "src/models/CMakeFiles/mgbr_models.dir/gbgcn.cc.o.d"
+  "/root/repo/src/models/gbmf.cc" "src/models/CMakeFiles/mgbr_models.dir/gbmf.cc.o" "gcc" "src/models/CMakeFiles/mgbr_models.dir/gbmf.cc.o.d"
+  "/root/repo/src/models/graph_inputs.cc" "src/models/CMakeFiles/mgbr_models.dir/graph_inputs.cc.o" "gcc" "src/models/CMakeFiles/mgbr_models.dir/graph_inputs.cc.o.d"
+  "/root/repo/src/models/lightgcn.cc" "src/models/CMakeFiles/mgbr_models.dir/lightgcn.cc.o" "gcc" "src/models/CMakeFiles/mgbr_models.dir/lightgcn.cc.o.d"
+  "/root/repo/src/models/ngcf.cc" "src/models/CMakeFiles/mgbr_models.dir/ngcf.cc.o" "gcc" "src/models/CMakeFiles/mgbr_models.dir/ngcf.cc.o.d"
+  "/root/repo/src/models/popularity.cc" "src/models/CMakeFiles/mgbr_models.dir/popularity.cc.o" "gcc" "src/models/CMakeFiles/mgbr_models.dir/popularity.cc.o.d"
+  "/root/repo/src/models/rec_model.cc" "src/models/CMakeFiles/mgbr_models.dir/rec_model.cc.o" "gcc" "src/models/CMakeFiles/mgbr_models.dir/rec_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/mgbr_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tensor/CMakeFiles/mgbr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/mgbr_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/data/CMakeFiles/mgbr_data.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/eval/CMakeFiles/mgbr_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgbr_models.dir/deep_mf.cc.o"
+  "CMakeFiles/mgbr_models.dir/deep_mf.cc.o.d"
+  "CMakeFiles/mgbr_models.dir/diffnet.cc.o"
+  "CMakeFiles/mgbr_models.dir/diffnet.cc.o.d"
+  "CMakeFiles/mgbr_models.dir/eatnn.cc.o"
+  "CMakeFiles/mgbr_models.dir/eatnn.cc.o.d"
+  "CMakeFiles/mgbr_models.dir/gbgcn.cc.o"
+  "CMakeFiles/mgbr_models.dir/gbgcn.cc.o.d"
+  "CMakeFiles/mgbr_models.dir/gbmf.cc.o"
+  "CMakeFiles/mgbr_models.dir/gbmf.cc.o.d"
+  "CMakeFiles/mgbr_models.dir/graph_inputs.cc.o"
+  "CMakeFiles/mgbr_models.dir/graph_inputs.cc.o.d"
+  "CMakeFiles/mgbr_models.dir/lightgcn.cc.o"
+  "CMakeFiles/mgbr_models.dir/lightgcn.cc.o.d"
+  "CMakeFiles/mgbr_models.dir/ngcf.cc.o"
+  "CMakeFiles/mgbr_models.dir/ngcf.cc.o.d"
+  "CMakeFiles/mgbr_models.dir/popularity.cc.o"
+  "CMakeFiles/mgbr_models.dir/popularity.cc.o.d"
+  "CMakeFiles/mgbr_models.dir/rec_model.cc.o"
+  "CMakeFiles/mgbr_models.dir/rec_model.cc.o.d"
+  "libmgbr_models.a"
+  "libmgbr_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgbr_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

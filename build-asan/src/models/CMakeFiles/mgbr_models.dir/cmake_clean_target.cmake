@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmgbr_models.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/init.cc" "src/tensor/CMakeFiles/mgbr_tensor.dir/init.cc.o" "gcc" "src/tensor/CMakeFiles/mgbr_tensor.dir/init.cc.o.d"
+  "/root/repo/src/tensor/nn.cc" "src/tensor/CMakeFiles/mgbr_tensor.dir/nn.cc.o" "gcc" "src/tensor/CMakeFiles/mgbr_tensor.dir/nn.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/tensor/CMakeFiles/mgbr_tensor.dir/ops.cc.o" "gcc" "src/tensor/CMakeFiles/mgbr_tensor.dir/ops.cc.o.d"
+  "/root/repo/src/tensor/optim.cc" "src/tensor/CMakeFiles/mgbr_tensor.dir/optim.cc.o" "gcc" "src/tensor/CMakeFiles/mgbr_tensor.dir/optim.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/mgbr_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/mgbr_tensor.dir/tensor.cc.o.d"
+  "/root/repo/src/tensor/variable.cc" "src/tensor/CMakeFiles/mgbr_tensor.dir/variable.cc.o" "gcc" "src/tensor/CMakeFiles/mgbr_tensor.dir/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/mgbr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgbr_tensor.dir/init.cc.o"
+  "CMakeFiles/mgbr_tensor.dir/init.cc.o.d"
+  "CMakeFiles/mgbr_tensor.dir/nn.cc.o"
+  "CMakeFiles/mgbr_tensor.dir/nn.cc.o.d"
+  "CMakeFiles/mgbr_tensor.dir/ops.cc.o"
+  "CMakeFiles/mgbr_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/mgbr_tensor.dir/optim.cc.o"
+  "CMakeFiles/mgbr_tensor.dir/optim.cc.o.d"
+  "CMakeFiles/mgbr_tensor.dir/tensor.cc.o"
+  "CMakeFiles/mgbr_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/mgbr_tensor.dir/variable.cc.o"
+  "CMakeFiles/mgbr_tensor.dir/variable.cc.o.d"
+  "libmgbr_tensor.a"
+  "libmgbr_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgbr_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

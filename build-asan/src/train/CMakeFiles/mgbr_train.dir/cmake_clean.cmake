@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgbr_train.dir/checkpoint.cc.o"
+  "CMakeFiles/mgbr_train.dir/checkpoint.cc.o.d"
+  "CMakeFiles/mgbr_train.dir/trainer.cc.o"
+  "CMakeFiles/mgbr_train.dir/trainer.cc.o.d"
+  "libmgbr_train.a"
+  "libmgbr_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgbr_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_success_test.dir/group_success_test.cc.o"
+  "CMakeFiles/group_success_test.dir/group_success_test.cc.o.d"
+  "group_success_test"
+  "group_success_test.pdb"
+  "group_success_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_success_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/ops_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/gradcheck_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/graph_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/nn_optim_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/data_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sampler_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/eval_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/models_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/train_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/config_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/group_success_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/parallel_test[1]_include.cmake")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/expert_gate.cc" "src/core/CMakeFiles/mgbr_core.dir/expert_gate.cc.o" "gcc" "src/core/CMakeFiles/mgbr_core.dir/expert_gate.cc.o.d"
+  "/root/repo/src/core/group_success.cc" "src/core/CMakeFiles/mgbr_core.dir/group_success.cc.o" "gcc" "src/core/CMakeFiles/mgbr_core.dir/group_success.cc.o.d"
+  "/root/repo/src/core/losses.cc" "src/core/CMakeFiles/mgbr_core.dir/losses.cc.o" "gcc" "src/core/CMakeFiles/mgbr_core.dir/losses.cc.o.d"
+  "/root/repo/src/core/mgbr.cc" "src/core/CMakeFiles/mgbr_core.dir/mgbr.cc.o" "gcc" "src/core/CMakeFiles/mgbr_core.dir/mgbr.cc.o.d"
+  "/root/repo/src/core/mgbr_config.cc" "src/core/CMakeFiles/mgbr_core.dir/mgbr_config.cc.o" "gcc" "src/core/CMakeFiles/mgbr_core.dir/mgbr_config.cc.o.d"
+  "/root/repo/src/core/multi_view.cc" "src/core/CMakeFiles/mgbr_core.dir/multi_view.cc.o" "gcc" "src/core/CMakeFiles/mgbr_core.dir/multi_view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/mgbr_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/mgbr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/mgbr_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/mgbr_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/models/CMakeFiles/mgbr_models.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/eval/CMakeFiles/mgbr_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

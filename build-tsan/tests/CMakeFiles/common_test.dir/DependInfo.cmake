@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/common_test.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/train/CMakeFiles/mgbr_train.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/mgbr_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/models/CMakeFiles/mgbr_models.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/mgbr_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/eval/CMakeFiles/mgbr_eval.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/mgbr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/mgbr_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/mgbr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ops_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/gradcheck_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/graph_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/nn_optim_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/data_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sampler_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/eval_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/models_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/train_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/config_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/group_success_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/parallel_test[1]_include.cmake")
