@@ -24,7 +24,7 @@ struct DesignCase {
   bool sigmoid_head;
 };
 
-int Main() {
+int Main(const TelemetryOptions& telemetry) {
   ExperimentHarness harness(HarnessConfig::FromEnv());
   std::printf("== Design-choice ablation bench (DESIGN.md §7) ==\n");
   std::printf("data: %s\n", harness.DataSummary().c_str());
@@ -58,10 +58,15 @@ int Main() {
       "saturating paper-literal forms (sigmoid GCN, sigmoid heads) "
       "train slower, so they lose the most under a fixed budget; the "
       "gate softmax is a smaller, consistent win.\n");
-  return 0;
+  return telemetry.Flush(harness.telemetry()).ok() ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace mgbr::bench
 
-int main() { return mgbr::bench::Main(); }
+int main(int argc, char** argv) {
+  const mgbr::TelemetryOptions telemetry =
+      mgbr::TelemetryOptions::FromArgs(argc, argv);
+  telemetry.EnableRequested();
+  return mgbr::bench::Main(telemetry);
+}

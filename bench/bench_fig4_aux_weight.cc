@@ -12,7 +12,7 @@
 namespace mgbr::bench {
 namespace {
 
-int Main() {
+int Main(const TelemetryOptions& telemetry) {
   ExperimentHarness harness(HarnessConfig::FromEnv());
   std::printf("== Fig. 4 bench: auxiliary loss weight sweep ==\n");
   std::printf("data: %s\n", harness.DataSummary().c_str());
@@ -47,10 +47,15 @@ int Main() {
       "optimum at 0.3; both endpoints of the sweep should underperform "
       "the best interior value).\n",
       best_weight);
-  return 0;
+  return telemetry.Flush(harness.telemetry()).ok() ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace mgbr::bench
 
-int main() { return mgbr::bench::Main(); }
+int main(int argc, char** argv) {
+  const mgbr::TelemetryOptions telemetry =
+      mgbr::TelemetryOptions::FromArgs(argc, argv);
+  telemetry.EnableRequested();
+  return mgbr::bench::Main(telemetry);
+}

@@ -12,7 +12,7 @@
 namespace mgbr::bench {
 namespace {
 
-int Main() {
+int Main(const TelemetryOptions& telemetry) {
   ExperimentHarness harness(HarnessConfig::FromEnv());
   std::printf("== Fig. 5 bench: adjusted-gate coefficient sweep ==\n");
   std::printf("data: %s\n", harness.DataSummary().c_str());
@@ -45,10 +45,15 @@ int Main() {
   std::printf(
       "\nBest average MRR@10 at alpha=%.2f (paper: optimum at 0.10).\n",
       best_alpha);
-  return 0;
+  return telemetry.Flush(harness.telemetry()).ok() ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace mgbr::bench
 
-int main() { return mgbr::bench::Main(); }
+int main(int argc, char** argv) {
+  const mgbr::TelemetryOptions telemetry =
+      mgbr::TelemetryOptions::FromArgs(argc, argv);
+  telemetry.EnableRequested();
+  return mgbr::bench::Main(telemetry);
+}

@@ -37,7 +37,9 @@ double CaseStudy(const ExperimentHarness& harness, MgbrModel* model,
   auto add_row = [&](const Tensor& source, int64_t row, int64_t label,
                      const char* kind) {
     std::vector<float> r(static_cast<size_t>(dim));
-    for (int64_t c = 0; c < dim; ++c) r[static_cast<size_t>(c)] = source.at(row, c);
+    for (int64_t c = 0; c < dim; ++c) {
+      r[static_cast<size_t>(c)] = source.at(row, c);
+    }
     rows.push_back(std::move(r));
     labels.push_back(label);
     kinds.push_back(kind);
@@ -77,7 +79,7 @@ double CaseStudy(const ExperimentHarness& harness, MgbrModel* model,
   return ClusterCohesionRatio(projected, labels);
 }
 
-int Main() {
+int Main(const TelemetryOptions& telemetry) {
   ExperimentHarness harness(HarnessConfig::FromEnv());
   std::printf("== Fig. 6 bench: embedding case study (PCA) ==\n");
   std::printf("data: %s\n", harness.DataSummary().c_str());
@@ -108,10 +110,15 @@ int Main() {
       "MGBR-M-R's => MGBR's cohesion ratio should be the smaller one. "
       "Measured: MGBR %s MGBR-M-R.\n",
       full_ratio < ablated_ratio ? "<" : ">=");
-  return 0;
+  return telemetry.Flush(harness.telemetry()).ok() ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace mgbr::bench
 
-int main() { return mgbr::bench::Main(); }
+int main(int argc, char** argv) {
+  const mgbr::TelemetryOptions telemetry =
+      mgbr::TelemetryOptions::FromArgs(argc, argv);
+  telemetry.EnableRequested();
+  return mgbr::bench::Main(telemetry);
+}

@@ -6,7 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "core/expert_gate.h"
 #include "core/multi_view.h"
 #include "data/synthetic.h"
@@ -212,4 +216,35 @@ BENCHMARK(BM_BprLoss)->Arg(256)->Arg(4096);
 }  // namespace
 }  // namespace mgbr
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): accepts --trace-out /
+// --metrics-out (or the MGBR_TRACE_OUT / MGBR_METRICS_OUT env vars) and
+// flushes the Chrome trace plus a metrics-registry snapshot after the
+// benchmark run. Our flags are stripped before benchmark::Initialize,
+// which rejects arguments it does not know.
+int main(int argc, char** argv) {
+  const mgbr::TelemetryOptions telemetry =
+      mgbr::TelemetryOptions::FromArgs(argc, argv);
+  telemetry.EnableRequested();
+
+  std::vector<char*> kept;
+  kept.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--trace-out", 0) == 0 ||
+        arg.rfind("--metrics-out", 0) == 0) {
+      if ((arg == "--trace-out" || arg == "--metrics-out") && i + 1 < argc) {
+        ++i;  // skip the space-separated value too
+      }
+      continue;
+    }
+    kept.push_back(argv[i]);
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  benchmark::Initialize(&kept_argc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return telemetry.Flush(nullptr).ok() ? 0 : 1;
+}

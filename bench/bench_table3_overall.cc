@@ -66,7 +66,7 @@ void PrintPaperTable() {
               table.Render().c_str());
 }
 
-int Main() {
+int Main(const TelemetryOptions& telemetry) {
   ExperimentHarness harness(HarnessConfig::FromEnv());
   std::printf("== Table III bench: overall performance comparison ==\n");
   std::printf("data: %s\n", harness.DataSummary().c_str());
@@ -94,10 +94,15 @@ int Main() {
   PrintProtocolTable("Measured, all-test-groups protocol (paper-literal):",
                      results, /*seen=*/true);
   PrintPaperTable();
-  return 0;
+  return telemetry.Flush(harness.telemetry()).ok() ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace mgbr::bench
 
-int main() { return mgbr::bench::Main(); }
+int main(int argc, char** argv) {
+  const mgbr::TelemetryOptions telemetry =
+      mgbr::TelemetryOptions::FromArgs(argc, argv);
+  telemetry.EnableRequested();
+  return mgbr::bench::Main(telemetry);
+}

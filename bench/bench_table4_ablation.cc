@@ -50,7 +50,7 @@ void PrintPaperTable() {
               table.Render().c_str());
 }
 
-int Main() {
+int Main(const TelemetryOptions& telemetry) {
   ExperimentHarness harness(HarnessConfig::FromEnv());
   std::printf("== Table IV bench: ablation study ==\n");
   std::printf("data: %s\n", harness.DataSummary().c_str());
@@ -74,10 +74,15 @@ int Main() {
   PrintTaskTable("Task B (all-test-groups protocol):", results,
                  &RunResult::task_b_seen);
   PrintPaperTable();
-  return 0;
+  return telemetry.Flush(harness.telemetry()).ok() ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace mgbr::bench
 
-int main() { return mgbr::bench::Main(); }
+int main(int argc, char** argv) {
+  const mgbr::TelemetryOptions telemetry =
+      mgbr::TelemetryOptions::FromArgs(argc, argv);
+  telemetry.EnableRequested();
+  return mgbr::bench::Main(telemetry);
+}

@@ -17,7 +17,7 @@
 namespace mgbr::bench {
 namespace {
 
-int Main() {
+int Main(const TelemetryOptions& telemetry) {
   HarnessConfig config = HarnessConfig::FromEnv();
   ExperimentHarness harness(config);
   std::printf("== Table V bench: model scale and efficiency ==\n");
@@ -46,6 +46,7 @@ int Main() {
     TrainConfig tc = (mgbr != nullptr) ? harness.config().mgbr_train
                                        : harness.config().baseline_train;
     Trainer trainer(model, &harness.sampler(), tc);
+    trainer.SetTelemetry(harness.telemetry());
     double seconds = 0.0;
     for (int64_t e = 0; e < kTimingEpochs; ++e) {
       seconds += trainer.RunEpoch().seconds;
@@ -62,10 +63,15 @@ int Main() {
       "\nShape checks: MGBR should be the slowest per epoch and among "
       "the largest; EATNN the largest baseline by user tables; DeepMF "
       "the fastest.\n");
-  return 0;
+  return telemetry.Flush(harness.telemetry()).ok() ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace mgbr::bench
 
-int main() { return mgbr::bench::Main(); }
+int main(int argc, char** argv) {
+  const mgbr::TelemetryOptions telemetry =
+      mgbr::TelemetryOptions::FromArgs(argc, argv);
+  telemetry.EnableRequested();
+  return mgbr::bench::Main(telemetry);
+}

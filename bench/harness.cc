@@ -2,8 +2,8 @@
 
 #include <cstdlib>
 
-#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "eval/metrics.h"
 #include "models/deep_mf.h"
 #include "models/diffnet.h"
@@ -140,10 +140,15 @@ RunResult ExperimentHarness::TrainAndEvaluate(RecModel* model) {
   const TrainConfig& tc =
       is_mgbr ? config_.mgbr_train : config_.baseline_train;
   Trainer trainer(model, sampler_.get(), tc);
-  Stopwatch watch;
+  trainer.SetTelemetry(&telemetry_);
+  // One timing source of truth: the span measures the whole training
+  // phase (and lands in the trace when enabled); per-epoch times come
+  // from the trainer's own epoch spans via EpochStats.seconds.
+  TimedSpan train_span("harness.train", "bench");
   auto history = trainer.Train();
+  const double train_seconds = train_span.Finish();
   RunResult result = EvaluateOnly(model);
-  result.train_seconds = watch.ElapsedSeconds();
+  result.train_seconds = train_seconds;
   double epoch_seconds = 0.0;
   for (const EpochStats& s : history) epoch_seconds += s.seconds;
   if (!history.empty()) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "core/mgbr.h"
 #include "data/sampler.h"
 #include "data/synthetic.h"
@@ -96,6 +97,11 @@ class ExperimentHarness {
   /// One-line summary of the dataset ("users=..., groups=...").
   std::string DataSummary() const;
 
+  /// Run-wide telemetry sink; every TrainAndEvaluate attaches it, so a
+  /// bench's --metrics-out JSONL interleaves the epochs of all models it
+  /// trained (distinguished by the per-record "model" field).
+  RunTelemetry* telemetry() { return &telemetry_; }
+
  private:
   HarnessConfig config_;
   GroupBuyingDataset data_;
@@ -107,6 +113,7 @@ class ExperimentHarness {
   // Evaluation instances: {unseen, seen} x {@10, @100} x {A, B}.
   std::vector<EvalInstanceA> a10_, a100_, a10_seen_, a100_seen_;
   std::vector<EvalInstanceB> b10_, b100_, b10_seen_, b100_seen_;
+  RunTelemetry telemetry_;
 };
 
 /// Formats a metric to the paper's 4 decimal places.

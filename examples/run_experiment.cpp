@@ -11,12 +11,18 @@
 // seed, dim, epochs, lr, batch, negs, patience (0 = no early stopping),
 // eval_negatives, threads (0 = MGBR_NUM_THREADS env / hardware),
 // variant-specific MGBR keys (alpha, beta_a, beta_b, aux_negatives).
+//
+// Observability (see docs/observability.md):
+//   --trace-out trace.json    Chrome/Perfetto trace of the whole run
+//   --metrics-out run.jsonl   per-epoch telemetry JSONL + summary +
+//                             metrics-registry snapshot
 
 #include <cstdio>
 #include <memory>
 
 #include "common/config.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "core/group_success.h"
 #include "core/mgbr.h"
 #include "data/synthetic.h"
@@ -88,6 +94,11 @@ std::unique_ptr<RecModel> BuildModel(const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const TelemetryOptions telemetry_options =
+      TelemetryOptions::FromArgs(argc, argv);
+  telemetry_options.EnableRequested();
+  RunTelemetry run_telemetry;
+
   KeyValueConfig config;
   KeyValueConfig flags = KeyValueConfig::FromArgs(argc, argv);
   const std::string config_path = flags.GetString("config", "");
@@ -145,6 +156,11 @@ int main(int argc, char** argv) {
       static_cast<float>(Must(config.GetDouble("weight_decay", 1e-5)));
   tc.verbose = Must(config.GetBool("verbose", true));
   Trainer trainer(model.get(), &sampler, tc);
+  trainer.SetTelemetry(&run_telemetry);
+  run_telemetry.SetMeta("model", model_name);
+  run_telemetry.SetMeta("dataset",
+                        dataset_path.empty() ? "synthetic" : dataset_path);
+  run_telemetry.SetMeta("threads", std::to_string(NumThreads()));
 
   const int64_t eval_negs = Must(config.GetInt("eval_negatives", 9));
   Rng eval_rng(static_cast<uint64_t>(Must(config.GetInt("seed", 1))) + 3);
@@ -180,6 +196,10 @@ int main(int argc, char** argv) {
               a.n_instances);
   std::printf("test Task B: MRR=%.4f NDCG=%.4f (n=%zu)\n", b.mrr, b.ndcg,
               b.n_instances);
+  run_telemetry.AnnotateLastEpoch({{"test_a_mrr", a.mrr},
+                                   {"test_a_ndcg", a.ndcg},
+                                   {"test_b_mrr", b.mrr},
+                                   {"test_b_ndcg", b.ndcg}});
 
   // Bonus: if the model is MGBR, rank a few open groups by estimated
   // deal probability (GroupSuccessEstimator extension).
@@ -202,5 +222,5 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
   }
-  return 0;
+  return telemetry_options.Flush(&run_telemetry).ok() ? 0 : 1;
 }

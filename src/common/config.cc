@@ -41,8 +41,17 @@ KeyValueConfig KeyValueConfig::FromArgs(int argc, const char* const* argv) {
     std::string arg = argv[i];
     if (!StartsWith(arg, "--")) continue;
     const size_t eq = arg.find('=');
-    if (eq == std::string::npos || eq <= 2) continue;
-    config.Set(arg.substr(2, eq - 2), arg.substr(eq + 1));
+    if (eq != std::string::npos && eq > 2) {
+      config.Set(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      continue;
+    }
+    if (eq != std::string::npos) continue;  // malformed "--=..." etc.
+    // Space-separated form: `--key value`; the value may be anything
+    // that is not itself a flag.
+    if (arg.size() > 2 && i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      config.Set(arg.substr(2), argv[i + 1]);
+      ++i;
+    }
   }
   return config;
 }

@@ -23,7 +23,9 @@ class KeyValueConfig {
   /// lines (anything without '=' that is not blank/comment).
   static Result<KeyValueConfig> FromFile(const std::string& path);
 
-  /// Parses `--key=value` arguments; non-flag arguments are ignored.
+  /// Parses `--key=value` and `--key value` arguments (the latter only
+  /// when the next argument is not itself a flag); everything else is
+  /// ignored.
   static KeyValueConfig FromArgs(int argc, const char* const* argv);
 
   /// Sets/overwrites a key.

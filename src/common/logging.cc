@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 
+#include "common/trace.h"
+
 namespace mgbr {
 namespace {
 
@@ -36,7 +38,23 @@ void Logger::Log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  // The whole line is assembled first and emitted as ONE stdio call:
+  // fwrite on a line-sized buffer is atomic with respect to other
+  // stderr writers, so messages from pool workers never interleave
+  // mid-line. The timestamp shares the trace clock (seconds since
+  // process start) and the tid matches trace-event tids, making log
+  // lines directly correlatable with the Chrome trace.
+  const double t = static_cast<double>(trace::NowMicros()) * 1e-6;
+  char prefix[64];
+  const int prefix_len =
+      std::snprintf(prefix, sizeof(prefix), "[%s %.6f t%d] ",
+                    LevelName(level), t, trace::CurrentThreadId());
+  std::string line;
+  line.reserve(static_cast<size_t>(prefix_len) + message.size() + 1);
+  line.append(prefix, static_cast<size_t>(prefix_len));
+  line.append(message);
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace mgbr

@@ -1,0 +1,253 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace mgbr {
+
+namespace {
+
+std::atomic<bool> g_telemetry_enabled{[] {
+  const char* env = std::getenv("MGBR_TELEMETRY");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}()};
+
+}  // namespace
+
+bool TelemetryEnabled() {
+  return g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTelemetryEnabled(bool enabled) {
+  g_telemetry_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::string name, double first_bound, double growth,
+                     int n_buckets)
+    : name_(std::move(name)),
+      buckets_(static_cast<size_t>(n_buckets) + 1) {
+  MGBR_CHECK_GT(first_bound, 0.0);
+  MGBR_CHECK_GT(growth, 1.0);
+  MGBR_CHECK_GE(n_buckets, 1);
+  bounds_.reserve(static_cast<size_t>(n_buckets));
+  double b = first_bound;
+  for (int k = 0; k < n_buckets; ++k) {
+    bounds_.push_back(b);
+    b *= growth;
+  }
+}
+
+void Histogram::Observe(double value) {
+  if (std::isnan(value)) return;
+  // Exponential bounds: the bucket index is logarithmic in the value,
+  // but a linear scan over <= ~24 bounds is cheaper than log() here and
+  // branch-predicts well (most observations land in a few buckets).
+  size_t k = 0;
+  while (k < bounds_.size() && value > bounds_[k]) ++k;
+  buckets_[k].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double old = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(old, old + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Mean() const {
+  const int64_t n = Count();
+  return n > 0 ? Sum() / static_cast<double>(n) : 0.0;
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<int64_t> counts = BucketCounts();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  int64_t seen = 0;
+  for (size_t k = 0; k < counts.size(); ++k) {
+    seen += counts[k];
+    if (static_cast<double>(seen) >= target && counts[k] > 0) {
+      // Upper bound of the containing bucket; the overflow bucket
+      // reports the largest finite bound.
+      return bounds_[std::min(k, bounds_.size() - 1)];
+    }
+  }
+  return bounds_.back();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>(name);
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>(name);
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         double first_bound, double growth,
+                                         int n_buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(name, first_bound, growth, n_buckets);
+  }
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    internal::AppendJsonString(name, &out);
+    out += ':';
+    out += std::to_string(c->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    internal::AppendJsonString(name, &out);
+    out += ':';
+    internal::AppendJsonNumber(g->Value(), &out);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    internal::AppendJsonString(name, &out);
+    out += ":{\"count\":";
+    out += std::to_string(h->Count());
+    out += ",\"sum\":";
+    internal::AppendJsonNumber(h->Sum(), &out);
+    out += ",\"mean\":";
+    internal::AppendJsonNumber(h->Mean(), &out);
+    out += ",\"p50\":";
+    internal::AppendJsonNumber(h->Quantile(0.5), &out);
+    out += ",\"p95\":";
+    internal::AppendJsonNumber(h->Quantile(0.95), &out);
+    out += ",\"p99\":";
+    internal::AppendJsonNumber(h->Quantile(0.99), &out);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open metrics output: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  return ok ? Status::OK()
+            : Status::IoError("short write to metrics output: " + path);
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers.
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  *out += buf;
+}
+
+}  // namespace internal
+
+}  // namespace mgbr

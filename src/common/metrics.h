@@ -1,0 +1,166 @@
+#ifndef MGBR_COMMON_METRICS_H_
+#define MGBR_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// Compile-time telemetry gate. Building with -DMGBR_TELEMETRY=0 compiles
+// every MGBR_COUNTER_* / MGBR_TRACE_* macro down to nothing; the classes
+// themselves stay available so exporters and tests still link.
+#ifndef MGBR_TELEMETRY
+#define MGBR_TELEMETRY 1
+#endif
+
+namespace mgbr {
+
+/// Process-wide runtime switch for metric collection. Off by default so
+/// training/eval outputs and timings are byte-identical to a build
+/// without telemetry; flipped on by --metrics-out style flags or the
+/// MGBR_TELEMETRY env var (any non-empty value other than "0").
+/// Reading it is one relaxed atomic load — safe on any hot path.
+bool TelemetryEnabled();
+void SetTelemetryEnabled(bool enabled);
+
+/// Monotonically increasing sum. Add() is a relaxed atomic fetch-add;
+/// concurrent increments from pool workers never lock.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written value (e.g. current learning rate, pool size).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram with fixed exponential bucket bounds
+///   bound_k = first_bound * growth^k,   k in [0, n_buckets)
+/// plus an implicit overflow bucket. Observe() touches only relaxed
+/// atomics, so concurrent observation is lock-free; totals are exact,
+/// quantiles are bucket-resolution approximations (upper bound of the
+/// containing bucket).
+class Histogram {
+ public:
+  Histogram(std::string name, double first_bound, double growth,
+            int n_buckets);
+
+  void Observe(double value);
+
+  int64_t Count() const;
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  /// Approximate quantile, q in [0, 1]. Returns 0 when empty.
+  double Quantile(double q) const;
+  void Reset();
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Snapshot of per-bucket counts (last entry = overflow bucket).
+  std::vector<int64_t> BucketCounts() const;
+
+ private:
+  std::string name_;
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide registry. Get* registers on first use and returns a
+/// pointer that stays valid for the process lifetime, so call sites can
+/// cache it in a function-local static and skip the map lookup on the
+/// hot path. Lookup itself takes a mutex (cold path only).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Shape parameters are fixed on first registration; later calls with
+  /// the same name return the existing histogram unchanged.
+  Histogram* GetHistogram(const std::string& name, double first_bound,
+                          double growth, int n_buckets);
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Histograms export count/sum/mean/p50/p95/p99.
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+  /// Zeroes every registered metric (tests, per-run isolation).
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+namespace internal {
+/// Appends `s` to `*out` as a JSON string literal (quotes + escapes).
+void AppendJsonString(const std::string& s, std::string* out);
+/// Appends a finite double as a JSON number ("null" for nan/inf).
+void AppendJsonNumber(double v, std::string* out);
+}  // namespace internal
+
+}  // namespace mgbr
+
+// Hot-path macros: one relaxed load when telemetry is off, nothing at
+// all when compiled out. `counter_expr` must yield a Counter*/Gauge*/
+// Histogram* (typically a cached MetricsRegistry::Global().Get*()).
+#if MGBR_TELEMETRY
+#define MGBR_COUNTER_ADD(counter_expr, delta)                 \
+  do {                                                        \
+    if (::mgbr::TelemetryEnabled()) (counter_expr)->Add(delta); \
+  } while (0)
+#define MGBR_GAUGE_SET(gauge_expr, v)                        \
+  do {                                                       \
+    if (::mgbr::TelemetryEnabled()) (gauge_expr)->Set(v);    \
+  } while (0)
+#define MGBR_HISTOGRAM_OBSERVE(hist_expr, v)                  \
+  do {                                                        \
+    if (::mgbr::TelemetryEnabled()) (hist_expr)->Observe(v);  \
+  } while (0)
+#else
+#define MGBR_COUNTER_ADD(counter_expr, delta) \
+  do {                                        \
+  } while (0)
+#define MGBR_GAUGE_SET(gauge_expr, v) \
+  do {                                \
+  } while (0)
+#define MGBR_HISTOGRAM_OBSERVE(hist_expr, v) \
+  do {                                       \
+  } while (0)
+#endif  // MGBR_TELEMETRY
+
+#endif  // MGBR_COMMON_METRICS_H_

@@ -7,6 +7,8 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace mgbr {
 
@@ -15,6 +17,38 @@ namespace {
 /// True while the current thread is executing a ParallelFor chunk;
 /// nested ParallelFor calls detect this and run inline.
 thread_local bool t_in_parallel_region = false;
+
+#if MGBR_TELEMETRY
+// Pool metrics (cached registry pointers; cold-path lookup happens once
+// per process). Wait/run histograms use 1us * 4^k buckets up to ~1000s.
+Histogram* PoolWaitHistogram() {
+  static Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "pool.queue_wait_us", 1.0, 4.0, 16);
+  return h;
+}
+
+Histogram* PoolRunHistogram() {
+  static Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "pool.task_run_us", 1.0, 4.0, 16);
+  return h;
+}
+
+Counter* PoolTasksCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("pool.tasks");
+  return c;
+}
+
+Counter* PoolBusyCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("pool.busy_us");
+  return c;
+}
+
+Counter* PoolRegionsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("pool.parallel_regions");
+  return c;
+}
+#endif  // MGBR_TELEMETRY
 
 int EnvNumThreads() {
   const char* env = std::getenv("MGBR_NUM_THREADS");
@@ -111,10 +145,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  int64_t enqueue_us = 0;
+#if MGBR_TELEMETRY
+  if (TelemetryEnabled() || trace::Enabled()) enqueue_us = trace::NowMicros();
+#endif
   {
     std::lock_guard<std::mutex> lock(mu_);
     MGBR_CHECK(!shutdown_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), enqueue_us});
   }
   cv_.notify_one();
 }
@@ -129,7 +167,7 @@ bool ThreadPool::InWorkerThread() const {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -137,7 +175,28 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+#if MGBR_TELEMETRY
+    if (task.enqueue_us != 0) {
+      // Telemetry was on at submit time: report queue wait, run the
+      // task under a span, and account busy time for utilization
+      // (pool.busy_us / (n_workers * wall) in post-processing).
+      const int64_t start_us = trace::NowMicros();
+      MGBR_HISTOGRAM_OBSERVE(PoolWaitHistogram(),
+                             static_cast<double>(start_us - task.enqueue_us));
+      {
+        MGBR_TRACE_SPAN("pool.task", "pool");
+        task.fn();
+      }
+      const int64_t run_us = trace::NowMicros() - start_us;
+      MGBR_HISTOGRAM_OBSERVE(PoolRunHistogram(), static_cast<double>(run_us));
+      MGBR_COUNTER_ADD(PoolTasksCounter(), 1);
+      MGBR_COUNTER_ADD(PoolBusyCounter(), run_us);
+    } else {
+      task.fn();
+    }
+#else
+    task.fn();
+#endif  // MGBR_TELEMETRY
   }
 }
 
@@ -193,6 +252,11 @@ void ParallelForChunked(
     t_in_parallel_region = was_in_region;
     return;
   }
+
+  // Only fan-out regions are traced (serial fallbacks would flood the
+  // buffer with zero-information events).
+  MGBR_TRACE_SPAN("parallel.for", "pool");
+  MGBR_COUNTER_ADD(PoolRegionsCounter(), 1);
 
   auto state = std::make_shared<ForState>();
   state->begin = begin;

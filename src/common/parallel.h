@@ -39,10 +39,18 @@ class ThreadPool {
   bool InWorkerThread() const;
 
  private:
+  /// Queued task plus its enqueue timestamp (trace::NowMicros; 0 when
+  /// telemetry was off at submit time). Workers use it to report
+  /// queue-wait vs run-time histograms and per-thread utilization.
+  struct QueuedTask {
+    std::function<void()> fn;
+    int64_t enqueue_us = 0;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool shutdown_ = false;
@@ -98,8 +106,9 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
 /// (begin, end, grain) — never of the thread count — so per-chunk
 /// state (e.g. an Rng stream seeded by `chunk`; see sampler.cc) gives
 /// results that are bit-identical for every thread count.
-void ParallelForChunked(int64_t begin, int64_t end, int64_t grain,
-                        const std::function<void(int64_t, int64_t, int64_t)>& fn);
+void ParallelForChunked(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn);
 
 }  // namespace mgbr
 

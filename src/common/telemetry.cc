@@ -1,0 +1,271 @@
+#include "common/telemetry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/trace.h"
+
+namespace mgbr {
+
+namespace {
+
+void AppendField(const char* key, double v, std::string* out) {
+  internal::AppendJsonString(key, out);
+  *out += ':';
+  internal::AppendJsonNumber(v, out);
+  *out += ',';
+}
+
+void AppendField(const char* key, int64_t v, std::string* out) {
+  internal::AppendJsonString(key, out);
+  *out += ':';
+  *out += std::to_string(v);
+  *out += ',';
+}
+
+}  // namespace
+
+void RunTelemetry::SetMeta(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  meta_[key] = value;
+}
+
+void RunTelemetry::RecordEpoch(const EpochTelemetry& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epochs_.push_back(record);
+}
+
+void RunTelemetry::AnnotateLastEpoch(
+    const std::map<std::string, double>& metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epochs_.empty()) return;
+  for (const auto& [key, value] : metrics) {
+    epochs_.back().eval[key] = value;
+  }
+}
+
+int64_t RunTelemetry::n_epochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(epochs_.size());
+}
+
+std::vector<EpochTelemetry> RunTelemetry::epochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epochs_;
+}
+
+std::string RunTelemetry::EpochJson(const EpochTelemetry& r) {
+  std::string out = "{\"type\":\"epoch\",";
+  if (!r.model.empty()) {
+    internal::AppendJsonString("model", &out);
+    out += ':';
+    internal::AppendJsonString(r.model, &out);
+    out += ',';
+  }
+  AppendField("epoch", r.epoch, &out);
+  AppendField("steps", r.steps, &out);
+  AppendField("loss_a", r.loss_a, &out);
+  AppendField("loss_b", r.loss_b, &out);
+  AppendField("aux_a", r.aux_a, &out);
+  AppendField("aux_b", r.aux_b, &out);
+  AppendField("total_loss", r.total_loss, &out);
+  AppendField("grad_norm_pre", r.grad_norm_pre, &out);
+  AppendField("grad_norm_post", r.grad_norm_post, &out);
+  AppendField("learning_rate", r.learning_rate, &out);
+  AppendField("sampler_draws", r.sampler_draws, &out);
+  AppendField("sampler_rejections", r.sampler_rejections, &out);
+  AppendField("sampler_rejection_rate", r.sampler_rejection_rate, &out);
+  AppendField("seconds", r.seconds, &out);
+  internal::AppendJsonString("eval", &out);
+  out += ":{";
+  bool first = true;
+  for (const auto& [key, value] : r.eval) {
+    if (!first) out += ',';
+    first = false;
+    internal::AppendJsonString(key, &out);
+    out += ':';
+    internal::AppendJsonNumber(value, &out);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string RunTelemetry::SummaryJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total_seconds = 0.0;
+  int64_t total_steps = 0;
+  int64_t draws = 0, rejections = 0;
+  std::map<std::string, double> best_eval;
+  for (const EpochTelemetry& e : epochs_) {
+    total_seconds += e.seconds;
+    total_steps += e.steps;
+    draws += e.sampler_draws;
+    rejections += e.sampler_rejections;
+    for (const auto& [key, value] : e.eval) {
+      auto it = best_eval.find(key);
+      if (it == best_eval.end() || value > it->second) best_eval[key] = value;
+    }
+  }
+  const size_t n = epochs_.size();
+
+  std::string out = "{\"type\":\"summary\",";
+  AppendField("n_epochs", static_cast<int64_t>(n), &out);
+  AppendField("total_steps", total_steps, &out);
+  AppendField("total_seconds", total_seconds, &out);
+  AppendField("mean_epoch_seconds",
+              n > 0 ? total_seconds / static_cast<double>(n) : 0.0, &out);
+  if (n > 0) {
+    const EpochTelemetry& last = epochs_.back();
+    AppendField("final_loss_a", last.loss_a, &out);
+    AppendField("final_loss_b", last.loss_b, &out);
+    AppendField("final_aux_a", last.aux_a, &out);
+    AppendField("final_aux_b", last.aux_b, &out);
+    AppendField("final_total_loss", last.total_loss, &out);
+    AppendField("final_learning_rate", last.learning_rate, &out);
+  }
+  AppendField("sampler_draws", draws, &out);
+  AppendField("sampler_rejections", rejections, &out);
+  internal::AppendJsonString("best_eval", &out);
+  out += ":{";
+  bool first = true;
+  for (const auto& [key, value] : best_eval) {
+    if (!first) out += ',';
+    first = false;
+    internal::AppendJsonString(key, &out);
+    out += ':';
+    internal::AppendJsonNumber(value, &out);
+  }
+  out += "},";
+  internal::AppendJsonString("meta", &out);
+  out += ":{";
+  first = true;
+  for (const auto& [key, value] : meta_) {
+    if (!first) out += ',';
+    first = false;
+    internal::AppendJsonString(key, &out);
+    out += ':';
+    internal::AppendJsonString(value, &out);
+  }
+  out += "}}";
+  return out;
+}
+
+Status RunTelemetry::WriteJsonl(const std::string& path) const {
+  std::string out;
+  for (const EpochTelemetry& e : epochs()) {
+    out += EpochJson(e);
+    out += '\n';
+  }
+  out += SummaryJson();
+  out += '\n';
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open telemetry output: " + path);
+  }
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const bool ok = written == out.size() && std::fclose(f) == 0;
+  return ok ? Status::OK()
+            : Status::IoError("short write to telemetry output: " + path);
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryOptions.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Matches `--NAME=value` and `--NAME value`; returns true and advances
+/// *i past a consumed separate-value argument.
+bool MatchFlag(const char* name, int argc, const char* const* argv, int* i,
+               std::string* out) {
+  const std::string arg = argv[*i];
+  const std::string prefix = StrCat("--", name);
+  if (!StartsWith(arg, prefix)) return false;
+  if (arg.size() > prefix.size() && arg[prefix.size()] == '=') {
+    *out = arg.substr(prefix.size() + 1);
+    return true;
+  }
+  if (arg == prefix && *i + 1 < argc) {
+    *out = argv[*i + 1];
+    ++*i;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TelemetryOptions TelemetryOptions::FromArgs(int argc,
+                                            const char* const* argv) {
+  TelemetryOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (MatchFlag("trace-out", argc, argv, &i, &options.trace_out)) continue;
+    MatchFlag("metrics-out", argc, argv, &i, &options.metrics_out);
+  }
+  if (options.trace_out.empty()) {
+    const char* env = std::getenv("MGBR_TRACE_OUT");
+    if (env != nullptr) options.trace_out = env;
+  }
+  if (options.metrics_out.empty()) {
+    const char* env = std::getenv("MGBR_METRICS_OUT");
+    if (env != nullptr) options.metrics_out = env;
+  }
+  return options;
+}
+
+void TelemetryOptions::EnableRequested() const {
+  if (!trace_out.empty()) trace::SetEnabled(true);
+  if (!metrics_out.empty()) SetTelemetryEnabled(true);
+}
+
+Status TelemetryOptions::Flush(const RunTelemetry* run) const {
+  Status result = Status::OK();
+  if (!trace_out.empty()) {
+    Status s = trace::WriteChromeTrace(trace_out);
+    if (!s.ok()) {
+      MGBR_LOG_WARNING("trace flush failed: ", s.ToString());
+      if (result.ok()) result = s;
+    } else {
+      MGBR_LOG_INFO("wrote ", trace::EventCount(), " trace events to ",
+                    trace_out);
+    }
+  }
+  if (!metrics_out.empty()) {
+    Status s;
+    const std::string registry_line = StrCat(
+        "{\"type\":\"metrics_registry\",\"metrics\":",
+        MetricsRegistry::Global().ToJson(), "}\n");
+    if (run != nullptr && run->n_epochs() > 0) {
+      s = run->WriteJsonl(metrics_out);
+      if (s.ok()) {
+        std::FILE* f = std::fopen(metrics_out.c_str(), "a");
+        if (f != nullptr) {
+          std::fwrite(registry_line.data(), 1, registry_line.size(), f);
+          std::fclose(f);
+        }
+      }
+    } else {
+      std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+      if (f == nullptr) {
+        s = Status::IoError("cannot open metrics output: " + metrics_out);
+      } else {
+        std::fwrite(registry_line.data(), 1, registry_line.size(), f);
+        std::fclose(f);
+      }
+    }
+    if (!s.ok()) {
+      MGBR_LOG_WARNING("metrics flush failed: ", s.ToString());
+      if (result.ok()) result = s;
+    } else {
+      MGBR_LOG_INFO("wrote telemetry to ", metrics_out);
+    }
+  }
+  return result;
+}
+
+}  // namespace mgbr

@@ -1,0 +1,113 @@
+#ifndef MGBR_COMMON_TELEMETRY_H_
+#define MGBR_COMMON_TELEMETRY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mgbr {
+
+/// One epoch's training record — the per-term MGBR joint loss
+/// L = L_A + β L_B + β_A L'_A + β_B L'_B, optimizer state, sampler
+/// effort and wall time, plus optional eval metrics attached after the
+/// epoch (e.g. validation MRR during early stopping).
+struct EpochTelemetry {
+  /// Model that ran the epoch (bench runs interleave several models in
+  /// one sink; empty = unknown).
+  std::string model;
+  int64_t epoch = 0;  // 1-based
+  int64_t steps = 0;
+  // Mean per-step loss terms.
+  double loss_a = 0.0;
+  double loss_b = 0.0;
+  double aux_a = 0.0;
+  double aux_b = 0.0;
+  double total_loss = 0.0;
+  // Mean global gradient norm per step, before and after clipping.
+  double grad_norm_pre = 0.0;
+  double grad_norm_post = 0.0;
+  double learning_rate = 0.0;
+  // Negative-sampler effort during this epoch (0 when metric
+  // collection is off; see TelemetryEnabled()).
+  int64_t sampler_draws = 0;
+  int64_t sampler_rejections = 0;
+  double sampler_rejection_rate = 0.0;
+  double seconds = 0.0;
+  // Named eval metrics ("val_mrr10", "test_ndcg100", ...).
+  std::map<std::string, double> eval;
+};
+
+/// Collects EpochTelemetry records for one training run and flushes
+/// them as JSONL: one {"type":"epoch",...} object per line followed by
+/// a final {"type":"summary",...} line (totals, means, best eval).
+/// Thread-safe; a trainer appends while an exporter reads.
+class RunTelemetry {
+ public:
+  RunTelemetry() = default;
+
+  /// Free-form run metadata emitted into the summary ("model",
+  /// "dataset", "threads", ...).
+  void SetMeta(const std::string& key, const std::string& value);
+
+  void RecordEpoch(const EpochTelemetry& record);
+
+  /// Merges `metrics` into the most recent epoch record (no-op when no
+  /// epoch has been recorded yet). Used for eval metrics computed after
+  /// RunEpoch() returns, e.g. by TrainWithEarlyStopping.
+  void AnnotateLastEpoch(const std::map<std::string, double>& metrics);
+
+  int64_t n_epochs() const;
+  std::vector<EpochTelemetry> epochs() const;  // snapshot
+
+  /// One JSON object (no trailing newline) for one epoch record.
+  static std::string EpochJson(const EpochTelemetry& record);
+
+  /// The final {"type":"summary",...} object.
+  std::string SummaryJson() const;
+
+  /// Writes all epoch lines plus the summary line to `path`.
+  Status WriteJsonl(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<EpochTelemetry> epochs_;
+  std::map<std::string, std::string> meta_;
+};
+
+/// Output destinations for one process's telemetry, shared by the bench
+/// harness and the example binaries:
+///   --trace-out=PATH / --trace-out PATH     Chrome trace-event JSON
+///   --metrics-out=PATH / --metrics-out PATH per-epoch JSONL + summary
+/// (env fallbacks MGBR_TRACE_OUT / MGBR_METRICS_OUT for binaries whose
+/// argv is owned by another framework, e.g. google-benchmark).
+struct TelemetryOptions {
+  std::string trace_out;
+  std::string metrics_out;
+
+  /// Scans argv for the two flags (both separator forms); unrelated
+  /// arguments are left for the caller's own parser. Falls back to the
+  /// env vars when a flag is absent.
+  static TelemetryOptions FromArgs(int argc, const char* const* argv);
+
+  bool any() const { return !trace_out.empty() || !metrics_out.empty(); }
+
+  /// Turns on span recording if trace_out is set and metric collection
+  /// if metrics_out is set (in addition to the MGBR_TRACE /
+  /// MGBR_TELEMETRY env switches).
+  void EnableRequested() const;
+
+  /// Writes the requested artifacts: the Chrome trace to trace_out and,
+  /// to metrics_out, `run`'s epoch JSONL (when it has records) followed
+  /// by a {"type":"metrics_registry",...} line with the global metric
+  /// snapshot. `run` may be null. Logs a warning per failed write;
+  /// returns the first failure.
+  Status Flush(const RunTelemetry* run) const;
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_COMMON_TELEMETRY_H_

@@ -1,0 +1,160 @@
+#include "common/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mgbr {
+namespace trace {
+namespace {
+
+struct Event {
+  const char* name;
+  const char* cat;
+  int64_t ts_us;
+  int64_t dur_us;
+  int tid;
+};
+
+/// Per-thread buffer. The registry and the owning thread both hold a
+/// shared_ptr, so events survive thread exit until the next Clear().
+/// `mu` is only contended when an exporter runs concurrently with the
+/// owning thread; span recording otherwise locks an uncontended mutex.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  int tid = 0;
+};
+
+std::mutex g_registry_mu;
+std::vector<std::shared_ptr<ThreadBuffer>>& Registry() {
+  static auto* buffers = new std::vector<std::shared_ptr<ThreadBuffer>>();
+  return *buffers;
+}
+int g_next_tid = 0;
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("MGBR_TRACE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}()};
+std::atomic<int64_t> g_dropped{0};
+
+ThreadBuffer* LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    b->tid = g_next_tid++;
+    Registry().push_back(b);
+    return b;
+  }();
+  return buffer.get();
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int64_t NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               origin)
+      .count();
+}
+
+int CurrentThreadId() { return LocalBuffer()->tid; }
+
+int64_t EventCount() {
+  std::lock_guard<std::mutex> registry_lock(g_registry_mu);
+  int64_t n = 0;
+  for (const auto& b : Registry()) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    n += static_cast<int64_t>(b->events.size());
+  }
+  return n;
+}
+
+int64_t DroppedCount() { return g_dropped.load(std::memory_order_relaxed); }
+
+void Clear() {
+  std::lock_guard<std::mutex> registry_lock(g_registry_mu);
+  for (const auto& b : Registry()) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    b->events.clear();
+  }
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  // Snapshot under the locks, serialize outside them.
+  std::vector<Event> all;
+  {
+    std::lock_guard<std::mutex> registry_lock(g_registry_mu);
+    for (const auto& b : Registry()) {
+      std::lock_guard<std::mutex> lock(b->mu);
+      all.insert(all.end(), b->events.begin(), b->events.end());
+    }
+  }
+
+  std::string out;
+  out.reserve(all.size() * 96 + 128);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < all.size(); ++i) {
+    const Event& e = all[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":";
+    mgbr::internal::AppendJsonString(e.name, &out);
+    out += ",\"cat\":";
+    mgbr::internal::AppendJsonString(e.cat, &out);
+    out += ",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    out += std::to_string(e.ts_us);
+    out += ",\"dur\":";
+    out += std::to_string(e.dur_us);
+    out += '}';
+  }
+  out += "]";
+  const int64_t dropped = DroppedCount();
+  if (dropped > 0) {
+    out += ",\"otherData\":{\"dropped_events\":\"";
+    out += std::to_string(dropped);
+    out += "\"}";
+  }
+  out += "}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output: " + path);
+  }
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const bool ok = written == out.size() && std::fclose(f) == 0;
+  return ok ? Status::OK()
+            : Status::IoError("short write to trace output: " + path);
+}
+
+namespace internal {
+
+void RecordComplete(const char* name, const char* cat, int64_t start_us,
+                    int64_t end_us) {
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (static_cast<int64_t>(buffer->events.size()) >= kMaxEventsPerThread) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer->events.push_back(
+      Event{name, cat, start_us, end_us - start_us, buffer->tid});
+}
+
+}  // namespace internal
+}  // namespace trace
+}  // namespace mgbr

@@ -1,0 +1,139 @@
+#ifndef MGBR_COMMON_TRACE_H_
+#define MGBR_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace mgbr {
+namespace trace {
+
+/// Runtime switch for span recording, independent of the metrics flag
+/// (traces grow with run length; metrics are O(1)). Off by default;
+/// enabled by --trace-out style flags or the MGBR_TRACE env var (any
+/// non-empty value other than "0"). One relaxed atomic load to query.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Microseconds on the process-wide monotonic clock (steady_clock,
+/// origin at first use). Shared by spans and the Logger timestamp so
+/// log lines correlate with trace events.
+int64_t NowMicros();
+
+/// Small dense id for the calling thread (0 = first thread observed).
+/// Stable for the thread's lifetime; also used as the trace `tid`.
+int CurrentThreadId();
+
+/// Number of span events buffered so far across all threads.
+int64_t EventCount();
+/// Events dropped because a thread hit its buffer cap (kMaxEventsPerThread).
+int64_t DroppedCount();
+
+/// Discards all buffered events (tests, between bench repetitions).
+void Clear();
+
+/// Writes every buffered event as Chrome trace-event JSON
+/// ({"traceEvents":[...]}; complete events, ph="X", ts/dur in
+/// microseconds) loadable in chrome://tracing and Perfetto. Events stay
+/// buffered; call Clear() to drop them.
+Status WriteChromeTrace(const std::string& path);
+
+/// Per-thread event buffer cap; beyond it events are counted as dropped
+/// instead of buffered (bounds memory on very long traced runs).
+constexpr int64_t kMaxEventsPerThread = 1 << 20;
+
+namespace internal {
+/// Appends one complete event to the calling thread's buffer. `name`
+/// and `cat` must be string literals (stored by pointer, never copied).
+void RecordComplete(const char* name, const char* cat, int64_t start_us,
+                    int64_t end_us);
+}  // namespace internal
+
+}  // namespace trace
+
+/// RAII span: records a complete trace event [construction, destruction)
+/// on the calling thread. When tracing is disabled at construction the
+/// span is inert — no clock read, no buffer access (one relaxed load).
+/// `name`/`cat` must be string literals.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "mgbr") {
+    if (trace::Enabled()) {
+      name_ = name;
+      cat_ = cat;
+      start_us_ = trace::NowMicros();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      trace::internal::RecordComplete(name_, cat_, start_us_,
+                                      trace::NowMicros());
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  int64_t start_us_ = 0;
+};
+
+/// Span that always measures wall time (the timing source of truth for
+/// functional outputs like EpochStats.seconds) and additionally emits a
+/// trace event when tracing is on at destruction.
+class TimedSpan {
+ public:
+  explicit TimedSpan(const char* name, const char* cat = "mgbr")
+      : name_(name), cat_(cat), start_us_(trace::NowMicros()) {}
+  ~TimedSpan() {
+    if (!done_) Finish();
+  }
+
+  /// Ends the span early (idempotent) and returns its duration.
+  double Finish() {
+    if (!done_) {
+      end_us_ = trace::NowMicros();
+      done_ = true;
+      if (trace::Enabled()) {
+        trace::internal::RecordComplete(name_, cat_, start_us_, end_us_);
+      }
+    }
+    return ElapsedSeconds();
+  }
+
+  /// Seconds since construction (or the full duration after Finish()).
+  double ElapsedSeconds() const {
+    const int64_t end = done_ ? end_us_ : trace::NowMicros();
+    return static_cast<double>(end - start_us_) * 1e-6;
+  }
+
+  TimedSpan(const TimedSpan&) = delete;
+  TimedSpan& operator=(const TimedSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  int64_t start_us_;
+  int64_t end_us_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace mgbr
+
+// Scoped span macros; compiled out entirely with -DMGBR_TELEMETRY=0.
+#if MGBR_TELEMETRY
+#define MGBR_TRACE_CONCAT_IMPL(a, b) a##b
+#define MGBR_TRACE_CONCAT(a, b) MGBR_TRACE_CONCAT_IMPL(a, b)
+#define MGBR_TRACE_SPAN(name, cat) \
+  ::mgbr::TraceSpan MGBR_TRACE_CONCAT(mgbr_trace_span_, __LINE__)(name, cat)
+#else
+#define MGBR_TRACE_SPAN(name, cat) \
+  do {                             \
+  } while (0)
+#endif  // MGBR_TELEMETRY
+
+#endif  // MGBR_COMMON_TRACE_H_

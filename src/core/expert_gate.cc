@@ -1,5 +1,7 @@
 #include "core/expert_gate.h"
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
 
@@ -62,6 +64,12 @@ MultiTaskModule::MultiTaskModule(const MgbrConfig& config, Rng* rng)
 MultiTaskModule::Output MultiTaskModule::Forward(const Var& e_u,
                                                  const Var& e_i,
                                                  const Var& e_p) const {
+#if MGBR_TELEMETRY
+  MGBR_TRACE_SPAN("mtl.forward", "core");
+  static Counter* rows_counter =
+      MetricsRegistry::Global().GetCounter("mtl.forward_rows");
+  MGBR_COUNTER_ADD(rows_counter, e_u.rows());
+#endif  // MGBR_TELEMETRY
   MGBR_CHECK_EQ(e_u.cols(), 2 * dim_);
   MGBR_CHECK(e_u.value().same_shape(e_i.value()));
   MGBR_CHECK(e_u.value().same_shape(e_p.value()));

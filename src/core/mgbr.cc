@@ -1,5 +1,6 @@
 #include "core/mgbr.h"
 
+#include "common/trace.h"
 #include "models/model_util.h"
 #include "tensor/ops.h"
 
@@ -28,6 +29,7 @@ std::vector<Var> MgbrModel::Parameters() const {
 }
 
 void MgbrModel::Refresh() {
+  MGBR_TRACE_SPAN("mgbr.refresh", "core");
   emb_ = views_.Forward();
   mean_part_ = MeanOverRows(emb_.parts);
 }
@@ -43,6 +45,7 @@ MultiTaskModule::Output MgbrModel::RunMtl(const std::vector<int64_t>& users,
 
 Var MgbrModel::ScoreA(const std::vector<int64_t>& users,
                       const std::vector<int64_t>& items) {
+  MGBR_TRACE_SPAN("mgbr.score_a", "core");
   MGBR_CHECK(mean_part_.defined());
   // Task A uses the average of all users' participant-role embeddings
   // as e_p (paper, end of §II-E).
@@ -55,6 +58,7 @@ Var MgbrModel::ScoreA(const std::vector<int64_t>& users,
 Var MgbrModel::ScoreB(const std::vector<int64_t>& users,
                       const std::vector<int64_t>& items,
                       const std::vector<int64_t>& parts) {
+  MGBR_TRACE_SPAN("mgbr.score_b", "core");
   Var e_p = Rows(emb_.parts, parts);
   MultiTaskModule::Output out = RunMtl(users, items, e_p);
   Var logits = mlp_b_.Forward(out.g_b);
@@ -64,6 +68,7 @@ Var MgbrModel::ScoreB(const std::vector<int64_t>& users,
 Var MgbrModel::ScoreTriple(const std::vector<int64_t>& users,
                            const std::vector<int64_t>& items,
                            const std::vector<int64_t>& parts) {
+  MGBR_TRACE_SPAN("mgbr.score_triple", "core");
   Var e_p = Rows(emb_.parts, parts);
   MultiTaskModule::Output out = RunMtl(users, items, e_p);
   Var logits = mlp_a_.Forward(out.g_a);

@@ -1,5 +1,6 @@
 #include "core/multi_view.h"
 
+#include "common/trace.h"
 #include "tensor/ops.h"
 
 namespace mgbr {
@@ -27,6 +28,7 @@ MultiViewEmbedding::MultiViewEmbedding(const GraphInputs& graphs,
 }
 
 MultiViewEmbedding::Output MultiViewEmbedding::Forward() const {
+  MGBR_TRACE_SPAN("mgbr.multi_view_forward", "core");
   Output out;
   if (single_hin_) {
     Var x = stacks_[0].Forward(a_hin_);

@@ -3,7 +3,9 @@
 #include <array>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace mgbr {
 
@@ -14,6 +16,35 @@ namespace {
 /// only on the caller's Rng state and this constant — never on the
 /// thread count (see docs/parallelism.md).
 constexpr int64_t kSamplerGrain = 256;
+
+#if MGBR_TELEMETRY
+Counter* DrawsCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("sampler.draws");
+  return c;
+}
+
+Counter* RejectionsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("sampler.rejections");
+  return c;
+}
+#endif  // MGBR_TELEMETRY
+
+/// Per-chunk stats accumulator: counts locally in plain ints inside the
+/// hot rejection loops and flushes to the global counters once per
+/// chunk (no atomics per draw; nothing at all when telemetry is off).
+struct ScopedSampleStats {
+  NegSampleStats local;
+  NegSampleStats* ptr;
+
+  ScopedSampleStats() : ptr(TelemetryEnabled() ? &local : nullptr) {}
+  ~ScopedSampleStats() {
+    if (ptr != nullptr) {
+      MGBR_COUNTER_ADD(DrawsCounter(), local.draws);
+      MGBR_COUNTER_ADD(RejectionsCounter(), local.rejections);
+    }
+  }
+};
 
 }  // namespace
 
@@ -31,33 +62,41 @@ TrainingSampler::TrainingSampler(const GroupBuyingDataset& train,
   }
 }
 
-int64_t TrainingSampler::SampleNegativeItem(int64_t u, Rng* rng) const {
+int64_t TrainingSampler::SampleNegativeItem(int64_t u, Rng* rng,
+                                            NegSampleStats* stats) const {
   const auto& bought = full_index_->ItemsOf(u);
   // Guard against pathological users who bought everything.
   if (static_cast<int64_t>(bought.size()) >= n_items_) {
+    if (stats != nullptr) ++stats->draws;
     return static_cast<int64_t>(rng->UniformInt(n_items_));
   }
   while (true) {
     const int64_t i = static_cast<int64_t>(rng->UniformInt(n_items_));
+    if (stats != nullptr) ++stats->draws;
     if (!bought.count(i)) return i;
+    if (stats != nullptr) ++stats->rejections;
   }
 }
 
-int64_t TrainingSampler::SampleNegativeParticipant(int64_t u, int64_t i,
-                                                   Rng* rng) const {
+int64_t TrainingSampler::SampleNegativeParticipant(
+    int64_t u, int64_t i, Rng* rng, NegSampleStats* stats) const {
   for (int attempt = 0; attempt < 1000; ++attempt) {
     const int64_t p = static_cast<int64_t>(rng->UniformInt(n_users_));
+    if (stats != nullptr) ++stats->draws;
     if (p != u && !full_index_->InGroup(u, i, p)) return p;
+    if (stats != nullptr) ++stats->rejections;
   }
   // Degenerate data (group covering nearly all users): fall back to any
   // non-initiator.
   int64_t p = static_cast<int64_t>(rng->UniformInt(n_users_));
+  if (stats != nullptr) ++stats->draws;
   return p == u ? (p + 1) % n_users_ : p;
 }
 
 std::vector<TaskABatch> TrainingSampler::EpochBatchesA(size_t batch_size,
                                                        int64_t negs_per_pos,
                                                        Rng* rng) const {
+  MGBR_TRACE_SPAN("sampler.epoch_a", "sampler");
   MGBR_CHECK_GT(batch_size, 0u);
   MGBR_CHECK_GE(negs_per_pos, 1);
   std::vector<size_t> order(pos_a_.size());
@@ -72,10 +111,12 @@ std::vector<TaskABatch> TrainingSampler::EpochBatchesA(size_t batch_size,
       0, total, kSamplerGrain,
       [&](int64_t chunk, int64_t lo, int64_t hi) {
         Rng local = Rng::ForStream(base_seed, static_cast<uint64_t>(chunk));
+        ScopedSampleStats stats;
         for (int64_t t = lo; t < hi; ++t) {
           const int64_t u = pos_a_[order[static_cast<size_t>(
                                       t / negs_per_pos)]].first;
-          negs[static_cast<size_t>(t)] = SampleNegativeItem(u, &local);
+          negs[static_cast<size_t>(t)] =
+              SampleNegativeItem(u, &local, stats.ptr);
         }
       });
 
@@ -99,6 +140,7 @@ std::vector<TaskABatch> TrainingSampler::EpochBatchesA(size_t batch_size,
 std::vector<TaskBBatch> TrainingSampler::EpochBatchesB(size_t batch_size,
                                                        int64_t negs_per_pos,
                                                        Rng* rng) const {
+  MGBR_TRACE_SPAN("sampler.epoch_b", "sampler");
   MGBR_CHECK_GT(batch_size, 0u);
   MGBR_CHECK_GE(negs_per_pos, 1);
   std::vector<size_t> order(pos_b_.size());
@@ -112,11 +154,12 @@ std::vector<TaskBBatch> TrainingSampler::EpochBatchesB(size_t batch_size,
       0, total, kSamplerGrain,
       [&](int64_t chunk, int64_t lo, int64_t hi) {
         Rng local = Rng::ForStream(base_seed, static_cast<uint64_t>(chunk));
+        ScopedSampleStats stats;
         for (int64_t t = lo; t < hi; ++t) {
           const auto& pos = pos_b_[order[static_cast<size_t>(
                                        t / negs_per_pos)]];
           negs[static_cast<size_t>(t)] =
-              SampleNegativeParticipant(pos[0], pos[1], &local);
+              SampleNegativeParticipant(pos[0], pos[1], &local, stats.ptr);
         }
       });
 
@@ -140,6 +183,7 @@ std::vector<TaskBBatch> TrainingSampler::EpochBatchesB(size_t batch_size,
 std::vector<AuxBatch> TrainingSampler::EpochAuxBatches(size_t batch_size,
                                                        int64_t n_corrupt,
                                                        Rng* rng) const {
+  MGBR_TRACE_SPAN("sampler.epoch_aux", "sampler");
   MGBR_CHECK_GT(batch_size, 0u);
   MGBR_CHECK_GE(n_corrupt, 1);
   std::vector<size_t> order(pos_b_.size());
@@ -158,15 +202,16 @@ std::vector<AuxBatch> TrainingSampler::EpochAuxBatches(size_t batch_size,
       0, n_rows, kSamplerGrain,
       [&](int64_t chunk, int64_t lo, int64_t hi) {
         Rng local = Rng::ForStream(base_seed, static_cast<uint64_t>(chunk));
+        ScopedSampleStats stats;
         for (int64_t row = lo; row < hi; ++row) {
           const auto& t = pos_b_[order[static_cast<size_t>(row)]];
           for (int64_t k = 0; k < n_corrupt; ++k) {
             corrupt_items[static_cast<size_t>(row * n_corrupt + k)] =
-                SampleNegativeItem(t[0], &local);
+                SampleNegativeItem(t[0], &local, stats.ptr);
           }
           for (int64_t k = 0; k < n_corrupt; ++k) {
             corrupt_parts[static_cast<size_t>(row * n_corrupt + k)] =
-                SampleNegativeParticipant(t[0], t[1], &local);
+                SampleNegativeParticipant(t[0], t[1], &local, stats.ptr);
           }
         }
       });
@@ -260,7 +305,8 @@ std::vector<EvalInstanceB> BuildEvalInstancesB(
       while (static_cast<int64_t>(inst.neg_parts.size()) < n_negatives) {
         const int64_t cand = static_cast<int64_t>(rng->UniformInt(n_users));
         const bool in_group =
-            cand == g.initiator || full_index.InGroup(g.initiator, g.item, cand);
+            cand == g.initiator ||
+            full_index.InGroup(g.initiator, g.item, cand);
         if (in_group && ++guard < 100000) continue;
         inst.neg_parts.push_back(cand);
       }

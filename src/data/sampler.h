@@ -64,6 +64,16 @@ struct EvalInstanceB {
   std::vector<int64_t> neg_parts;
 };
 
+/// Rejection-sampling effort counters filled by the SampleNegative*
+/// methods when a non-null pointer is passed: `draws` counts uniform
+/// proposals, `rejections` the proposals discarded for hitting the
+/// exclusion set. Aggregated into the "sampler.draws" /
+/// "sampler.rejections" metrics once per parallel chunk.
+struct NegSampleStats {
+  int64_t draws = 0;
+  int64_t rejections = 0;
+};
+
 /// Extracts training positives and draws negative samples per the
 /// paper's protocol (§III-A2). Epoch batch construction shuffles with
 /// the caller's Rng, then draws negatives chunk-parallel with one
@@ -106,9 +116,11 @@ class TrainingSampler {
   int64_t n_items() const { return n_items_; }
 
   /// Draws an item u has never bought.
-  int64_t SampleNegativeItem(int64_t u, Rng* rng) const;
+  int64_t SampleNegativeItem(int64_t u, Rng* rng,
+                             NegSampleStats* stats = nullptr) const;
   /// Draws a user outside the group (u, i) (and != u).
-  int64_t SampleNegativeParticipant(int64_t u, int64_t i, Rng* rng) const;
+  int64_t SampleNegativeParticipant(int64_t u, int64_t i, Rng* rng,
+                                    NegSampleStats* stats = nullptr) const;
 
  private:
   int64_t n_users_;

@@ -3,11 +3,20 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace mgbr {
 
 namespace {
+
+#if MGBR_TELEMETRY
+Counter* EvalInstancesCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("eval.instances");
+  return c;
+}
+#endif  // MGBR_TELEMETRY
 
 /// Folds per-instance ranks into the averaged report. Accumulation is
 /// sequential in instance order, so parallel evaluation reproduces the
@@ -61,6 +70,9 @@ RankingReport EvaluateTaskA(const std::vector<EvalInstanceA>& instances,
   // Instances are scored in parallel (MGBR_NUM_THREADS); the scorer
   // must therefore be safe to call concurrently. Model scorers qualify:
   // they only read embeddings cached by Refresh().
+  MGBR_TRACE_SPAN("eval.task_a", "eval");
+  MGBR_COUNTER_ADD(EvalInstancesCounter(),
+                   static_cast<int64_t>(instances.size()));
   std::vector<int64_t> ranks(instances.size());
   ParallelFor(
       0, static_cast<int64_t>(instances.size()), 1,
@@ -82,6 +94,9 @@ RankingReport EvaluateTaskA(const std::vector<EvalInstanceA>& instances,
 
 RankingReport EvaluateTaskB(const std::vector<EvalInstanceB>& instances,
                             const TaskBScorer& scorer, int64_t cutoff) {
+  MGBR_TRACE_SPAN("eval.task_b", "eval");
+  MGBR_COUNTER_ADD(EvalInstancesCounter(),
+                   static_cast<int64_t>(instances.size()));
   std::vector<int64_t> ranks(instances.size());
   ParallelFor(
       0, static_cast<int64_t>(instances.size()), 1,
@@ -105,6 +120,9 @@ RankingReport EvaluateTaskB(const std::vector<EvalInstanceB>& instances,
 RankingReport EvaluateTaskAFullRanking(
     const std::vector<EvalInstanceA>& instances, const TaskAScorer& scorer,
     const InteractionIndex& full_index, int64_t n_items, int64_t cutoff) {
+  MGBR_TRACE_SPAN("eval.task_a_full", "eval");
+  MGBR_COUNTER_ADD(EvalInstancesCounter(),
+                   static_cast<int64_t>(instances.size()));
   std::vector<int64_t> all_items(static_cast<size_t>(n_items));
   for (int64_t i = 0; i < n_items; ++i) {
     all_items[static_cast<size_t>(i)] = i;

@@ -1,5 +1,6 @@
 #include "graph/gcn.h"
 
+#include "common/trace.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
 
@@ -12,10 +13,12 @@ Var SpMM(const SharedCsr& a, const Var& x) {
   // row-partitioned across the thread pool; each output row is owned
   // by exactly one chunk, so propagation is bit-deterministic for any
   // MGBR_NUM_THREADS (docs/parallelism.md).
+  MGBR_TRACE_SPAN("gcn.spmm", "gcn");
   Tensor out = a->Multiply(x.value());
   return internal::MakeOpVar(
       std::move(out), {x}, [a](internal::VarNode& n) {
         if (n.parents[0]->requires_grad) {
+          MGBR_TRACE_SPAN("gcn.spmm_bwd", "gcn");
           Tensor dx = a->TransposeMultiply(n.grad);
           n.parents[0]->EnsureGrad().AccumulateInPlace(dx);
         }
@@ -43,6 +46,9 @@ GcnStack::GcnStack(int64_t n_nodes, int64_t dim, int64_t n_layers, Rng* rng,
 }
 
 Var GcnStack::Forward(const SharedCsr& a_hat) const {
+  // One span per view propagation: the MGBR multi-view refresh runs
+  // one stack per graph view (docs/observability.md).
+  MGBR_TRACE_SPAN("gcn.stack_forward", "gcn");
   Var h = x0_;
   for (const GcnLayer& layer : layers_) {
     h = layer.Forward(a_hat, h);

@@ -3,13 +3,29 @@
 #include <algorithm>
 
 #include "common/logging.h"
-#include "common/stopwatch.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "core/losses.h"
 #include "train/checkpoint.h"
 #include "tensor/ops.h"
 
 namespace mgbr {
+
+namespace {
+
+Counter* SamplerDrawsCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("sampler.draws");
+  return c;
+}
+
+Counter* SamplerRejectionsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("sampler.rejections");
+  return c;
+}
+
+}  // namespace
 
 Trainer::Trainer(RecModel* model, const TrainingSampler* sampler,
                  TrainConfig config)
@@ -26,28 +42,45 @@ Trainer::Trainer(RecModel* model, const TrainingSampler* sampler,
 }
 
 EpochStats Trainer::RunEpoch() {
-  Stopwatch watch;
+  // The epoch span is the single timing source of truth: its duration
+  // becomes EpochStats.seconds, the telemetry record, and (when
+  // tracing) the Chrome trace event — they can never disagree.
+  TimedSpan epoch_span("trainer.epoch", "trainer");
   EpochStats stats;
+
+  // Sampler-effort deltas for the telemetry record (counters are
+  // process-global; only the within-epoch growth belongs to us).
+  const int64_t draws_before = SamplerDrawsCounter()->Value();
+  const int64_t rejections_before = SamplerRejectionsCounter()->Value();
 
   const bool use_aux = mgbr_ != nullptr && mgbr_->config().use_aux_losses;
   const float beta = mgbr_ != nullptr ? mgbr_->config().beta : config_.beta;
   const float beta_a = mgbr_ != nullptr ? mgbr_->config().beta_a : 0.0f;
   const float beta_b = mgbr_ != nullptr ? mgbr_->config().beta_b : 0.0f;
 
-  std::vector<TaskABatch> batches_a =
-      sampler_->EpochBatchesA(config_.batch_size, config_.negs_per_pos, &rng_);
-  std::vector<TaskBBatch> batches_b =
-      sampler_->EpochBatchesB(config_.batch_size, config_.negs_per_pos, &rng_);
+  std::vector<TaskABatch> batches_a;
+  std::vector<TaskBBatch> batches_b;
   std::vector<AuxBatch> batches_aux;
-  if (use_aux) {
-    batches_aux = sampler_->EpochAuxBatches(
-        config_.aux_batch_size, mgbr_->config().aux_negatives, &rng_);
+  {
+    MGBR_TRACE_SPAN("trainer.sample_epoch", "trainer");
+    batches_a = sampler_->EpochBatchesA(config_.batch_size,
+                                        config_.negs_per_pos, &rng_);
+    batches_b = sampler_->EpochBatchesB(config_.batch_size,
+                                        config_.negs_per_pos, &rng_);
+    if (use_aux) {
+      batches_aux = sampler_->EpochAuxBatches(
+          config_.aux_batch_size, mgbr_->config().aux_negatives, &rng_);
+    }
   }
 
   const size_t steps = std::max(batches_a.size(), batches_b.size());
   MGBR_CHECK_GT(steps, 0u);
   for (size_t step = 0; step < steps; ++step) {
-    model_->Refresh();
+    MGBR_TRACE_SPAN("trainer.step", "trainer");
+    {
+      MGBR_TRACE_SPAN("trainer.refresh", "trainer");
+      model_->Refresh();
+    }
 
     // When the shorter task's batch list is exhausted mid-epoch,
     // regenerate it so revisited positives get FRESH negative samples
@@ -70,12 +103,14 @@ EpochStats Trainer::RunEpoch() {
 
     Var loss;
     if (!batches_a.empty()) {
+      MGBR_TRACE_SPAN("trainer.loss_a", "trainer");
       const TaskABatch& ba = batches_a[step % batches_a.size()];
       Var la = TaskALoss(model_, ba);
       stats.loss_a += la.value().item();
       loss = la;
     }
     if (!batches_b.empty()) {
+      MGBR_TRACE_SPAN("trainer.loss_b", "trainer");
       const TaskBBatch& bb = batches_b[step % batches_b.size()];
       Var lb = TaskBLoss(model_, bb);
       stats.loss_b += lb.value().item();
@@ -83,6 +118,7 @@ EpochStats Trainer::RunEpoch() {
       loss = loss.defined() ? Add(loss, weighted) : weighted;
     }
     if (use_aux && !batches_aux.empty()) {
+      MGBR_TRACE_SPAN("trainer.aux_loss", "trainer");
       const AuxBatch& bx = batches_aux[step % batches_aux.size()];
       Var laa = AuxLossA(mgbr_, bx);
       Var lab = AuxLossB(mgbr_, bx);
@@ -92,15 +128,60 @@ EpochStats Trainer::RunEpoch() {
     }
 
     optimizer_->ZeroGrad();
-    loss.Backward();
-    if (config_.clip_grad_norm > 0.0f) {
-      ClipGradNorm(optimizer_->params_mutable(), config_.clip_grad_norm);
+    {
+      MGBR_TRACE_SPAN("trainer.backward", "trainer");
+      loss.Backward();
     }
-    optimizer_->Step();
+    // The global grad norm falls out of clipping; when clipping is off
+    // it is only worth a full pass over the gradients if a telemetry
+    // sink wants it.
+    if (config_.clip_grad_norm > 0.0f || telemetry_ != nullptr) {
+      MGBR_TRACE_SPAN("trainer.clip_grad", "trainer");
+      const double norm = ClipGradNorm(optimizer_->params_mutable(),
+                                       config_.clip_grad_norm);
+      stats.grad_norm_pre += norm;
+      stats.grad_norm_post +=
+          (config_.clip_grad_norm > 0.0f &&
+           norm > static_cast<double>(config_.clip_grad_norm))
+              ? static_cast<double>(config_.clip_grad_norm)
+              : norm;
+    }
+    {
+      MGBR_TRACE_SPAN("trainer.optim_step", "trainer");
+      optimizer_->Step();
+    }
     ++stats.steps;
   }
 
-  stats.seconds = watch.ElapsedSeconds();
+  stats.learning_rate = optimizer_->learning_rate();
+  stats.seconds = epoch_span.Finish();
+  ++epochs_run_;
+
+  if (telemetry_ != nullptr) {
+    const double inv = 1.0 / static_cast<double>(stats.steps);
+    EpochTelemetry record;
+    record.model = model_->name();
+    record.epoch = epochs_run_;
+    record.steps = stats.steps;
+    record.loss_a = stats.loss_a * inv;
+    record.loss_b = stats.loss_b * inv;
+    record.aux_a = stats.aux_a * inv;
+    record.aux_b = stats.aux_b * inv;
+    record.total_loss = stats.TotalLoss();
+    record.grad_norm_pre = stats.grad_norm_pre * inv;
+    record.grad_norm_post = stats.grad_norm_post * inv;
+    record.learning_rate = stats.learning_rate;
+    record.sampler_draws = SamplerDrawsCounter()->Value() - draws_before;
+    record.sampler_rejections =
+        SamplerRejectionsCounter()->Value() - rejections_before;
+    record.sampler_rejection_rate =
+        record.sampler_draws > 0
+            ? static_cast<double>(record.sampler_rejections) /
+                  static_cast<double>(record.sampler_draws)
+            : 0.0;
+    record.seconds = stats.seconds;
+    telemetry_->RecordEpoch(record);
+  }
   return stats;
 }
 
@@ -140,6 +221,9 @@ ValidatedTrainResult TrainWithEarlyStopping(
   for (int64_t epoch = 0; epoch < max_epochs; ++epoch) {
     result.history.push_back(trainer->RunEpoch());
     const double metric = validate();
+    if (trainer->telemetry() != nullptr) {
+      trainer->telemetry()->AnnotateLastEpoch({{"val_metric", metric}});
+    }
     if (metric > result.best_metric) {
       result.best_metric = metric;
       result.best_epoch = epoch;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "core/mgbr.h"
 #include "data/sampler.h"
 #include "models/rec_model.h"
@@ -42,12 +43,20 @@ struct TrainConfig {
   bool verbose = false;
 };
 
-/// Per-epoch training telemetry.
+/// Per-epoch training statistics. Loss and grad-norm fields are sums
+/// over the epoch's steps; divide by `steps` for per-step means (or use
+/// the derived EpochTelemetry record, which stores means).
 struct EpochStats {
   double loss_a = 0.0;
   double loss_b = 0.0;
   double aux_a = 0.0;
   double aux_b = 0.0;
+  /// Global gradient norm summed over steps, before/after clipping.
+  /// Zero when neither clipping nor telemetry asked for the norm.
+  double grad_norm_pre = 0.0;
+  double grad_norm_post = 0.0;
+  /// Learning rate in effect during this epoch.
+  double learning_rate = 0.0;
   double seconds = 0.0;
   int64_t steps = 0;
   /// Mean combined loss per step.
@@ -80,6 +89,12 @@ class Trainer {
 
   Adam* optimizer() { return optimizer_.get(); }
 
+  /// Attaches a telemetry sink (may be null; must outlive the trainer).
+  /// Every subsequent RunEpoch() appends one EpochTelemetry record —
+  /// per-term losses, grad norms, lr, sampler effort, wall time.
+  void SetTelemetry(RunTelemetry* telemetry) { telemetry_ = telemetry; }
+  RunTelemetry* telemetry() const { return telemetry_; }
+
  private:
   RecModel* model_;
   MgbrModel* mgbr_;  // non-null when model_ is an MgbrModel
@@ -87,6 +102,8 @@ class Trainer {
   TrainConfig config_;
   Rng rng_;
   std::unique_ptr<Adam> optimizer_;
+  RunTelemetry* telemetry_ = nullptr;
+  int64_t epochs_run_ = 0;
 };
 
 /// Result of TrainWithEarlyStopping.
