@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""SIMD benchmark regression gate.
+
+Compares two bench_micro_engine JSON outputs — one run with the simd
+kernel variants dispatched (MGBR_SIMD=1) and one with the scalar
+variants (MGBR_SIMD=0) — and fails if the geometric-mean speedup over
+the gate cases listed in BENCH_baseline.json falls below the committed
+floor (`ci_gate.min_simd_speedup_geomean`).
+
+The floor is intentionally far below the dev-box geomean recorded in
+BENCH_baseline.json: CI runners are noisy, share cores, and build
+without -march=native, so the gate only exists to catch a real loss of
+vectorization (e.g. a kernel edit that silently serializes), not to
+enforce exact numbers.
+
+Usage:
+    check_bench_gate.py BENCH_baseline.json simd_on.json simd_off.json
+"""
+
+import json
+import math
+import sys
+
+
+def medians(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data["benchmarks"]:
+        if bench.get("aggregate_name") == "median":
+            out[bench["run_name"]] = bench["real_time"]
+    return out
+
+
+def main(argv):
+    if len(argv) != 4:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        baseline = json.load(f)
+    gate = baseline["ci_gate"]
+    cases = gate["gate_cases"]
+    floor = gate["min_simd_speedup_geomean"]
+
+    on = medians(argv[2])
+    off = medians(argv[3])
+    missing = [c for c in cases if c not in on or c not in off]
+    if missing:
+        print(f"ERROR: gate cases missing from bench output: {missing}")
+        return 1
+
+    ratios = {c: off[c] / on[c] for c in cases}
+    geomean = math.exp(sum(math.log(r) for r in ratios.values()) / len(ratios))
+    for case, ratio in sorted(ratios.items()):
+        print(f"{case:35s} simd-off/simd-on = {ratio:6.2f}x")
+    print(f"{'geomean':35s} {geomean:6.2f}x (floor {floor:.2f}x)")
+    if geomean < floor:
+        print(
+            f"ERROR: simd speedup geomean {geomean:.2f}x is below the "
+            f"committed floor {floor:.2f}x — the vectorized variants have "
+            "regressed relative to the scalar ones."
+        )
+        return 1
+    print("OK: simd kernels clear the regression floor.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

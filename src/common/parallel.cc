@@ -48,6 +48,11 @@ Counter* PoolRegionsCounter() {
       MetricsRegistry::Global().GetCounter("pool.parallel_regions");
   return c;
 }
+
+Gauge* PoolThreadsGauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge("pool.num_threads");
+  return g;
+}
 #endif  // MGBR_TELEMETRY
 
 int EnvNumThreads() {
@@ -69,9 +74,20 @@ std::unique_ptr<ThreadPool> g_pool;
 
 /// Returns the shared pool, creating it with NumThreads() - 1 workers
 /// (the calling thread is the remaining executor). Null when serial.
+/// Resolves g_num_threads from the environment on first use and
+/// publishes the result to the pool.num_threads gauge. Callers hold
+/// g_pool_mu.
+void ResolveNumThreadsLocked() {
+  if (g_num_threads != 0) return;
+  g_num_threads = EnvNumThreads();
+#if MGBR_TELEMETRY
+  MGBR_GAUGE_SET(PoolThreadsGauge(), static_cast<double>(g_num_threads));
+#endif
+}
+
 ThreadPool* SharedPool() {
   std::lock_guard<std::mutex> lock(g_pool_mu);
-  if (g_num_threads == 0) g_num_threads = EnvNumThreads();
+  ResolveNumThreadsLocked();
   if (g_num_threads <= 1) return nullptr;
   if (g_pool == nullptr || g_pool->n_workers() != g_num_threads - 1) {
     g_pool.reset();  // join old workers before spawning new ones
@@ -206,7 +222,7 @@ void ThreadPool::WorkerLoop() {
 
 int NumThreads() {
   std::lock_guard<std::mutex> lock(g_pool_mu);
-  if (g_num_threads == 0) g_num_threads = EnvNumThreads();
+  ResolveNumThreadsLocked();
   return g_num_threads;
 }
 
@@ -216,6 +232,9 @@ void SetNumThreads(int n) {
   if (g_pool != nullptr && g_pool->n_workers() != g_num_threads - 1) {
     g_pool.reset();
   }
+#if MGBR_TELEMETRY
+  MGBR_GAUGE_SET(PoolThreadsGauge(), static_cast<double>(g_num_threads));
+#endif
 }
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.h"
+#include "tensor/kernels.h"
 
 namespace mgbr {
 
@@ -117,16 +118,8 @@ Tensor CsrMatrix::Multiply(const Tensor& dense) const {
   // bit-identical for every thread count.
   ParallelFor(0, rows_, SpmmRowGrain(rows_, nnz(), d),
               [&, xp, op, d](int64_t lo, int64_t hi) {
-                for (int64_t r = lo; r < hi; ++r) {
-                  auto [begin, end] = RowRange(r);
-                  float* orow = op + r * d;
-                  for (int64_t k = begin; k < end; ++k) {
-                    const float v = values_[static_cast<size_t>(k)];
-                    const float* xrow =
-                        xp + col_idx_[static_cast<size_t>(k)] * d;
-                    for (int64_t j = 0; j < d; ++j) orow[j] += v * xrow[j];
-                  }
-                }
+                kernels::SpmmRows(row_ptr_.data(), col_idx_.data(),
+                                  values_.data(), xp, op, lo, hi, d);
               });
   return out;
 }
@@ -141,17 +134,8 @@ Tensor CsrMatrix::TransposeMultiply(const Tensor& dense) const {
   // a column of this matrix — is owned by exactly one chunk.
   ParallelFor(0, cols_, SpmmRowGrain(cols_, nnz(), d),
               [&, xp, op, d](int64_t lo, int64_t hi) {
-                for (int64_t c = lo; c < hi; ++c) {
-                  const int64_t begin = t_row_ptr_[static_cast<size_t>(c)];
-                  const int64_t end = t_row_ptr_[static_cast<size_t>(c) + 1];
-                  float* orow = op + c * d;
-                  for (int64_t k = begin; k < end; ++k) {
-                    const float v = t_values_[static_cast<size_t>(k)];
-                    const float* xrow =
-                        xp + t_col_idx_[static_cast<size_t>(k)] * d;
-                    for (int64_t j = 0; j < d; ++j) orow[j] += v * xrow[j];
-                  }
-                }
+                kernels::SpmmRows(t_row_ptr_.data(), t_col_idx_.data(),
+                                  t_values_.data(), xp, op, lo, hi, d);
               });
   return out;
 }

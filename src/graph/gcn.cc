@@ -29,7 +29,10 @@ GcnLayer::GcnLayer(int64_t dim, Rng* rng, Activation act)
     : linear_(dim, dim, rng, /*with_bias=*/false), act_(act) {}
 
 Var GcnLayer::Forward(const SharedCsr& a_hat, const Var& x) const {
-  return ApplyActivation(linear_.Forward(SpMM(a_hat, x)), act_);
+  // ForwardAct fuses the (bias-free here) activation epilogue when a
+  // bias is present; for the bias-free GCN linear it still routes the
+  // activation through one tape node.
+  return linear_.ForwardAct(SpMM(a_hat, x), act_);
 }
 
 std::vector<Var> GcnLayer::Parameters() const { return linear_.Parameters(); }

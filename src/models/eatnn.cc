@@ -22,7 +22,8 @@ std::vector<Var> Eatnn::Parameters() const {
 }
 
 void Eatnn::Refresh() {
-  Var g = Sigmoid(gate_.Forward(ConcatCols({item_dom_emb_, soc_dom_emb_})));
+  Var g = gate_.ForwardAct(ConcatCols({item_dom_emb_, soc_dom_emb_}),
+                           Activation::kSigmoid);
   Var one_minus_g = AddScalar(Neg(g), 1.0f);
   user_item_ = Add(shared_emb_, Mul(g, item_dom_emb_));
   Var social = Add(shared_emb_, Mul(one_minus_g, soc_dom_emb_));

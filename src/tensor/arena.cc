@@ -1,0 +1,213 @@
+#include "tensor/arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/metrics.h"
+
+namespace mgbr {
+
+namespace {
+
+bool InitialArenaEnabled() {
+  const char* env = std::getenv("MGBR_ARENA");
+  if (env != nullptr && *env != '\0') {
+    return !(env[0] == '0' && env[1] == '\0');
+  }
+  return true;
+}
+
+std::atomic<bool>& ArenaFlag() {
+  static std::atomic<bool> flag{InitialArenaEnabled()};
+  return flag;
+}
+
+#if MGBR_TELEMETRY
+Gauge* BytesInUseGauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge("arena.bytes_in_use");
+  return g;
+}
+
+Gauge* BytesCachedGauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge("arena.bytes_cached");
+  return g;
+}
+
+Gauge* HighWaterGauge() {
+  static Gauge* g =
+      MetricsRegistry::Global().GetGauge("arena.high_water_bytes");
+  return g;
+}
+
+Counter* HitsCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("arena.hits");
+  return c;
+}
+
+Counter* MissesCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("arena.misses");
+  return c;
+}
+#endif  // MGBR_TELEMETRY
+
+}  // namespace
+
+TensorArena& TensorArena::Global() {
+  // Leaked on purpose: see class comment.
+  static TensorArena* arena = new TensorArena();
+  return *arena;
+}
+
+bool TensorArena::Enabled() {
+  return ArenaFlag().load(std::memory_order_relaxed);
+}
+
+void TensorArena::SetEnabled(bool on) {
+  ArenaFlag().store(on, std::memory_order_relaxed);
+}
+
+int TensorArena::BucketIndex(int64_t capacity) {
+  int idx = 0;
+  int64_t cap = kMinCapacity;
+  while (cap < capacity && idx < kBuckets - 1) {
+    cap <<= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+std::vector<float> TensorArena::Acquire(int64_t n) {
+  if (n <= 0) return {};
+  if (!Enabled()) {
+    std::vector<float> buf(static_cast<size_t>(n), 0.0f);
+    NoteAcquire(static_cast<int64_t>(buf.capacity()) * 4, /*hit=*/false);
+    return buf;
+  }
+  const int idx = BucketIndex(n);
+  const int64_t cap = kMinCapacity << idx;
+  std::vector<float> buf;
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& bucket = buckets_[idx];
+    if (!bucket.empty()) {
+      buf = std::move(bucket.back());
+      bucket.pop_back();
+      bytes_cached_ -= static_cast<int64_t>(buf.capacity()) * 4;
+      hit = true;
+    }
+  }
+  if (!hit) buf.reserve(static_cast<size_t>(cap));
+  buf.clear();
+  buf.resize(static_cast<size_t>(n), 0.0f);
+  NoteAcquire(static_cast<int64_t>(buf.capacity()) * 4, hit);
+  return buf;
+}
+
+std::vector<float> TensorArena::AcquireCopy(const float* src, int64_t n) {
+  if (n <= 0) return {};
+  if (!Enabled()) {
+    std::vector<float> buf(src, src + n);
+    NoteAcquire(static_cast<int64_t>(buf.capacity()) * 4, /*hit=*/false);
+    return buf;
+  }
+  const int idx = BucketIndex(n);
+  const int64_t cap = kMinCapacity << idx;
+  std::vector<float> buf;
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& bucket = buckets_[idx];
+    if (!bucket.empty()) {
+      buf = std::move(bucket.back());
+      bucket.pop_back();
+      bytes_cached_ -= static_cast<int64_t>(buf.capacity()) * 4;
+      hit = true;
+    }
+  }
+  if (!hit) buf.reserve(static_cast<size_t>(cap));
+  buf.assign(src, src + n);
+  NoteAcquire(static_cast<int64_t>(buf.capacity()) * 4, hit);
+  return buf;
+}
+
+void TensorArena::Release(std::vector<float>&& buf) {
+  const int64_t cap_bytes = static_cast<int64_t>(buf.capacity()) * 4;
+  if (cap_bytes == 0) return;
+  NoteRelease(cap_bytes);
+  if (!Enabled()) return;  // buf destroyed on scope exit
+  const int idx = BucketIndex(static_cast<int64_t>(buf.capacity()));
+  // Only park exact bucket-sized buffers; anything else (e.g. acquired
+  // while the arena was disabled) would make capacity accounting lie.
+  if (static_cast<int64_t>(buf.capacity()) != (kMinCapacity << idx)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes_cached_ + cap_bytes > kMaxCachedBytes) return;
+  bytes_cached_ += cap_bytes;
+  buckets_[idx].push_back(std::move(buf));
+#if MGBR_TELEMETRY
+  MGBR_GAUGE_SET(BytesCachedGauge(), static_cast<double>(bytes_cached_));
+#endif
+}
+
+TensorArena::Stats TensorArena::GetStats() const {
+  Stats s;
+  s.bytes_in_use = bytes_in_use_.load(std::memory_order_relaxed);
+  s.high_water_bytes = high_water_bytes_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.bytes_cached = bytes_cached_;
+  return s;
+}
+
+void TensorArena::Trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& bucket : buckets_) bucket.clear();
+  bytes_cached_ = 0;
+#if MGBR_TELEMETRY
+  MGBR_GAUGE_SET(BytesCachedGauge(), 0.0);
+#endif
+}
+
+void TensorArena::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  high_water_bytes_.store(bytes_in_use_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+}
+
+void TensorArena::NoteAcquire(int64_t capacity_bytes, bool hit) {
+  const int64_t in_use =
+      bytes_in_use_.fetch_add(capacity_bytes, std::memory_order_relaxed) +
+      capacity_bytes;
+  int64_t high = high_water_bytes_.load(std::memory_order_relaxed);
+  while (in_use > high && !high_water_bytes_.compare_exchange_weak(
+                              high, in_use, std::memory_order_relaxed)) {
+  }
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+#if MGBR_TELEMETRY
+  MGBR_COUNTER_ADD(hit ? HitsCounter() : MissesCounter(), 1);
+  MGBR_GAUGE_SET(BytesInUseGauge(), static_cast<double>(in_use));
+  MGBR_GAUGE_SET(HighWaterGauge(),
+                 static_cast<double>(
+                     high_water_bytes_.load(std::memory_order_relaxed)));
+#endif
+}
+
+void TensorArena::NoteRelease(int64_t capacity_bytes) {
+  const int64_t in_use =
+      bytes_in_use_.fetch_sub(capacity_bytes, std::memory_order_relaxed) -
+      capacity_bytes;
+#if MGBR_TELEMETRY
+  MGBR_GAUGE_SET(BytesInUseGauge(), static_cast<double>(in_use));
+#else
+  (void)in_use;
+#endif
+}
+
+}  // namespace mgbr

@@ -1,0 +1,96 @@
+#ifndef MGBR_TENSOR_ARENA_H_
+#define MGBR_TENSOR_ARENA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace mgbr {
+
+/// Size-bucketed recycling allocator for tensor float buffers.
+///
+/// Autograd builds and frees an identical-shaped tape every training
+/// batch, so the same buffer sizes are requested over and over — the
+/// ideal workload for a free-list arena. Buffers are std::vector<float>
+/// instances whose capacity is rounded up to a power of two (min 64
+/// floats); Release() parks them in the matching bucket and Acquire()
+/// hands them back, cleared. Values are always zero-filled (Acquire) or
+/// fully overwritten (AcquireCopy), so recycling cannot change any
+/// computed result: arena on/off is bit-identical by construction and
+/// asserted by tests/kernels_test.cc.
+///
+/// Thread safety: bucket access is guarded by one mutex (tensor
+/// construction is not a per-element hot path; the kernels are), stats
+/// are relaxed atomics. The global instance is intentionally leaked so
+/// tensors with static storage duration can release during process
+/// teardown.
+class TensorArena {
+ public:
+  /// Process-wide arena used by Tensor. Never destroyed.
+  static TensorArena& Global();
+
+  /// Runtime switch. Defaults to on; the MGBR_ARENA environment
+  /// variable set to "0" disables recycling (buffers are then plain
+  /// allocations and Release() frees). Outputs are identical either
+  /// way — the switch exists for A/B benchmarking and leak triage.
+  static bool Enabled();
+  static void SetEnabled(bool on);
+
+  /// Returns a buffer of size n, zero-filled, capacity >= n.
+  std::vector<float> Acquire(int64_t n);
+
+  /// Returns a buffer of size n holding a copy of src[0..n) (skips the
+  /// zero-fill that Acquire would pay).
+  std::vector<float> AcquireCopy(const float* src, int64_t n);
+
+  /// Returns a buffer to its bucket (or frees it: empty buffers,
+  /// disabled arena, or cache over capacity).
+  void Release(std::vector<float>&& buf);
+
+  struct Stats {
+    int64_t bytes_in_use = 0;     ///< live bytes handed out, by capacity
+    int64_t bytes_cached = 0;     ///< bytes parked in buckets
+    int64_t high_water_bytes = 0; ///< max bytes_in_use ever observed
+    int64_t hits = 0;             ///< acquires served from a bucket
+    int64_t misses = 0;           ///< acquires that allocated
+  };
+  Stats GetStats() const;
+
+  /// Frees every cached buffer (tests, memory-pressure handling).
+  void Trim();
+
+  /// Zeroes hit/miss/high-water stats (bytes_in_use is live state and
+  /// is left alone).
+  void ResetStats();
+
+  TensorArena() = default;
+  TensorArena(const TensorArena&) = delete;
+  TensorArena& operator=(const TensorArena&) = delete;
+
+ private:
+  // Bucket b holds buffers of capacity kMinCapacity << b. 26 buckets
+  // spans 64 floats .. 8G floats, far beyond any tensor here.
+  static constexpr int kBuckets = 26;
+  static constexpr int64_t kMinCapacity = 64;
+  // Cached-byte ceiling; beyond it Release frees instead of parking.
+  static constexpr int64_t kMaxCachedBytes = int64_t{256} << 20;
+
+  static int BucketIndex(int64_t capacity);
+
+  void NoteAcquire(int64_t capacity_bytes, bool hit);
+  void NoteRelease(int64_t capacity_bytes);
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<float>> buckets_[kBuckets];
+  int64_t bytes_cached_ = 0;  // guarded by mu_
+
+  std::atomic<int64_t> bytes_in_use_{0};
+  std::atomic<int64_t> high_water_bytes_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_TENSOR_ARENA_H_

@@ -1,8 +1,39 @@
 #include "tensor/nn.h"
 
+#include <algorithm>
+
+#include "common/parallel.h"
 #include "tensor/init.h"
+#include "tensor/kernels.h"
 
 namespace mgbr {
+
+namespace {
+
+using internal::MakeOpVar;
+using internal::VarNode;
+
+kernels::Act ToKernelAct(Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return kernels::Act::kNone;
+    case Activation::kRelu:
+      return kernels::Act::kRelu;
+    case Activation::kSigmoid:
+      return kernels::Act::kSigmoid;
+    case Activation::kTanh:
+      return kernels::Act::kTanh;
+  }
+  return kernels::Act::kNone;
+}
+
+// Rows per parallel chunk for the fused epilogue (same budget as the
+// elementwise grain in tensor.cc).
+int64_t FuseRowGrain(int64_t cols) {
+  return std::max<int64_t>(1, (int64_t{1} << 14) / std::max<int64_t>(1, cols));
+}
+
+}  // namespace
 
 Var ApplyActivation(const Var& x, Activation act) {
   switch (act) {
@@ -16,6 +47,45 @@ Var ApplyActivation(const Var& x, Activation act) {
       return Tanh(x);
   }
   return x;
+}
+
+Var BiasAct(const Var& x, const Var& bias, Activation act) {
+  MGBR_CHECK_EQ(bias.rows(), 1);
+  MGBR_CHECK_EQ(bias.cols(), x.cols());
+  const int64_t rows = x.rows(), cols = x.cols();
+  const kernels::Act kact = ToKernelAct(act);
+  Tensor out(rows, cols);
+  const float* xp = x.value().data();
+  const float* bp = bias.value().data();
+  float* yp = out.data();
+  ParallelFor(0, rows, FuseRowGrain(cols), [=](int64_t lo, int64_t hi) {
+    kernels::BiasActForward(kact, xp + lo * cols, bp, yp + lo * cols,
+                            hi - lo, cols);
+  });
+  return MakeOpVar(std::move(out), {x, bias}, [kact](VarNode& n) {
+    const int64_t rows = n.grad.rows(), cols = n.grad.cols();
+    // d = g ⊙ act'(y); act' is expressible in y for every supported
+    // activation, so the input x is not retained.
+    Tensor d = n.grad;
+    float* dp = d.data();
+    const float* yp = n.value.data();
+    ParallelFor(0, rows, FuseRowGrain(cols), [=](int64_t lo, int64_t hi) {
+      kernels::ActGradInPlace(kact, dp + lo * cols, yp + lo * cols,
+                              (hi - lo) * cols);
+    });
+    if (n.parents[0]->requires_grad) {
+      n.parents[0]->EnsureGrad().AccumulateInPlace(d);
+    }
+    if (n.parents[1]->requires_grad) {
+      Tensor db(1, cols);
+      float* dbp = db.data();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* drow = dp + r * cols;
+        for (int64_t c = 0; c < cols; ++c) dbp[c] += drow[c];
+      }
+      n.parents[1]->EnsureGrad().AccumulateInPlace(db);
+    }
+  });
 }
 
 Linear::Linear(int64_t in_dim, int64_t out_dim, Rng* rng, bool with_bias)
@@ -32,6 +102,13 @@ Var Linear::Forward(const Var& x) const {
   Var y = MatMul(x, weight_);
   if (bias_.defined()) y = AddRowBroadcast(y, bias_);
   return y;
+}
+
+Var Linear::ForwardAct(const Var& x, Activation act) const {
+  MGBR_CHECK_EQ(x.cols(), in_dim_);
+  Var y = MatMul(x, weight_);
+  if (bias_.defined()) return BiasAct(y, bias_, act);
+  return ApplyActivation(y, act);
 }
 
 std::vector<Var> Linear::Parameters() const {
@@ -52,9 +129,8 @@ Mlp::Mlp(const std::vector<int64_t>& dims, Rng* rng, Activation hidden_act,
 Var Mlp::Forward(const Var& x) const {
   Var h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].Forward(h);
     const bool last = (i + 1 == layers_.size());
-    h = ApplyActivation(h, last ? output_act_ : hidden_act_);
+    h = layers_[i].ForwardAct(h, last ? output_act_ : hidden_act_);
   }
   return h;
 }

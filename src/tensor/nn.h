@@ -16,6 +16,14 @@ enum class Activation { kNone, kRelu, kSigmoid, kTanh };
 /// Applies `act` to `x`.
 Var ApplyActivation(const Var& x, Activation act);
 
+/// Fused y = act(x + bias) as a single tape node. `bias` is a 1 x cols
+/// row broadcast over the batch. Equivalent to
+/// ApplyActivation(AddRowBroadcast(x, bias), act) but touches x once in
+/// the forward and allocates one intermediate fewer on the tape; the
+/// backward reuses y (all supported activations have y-expressible
+/// derivatives). Runs on the vectorized kernel layer (tensor/kernels.h).
+Var BiasAct(const Var& x, const Var& bias, Activation act);
+
 /// Fully-connected layer: y = x @ W + b (bias optional).
 ///
 /// W is (in x out) so inputs are row-major batches (B x in).
@@ -26,6 +34,10 @@ class Linear {
 
   /// Forward pass for a (B x in) batch.
   Var Forward(const Var& x) const;
+
+  /// Forward pass with a fused bias + activation epilogue (one tape
+  /// node for act(x @ W + b) past the matmul).
+  Var ForwardAct(const Var& x, Activation act) const;
 
   /// Trainable parameters (W, then b when present).
   std::vector<Var> Parameters() const;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "tensor/kernels.h"
 
 namespace mgbr {
 
@@ -20,6 +21,14 @@ constexpr int64_t kElemGrain = 1 << 14;
 inline int64_t RowGrain(int64_t work_per_row) {
   return std::max<int64_t>(1,
                            kElemGrain / std::max<int64_t>(1, work_per_row));
+}
+
+/// GEMM chunks are floored at two register tiles (8 rows) so the
+/// kernel's 4-row micro-tile never degenerates into single-row panels
+/// on large matrices. Chunk boundaries only partition C row ownership,
+/// so the grain has no effect on numerics.
+inline int64_t GemmRowGrain(int64_t work_per_row) {
+  return std::max<int64_t>(8, RowGrain(work_per_row));
 }
 
 /// Accumulates `delta` into `parent`'s grad if the parent needs one.
@@ -254,10 +263,11 @@ Var BroadcastRow(const Var& row, int64_t n_rows) {
 
 namespace {
 
-/// C += A @ B with an i-k-j loop (row-major friendly). Parallel over
-/// rows of C: each output row is owned by exactly one chunk and its
-/// k-accumulation runs sequentially, so results are bit-identical for
-/// every thread count.
+/// C += A @ B via the register-tiled, cache-blocked kernel layer
+/// (tensor/kernels.h). Parallel over rows of C: each output row is
+/// owned by exactly one chunk and its k-accumulation order is fixed by
+/// the kernel's kc-block structure, so results are bit-identical for
+/// every thread count and for SIMD on/off.
 void GemmAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   MGBR_CHECK_EQ(b.rows(), k);
@@ -266,22 +276,12 @@ void GemmAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
   const float* ap = a.data();
   const float* bp = b.data();
   float* cp = c->data();
-  ParallelFor(0, m, RowGrain(k * n), [=](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const float* arow = ap + i * k;
-      float* crow = cp + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = bp + kk * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+  ParallelFor(0, m, GemmRowGrain(k * n), [=](int64_t lo, int64_t hi) {
+    kernels::GemmRowsAB(ap + lo * k, bp, cp + lo * n, hi - lo, k, n);
   });
 }
 
-/// C += Aᵀ @ B. Parallel over rows of C (columns of A); the per-row
-/// k-accumulation order matches the serial kernel exactly.
+/// C += Aᵀ @ B. Parallel over rows of C (columns of A).
 void GemmAtBAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
   const int64_t m = a.cols(), k = a.rows(), n = b.cols();
   MGBR_CHECK_EQ(b.rows(), k);
@@ -290,20 +290,13 @@ void GemmAtBAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
   const float* ap = a.data();
   const float* bp = b.data();
   float* cp = c->data();
-  ParallelFor(0, m, RowGrain(k * n), [=](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      float* crow = cp + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        float av = ap[kk * m + i];
-        if (av == 0.0f) continue;
-        const float* brow = bp + kk * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+  ParallelFor(0, m, GemmRowGrain(k * n), [=](int64_t lo, int64_t hi) {
+    kernels::GemmRowsAtB(ap, m, lo, bp, cp + lo * n, hi - lo, k, n);
   });
 }
 
-/// C += A @ Bᵀ. Parallel over rows of C.
+/// C += A @ Bᵀ. Parallel over rows of C; per element the kernel uses
+/// the fixed-lane dot-product reduction documented in kernels.h.
 void GemmABtAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
   MGBR_CHECK_EQ(b.cols(), k);
@@ -312,17 +305,8 @@ void GemmABtAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
   const float* ap = a.data();
   const float* bp = b.data();
   float* cp = c->data();
-  ParallelFor(0, m, RowGrain(k * n), [=](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const float* arow = ap + i * k;
-      float* crow = cp + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = bp + j * k;
-        double acc = 0.0;
-        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        crow[j] += static_cast<float>(acc);
-      }
-    }
+  ParallelFor(0, m, GemmRowGrain(k * n), [=](int64_t lo, int64_t hi) {
+    kernels::GemmRowsABt(ap + lo * k, bp, cp + lo * n, hi - lo, k, n);
   });
 }
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/parallel.h"
+#include "tensor/kernels.h"
 
 namespace mgbr {
 
@@ -38,14 +39,14 @@ void Tensor::AccumulateInPlace(const Tensor& other) {
   const float* src = other.data();
   float* dst = data();
   ParallelFor(0, numel(), kElemGrain, [dst, src](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) dst[i] += src[i];
+    kernels::AddInPlace(dst + lo, src + lo, hi - lo);
   });
 }
 
 void Tensor::ScaleInPlace(float s) {
   float* dst = data();
   ParallelFor(0, numel(), kElemGrain, [dst, s](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) dst[i] *= s;
+    kernels::ScaleInPlace(dst + lo, s, hi - lo);
   });
 }
 

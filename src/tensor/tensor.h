@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "tensor/arena.h"
 
 namespace mgbr {
 
@@ -16,28 +18,68 @@ namespace mgbr {
 /// removes a whole class of broadcasting ambiguities; the few
 /// broadcast forms the models need are explicit ops (see ops.h).
 ///
-/// Tensors own their storage (std::vector<float>) and have value
-/// semantics: copying a Tensor copies the buffer. At the scale this
-/// library targets (experiment-sized recommender models) this is the
-/// simplest correct choice; the autograd layer shares tensors through
-/// Var, not through Tensor aliasing.
+/// Tensors own their storage and have value semantics: copying a
+/// Tensor copies the buffer. Buffers come from the process-wide
+/// TensorArena (arena.h), which recycles them across tape nodes and
+/// training steps; every acquired buffer is zero-filled or fully
+/// overwritten, so recycling never changes a computed value. The
+/// autograd layer shares tensors through Var, not through Tensor
+/// aliasing.
 class Tensor {
  public:
   /// Empty 0x0 tensor.
   Tensor() : rows_(0), cols_(0) {}
 
-  /// Uninitialized-to-zero tensor of the given shape.
+  /// Zero-initialized tensor of the given shape.
   Tensor(int64_t rows, int64_t cols)
       : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows * cols), 0.0f) {
+        data_(TensorArena::Global().Acquire(rows * cols)) {
     MGBR_CHECK_GE(rows, 0);
     MGBR_CHECK_GE(cols, 0);
   }
 
-  Tensor(const Tensor&) = default;
-  Tensor& operator=(const Tensor&) = default;
-  Tensor(Tensor&&) = default;
-  Tensor& operator=(Tensor&&) = default;
+  ~Tensor() {
+    if (data_.capacity() != 0) {
+      TensorArena::Global().Release(std::move(data_));
+    }
+  }
+
+  Tensor(const Tensor& other)
+      : rows_(other.rows_), cols_(other.cols_),
+        data_(TensorArena::Global().AcquireCopy(other.data_.data(),
+                                                other.numel())) {}
+
+  Tensor& operator=(const Tensor& other) {
+    if (this != &other) {
+      TensorArena::Global().Release(std::move(data_));
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      data_ = TensorArena::Global().AcquireCopy(other.data_.data(),
+                                                other.numel());
+    }
+    return *this;
+  }
+
+  Tensor(Tensor&& other) noexcept
+      : rows_(other.rows_), cols_(other.cols_),
+        data_(std::move(other.data_)) {
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_ = std::vector<float>();
+  }
+
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      TensorArena::Global().Release(std::move(data_));
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      data_ = std::move(other.data_);
+      other.rows_ = 0;
+      other.cols_ = 0;
+      other.data_ = std::vector<float>();
+    }
+    return *this;
+  }
 
   /// All-zero tensor.
   static Tensor Zeros(int64_t rows, int64_t cols) {

@@ -25,6 +25,14 @@ Counter* SamplerRejectionsCounter() {
   return c;
 }
 
+#if MGBR_TELEMETRY
+Gauge* LearningRateGauge() {
+  static Gauge* g =
+      MetricsRegistry::Global().GetGauge("trainer.learning_rate");
+  return g;
+}
+#endif  // MGBR_TELEMETRY
+
 }  // namespace
 
 Trainer::Trainer(RecModel* model, const TrainingSampler* sampler,
@@ -154,6 +162,10 @@ EpochStats Trainer::RunEpoch() {
   }
 
   stats.learning_rate = optimizer_->learning_rate();
+#if MGBR_TELEMETRY
+  MGBR_GAUGE_SET(LearningRateGauge(),
+                 static_cast<double>(stats.learning_rate));
+#endif
   stats.seconds = epoch_span.Finish();
   ++epochs_run_;
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "tensor/kernels.h"
+#include "tensor/nn.h"
 #include "tensor/ops.h"
 #include "tests/test_util.h"
 
@@ -255,6 +257,33 @@ TEST(GradCheckTest, DeepCompositeExpression) {
     Var score = Sigmoid(MatMul(hidden, leaves[2]));
     return Mean(score);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Fused bias + activation (tensor/nn.h) and kernel-dispatch variants.
+// ---------------------------------------------------------------------------
+
+TEST(GradCheckTest, BiasActBothInputsEveryActivation) {
+  for (Activation act : {Activation::kNone, Activation::kRelu,
+                         Activation::kSigmoid, Activation::kTanh}) {
+    std::vector<Var> leaves = {Leaf(4, 3, 41), Leaf(1, 3, 42)};
+    CheckGradients(leaves, [&, act] {
+      return Mean(BiasAct(leaves[0], leaves[1], act));
+    });
+  }
+}
+
+/// Re-runs the deepest composite checks with the scalar kernel variants
+/// dispatched, so both halves of tensor/kernels.cc stay gradcheck-clean.
+TEST(GradCheckTest, CompositeWithScalarKernelDispatch) {
+  const bool saved = kernels::SimdEnabled();
+  kernels::SetSimdEnabled(false);
+  std::vector<Var> leaves = {Leaf(3, 4, 51), Leaf(4, 2, 52), Leaf(1, 2, 53)};
+  CheckGradients(leaves, [&] {
+    return Mean(BiasAct(MatMul(leaves[0], leaves[1]), leaves[2],
+                        Activation::kSigmoid));
+  });
+  kernels::SetSimdEnabled(saved);
 }
 
 }  // namespace
