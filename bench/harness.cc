@@ -160,8 +160,11 @@ RunResult ExperimentHarness::TrainAndEvaluate(RecModel* model) {
 
 RunResult ExperimentHarness::EvaluateOnly(RecModel* model) const {
   model->Refresh();
-  TaskAScorer sa = model->MakeTaskAScorer();
-  TaskBScorer sb = model->MakeTaskBScorer();
+  // Batched no-grad fast path: whole candidate chunks per scorer call,
+  // no tape. Metrics are bit-identical to the per-instance scorers
+  // (tests/inference_test.cc holds every model to that).
+  BatchTaskAScorer sa = model->MakeBatchTaskAScorer();
+  BatchTaskBScorer sb = model->MakeBatchTaskBScorer();
   RunResult result;
   result.name = model->name();
   result.param_count = model->ParameterCount();

@@ -73,6 +73,15 @@ class ExperimentHarness {
   const GraphInputs& graphs() const { return graphs_; }
   const GroupBuyingDataset& train_data() const { return split_.train; }
   const TrainingSampler& sampler() const { return *sampler_; }
+  const InteractionIndex& full_index() const { return *full_index_; }
+  int64_t n_users() const { return data_.n_users(); }
+  int64_t n_items() const { return data_.n_items(); }
+
+  // Evaluation instance sets for benches that drive the evaluators
+  // directly (the serving bench and the eval-path gate).
+  const std::vector<EvalInstanceA>& eval_a10() const { return a10_; }
+  const std::vector<EvalInstanceA>& eval_a100() const { return a100_; }
+  const std::vector<EvalInstanceB>& eval_b100() const { return b100_; }
 
   /// Builds one of the six baselines by table name
   /// ("DeepMF", "NGCF", "DiffNet", "EATNN", "GBGCN", "GBMF").

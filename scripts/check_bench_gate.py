@@ -1,20 +1,32 @@
 #!/usr/bin/env python3
-"""SIMD benchmark regression gate.
+"""Benchmark regression gates (SIMD kernels + no-grad eval path).
 
-Compares two bench_micro_engine JSON outputs — one run with the simd
-kernel variants dispatched (MGBR_SIMD=1) and one with the scalar
-variants (MGBR_SIMD=0) — and fails if the geometric-mean speedup over
-the gate cases listed in BENCH_baseline.json falls below the committed
-floor (`ci_gate.min_simd_speedup_geomean`).
+Default mode — SIMD gate. Compares two bench_micro_engine JSON outputs,
+one run with the simd kernel variants dispatched (MGBR_SIMD=1) and one
+with the scalar variants (MGBR_SIMD=0), and fails if the geometric-mean
+speedup over the gate cases listed in BENCH_baseline.json falls below
+the committed floor (`ci_gate.min_simd_speedup_geomean`).
 
-The floor is intentionally far below the dev-box geomean recorded in
+`--eval` mode — inference-path gate. Reads ONE bench_serving JSON
+output containing both the per-instance tape evaluation benchmarks and
+their batched no-grad counterparts, and fails if the geomean of the
+tape/no-grad time ratios over `ci_gate.eval_pairs` falls below
+`ci_gate.min_eval_nograd_speedup_geomean`. The gated pairs are the
+full-ranking passes, where the batched scorer's once-per-unique-user
+catalogue scoring gives a structural speedup that is deterministic for
+a fixed dataset seed (it is a dedup ratio, not a kernel timing), so the
+floor holds even on noisy shared runners.
+
+Both floors are intentionally far below the dev-box numbers recorded in
 BENCH_baseline.json: CI runners are noisy, share cores, and build
-without -march=native, so the gate only exists to catch a real loss of
-vectorization (e.g. a kernel edit that silently serializes), not to
-enforce exact numbers.
+without -march=native, so the gates only exist to catch a real
+structural regression (a kernel edit that silently serializes, an eval
+refactor that reverts to per-instance scoring), not to enforce exact
+numbers.
 
 Usage:
     check_bench_gate.py BENCH_baseline.json simd_on.json simd_off.json
+    check_bench_gate.py --eval BENCH_baseline.json serving.json
 """
 
 import json
@@ -32,37 +44,81 @@ def medians(path):
     return out
 
 
-def main(argv):
-    if len(argv) != 4:
-        print(__doc__)
-        return 2
-    with open(argv[1]) as f:
-        baseline = json.load(f)
+def geomean(ratios):
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def simd_gate(baseline, on_path, off_path):
     gate = baseline["ci_gate"]
     cases = gate["gate_cases"]
     floor = gate["min_simd_speedup_geomean"]
 
-    on = medians(argv[2])
-    off = medians(argv[3])
+    on = medians(on_path)
+    off = medians(off_path)
     missing = [c for c in cases if c not in on or c not in off]
     if missing:
         print(f"ERROR: gate cases missing from bench output: {missing}")
         return 1
 
     ratios = {c: off[c] / on[c] for c in cases}
-    geomean = math.exp(sum(math.log(r) for r in ratios.values()) / len(ratios))
+    gm = geomean(ratios.values())
     for case, ratio in sorted(ratios.items()):
         print(f"{case:35s} simd-off/simd-on = {ratio:6.2f}x")
-    print(f"{'geomean':35s} {geomean:6.2f}x (floor {floor:.2f}x)")
-    if geomean < floor:
+    print(f"{'geomean':35s} {gm:6.2f}x (floor {floor:.2f}x)")
+    if gm < floor:
         print(
-            f"ERROR: simd speedup geomean {geomean:.2f}x is below the "
+            f"ERROR: simd speedup geomean {gm:.2f}x is below the "
             f"committed floor {floor:.2f}x — the vectorized variants have "
             "regressed relative to the scalar ones."
         )
         return 1
     print("OK: simd kernels clear the regression floor.")
     return 0
+
+
+def eval_gate(baseline, serving_path):
+    gate = baseline["ci_gate"]
+    pairs = gate["eval_pairs"]
+    floor = gate["min_eval_nograd_speedup_geomean"]
+
+    times = medians(serving_path)
+    missing = [n for pair in pairs for n in pair if n not in times]
+    if missing:
+        print(f"ERROR: eval gate cases missing from bench output: {missing}")
+        return 1
+
+    ratios = {}
+    for tape, nograd in pairs:
+        ratios[nograd] = times[tape] / times[nograd]
+    gm = geomean(ratios.values())
+    for case, ratio in sorted(ratios.items()):
+        print(f"{case:45s} tape/no-grad = {ratio:6.2f}x")
+    print(f"{'geomean':45s} {gm:6.2f}x (floor {floor:.2f}x)")
+    if gm < floor:
+        print(
+            f"ERROR: no-grad eval speedup geomean {gm:.2f}x is below the "
+            f"committed floor {floor:.2f}x — the batched inference path has "
+            "regressed relative to per-instance tape evaluation."
+        )
+        return 1
+    print("OK: the no-grad eval path clears the regression floor.")
+    return 0
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--eval":
+        if len(argv) != 4:
+            print(__doc__)
+            return 2
+        with open(argv[2]) as f:
+            baseline = json.load(f)
+        return eval_gate(baseline, argv[3])
+    if len(argv) != 4:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        baseline = json.load(f)
+    return simd_gate(baseline, argv[2], argv[3])
 
 
 if __name__ == "__main__":

@@ -32,6 +32,8 @@ void MgbrModel::Refresh() {
   MGBR_TRACE_SPAN("mgbr.refresh", "core");
   emb_ = views_.Forward();
   mean_part_ = MeanOverRows(emb_.parts);
+  NoGradScope no_grad;
+  mean_part_all_items_ = BroadcastRow(mean_part_, views_.n_items());
 }
 
 MultiTaskModule::Output MgbrModel::RunMtl(const std::vector<int64_t>& users,
@@ -61,6 +63,32 @@ Var MgbrModel::ScoreB(const std::vector<int64_t>& users,
   MGBR_TRACE_SPAN("mgbr.score_b", "core");
   Var e_p = Rows(emb_.parts, parts);
   MultiTaskModule::Output out = RunMtl(users, items, e_p);
+  Var logits = mlp_b_.Forward(out.g_b);
+  return config_.sigmoid_head ? Sigmoid(logits) : logits;
+}
+
+Var MgbrModel::ScoreAAll(int64_t u) {
+  MGBR_TRACE_SPAN("mgbr.score_a_all", "core");
+  MGBR_CHECK(mean_part_all_items_.defined());
+  NoGradScope no_grad;
+  // The item table is the e_i batch: every op downstream (ConcatCols,
+  // MatMul, BlockMix, RowSoftmax, BiasAct) computes row i from row i
+  // alone, so score i is bitwise identical to ScoreA({u}, {i}).
+  Var e_u = BroadcastRow(Rows(emb_.users, {u}), views_.n_items());
+  MultiTaskModule::Output out =
+      mtl_.Forward(e_u, emb_.items, mean_part_all_items_);
+  Var logits = mlp_a_.Forward(out.g_a);
+  return config_.sigmoid_head ? Sigmoid(logits) : logits;
+}
+
+Var MgbrModel::ScoreBAll(int64_t u, int64_t item) {
+  MGBR_TRACE_SPAN("mgbr.score_b_all", "core");
+  MGBR_CHECK(emb_.parts.defined());
+  NoGradScope no_grad;
+  const int64_t n = views_.n_users();
+  Var e_u = BroadcastRow(Rows(emb_.users, {u}), n);
+  Var e_i = BroadcastRow(Rows(emb_.items, {item}), n);
+  MultiTaskModule::Output out = mtl_.Forward(e_u, e_i, emb_.parts);
   Var logits = mlp_b_.Forward(out.g_b);
   return config_.sigmoid_head ? Sigmoid(logits) : logits;
 }

@@ -31,6 +31,19 @@ class MgbrModel : public RecModel {
              const std::vector<int64_t>& items,
              const std::vector<int64_t>& parts) override;
 
+  int64_t num_users() const override { return views_.n_users(); }
+  int64_t num_items() const override { return views_.n_items(); }
+
+  /// Full-catalogue Task A inference: the whole item table feeds the
+  /// MTL module and MLP_A as one batch (no per-candidate gather); e_p
+  /// is the mean-participant broadcast cached by Refresh.
+  Var ScoreAAll(int64_t u) override;
+
+  /// Full-catalogue Task B inference: every user scored as candidate
+  /// participant of (u, item); the participant table feeds the MTL
+  /// module in place.
+  Var ScoreBAll(int64_t u, int64_t item) override;
+
   /// s(u, i, p) of Eq. 20: the Task A head evaluated with an explicit
   /// participant embedding instead of the user mean. Used by the
   /// auxiliary ListNet loss L'_A.
@@ -60,6 +73,11 @@ class MgbrModel : public RecModel {
   Mlp mlp_b_;
   MultiViewEmbedding::Output emb_;  // cached by Refresh
   Var mean_part_;                   // 1 x 2d, cached by Refresh
+  // Detached mean-participant broadcast over the item catalogue
+  // (n_items x 2d), cached once per Refresh so ScoreAAll never
+  // recomputes e_p. Built eagerly (not lazily) so concurrent eval
+  // threads only ever read it.
+  Var mean_part_all_items_;
 };
 
 }  // namespace mgbr

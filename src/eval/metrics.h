@@ -44,6 +44,29 @@ using TaskAScorer = std::function<std::vector<double>(
 using TaskBScorer = std::function<std::vector<double>(
     int64_t u, int64_t item, const std::vector<int64_t>& parts)>;
 
+/// Flat batched Task A scorer for the no-grad eval fast path: scores
+/// parallel (users[b], items[b]) pairs in one call, so the evaluator
+/// can concatenate many instances' candidate lists into one blocked
+/// GEMM pass. Must be safe to call concurrently.
+using BatchTaskAScorer = std::function<std::vector<double>(
+    const std::vector<int64_t>& users, const std::vector<int64_t>& items)>;
+
+/// Flat batched Task B scorer: parallel (users[b], items[b], parts[b])
+/// triples in one call.
+using BatchTaskBScorer = std::function<std::vector<double>(
+    const std::vector<int64_t>& users, const std::vector<int64_t>& items,
+    const std::vector<int64_t>& parts)>;
+
+/// Full-catalogue Task A scorer: every item's score for one user, in
+/// item order (RecModel::ScoreAAll behind an adapter).
+using FullTaskAScorer = std::function<std::vector<double>(int64_t u)>;
+
+/// Deterministic partial-selection top-K: indices of the K largest
+/// scores ordered by (score desc, index asc). The index tiebreak makes
+/// the result a pure function of the scores — equal scores never
+/// reorder across runs or thread counts. K is clamped to scores.size().
+std::vector<int64_t> TopKIndices(const std::vector<double>& scores, int64_t k);
+
 /// Runs the paper's ranked-list protocol on Task A: for each instance
 /// the positive plus its negatives are scored together and ranked.
 /// `cutoff` is the N of MRR/NDCG@N (candidate list size = 1+negatives).
@@ -54,6 +77,20 @@ RankingReport EvaluateTaskA(const std::vector<EvalInstanceA>& instances,
 RankingReport EvaluateTaskB(const std::vector<EvalInstanceB>& instances,
                             const TaskBScorer& scorer, int64_t cutoff);
 
+/// Batched no-grad fast path of the Task A protocol: instances are
+/// chunked and each chunk's candidate lists are concatenated into ONE
+/// scorer call, replacing per-instance dispatch with a few large
+/// GEMM passes. Per-candidate scores — and therefore every metric —
+/// are bit-identical to the per-instance overload because every engine
+/// op computes each output row independently of its batch neighbours
+/// (see docs/inference.md).
+RankingReport EvaluateTaskA(const std::vector<EvalInstanceA>& instances,
+                            const BatchTaskAScorer& scorer, int64_t cutoff);
+
+/// Batched no-grad fast path of the Task B protocol.
+RankingReport EvaluateTaskB(const std::vector<EvalInstanceB>& instances,
+                            const BatchTaskBScorer& scorer, int64_t cutoff);
+
 /// Full-ranking protocol for Task A (extension beyond the paper's
 /// sampled-candidate protocol): for each instance the positive item is
 /// ranked against EVERY item the user has not interacted with, removing
@@ -62,6 +99,15 @@ RankingReport EvaluateTaskB(const std::vector<EvalInstanceB>& instances,
 /// for final reporting, not inner loops.
 RankingReport EvaluateTaskAFullRanking(
     const std::vector<EvalInstanceA>& instances, const TaskAScorer& scorer,
+    const InteractionIndex& full_index, int64_t n_items, int64_t cutoff);
+
+/// Batched full-ranking fast path: the catalogue is scored ONCE per
+/// unique user (instances sharing a user reuse the score vector) and
+/// the per-user exclusion set is expanded to a bitmap once instead of
+/// one hash probe per item per instance. Ranks, and therefore metrics,
+/// are bit-identical to the per-instance overload.
+RankingReport EvaluateTaskAFullRanking(
+    const std::vector<EvalInstanceA>& instances, const FullTaskAScorer& scorer,
     const InteractionIndex& full_index, int64_t n_items, int64_t cutoff);
 
 }  // namespace mgbr

@@ -13,11 +13,28 @@ namespace {
 /// fork/join overhead stays small on sparse rows.
 constexpr int64_t kSpmmChunkWork = 1 << 14;
 
-int64_t SpmmRowGrain(int64_t rows, int64_t nnz, int64_t dense_cols) {
-  if (rows <= 0) return 1;
-  const int64_t work_per_row =
-      std::max<int64_t>(1, (nnz / rows) * std::max<int64_t>(1, dense_cols));
-  return std::max<int64_t>(1, kSpmmChunkWork / work_per_row);
+/// Row-chunk boundaries balanced by cumulative nnz: each chunk owns a
+/// contiguous row range holding roughly kSpmmChunkWork / d entries.
+/// row_ptr IS the cumulative-nnz array, so boundaries cost one scan.
+/// The previous scheme fixed rows-per-chunk from the AVERAGE degree,
+/// which left threads idle on skewed-degree graphs (one hub row could
+/// carry a whole chunk's work). Chunks still partition row ownership —
+/// each output row is accumulated sequentially by exactly one chunk —
+/// so results stay bit-identical for every thread count.
+std::vector<int64_t> NnzBalancedBounds(const int64_t* row_ptr, int64_t rows,
+                                       int64_t dense_cols) {
+  std::vector<int64_t> bounds = {0};
+  const int64_t target = std::max<int64_t>(
+      1, kSpmmChunkWork / std::max<int64_t>(1, dense_cols));
+  int64_t chunk_start_nnz = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    if (row_ptr[r + 1] - chunk_start_nnz >= target) {
+      bounds.push_back(r + 1);
+      chunk_start_nnz = row_ptr[r + 1];
+    }
+  }
+  if (bounds.back() != rows) bounds.push_back(rows);
+  return bounds;
 }
 
 }  // namespace
@@ -113,13 +130,19 @@ Tensor CsrMatrix::Multiply(const Tensor& dense) const {
   Tensor out(rows_, d);
   const float* xp = dense.data();
   float* op = out.data();
-  // Row-partitioned: each output row is accumulated by exactly one
-  // chunk, sequentially over its CSR entries, so the result is
-  // bit-identical for every thread count.
-  ParallelFor(0, rows_, SpmmRowGrain(rows_, nnz(), d),
+  // Row-partitioned with nnz-balanced chunk boundaries: each output
+  // row is accumulated by exactly one chunk, sequentially over its CSR
+  // entries, so the result is bit-identical for every thread count.
+  const std::vector<int64_t> bounds =
+      NnzBalancedBounds(row_ptr_.data(), rows_, d);
+  ParallelFor(0, static_cast<int64_t>(bounds.size()) - 1, 1,
               [&, xp, op, d](int64_t lo, int64_t hi) {
-                kernels::SpmmRows(row_ptr_.data(), col_idx_.data(),
-                                  values_.data(), xp, op, lo, hi, d);
+                for (int64_t c = lo; c < hi; ++c) {
+                  kernels::SpmmRows(row_ptr_.data(), col_idx_.data(),
+                                    values_.data(), xp, op,
+                                    bounds[static_cast<size_t>(c)],
+                                    bounds[static_cast<size_t>(c) + 1], d);
+                }
               });
   return out;
 }
@@ -131,11 +154,18 @@ Tensor CsrMatrix::TransposeMultiply(const Tensor& dense) const {
   const float* xp = dense.data();
   float* op = out.data();
   // Uses the precomputed transpose (CSC view) so every output row —
-  // a column of this matrix — is owned by exactly one chunk.
-  ParallelFor(0, cols_, SpmmRowGrain(cols_, nnz(), d),
+  // a column of this matrix — is owned by exactly one chunk; chunk
+  // boundaries balance cumulative nnz, not row count.
+  const std::vector<int64_t> bounds =
+      NnzBalancedBounds(t_row_ptr_.data(), cols_, d);
+  ParallelFor(0, static_cast<int64_t>(bounds.size()) - 1, 1,
               [&, xp, op, d](int64_t lo, int64_t hi) {
-                kernels::SpmmRows(t_row_ptr_.data(), t_col_idx_.data(),
-                                  t_values_.data(), xp, op, lo, hi, d);
+                for (int64_t c = lo; c < hi; ++c) {
+                  kernels::SpmmRows(t_row_ptr_.data(), t_col_idx_.data(),
+                                    t_values_.data(), xp, op,
+                                    bounds[static_cast<size_t>(c)],
+                                    bounds[static_cast<size_t>(c) + 1], d);
+                }
               });
   return out;
 }

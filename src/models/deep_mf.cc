@@ -50,4 +50,21 @@ Var DeepMf::ScoreB(const std::vector<int64_t>& users,
   return RowDot(Rows(user_latent_, users), Rows(user_latent_, parts));
 }
 
+int64_t DeepMf::num_users() const { return user_emb_.rows(); }
+
+int64_t DeepMf::num_items() const { return item_emb_.rows(); }
+
+Var DeepMf::ScoreAAll(int64_t u) {
+  MGBR_CHECK(user_latent_.defined());
+  NoGradScope no_grad;
+  return DotAllRows(user_latent_, u, item_latent_);
+}
+
+Var DeepMf::ScoreBAll(int64_t u, int64_t item) {
+  (void)item;
+  MGBR_CHECK(user_latent_.defined());
+  NoGradScope no_grad;
+  return DotAllRows(user_latent_, u, user_latent_);
+}
+
 }  // namespace mgbr

@@ -26,6 +26,11 @@ class DeepMf : public RecModel {
              const std::vector<int64_t>& items,
              const std::vector<int64_t>& parts) override;
 
+  int64_t num_users() const override;
+  int64_t num_items() const override;
+  Var ScoreAAll(int64_t u) override;
+  Var ScoreBAll(int64_t u, int64_t item) override;
+
  private:
   Var user_emb_;
   Var item_emb_;

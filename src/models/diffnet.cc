@@ -68,4 +68,21 @@ Var DiffNet::ScoreB(const std::vector<int64_t>& users,
   return RowDot(Rows(user_final_, users), Rows(user_final_, parts));
 }
 
+int64_t DiffNet::num_users() const { return user_emb_.rows(); }
+
+int64_t DiffNet::num_items() const { return item_emb_.rows(); }
+
+Var DiffNet::ScoreAAll(int64_t u) {
+  MGBR_CHECK(user_final_.defined());
+  NoGradScope no_grad;
+  return DotAllRows(user_final_, u, item_emb_);
+}
+
+Var DiffNet::ScoreBAll(int64_t u, int64_t item) {
+  (void)item;
+  MGBR_CHECK(user_final_.defined());
+  NoGradScope no_grad;
+  return DotAllRows(user_final_, u, user_final_);
+}
+
 }  // namespace mgbr

@@ -30,6 +30,11 @@ class DiffNet : public RecModel {
              const std::vector<int64_t>& items,
              const std::vector<int64_t>& parts) override;
 
+  int64_t num_users() const override;
+  int64_t num_items() const override;
+  Var ScoreAAll(int64_t u) override;
+  Var ScoreBAll(int64_t u, int64_t item) override;
+
  private:
   SharedCsr a_social_;
   SharedCsr r_norm_;  // row-normalized U x I interaction matrix

@@ -44,4 +44,21 @@ Var Eatnn::ScoreB(const std::vector<int64_t>& users,
   return RowDot(Rows(user_social_, users), Rows(user_social_, parts));
 }
 
+int64_t Eatnn::num_users() const { return shared_emb_.rows(); }
+
+int64_t Eatnn::num_items() const { return item_emb_.rows(); }
+
+Var Eatnn::ScoreAAll(int64_t u) {
+  MGBR_CHECK(user_item_.defined());
+  NoGradScope no_grad;
+  return DotAllRows(user_item_, u, item_emb_);
+}
+
+Var Eatnn::ScoreBAll(int64_t u, int64_t item) {
+  (void)item;
+  MGBR_CHECK(user_social_.defined());
+  NoGradScope no_grad;
+  return DotAllRows(user_social_, u, user_social_);
+}
+
 }  // namespace mgbr

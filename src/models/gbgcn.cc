@@ -48,4 +48,17 @@ Var Gbgcn::ScoreB(const std::vector<int64_t>& users,
   return RowDot(Rows(init_user_, users), Rows(part_user_, parts));
 }
 
+Var Gbgcn::ScoreAAll(int64_t u) {
+  MGBR_CHECK(init_user_.defined());
+  NoGradScope no_grad;
+  return DotAllRows(init_user_, u, item_final_);
+}
+
+Var Gbgcn::ScoreBAll(int64_t u, int64_t item) {
+  (void)item;
+  MGBR_CHECK(init_user_.defined());
+  NoGradScope no_grad;
+  return DotAllRows(init_user_, u, part_user_);
+}
+
 }  // namespace mgbr

@@ -28,6 +28,11 @@ class Gbgcn : public RecModel {
              const std::vector<int64_t>& items,
              const std::vector<int64_t>& parts) override;
 
+  int64_t num_users() const override { return n_users_; }
+  int64_t num_items() const override { return stack_ui_.n_nodes() - n_users_; }
+  Var ScoreAAll(int64_t u) override;
+  Var ScoreBAll(int64_t u, int64_t item) override;
+
  private:
   int64_t n_users_;
   SharedCsr a_ui_;

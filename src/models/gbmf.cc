@@ -26,4 +26,19 @@ Var Gbmf::ScoreB(const std::vector<int64_t>& users,
   return RowDot(Rows(init_emb_, users), Rows(part_emb_, parts));
 }
 
+int64_t Gbmf::num_users() const { return init_emb_.rows(); }
+
+int64_t Gbmf::num_items() const { return item_emb_.rows(); }
+
+Var Gbmf::ScoreAAll(int64_t u) {
+  NoGradScope no_grad;
+  return DotAllRows(init_emb_, u, item_emb_);
+}
+
+Var Gbmf::ScoreBAll(int64_t u, int64_t item) {
+  (void)item;
+  NoGradScope no_grad;
+  return DotAllRows(init_emb_, u, part_emb_);
+}
+
 }  // namespace mgbr

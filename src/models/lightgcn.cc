@@ -9,6 +9,7 @@ namespace mgbr {
 LightGcn::LightGcn(const GraphInputs& graphs, int64_t dim, int64_t n_layers,
                    Rng* rng)
     : n_users_(graphs.n_users),
+      n_items_(graphs.n_items),
       n_layers_(n_layers),
       a_joint_(graphs.a_joint),
       x0_(GaussianInit(graphs.n_users + graphs.n_items, dim, rng, 0.0f,
@@ -27,6 +28,22 @@ void LightGcn::Refresh() {
     sum = Add(sum, h);
   }
   final_ = MulScalar(sum, 1.0f / static_cast<float>(n_layers_ + 1));
+  NoGradScope no_grad;
+  user_block_ = SliceRows(final_, 0, n_users_);
+  item_block_ = SliceRows(final_, n_users_, n_items_);
+}
+
+Var LightGcn::ScoreAAll(int64_t u) {
+  MGBR_CHECK(item_block_.defined());
+  NoGradScope no_grad;
+  return DotAllRows(final_, u, item_block_);
+}
+
+Var LightGcn::ScoreBAll(int64_t u, int64_t item) {
+  (void)item;
+  MGBR_CHECK(user_block_.defined());
+  NoGradScope no_grad;
+  return DotAllRows(final_, u, user_block_);
 }
 
 Var LightGcn::ScoreA(const std::vector<int64_t>& users,

@@ -27,12 +27,22 @@ class LightGcn : public RecModel {
              const std::vector<int64_t>& items,
              const std::vector<int64_t>& parts) override;
 
+  int64_t num_users() const override { return n_users_; }
+  int64_t num_items() const override { return n_items_; }
+  Var ScoreAAll(int64_t u) override;
+  Var ScoreBAll(int64_t u, int64_t item) override;
+
  private:
   int64_t n_users_;
+  int64_t n_items_;
   int64_t n_layers_;
   SharedCsr a_joint_;
   Var x0_;
   Var final_;  // cached by Refresh
+  // Detached role blocks of final_, cached by Refresh for the batched
+  // inference path (ScoreAAll/ScoreBAll score them in place).
+  Var user_block_;
+  Var item_block_;
 };
 
 }  // namespace mgbr

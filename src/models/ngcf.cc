@@ -8,6 +8,7 @@ namespace mgbr {
 
 Ngcf::Ngcf(const GraphInputs& graphs, int64_t dim, int64_t n_layers, Rng* rng)
     : n_users_(graphs.n_users),
+      n_items_(graphs.n_items),
       a_joint_(graphs.a_joint),
       x0_(GaussianInit(graphs.n_users + graphs.n_items, dim, rng, 0.0f, 0.1f),
           true) {
@@ -36,6 +37,22 @@ void Ngcf::Refresh() {
     layers.push_back(h);
   }
   final_ = ConcatCols(layers);
+  NoGradScope no_grad;
+  user_block_ = SliceRows(final_, 0, n_users_);
+  item_block_ = SliceRows(final_, n_users_, n_items_);
+}
+
+Var Ngcf::ScoreAAll(int64_t u) {
+  MGBR_CHECK(item_block_.defined());
+  NoGradScope no_grad;
+  return DotAllRows(final_, u, item_block_);
+}
+
+Var Ngcf::ScoreBAll(int64_t u, int64_t item) {
+  (void)item;
+  MGBR_CHECK(user_block_.defined());
+  NoGradScope no_grad;
+  return DotAllRows(final_, u, user_block_);
 }
 
 Var Ngcf::ScoreA(const std::vector<int64_t>& users,

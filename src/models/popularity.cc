@@ -42,4 +42,23 @@ Var Popularity::ScoreB(const std::vector<int64_t>& users,
   return Var(std::move(out), /*requires_grad=*/false);
 }
 
+Var Popularity::ScoreAAll(int64_t u) {
+  (void)u;
+  Tensor out(static_cast<int64_t>(item_popularity_.size()), 1);
+  for (size_t i = 0; i < item_popularity_.size(); ++i) {
+    out.data()[i] = item_popularity_[i];
+  }
+  return Var(std::move(out), /*requires_grad=*/false);
+}
+
+Var Popularity::ScoreBAll(int64_t u, int64_t item) {
+  (void)u;
+  (void)item;
+  Tensor out(static_cast<int64_t>(user_activity_.size()), 1);
+  for (size_t i = 0; i < user_activity_.size(); ++i) {
+    out.data()[i] = user_activity_[i];
+  }
+  return Var(std::move(out), /*requires_grad=*/false);
+}
+
 }  // namespace mgbr

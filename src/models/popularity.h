@@ -23,6 +23,15 @@ class Popularity : public RecModel {
              const std::vector<int64_t>& items,
              const std::vector<int64_t>& parts) override;
 
+  int64_t num_users() const override {
+    return static_cast<int64_t>(user_activity_.size());
+  }
+  int64_t num_items() const override {
+    return static_cast<int64_t>(item_popularity_.size());
+  }
+  Var ScoreAAll(int64_t u) override;
+  Var ScoreBAll(int64_t u, int64_t item) override;
+
  private:
   std::vector<float> item_popularity_;
   std::vector<float> user_activity_;

@@ -45,6 +45,26 @@ class RecModel {
                      const std::vector<int64_t>& items,
                      const std::vector<int64_t>& parts) = 0;
 
+  /// Catalogue sizes the batched full-catalogue scorers below range
+  /// over (Task B candidates are users in their participant role).
+  virtual int64_t num_users() const = 0;
+  virtual int64_t num_items() const = 0;
+
+  /// Full-catalogue Task A inference: an (n_items x 1) Var with
+  /// s(i | u) for every item i, always computed under a NoGradScope
+  /// (the result is detached — no tape, no Backward). Row i is bitwise
+  /// identical to ScoreA({u}, {i}) because every engine op computes
+  /// each output row independently of its batch neighbours (see
+  /// docs/inference.md). The default lifts ScoreA over the whole
+  /// catalogue in one call; models override it to skip the candidate
+  /// gather and score straight off their cached propagated embeddings.
+  virtual Var ScoreAAll(int64_t u);
+
+  /// Full-catalogue Task B inference: (n_users x 1) scores of every
+  /// user as candidate participant of (u, item). Same contract as
+  /// ScoreAAll.
+  virtual Var ScoreBAll(int64_t u, int64_t item);
+
   /// Total number of scalar parameters (Table V).
   int64_t ParameterCount() const;
 
@@ -52,6 +72,13 @@ class RecModel {
   /// caller refreshes once per pass).
   TaskAScorer MakeTaskAScorer();
   TaskBScorer MakeTaskBScorer();
+
+  /// No-grad batched eval adapters: same contract as the adapters
+  /// above, but scoring whole concatenated candidate batches (or the
+  /// full catalogue) per call without building autograd state.
+  BatchTaskAScorer MakeBatchTaskAScorer();
+  BatchTaskBScorer MakeBatchTaskBScorer();
+  FullTaskAScorer MakeFullTaskAScorer();
 };
 
 }  // namespace mgbr

@@ -4,6 +4,19 @@
 
 namespace mgbr {
 
+namespace {
+/// Per-thread no-grad depth flag; see NoGradScope in variable.h.
+thread_local bool t_no_grad_active = false;
+}  // namespace
+
+NoGradScope::NoGradScope() : prev_(t_no_grad_active) {
+  t_no_grad_active = true;
+}
+
+NoGradScope::~NoGradScope() { t_no_grad_active = prev_; }
+
+bool NoGradScope::Active() { return t_no_grad_active; }
+
 namespace internal {
 
 Tensor& VarNode::EnsureGrad() {
@@ -21,6 +34,11 @@ Var MakeOpVar(Tensor value, std::vector<Var> parents,
     MGBR_CHECK(p.defined());
     needs = needs || p.requires_grad();
   }
+  // Inside a NoGradScope the op result is a detached value: the tape
+  // (parents + backward closure) is never materialized. The forward
+  // Tensor was already computed by the caller with the same kernels as
+  // the tape path, so values are unaffected.
+  if (NoGradScope::Active()) needs = false;
   Var out(std::move(value), needs);
   if (needs) {
     auto& node = *out.node();

@@ -14,6 +14,28 @@ namespace internal {
 struct VarNode;
 }  // namespace internal
 
+/// RAII guard that disables autograd-tape construction on the current
+/// thread. While a NoGradScope is alive, every op built through
+/// `internal::MakeOpVar` (which covers ops.cc, nn.cc and gcn.cc)
+/// produces a plain value node: no parents are retained, no backward
+/// closure is stored, and `requires_grad` is forced off. The forward
+/// kernels and their reduction orders are untouched, so values are
+/// bitwise identical to the tape path. Scopes nest; each thread tracks
+/// its own flag, so concurrent evaluation and training never interact.
+class NoGradScope {
+ public:
+  NoGradScope();
+  ~NoGradScope();
+  NoGradScope(const NoGradScope&) = delete;
+  NoGradScope& operator=(const NoGradScope&) = delete;
+
+  /// True when the calling thread is inside a NoGradScope.
+  static bool Active();
+
+ private:
+  bool prev_;
+};
+
 /// Handle to a node in a dynamically-built reverse-mode autograd tape.
 ///
 /// A `Var` wraps a Tensor value plus (when `requires_grad`) a gradient

@@ -1,0 +1,329 @@
+// Tests for the no-grad inference engine: NoGradScope semantics, the
+// bitwise-equality contract between the per-candidate tape scorers and
+// the batched/full-catalogue no-grad scorers for every model, the
+// batched evaluator overloads, deterministic top-K selection, and the
+// full-ranking/sampled protocol agreement regression. The concurrency
+// suite (InferenceConcurrencyTest) runs under TSan in CI.
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/mgbr.h"
+#include "data/sampler.h"
+#include "eval/metrics.h"
+#include "models/deep_mf.h"
+#include "models/diffnet.h"
+#include "models/eatnn.h"
+#include "models/gbgcn.h"
+#include "models/gbmf.h"
+#include "models/graph_inputs.h"
+#include "models/lightgcn.h"
+#include "models/ngcf.h"
+#include "models/popularity.h"
+#include "tensor/arena.h"
+#include "tensor/init.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace mgbr {
+namespace {
+
+using mgbr::testing::TinyDataset;
+
+/// Restores the SIMD dispatch flag on scope exit.
+struct ScopedSimd {
+  explicit ScopedSimd(bool on) : saved(kernels::SimdEnabled()) {
+    kernels::SetSimdEnabled(on);
+  }
+  ~ScopedSimd() { kernels::SetSimdEnabled(saved); }
+  bool saved;
+};
+
+/// Restores the arena switch on scope exit.
+struct ScopedArena {
+  explicit ScopedArena(bool on) : saved(TensorArena::Enabled()) {
+    TensorArena::SetEnabled(on);
+  }
+  ~ScopedArena() { TensorArena::SetEnabled(saved); }
+  bool saved;
+};
+
+/// Tiny dataset + graphs + the full stable of models: MGBR and its
+/// five variants plus the six baselines (and the two extra comparison
+/// models, LightGCN and Popularity, which share the interface).
+class InferenceTest : public ::testing::Test {
+ protected:
+  InferenceTest()
+      : dataset_(TinyDataset(12, 6, 40, 21)),
+        graphs_(BuildGraphInputs(dataset_)) {}
+
+  std::vector<std::unique_ptr<RecModel>> AllModels() {
+    std::vector<std::unique_ptr<RecModel>> models;
+    for (const char* variant :
+         {"MGBR", "MGBR-M", "MGBR-R", "MGBR-M-R", "MGBR-G", "MGBR-D"}) {
+      MgbrConfig config = MgbrConfig::Variant(variant);
+      config.dim = 4;
+      config.n_experts = 2;
+      config.aux_negatives = 2;
+      Rng rng(11);
+      models.push_back(std::make_unique<MgbrModel>(graphs_, config, &rng));
+    }
+    Rng r1(1), r2(2), r3(3), r4(4), r5(5), r6(6), r7(7);
+    models.push_back(
+        std::make_unique<DeepMf>(graphs_.n_users, graphs_.n_items, 8, 2, &r1));
+    models.push_back(
+        std::make_unique<Gbmf>(graphs_.n_users, graphs_.n_items, 8, &r2));
+    models.push_back(std::make_unique<Ngcf>(graphs_, 8, 2, &r3));
+    models.push_back(std::make_unique<DiffNet>(graphs_, dataset_, 8, 2, &r4));
+    models.push_back(std::make_unique<Eatnn>(graphs_, 8, &r5));
+    models.push_back(std::make_unique<Gbgcn>(graphs_, 8, 2, &r6));
+    models.push_back(std::make_unique<LightGcn>(graphs_, 8, 2, &r7));
+    models.push_back(std::make_unique<Popularity>(dataset_));
+    return models;
+  }
+
+  std::vector<EvalInstanceA> EvalA(int64_t n_negatives) {
+    InteractionIndex index(dataset_);
+    Rng rng(17);
+    return BuildEvalInstancesA(dataset_, index, n_negatives, &rng, 0);
+  }
+
+  std::vector<EvalInstanceB> EvalB(int64_t n_negatives) {
+    InteractionIndex index(dataset_);
+    Rng rng(19);
+    return BuildEvalInstancesB(dataset_, index, n_negatives, &rng, 0);
+  }
+
+  GroupBuyingDataset dataset_;
+  GraphInputs graphs_;
+};
+
+TEST_F(InferenceTest, NoGradScopeSuppressesTapeAndNests) {
+  Rng rng(3);
+  Var a(GaussianInit(3, 4, &rng), true);
+  Var b(GaussianInit(3, 4, &rng), true);
+  Var taped = Add(a, b);
+  EXPECT_TRUE(taped.requires_grad());
+  {
+    NoGradScope no_grad;
+    EXPECT_TRUE(NoGradScope::Active());
+    Var detached = Add(a, b);
+    EXPECT_FALSE(detached.requires_grad());
+    // Values are unaffected — same kernels, same order.
+    EXPECT_EQ(std::memcmp(detached.value().data(), taped.value().data(),
+                          sizeof(float) * 12),
+              0);
+    {
+      NoGradScope nested;
+      EXPECT_TRUE(NoGradScope::Active());
+    }
+    EXPECT_TRUE(NoGradScope::Active());  // outer scope still active
+  }
+  EXPECT_FALSE(NoGradScope::Active());
+  EXPECT_TRUE(Add(a, b).requires_grad());
+}
+
+TEST_F(InferenceTest, ScoreAllBitwiseMatchesPerCandidateForEveryModel) {
+  for (const auto& m : AllModels()) {
+    m->Refresh();
+    for (int64_t u : {0, 5, 11}) {
+      Var all_items = m->ScoreAAll(u);
+      ASSERT_EQ(all_items.rows(), m->num_items()) << m->name();
+      EXPECT_FALSE(all_items.requires_grad()) << m->name();
+      for (int64_t i = 0; i < m->num_items(); ++i) {
+        const float single = m->ScoreA({u}, {i}).value().at(0, 0);
+        EXPECT_EQ(all_items.value().at(i, 0), single)
+            << m->name() << " ScoreAAll(" << u << ") row " << i;
+      }
+      const int64_t item = u % m->num_items();
+      Var all_users = m->ScoreBAll(u, item);
+      ASSERT_EQ(all_users.rows(), m->num_users()) << m->name();
+      EXPECT_FALSE(all_users.requires_grad()) << m->name();
+      for (int64_t p = 0; p < m->num_users(); ++p) {
+        const float single = m->ScoreB({u}, {item}, {p}).value().at(0, 0);
+        EXPECT_EQ(all_users.value().at(p, 0), single)
+            << m->name() << " ScoreBAll(" << u << "," << item << ") row "
+            << p;
+      }
+    }
+  }
+}
+
+TEST_F(InferenceTest, BatchedEvaluatorsBitIdenticalAcrossSimdArenaThreads) {
+  const std::vector<EvalInstanceA> eval_a = EvalA(3);
+  const std::vector<EvalInstanceB> eval_b = EvalB(3);
+  ASSERT_FALSE(eval_a.empty());
+  ASSERT_FALSE(eval_b.empty());
+  InteractionIndex full_index(dataset_);
+  const struct {
+    bool simd, arena;
+    int threads;
+    const char* label;
+  } configs[] = {
+      {true, true, 1, "simd+arena, 1 thread"},
+      {false, true, 1, "scalar dispatch"},
+      {true, false, 1, "arena off"},
+      {false, false, 1, "scalar + arena off"},
+      {true, true, 2, "2 threads"},
+      {true, true, 4, "4 threads"},
+      {true, true, 8, "8 threads"},
+  };
+  for (const auto& c : configs) {
+    ScopedSimd simd(c.simd);
+    ScopedArena arena(c.arena);
+    ScopedNumThreads scoped(c.threads);
+    for (const auto& m : AllModels()) {
+      m->Refresh();
+      // Sampled protocol: per-instance tape vs batched no-grad must
+      // produce identical doubles, not just close ones.
+      RankingReport tape_a = EvaluateTaskA(eval_a, m->MakeTaskAScorer(), 4);
+      RankingReport fast_a =
+          EvaluateTaskA(eval_a, m->MakeBatchTaskAScorer(), 4);
+      EXPECT_EQ(tape_a.mrr, fast_a.mrr) << m->name() << " / " << c.label;
+      EXPECT_EQ(tape_a.ndcg, fast_a.ndcg) << m->name() << " / " << c.label;
+      EXPECT_EQ(tape_a.hit, fast_a.hit) << m->name() << " / " << c.label;
+      RankingReport tape_b = EvaluateTaskB(eval_b, m->MakeTaskBScorer(), 4);
+      RankingReport fast_b =
+          EvaluateTaskB(eval_b, m->MakeBatchTaskBScorer(), 4);
+      EXPECT_EQ(tape_b.mrr, fast_b.mrr) << m->name() << " / " << c.label;
+      EXPECT_EQ(tape_b.ndcg, fast_b.ndcg) << m->name() << " / " << c.label;
+      EXPECT_EQ(tape_b.hit, fast_b.hit) << m->name() << " / " << c.label;
+      // Full-ranking protocol: per-instance tape vs once-per-user.
+      RankingReport full_tape = EvaluateTaskAFullRanking(
+          eval_a, m->MakeTaskAScorer(), full_index, graphs_.n_items, 4);
+      RankingReport full_fast = EvaluateTaskAFullRanking(
+          eval_a, m->MakeFullTaskAScorer(), full_index, graphs_.n_items, 4);
+      EXPECT_EQ(full_tape.mrr, full_fast.mrr) << m->name() << " / "
+                                              << c.label;
+      EXPECT_EQ(full_tape.ndcg, full_fast.ndcg) << m->name() << " / "
+                                                << c.label;
+      EXPECT_EQ(full_tape.hit, full_fast.hit) << m->name() << " / "
+                                              << c.label;
+    }
+  }
+}
+
+TEST_F(InferenceTest, TopKIndicesIsDeterministicAndBreaksTiesByIndex) {
+  const std::vector<double> scores = {0.5, 0.9, 0.5, 0.1, 0.9};
+  // (score desc, index asc): 0.9@1, 0.9@4, 0.5@0, 0.5@2, 0.1@3.
+  EXPECT_EQ(TopKIndices(scores, 3), (std::vector<int64_t>{1, 4, 0}));
+  EXPECT_EQ(TopKIndices(scores, 5), (std::vector<int64_t>{1, 4, 0, 2, 3}));
+  EXPECT_EQ(TopKIndices(scores, 99),
+            (std::vector<int64_t>{1, 4, 0, 2, 3}));  // k clamps to size
+  EXPECT_TRUE(TopKIndices(scores, 0).empty());
+  EXPECT_TRUE(TopKIndices({}, 10).empty());
+}
+
+TEST_F(InferenceTest, FullRankingAgreesWithSampledWhenNegativesCoverCatalogue) {
+  // If each instance's negative list is exactly the catalogue minus the
+  // positive and minus the user's interacted items, the sampled
+  // protocol ranks the positive against the same competitor set the
+  // full-ranking protocol does — every metric must agree exactly.
+  InteractionIndex full_index(dataset_);
+  std::vector<EvalInstanceA> instances;
+  for (const DealGroup& g : dataset_.groups()) {
+    EvalInstanceA inst;
+    inst.user = g.initiator;
+    inst.pos_item = g.item;
+    for (int64_t i = 0; i < dataset_.n_items(); ++i) {
+      if (i == g.item) continue;
+      if (full_index.UserBoughtItem(g.initiator, i)) continue;
+      inst.neg_items.push_back(i);
+    }
+    instances.push_back(std::move(inst));
+    if (instances.size() >= 12) break;
+  }
+  ASSERT_FALSE(instances.empty());
+  MgbrConfig config;
+  config.dim = 4;
+  config.n_experts = 2;
+  Rng rng(23);
+  MgbrModel model(graphs_, config, &rng);
+  model.Refresh();
+  for (int64_t cutoff : {1, 3, 6}) {
+    RankingReport sampled =
+        EvaluateTaskA(instances, model.MakeBatchTaskAScorer(), cutoff);
+    RankingReport full = EvaluateTaskAFullRanking(
+        instances, model.MakeFullTaskAScorer(), full_index,
+        dataset_.n_items(), cutoff);
+    EXPECT_EQ(sampled.mrr, full.mrr) << "cutoff " << cutoff;
+    EXPECT_EQ(sampled.ndcg, full.ndcg) << "cutoff " << cutoff;
+    EXPECT_EQ(sampled.hit, full.hit) << "cutoff " << cutoff;
+  }
+}
+
+TEST_F(InferenceTest, DefaultScoreAllImplementationMatchesOverrides) {
+  // The RecModel default lifts ScoreA/ScoreB over the whole catalogue;
+  // model overrides must be drop-in bitwise replacements for it.
+  class DefaultOnly : public Gbmf {
+   public:
+    using Gbmf::Gbmf;
+    Var ScoreAAll(int64_t u) override { return RecModel::ScoreAAll(u); }
+    Var ScoreBAll(int64_t u, int64_t item) override {
+      return RecModel::ScoreBAll(u, item);
+    }
+  };
+  Rng r1(9), r2(9);
+  Gbmf fast(graphs_.n_users, graphs_.n_items, 8, &r1);
+  DefaultOnly slow(graphs_.n_users, graphs_.n_items, 8, &r2);
+  fast.Refresh();
+  slow.Refresh();
+  for (int64_t u : {0, 7}) {
+    EXPECT_EQ(std::memcmp(fast.ScoreAAll(u).value().data(),
+                          slow.ScoreAAll(u).value().data(),
+                          sizeof(float) * static_cast<size_t>(
+                              graphs_.n_items)),
+              0);
+    EXPECT_EQ(std::memcmp(fast.ScoreBAll(u, 1).value().data(),
+                          slow.ScoreBAll(u, 1).value().data(),
+                          sizeof(float) * static_cast<size_t>(
+                              graphs_.n_users)),
+              0);
+  }
+}
+
+/// Concurrent no-grad evaluation under the thread pool; the CI TSan
+/// job runs this suite to certify the eval fast path race-free (the
+/// per-thread NoGradScope flag, the shared Refresh() caches, and the
+/// chunk-parallel evaluators).
+TEST(InferenceConcurrencyTest, ConcurrentBatchedEvalIsRaceFree) {
+  GroupBuyingDataset dataset = TinyDataset(12, 6, 40, 21);
+  GraphInputs graphs = BuildGraphInputs(dataset);
+  InteractionIndex full_index(dataset);
+  MgbrConfig config;
+  config.dim = 4;
+  config.n_experts = 2;
+  Rng rng(29);
+  MgbrModel model(graphs, config, &rng);
+  model.Refresh();
+  Rng erng(31);
+  const std::vector<EvalInstanceA> eval_a =
+      BuildEvalInstancesA(dataset, full_index, 4, &erng, 0);
+  const std::vector<EvalInstanceB> eval_b =
+      BuildEvalInstancesB(dataset, full_index, 4, &erng, 0);
+  ScopedNumThreads scoped(4);
+  const RankingReport base_a =
+      EvaluateTaskA(eval_a, model.MakeBatchTaskAScorer(), 4);
+  const RankingReport base_b =
+      EvaluateTaskB(eval_b, model.MakeBatchTaskBScorer(), 4);
+  const RankingReport base_full = EvaluateTaskAFullRanking(
+      eval_a, model.MakeFullTaskAScorer(), full_index, graphs.n_items, 4);
+  for (int round = 0; round < 3; ++round) {
+    RankingReport a = EvaluateTaskA(eval_a, model.MakeBatchTaskAScorer(), 4);
+    RankingReport b = EvaluateTaskB(eval_b, model.MakeBatchTaskBScorer(), 4);
+    RankingReport full = EvaluateTaskAFullRanking(
+        eval_a, model.MakeFullTaskAScorer(), full_index, graphs.n_items, 4);
+    EXPECT_EQ(a.mrr, base_a.mrr);
+    EXPECT_EQ(b.mrr, base_b.mrr);
+    EXPECT_EQ(full.mrr, base_full.mrr);
+  }
+}
+
+}  // namespace
+}  // namespace mgbr

@@ -161,27 +161,31 @@ TEST(KernelsTest, GemmAtBRowSplitMatchesWholeCall) {
 
 TEST(KernelsTest, GemmABtMatchesReferenceAndVariantsAgree) {
   // k values cover the fixed-lane reduction edge cases: below one lane
-  // group, exactly one, tails of every length, and multi-block.
+  // group, exactly one, tails of every length, and multi-block. n
+  // values cover the kJcABt=128 j-tiling: below one block, exactly
+  // one, a partial second block, and a multi-block tail.
   for (int64_t k : {1, 5, 8, 13, 16, 261}) {
-    const int64_t m = 7, n = 9;
-    const auto a = RandomVec(m * k, 1200 + k);
-    const auto b = RandomVec(n * k, 2200 + k);
-    auto c_init = RandomVec(m * n, 3200 + k);
-    auto c_simd = c_init, c_scalar = c_init;
-    kernels::simd::GemmRowsABt(a.data(), b.data(), c_simd.data(), m, k, n);
-    kernels::scalar::GemmRowsABt(a.data(), b.data(), c_scalar.data(), m, k,
-                                 n);
-    EXPECT_TRUE(BitEqual(c_simd, c_scalar)) << "k=" << k;
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) {
-        double ref = c_init[static_cast<size_t>(i * n + j)];
-        for (int64_t kk = 0; kk < k; ++kk) {
-          ref += static_cast<double>(a[static_cast<size_t>(i * k + kk)]) *
-                 b[static_cast<size_t>(j * k + kk)];
+    for (int64_t n : {9, 127, 128, 131, 257}) {
+      const int64_t m = 7;
+      const auto a = RandomVec(m * k, 1200 + k);
+      const auto b = RandomVec(n * k, 2200 + 7 * n + k);
+      auto c_init = RandomVec(m * n, 3200 + 11 * n + k);
+      auto c_simd = c_init, c_scalar = c_init;
+      kernels::simd::GemmRowsABt(a.data(), b.data(), c_simd.data(), m, k, n);
+      kernels::scalar::GemmRowsABt(a.data(), b.data(), c_scalar.data(), m, k,
+                                   n);
+      EXPECT_TRUE(BitEqual(c_simd, c_scalar)) << "k=" << k << " n=" << n;
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          double ref = c_init[static_cast<size_t>(i * n + j)];
+          for (int64_t kk = 0; kk < k; ++kk) {
+            ref += static_cast<double>(a[static_cast<size_t>(i * k + kk)]) *
+                   b[static_cast<size_t>(j * k + kk)];
+          }
+          EXPECT_NEAR(c_simd[static_cast<size_t>(i * n + j)], ref,
+                      1e-4 * std::max(1.0, std::fabs(ref)))
+              << "k=" << k << " n=" << n << " at (" << i << "," << j << ")";
         }
-        EXPECT_NEAR(c_simd[static_cast<size_t>(i * n + j)], ref,
-                    1e-4 * std::max(1.0, std::fabs(ref)))
-            << "k=" << k << " at (" << i << "," << j << ")";
       }
     }
   }
