@@ -1,0 +1,157 @@
+// Checkpoint save/load microbenchmarks (docs/robustness.md): wall time
+// and bytes/s for the full v2 pipeline — serialize + CRC32 + temp file
+// + fsync + atomic rename on save, read + CRC verify + staged commit on
+// load. Sized like real MGBR runs: the parameter count scales with
+// (users + items) * dim across the multi-view embedding tables.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/io_file.h"
+#include "common/telemetry.h"
+#include "tensor/init.h"
+#include "tensor/optim.h"
+#include "train/checkpoint.h"
+
+namespace mgbr {
+namespace {
+
+/// A synthetic parameter set shaped like an MGBR model: six embedding
+/// tables of `rows` x `dim` plus a few small dense layers.
+std::vector<Var> MakeParams(int64_t rows, int64_t dim, Rng* rng) {
+  std::vector<Var> params;
+  for (int t = 0; t < 6; ++t) {
+    params.emplace_back(GaussianInit(rows, dim, rng), true);
+  }
+  for (int t = 0; t < 4; ++t) {
+    params.emplace_back(GaussianInit(dim, dim, rng), true);
+  }
+  return params;
+}
+
+int64_t PayloadBytes(const std::vector<Var>& params) {
+  int64_t bytes = 0;
+  for (const Var& p : params) {
+    bytes += p.value().rows() * p.value().cols() *
+             static_cast<int64_t>(sizeof(float));
+  }
+  return bytes;
+}
+
+std::string BenchDir() {
+  std::string dir = "/tmp/mgbr_bench_checkpoint";
+  const Status made = io::MakeDirs(dir);
+  (void)made;
+  return dir;
+}
+
+void BM_CheckpointSave(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(7);
+  std::vector<Var> params = MakeParams(rows, 32, &rng);
+  Adam adam(params, 0.01f);
+  TrainerState trainer;
+  trainer.epochs_run = 3;
+  CheckpointWriteRequest request;
+  request.params = &params;
+  request.optimizer = &adam;
+  request.rng = &rng;
+  request.trainer = &trainer;
+  request.fingerprint = 0x4d474252u;
+  const std::string path = BenchDir() + "/bench_save.mgbr";
+  for (auto _ : state) {
+    const Status saved = SaveCheckpoint(request, path);
+    if (!saved.ok()) state.SkipWithError(saved.ToString().c_str());
+  }
+  // Adam moments triple the parameter payload (params + m + v).
+  state.SetBytesProcessed(state.iterations() * 3 * PayloadBytes(params));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_CheckpointSave)->Arg(512)->Arg(2048)->Arg(8192)->UseRealTime();
+
+void BM_CheckpointLoad(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(7);
+  std::vector<Var> params = MakeParams(rows, 32, &rng);
+  Adam adam(params, 0.01f);
+  TrainerState trainer;
+  CheckpointWriteRequest write;
+  write.params = &params;
+  write.optimizer = &adam;
+  write.rng = &rng;
+  write.trainer = &trainer;
+  const std::string path = BenchDir() + "/bench_load.mgbr";
+  const Status saved = SaveCheckpoint(write, path);
+  if (!saved.ok()) {
+    state.SkipWithError(saved.ToString().c_str());
+    return;
+  }
+  CheckpointReadRequest read;
+  read.params = &params;
+  read.optimizer = &adam;
+  read.rng = &rng;
+  read.trainer = &trainer;
+  for (auto _ : state) {
+    const Status loaded = LoadCheckpoint(path, read);
+    if (!loaded.ok()) state.SkipWithError(loaded.ToString().c_str());
+  }
+  state.SetBytesProcessed(state.iterations() * 3 * PayloadBytes(params));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_CheckpointLoad)->Arg(512)->Arg(2048)->Arg(8192)->UseRealTime();
+
+void BM_CheckpointManagerSaveRotate(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(7);
+  std::vector<Var> params = MakeParams(rows, 32, &rng);
+  CheckpointWriteRequest request;
+  request.params = &params;
+  CheckpointManager manager(BenchDir() + "/rotate", /*keep_last=*/3);
+  int64_t epoch = 0;
+  for (auto _ : state) {
+    const Status saved = manager.Save(request, ++epoch);
+    if (!saved.ok()) state.SkipWithError(saved.ToString().c_str());
+  }
+  state.SetBytesProcessed(state.iterations() * PayloadBytes(params));
+  for (const int64_t e : manager.ListEpochs()) {
+    std::remove(manager.PathFor(e).c_str());
+  }
+}
+BENCHMARK(BM_CheckpointManagerSaveRotate)->Arg(512)->Arg(2048)->UseRealTime();
+
+}  // namespace
+}  // namespace mgbr
+
+// Custom main (mirrors bench_micro_engine): strip the telemetry flags
+// benchmark::Initialize would reject, flush trace/metrics afterwards.
+int main(int argc, char** argv) {
+  const mgbr::TelemetryOptions telemetry =
+      mgbr::TelemetryOptions::FromArgs(argc, argv);
+  telemetry.EnableRequested();
+
+  std::vector<char*> kept;
+  kept.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--trace-out", 0) == 0 ||
+        arg.rfind("--metrics-out", 0) == 0) {
+      if ((arg == "--trace-out" || arg == "--metrics-out") && i + 1 < argc) {
+        ++i;  // skip the space-separated value too
+      }
+      continue;
+    }
+    kept.push_back(argv[i]);
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  benchmark::Initialize(&kept_argc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return telemetry.Flush(nullptr).ok() ? 0 : 1;
+}

@@ -16,6 +16,16 @@
 //   --trace-out trace.json    Chrome/Perfetto trace of the whole run
 //   --metrics-out run.jsonl   per-epoch telemetry JSONL + summary +
 //                             metrics-registry snapshot
+//
+// Robustness (see docs/robustness.md):
+//   --checkpoint-dir d        write crash-safe checkpoints under d
+//   --checkpoint-every n      epochs between checkpoints (default 1)
+//   --checkpoint-keep n       newest checkpoints retained (default 3)
+//   --resume 1                resume from the newest valid checkpoint
+//   --strict-data 0           skip (and count) malformed dataset rows
+//                             instead of failing the load
+// SIGINT/SIGTERM finish the current epoch, write a final checkpoint
+// (when enabled) and exit cleanly.
 
 #include <cstdio>
 #include <memory>
@@ -119,7 +129,9 @@ int main(int argc, char** argv) {
   GroupBuyingDataset data;
   const std::string dataset_path = config.GetString("dataset", "");
   if (!dataset_path.empty()) {
-    data = Must(GroupBuyingDataset::Load(dataset_path));
+    DatasetLoadOptions load_options;
+    load_options.strict = Must(config.GetBool("strict-data", true));
+    data = Must(GroupBuyingDataset::Load(dataset_path, load_options));
   } else {
     BeibeiSimConfig sim;
     sim.n_users = Must(config.GetInt("users", 300));
@@ -155,8 +167,27 @@ int main(int argc, char** argv) {
   tc.weight_decay =
       static_cast<float>(Must(config.GetDouble("weight_decay", 1e-5)));
   tc.verbose = Must(config.GetBool("verbose", true));
+  tc.checkpoint_dir = config.GetString("checkpoint-dir", "");
+  tc.checkpoint_every = Must(config.GetInt("checkpoint-every", 1));
+  tc.checkpoint_keep =
+      static_cast<int>(Must(config.GetInt("checkpoint-keep", 3)));
   Trainer trainer(model.get(), &sampler, tc);
   trainer.SetTelemetry(&run_telemetry);
+  InstallStopSignalHandlers();
+  if (Must(config.GetBool("resume", false))) {
+    if (tc.checkpoint_dir.empty()) {
+      std::fprintf(stderr, "--resume needs --checkpoint-dir\n");
+      return 2;
+    }
+    Result<int64_t> resumed = trainer.TryResume();
+    if (!resumed.ok()) {
+      std::fprintf(stderr, "resume failed: %s\n",
+                   resumed.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("resume: %lld epoch(s) already run\n",
+                static_cast<long long>(resumed.value()));
+  }
   run_telemetry.SetMeta("model", model_name);
   run_telemetry.SetMeta("dataset",
                         dataset_path.empty() ? "synthetic" : dataset_path);
@@ -184,6 +215,13 @@ int main(int argc, char** argv) {
                 r.stopped_early ? " (stopped early)" : "");
   } else if (model->ParameterCount() > 0) {
     trainer.Train();
+  }
+  if (StopRequested()) {
+    std::printf("training interrupted by signal after %lld epoch(s)%s\n",
+                static_cast<long long>(trainer.state().epochs_run),
+                tc.checkpoint_dir.empty() ? ""
+                                          : "; checkpoint written, rerun "
+                                            "with --resume 1 to continue");
   }
 
   // Final evaluation on test.

@@ -1,0 +1,33 @@
+#ifndef MGBR_COMMON_CHECKSUM_H_
+#define MGBR_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mgbr {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data[0, n)`.
+///
+/// Chainable: pass a previous return value as `seed` to extend the
+/// checksum over a second buffer. The default seed yields the standard
+/// one-shot CRC32 (matches zlib's crc32() for the same bytes). Used by
+/// the checkpoint format to detect torn writes and bit rot per section.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// FNV-1a 64-bit hash of `data[0, n)`, chainable through `seed`.
+///
+/// Not a checksum: used for cheap structural fingerprints (model name +
+/// parameter shapes + config fields) where accidental-collision odds,
+/// not corruption detection, are what matters.
+uint64_t Fnv1a64(const void* data, size_t n,
+                 uint64_t seed = 0xCBF29CE484222325ULL);
+
+/// Convenience: mixes a trivially-copyable value into an FNV-1a hash.
+template <typename T>
+uint64_t Fnv1a64Mix(const T& value, uint64_t seed) {
+  return Fnv1a64(&value, sizeof(T), seed);
+}
+
+}  // namespace mgbr
+
+#endif  // MGBR_COMMON_CHECKSUM_H_

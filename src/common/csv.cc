@@ -1,40 +1,40 @@
 #include "common/csv.h"
 
-#include <fstream>
-
+#include "common/io_file.h"
 #include "common/string_util.h"
 
 namespace mgbr {
 
 Result<std::vector<std::vector<std::string>>> Csv::ReadFile(
     const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) {
-    return Status::IoError(StrCat("cannot open for reading: ", path));
-  }
+  // Routed through io::File so dataset reads participate in fault
+  // injection (common/fault.h) like every other durable I/O path.
+  MGBR_ASSIGN_OR_RETURN(std::string contents, io::ReadFileToString(path));
   std::vector<std::vector<std::string>> rows;
-  std::string line;
-  while (std::getline(in, line)) {
-    std::string trimmed = StrTrim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
-    rows.push_back(StrSplit(trimmed, ','));
+  size_t start = 0;
+  while (start <= contents.size()) {
+    size_t end = contents.find('\n', start);
+    if (end == std::string::npos) end = contents.size();
+    std::string trimmed = StrTrim(contents.substr(start, end - start));
+    if (!trimmed.empty() && trimmed[0] != '#') {
+      rows.push_back(StrSplit(trimmed, ','));
+    }
+    if (end == contents.size()) break;
+    start = end + 1;
   }
   return rows;
 }
 
 Status Csv::WriteFile(const std::string& path,
                       const std::vector<std::vector<std::string>>& rows) {
-  std::ofstream out(path);
-  if (!out.is_open()) {
-    return Status::IoError(StrCat("cannot open for writing: ", path));
-  }
+  std::string contents;
   for (const auto& row : rows) {
-    out << StrJoin(row, ",") << '\n';
+    contents.append(StrJoin(row, ","));
+    contents.push_back('\n');
   }
-  if (!out.good()) {
-    return Status::IoError(StrCat("write failed: ", path));
-  }
-  return Status::OK();
+  MGBR_ASSIGN_OR_RETURN(io::File file, io::File::OpenForWrite(path));
+  MGBR_RETURN_NOT_OK(file.Write(contents.data(), contents.size()));
+  return file.Close();
 }
 
 }  // namespace mgbr

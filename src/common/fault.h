@@ -1,0 +1,106 @@
+#ifndef MGBR_COMMON_FAULT_H_
+#define MGBR_COMMON_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mgbr {
+namespace fault {
+
+/// Deterministic fault injection for crash-recovery testing.
+///
+/// A small set of *injections* is installed either programmatically
+/// (tests) or from the MGBR_FAULT environment variable (CI, CLI runs).
+/// Each injection names a match target and an occurrence index and
+/// fires exactly once, on the `at`-th matching operation:
+///
+///   * kKill         — process exit (_Exit(kKillExitCode)) at a named
+///                     kill point (fault::KillPoint in the code).
+///   * kWriteEio     — the matching io::File::Write returns an IoError
+///                     without writing (a full, reported I/O failure).
+///   * kWriteShort   — the matching write persists only the first half
+///                     of the payload but REPORTS SUCCESS (a torn write
+///                     that only checksums can catch).
+///   * kWriteBitFlip — the matching write flips one bit of the payload
+///                     and reports success (silent media corruption).
+///   * kReadEio      — the matching io::File read returns an IoError.
+///
+/// For write/read kinds, `match` is a substring of the file path; for
+/// kKill it is the exact kill-point name. Matching operations are
+/// counted per injection across the whole process, so `at = 2` on a
+/// checkpoint path fires on the third checkpoint write of the run.
+///
+/// MGBR_FAULT grammar (';'-separated directives, parsed on first use):
+///
+///   kill@<point>:<at>
+///   eio@<path-substr>:<at>
+///   short@<path-substr>:<at>
+///   flip@<path-substr>:<at>:<bit>
+///   eio-read@<path-substr>:<at>
+///
+/// e.g. MGBR_FAULT="kill@trainer.step:40;flip@ckpt:0:13". Every fired
+/// injection is logged at WARNING level and counted in the metrics
+/// registry (fault.injected_*), so CI can archive the fault log.
+///
+/// When no injection is installed, Active() is a single relaxed atomic
+/// load and every hook is a no-op — hot paths (one KillPoint per
+/// trainer step) pay nothing in production.
+struct Injection {
+  enum class Kind {
+    kKill,
+    kWriteEio,
+    kWriteShort,
+    kWriteBitFlip,
+    kReadEio,
+  };
+  Kind kind = Kind::kKill;
+  /// Kill-point name (kKill, exact) or file-path substring (io kinds).
+  std::string match;
+  /// Fires on the `at`-th matching operation, 0-based.
+  int64_t at = 0;
+  /// kWriteBitFlip only: bit index into the payload (mod payload bits).
+  int64_t bit = 0;
+};
+
+/// Exit code used by injected kills (mirrors a SIGKILLed process).
+inline constexpr int kKillExitCode = 137;
+
+/// True when at least one injection is armed. One relaxed load.
+bool Active();
+
+/// Installs one injection (appends to the active plan).
+void Install(const Injection& injection);
+
+/// Removes every installed injection and resets hit counters.
+void Clear();
+
+/// Parses MGBR_FAULT and installs its directives. Called lazily by the
+/// first hook that runs, so binaries need no explicit setup; calling it
+/// again is a no-op unless Clear() ran in between. Malformed directives
+/// are logged and skipped.
+void InstallFromEnv();
+
+/// Kill point: if a kKill injection matches `name` and its occurrence
+/// count is reached, logs, counts, and _Exit(kKillExitCode)s. The
+/// checkpoint writer and the trainer step loop call this at the places
+/// the crash-recovery contract must survive.
+void KillPoint(const char* name);
+
+/// Outcome of consulting the plan for one io::File write.
+struct WriteFault {
+  Injection::Kind kind = Injection::Kind::kWriteEio;
+  int64_t bit = 0;
+};
+
+/// Returns true and fills `*out` when a write fault fires for this
+/// operation on `path`. Called by io::File::Write.
+bool OnWrite(const std::string& path, WriteFault* out);
+
+/// Returns true when a read fault (injected EIO) fires for this
+/// operation on `path`. Called by io::File reads.
+bool OnRead(const std::string& path);
+
+}  // namespace fault
+}  // namespace mgbr
+
+#endif  // MGBR_COMMON_FAULT_H_

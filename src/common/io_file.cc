@@ -1,0 +1,233 @@
+#include "common/io_file.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/string_util.h"
+
+namespace mgbr {
+namespace io {
+namespace {
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::IoError(
+      StrCat(op, " failed for '", path, "': ", std::strerror(errno)));
+}
+
+// Writes all of data[0, n) to fd, retrying EINTR and partial writes.
+Status WriteAllRaw(int fd, const void* data, size_t n,
+                   const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  size_t left = n;
+  while (left > 0) {
+    const ssize_t w = ::write(fd, p, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    p += w;
+    left -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+File::File(File&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<File> File::OpenForWrite(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open for write", path);
+  return File(fd, path);
+}
+
+Result<File> File::OpenForRead(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open for read", path);
+  return File(fd, path);
+}
+
+Status File::Write(const void* data, size_t n) {
+  if (fd_ < 0) return Status::FailedPrecondition("write on closed file");
+  fault::WriteFault injected;
+  if (fault::OnWrite(path_, &injected)) {
+    switch (injected.kind) {
+      case fault::Injection::Kind::kWriteEio:
+        return Status::IoError(
+            StrCat("injected EIO writing '", path_, "'"));
+      case fault::Injection::Kind::kWriteShort:
+        // A torn write: half the payload reaches the file, yet the
+        // caller sees success. Only checksums can catch this.
+        return WriteAllRaw(fd_, data, n / 2, path_);
+      case fault::Injection::Kind::kWriteBitFlip: {
+        std::string copy(static_cast<const char*>(data), n);
+        if (n > 0) {
+          const size_t bit =
+              static_cast<size_t>(injected.bit) % (n * 8);
+          copy[bit / 8] = static_cast<char>(
+              static_cast<unsigned char>(copy[bit / 8]) ^
+              (1u << (bit % 8)));
+        }
+        return WriteAllRaw(fd_, copy.data(), n, path_);
+      }
+      default:
+        break;
+    }
+  }
+  return WriteAllRaw(fd_, data, n, path_);
+}
+
+Status File::Read(void* out, size_t n, size_t* n_read) {
+  if (fd_ < 0) return Status::FailedPrecondition("read on closed file");
+  if (fault::OnRead(path_)) {
+    return Status::IoError(StrCat("injected EIO reading '", path_, "'"));
+  }
+  char* p = static_cast<char*>(out);
+  size_t total = 0;
+  while (total < n) {
+    const ssize_t r = ::read(fd_, p + total, n - total);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read", path_);
+    }
+    if (r == 0) break;  // EOF
+    total += static_cast<size_t>(r);
+  }
+  *n_read = total;
+  return Status::OK();
+}
+
+Status File::ReadExact(void* out, size_t n) {
+  size_t got = 0;
+  MGBR_RETURN_NOT_OK(Read(out, n, &got));
+  if (got != n) {
+    return Status::IoError(StrCat("short read from '", path_, "': wanted ",
+                                  n, " bytes, got ", got));
+  }
+  return Status::OK();
+}
+
+Result<int64_t> File::Size() const {
+  if (fd_ < 0) return Status::FailedPrecondition("size of closed file");
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Errno("fstat", path_);
+  return static_cast<int64_t>(st.st_size);
+}
+
+Status File::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("sync on closed file");
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+Status File::Close() {
+  if (fd_ < 0) return Status::OK();
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) return Errno("close", path_);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  MGBR_ASSIGN_OR_RETURN(File file, File::OpenForRead(path));
+  MGBR_ASSIGN_OR_RETURN(const int64_t size, file.Size());
+  std::string out;
+  out.resize(static_cast<size_t>(size));
+  if (size > 0) {
+    MGBR_RETURN_NOT_OK(file.ReadExact(out.data(), out.size()));
+  }
+  MGBR_RETURN_NOT_OK(file.Close());
+  return out;
+}
+
+Status AtomicRename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IoError(StrCat("rename '", from, "' -> '", to,
+                                  "' failed: ", std::strerror(errno)));
+  }
+  // fsync the parent directory so the new directory entry survives a
+  // crash; without it the rename may still live only in the page cache.
+  const std::string dir = ParentDir(to);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return Errno("open parent dir", dir);
+  const int rc = ::fsync(dfd);
+  ::close(dfd);
+  if (rc != 0) return Errno("fsync parent dir", dir);
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound(StrCat("no such file: ", path));
+    }
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status MakeDirs(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  std::string partial;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') continue;
+    partial = path.substr(0, i == path.size() ? i : i + 1);
+    if (partial.empty() || partial == "/") continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", partial);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return Errno("opendir", path);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(dir);
+  return names;
+}
+
+bool Exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace io
+}  // namespace mgbr

@@ -1,0 +1,88 @@
+#ifndef MGBR_COMMON_IO_FILE_H_
+#define MGBR_COMMON_IO_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mgbr {
+namespace io {
+
+/// Thin POSIX file wrapper: the single choke point for the library's
+/// durable I/O (checkpoints, CSV/dataset files). Every read and write
+/// consults the fault-injection plan (common/fault.h), so crash and
+/// corruption scenarios are testable end-to-end without mocking.
+///
+/// Writes are unbuffered (straight to the fd); callers that need
+/// durability call Sync() before Close() and publish via AtomicRename.
+class File {
+ public:
+  File() = default;
+  ~File();  // closes silently; call Close() to observe errors
+
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+
+  /// Opens for writing, creating/truncating (0644).
+  static Result<File> OpenForWrite(const std::string& path);
+
+  /// Opens an existing file for reading.
+  static Result<File> OpenForRead(const std::string& path);
+
+  /// Writes all `n` bytes (retrying on partial writes/EINTR).
+  Status Write(const void* data, size_t n);
+
+  /// Reads up to `n` bytes; `*n_read` is 0 at EOF.
+  Status Read(void* out, size_t n, size_t* n_read);
+
+  /// Reads exactly `n` bytes; IoError on EOF before `n`.
+  Status ReadExact(void* out, size_t n);
+
+  /// File size via fstat.
+  Result<int64_t> Size() const;
+
+  /// fsync: waits until written data reaches the device.
+  Status Sync();
+
+  /// Closes the descriptor, reporting close-time errors.
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+ private:
+  File(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Reads a whole file into a string through io::File (fault-injectable).
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Renames `from` onto `to` (atomic within a filesystem), then fsyncs
+/// the parent directory of `to` so the rename itself is durable — the
+/// publish step of the write-temp -> fsync -> rename checkpoint
+/// protocol.
+Status AtomicRename(const std::string& from, const std::string& to);
+
+/// Deletes a file; NotFound if it does not exist.
+Status RemoveFile(const std::string& path);
+
+/// Creates `path` and any missing parents (mkdir -p semantics).
+Status MakeDirs(const std::string& path);
+
+/// Names (not paths) of the entries in `path`, excluding "." / "..".
+Result<std::vector<std::string>> ListDir(const std::string& path);
+
+/// True if `path` exists (any file type).
+bool Exists(const std::string& path);
+
+}  // namespace io
+}  // namespace mgbr
+
+#endif  // MGBR_COMMON_IO_FILE_H_

@@ -117,6 +117,22 @@ std::size_t Rng::Categorical(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
+RngState Rng::state() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_gaussian = has_cached_gaussian_;
+  state.cached_gaussian = cached_gaussian_;
+  return state;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  // Guard against a hand-built all-zero state (invalid for xoshiro).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
   MGBR_CHECK_LE(k, n);
   std::vector<uint64_t> out;

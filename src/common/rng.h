@@ -10,6 +10,16 @@
 
 namespace mgbr {
 
+/// Complete serialized state of an Rng: the four xoshiro256** words
+/// plus the Box-Muller spare. Restoring it resumes the stream at the
+/// exact draw it was captured at — the checkpoint subsystem relies on
+/// this for bit-identical resume (docs/robustness.md).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+};
+
 /// Deterministic pseudo-random number generator (xoshiro256**).
 ///
 /// All randomness in the library flows through instances of this class
@@ -70,6 +80,13 @@ class Rng {
 
   /// Draws `k` distinct values from [0, n) (k <= n), in random order.
   std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+  /// Captures the full generator state (checkpointing).
+  RngState state() const;
+
+  /// Restores a state captured by state(); the next draw continues the
+  /// captured stream exactly.
+  void set_state(const RngState& state);
 
  private:
   uint64_t s_[4];

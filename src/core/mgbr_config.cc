@@ -1,6 +1,7 @@
 #include "core/mgbr_config.h"
 
 #include "common/check.h"
+#include "common/checksum.h"
 
 namespace mgbr {
 
@@ -33,6 +34,27 @@ MgbrConfig MgbrConfig::Variant(const std::string& name) {
   }
   MGBR_CHECK_MSG(false, "unknown MGBR variant: ", name);
   return config;
+}
+
+uint64_t MgbrConfig::Fingerprint(uint64_t seed) const {
+  uint64_t h = seed;
+  h = Fnv1a64Mix(dim, h);
+  h = Fnv1a64Mix(gcn_layers, h);
+  h = Fnv1a64Mix(n_experts, h);
+  h = Fnv1a64Mix(mtl_layers, h);
+  h = Fnv1a64Mix(alpha_a, h);
+  h = Fnv1a64Mix(alpha_b, h);
+  h = Fnv1a64Mix(beta, h);
+  h = Fnv1a64Mix(beta_a, h);
+  h = Fnv1a64Mix(beta_b, h);
+  h = Fnv1a64Mix(aux_negatives, h);
+  h = Fnv1a64Mix(static_cast<int>(gcn_activation), h);
+  h = Fnv1a64Mix(sigmoid_head, h);
+  h = Fnv1a64Mix(softmax_gates, h);
+  h = Fnv1a64Mix(use_shared_experts, h);
+  h = Fnv1a64Mix(use_aux_losses, h);
+  h = Fnv1a64Mix(use_single_hin, h);
+  return h;
 }
 
 std::string MgbrConfig::VariantName() const {

@@ -68,6 +68,12 @@ struct MgbrConfig {
   /// "MGBR", "MGBR-M", "MGBR-R", "MGBR-M-R", "MGBR-G" or "MGBR-D"
   /// according to the switches (alpha == 0 on both gates => -G).
   std::string VariantName() const;
+
+  /// Structural hash of every field, mixed into `seed`. Two configs
+  /// hash equal iff all hyper-parameters and ablation switches match;
+  /// the checkpoint format stores it so a resume against a differently
+  /// configured model is rejected instead of silently mis-trained.
+  uint64_t Fingerprint(uint64_t seed = 0xCBF29CE484222325ULL) const;
 };
 
 }  // namespace mgbr

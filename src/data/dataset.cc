@@ -1,12 +1,47 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/check.h"
 #include "common/csv.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace mgbr {
+namespace {
+
+Counter* RowsSkippedMalformed() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("dataset.rows_skipped_malformed");
+  return c;
+}
+
+Counter* RowsSkippedBadInitiator() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dataset.rows_skipped_bad_initiator");
+  return c;
+}
+
+Counter* RowsSkippedBadItem() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("dataset.rows_skipped_bad_item");
+  return c;
+}
+
+Counter* RowsSkippedBadParticipant() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dataset.rows_skipped_bad_participant");
+  return c;
+}
+
+Counter* DuplicateParticipantsDropped() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dataset.duplicate_participants_dropped");
+  return c;
+}
+
+}  // namespace
 
 GroupBuyingDataset::GroupBuyingDataset(int64_t n_users, int64_t n_items,
                                        std::vector<DealGroup> groups)
@@ -121,10 +156,17 @@ DatasetSplit GroupBuyingDataset::SplitByRatio(
 }
 
 Result<GroupBuyingDataset> GroupBuyingDataset::Load(const std::string& path) {
+  return Load(path, DatasetLoadOptions{});
+}
+
+Result<GroupBuyingDataset> GroupBuyingDataset::Load(
+    const std::string& path, const DatasetLoadOptions& options) {
   MGBR_ASSIGN_OR_RETURN(auto rows, Csv::ReadFile(path));
   if (rows.empty()) {
     return Status::InvalidArgument(StrCat("empty dataset file: ", path));
   }
+  // The header is load-bearing in both modes: without a trustworthy id
+  // space there is nothing to validate the rows against.
   if (rows[0].size() != 2) {
     return Status::InvalidArgument(
         StrCat("bad header in ", path, ": expected n_users,n_items"));
@@ -137,28 +179,64 @@ Result<GroupBuyingDataset> GroupBuyingDataset::Load(const std::string& path) {
   groups.reserve(rows.size() - 1);
   for (size_t r = 1; r < rows.size(); ++r) {
     if (rows[r].size() < 2) {
-      return Status::InvalidArgument(
-          StrCat("row ", r, " in ", path, " has fewer than 2 fields"));
+      if (options.strict) {
+        return Status::InvalidArgument(
+            StrCat("row ", r, " in ", path, " has fewer than 2 fields"));
+      }
+      MGBR_COUNTER_ADD(RowsSkippedMalformed(), 1);
+      continue;
     }
     DealGroup g;
     long long v = 0;
     if (!ParseInt64(rows[r][0], &v) || v < 0 || v >= n_users) {
-      return Status::InvalidArgument(
-          StrCat("row ", r, ": bad initiator '", rows[r][0], "'"));
+      if (options.strict) {
+        return Status::InvalidArgument(
+            StrCat("row ", r, ": bad initiator '", rows[r][0], "'"));
+      }
+      MGBR_COUNTER_ADD(ParseInt64(rows[r][0], &v) ? RowsSkippedBadInitiator()
+                                                  : RowsSkippedMalformed(),
+                       1);
+      continue;
     }
     g.initiator = v;
     if (!ParseInt64(rows[r][1], &v) || v < 0 || v >= n_items) {
-      return Status::InvalidArgument(
-          StrCat("row ", r, ": bad item '", rows[r][1], "'"));
+      if (options.strict) {
+        return Status::InvalidArgument(
+            StrCat("row ", r, ": bad item '", rows[r][1], "'"));
+      }
+      MGBR_COUNTER_ADD(ParseInt64(rows[r][1], &v) ? RowsSkippedBadItem()
+                                                  : RowsSkippedMalformed(),
+                       1);
+      continue;
     }
     g.item = v;
-    for (size_t c = 2; c < rows[r].size(); ++c) {
+    bool drop_row = false;
+    std::unordered_set<int64_t> seen_participants;
+    for (size_t c = 2; c < rows[r].size() && !drop_row; ++c) {
       if (!ParseInt64(rows[r][c], &v) || v < 0 || v >= n_users) {
-        return Status::InvalidArgument(
-            StrCat("row ", r, ": bad participant '", rows[r][c], "'"));
+        if (options.strict) {
+          return Status::InvalidArgument(
+              StrCat("row ", r, ": bad participant '", rows[r][c], "'"));
+        }
+        MGBR_COUNTER_ADD(ParseInt64(rows[r][c], &v)
+                             ? RowsSkippedBadParticipant()
+                             : RowsSkippedMalformed(),
+                         1);
+        drop_row = true;
+        break;
+      }
+      // A participant repeated within one group (or doubling as the
+      // initiator) is the same purchase counted twice; in lenient mode
+      // drop the duplicate edge rather than the whole row. Strict mode
+      // keeps the bytes as-is so Save -> Load round-trips exactly.
+      if (!options.strict &&
+          (v == g.initiator || !seen_participants.insert(v).second)) {
+        MGBR_COUNTER_ADD(DuplicateParticipantsDropped(), 1);
+        continue;
       }
       g.participants.push_back(v);
     }
+    if (drop_row) continue;
     groups.push_back(std::move(g));
   }
   return GroupBuyingDataset(n_users, n_items, std::move(groups));

@@ -14,6 +14,25 @@ namespace mgbr {
 
 struct DatasetSplit;
 
+/// How GroupBuyingDataset::Load treats defective rows.
+///
+/// In strict mode (the default) any malformed row — too few fields,
+/// non-numeric or out-of-range ids — fails the whole load with an
+/// InvalidArgument Status pointing at the offending row. In lenient
+/// mode such rows are skipped (and within-row duplicate participants
+/// dropped) with one telemetry counter per cause:
+///   dataset.rows_skipped_malformed     fewer than 2 fields / bad number
+///   dataset.rows_skipped_bad_initiator initiator outside [0, n_users)
+///   dataset.rows_skipped_bad_item      item outside [0, n_items)
+///   dataset.rows_skipped_bad_participant  participant out of range
+///   dataset.duplicate_participants_dropped repeated participant or
+///                                          participant == initiator
+/// Header problems (missing/garbled n_users,n_items) always fail: with
+/// no id space there is nothing to validate rows against.
+struct DatasetLoadOptions {
+  bool strict = true;
+};
+
 /// One observed deal group <u, i, G>: initiator `u` launched a group
 /// buying of item `item`, joined by `participants` (possibly empty —
 /// a group that dealt with the initiator alone).
@@ -60,7 +79,11 @@ class GroupBuyingDataset {
   /// On-disk format (CSV, '#' comments allowed):
   ///   header row:  n_users,n_items
   ///   group rows:  initiator,item[,participant...]
+  /// The single-argument overload loads strictly (see
+  /// DatasetLoadOptions for the lenient skip-and-count mode).
   static Result<GroupBuyingDataset> Load(const std::string& path);
+  static Result<GroupBuyingDataset> Load(const std::string& path,
+                                         const DatasetLoadOptions& options);
   Status Save(const std::string& path) const;
 
   /// "users=..., items=..., groups=..., joins=..." summary line.

@@ -1,6 +1,9 @@
 #include "tensor/optim.h"
 
 #include <cmath>
+#include <utility>
+
+#include "common/string_util.h"
 
 namespace mgbr {
 
@@ -62,6 +65,32 @@ Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
     m_.emplace_back(p.value().rows(), p.value().cols());
     v_.emplace_back(p.value().rows(), p.value().cols());
   }
+}
+
+Status Adam::RestoreState(int64_t t, float lr, std::vector<Tensor> m,
+                          std::vector<Tensor> v) {
+  if (t < 0) {
+    return Status::InvalidArgument(
+        StrCat("Adam step count must be >= 0, got ", t));
+  }
+  if (m.size() != params_.size() || v.size() != params_.size()) {
+    return Status::InvalidArgument(
+        StrCat("Adam moment count mismatch: got ", m.size(), "/", v.size(),
+               " tensors, optimizer has ", params_.size(), " parameters"));
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const Tensor& p = params_[i].value();
+    if (m[i].rows() != p.rows() || m[i].cols() != p.cols() ||
+        v[i].rows() != p.rows() || v[i].cols() != p.cols()) {
+      return Status::InvalidArgument(
+          StrCat("Adam moment shape mismatch at parameter ", i));
+    }
+  }
+  t_ = t;
+  lr_ = lr;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::OK();
 }
 
 void Adam::Step() {

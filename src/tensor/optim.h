@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/variable.h"
 
 namespace mgbr {
@@ -59,6 +60,19 @@ class Adam : public Optimizer {
   /// Current learning rate (schedules adjust it between steps).
   float learning_rate() const { return lr_; }
   void set_learning_rate(float lr) { lr_ = lr; }
+
+  /// Checkpoint access: bias-correction step count and the per-param
+  /// first/second moment estimates, in Parameters() order.
+  int64_t step_count() const { return t_; }
+  const std::vector<Tensor>& first_moments() const { return m_; }
+  const std::vector<Tensor>& second_moments() const { return v_; }
+
+  /// Restores optimizer state captured from an identical parameter
+  /// list: `m`/`v` must have one tensor per parameter with matching
+  /// shapes, `t` must be >= 0. On any mismatch the optimizer is left
+  /// unchanged and an InvalidArgument Status is returned.
+  Status RestoreState(int64_t t, float lr, std::vector<Tensor> m,
+                      std::vector<Tensor> v);
 
  private:
   float lr_;

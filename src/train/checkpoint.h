@@ -1,24 +1,131 @@
 #ifndef MGBR_TRAIN_CHECKPOINT_H_
 #define MGBR_TRAIN_CHECKPOINT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
+#include "tensor/optim.h"
 #include "tensor/variable.h"
 
 namespace mgbr {
 
-/// Writes all parameter tensors to `path` in a small binary format
-/// (magic, count, then per-tensor shape + float32 payload). Parameter
-/// ORDER is the contract: save and load must use the same
-/// model->Parameters() ordering.
-Status SaveParameters(const std::vector<Var>& params,
+/// Crash-safe checkpointing (format v2). See docs/robustness.md.
+///
+/// A v2 checkpoint is a sectioned binary file:
+///
+///   magic "MGBRCKP2" | u32 version=2 | u32 n_sections
+///   per section: u32 tag | u32 crc32(payload) | u64 payload_bytes
+///                | payload
+///
+/// Sections (all optional except params):
+///   CFG1  model/config fingerprint (u64)
+///   PAR1  parameter tensors: u64 count, then {i64 rows, i64 cols, f32[]}
+///   ADM1  Adam state: i64 t, f32 lr, u64 count,
+///         then {i64 rows, i64 cols, f32 m[], f32 v[]}
+///   RNG1  RNG streams: u64 n, then {u64 s[4], u8 has_cached, f64 cached}
+///   TRN1  trainer state: i64 epochs_run, f64 best_metric,
+///         i64 best_epoch, i64 since_best
+///
+/// Durability: files are written to `<path>.tmp`, fsync'd, then
+/// atomically renamed over `<path>` (with a parent-directory fsync), so
+/// a reader never observes a half-written checkpoint under its final
+/// name. Every section carries a CRC32, so torn writes and bit flips
+/// are detected at load time instead of silently corrupting a model.
+///
+/// The legacy v1 format ("MGBRCKP1": params only, no checksums) is
+/// still readable through LoadParameters / LoadCheckpoint.
+
+/// Trainer bookkeeping that must survive a restart for a resumed run to
+/// continue exactly where the original left off (epoch cursor plus the
+/// early-stopping scoreboard).
+struct TrainerState {
+  int64_t epochs_run = 0;
+  double best_metric = -1e300;
+  int64_t best_epoch = -1;
+  int64_t since_best = 0;
+};
+
+/// What to persist. `params` is required; every other pointer is
+/// optional and simply omits its section when null.
+struct CheckpointWriteRequest {
+  const std::vector<Var>* params = nullptr;
+  const Adam* optimizer = nullptr;
+  const Rng* rng = nullptr;
+  const TrainerState* trainer = nullptr;
+  /// Stored in the CFG1 section when non-zero (see
+  /// Trainer::ConfigFingerprint / MgbrConfig::Fingerprint).
+  uint64_t fingerprint = 0;
+};
+
+/// Where to restore. `params` is required and must match the file's
+/// tensor count/shapes; optional pointers demand their section (a file
+/// without it fails with NotFound). Restoration is all-or-nothing:
+/// every section is parsed and validated before the first byte of
+/// model/optimizer/RNG state is mutated.
+struct CheckpointReadRequest {
+  std::vector<Var>* params = nullptr;
+  Adam* optimizer = nullptr;
+  Rng* rng = nullptr;
+  TrainerState* trainer = nullptr;
+  /// When non-zero, the file's CFG1 fingerprint must equal it.
+  uint64_t expected_fingerprint = 0;
+};
+
+/// Writes a v2 checkpoint atomically (temp + fsync + rename).
+Status SaveCheckpoint(const CheckpointWriteRequest& request,
                       const std::string& path);
 
-/// Restores parameter values in place. Fails (without partial writes to
-/// the model) if the count or any shape mismatches.
+/// Loads and verifies a checkpoint (v2 CRC-checked, or legacy v1 when
+/// only params are requested). Corruption — truncation, CRC mismatch,
+/// impossible counts/shapes — yields an error and leaves every target
+/// untouched.
+Status LoadCheckpoint(const std::string& path,
+                      const CheckpointReadRequest& request);
+
+/// Params-only convenience wrappers (the pre-v2 API). SaveParameters
+/// now writes an atomic, CRC-protected v2 file; LoadParameters reads
+/// both v2 and legacy v1 files.
+Status SaveParameters(const std::vector<Var>& params,
+                      const std::string& path);
 Status LoadParameters(const std::string& path, std::vector<Var>* params);
+
+/// Rotating checkpoint directory with corruption fall-back.
+///
+/// Files are `<dir>/ckpt-NNNNNN.mgbr` (NNNNNN = epoch). Save() writes
+/// atomically, prunes to the newest `keep_last` files, and clears stale
+/// temp files from interrupted earlier runs. RestoreLatest() walks the
+/// epochs newest-first and returns the first checkpoint that fully
+/// verifies, counting corrupt files (checkpoint.corrupt_detected) and
+/// fall-backs (checkpoint.fallbacks) along the way.
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(std::string dir, int keep_last = 3);
+
+  /// `<dir>/ckpt-NNNNNN.mgbr` for the given epoch.
+  std::string PathFor(int64_t epoch) const;
+
+  /// Atomically writes the checkpoint for `epoch`, then rotates.
+  Status Save(const CheckpointWriteRequest& request, int64_t epoch);
+
+  /// Restores the newest checkpoint that verifies; `*epoch_out`
+  /// receives its epoch. NotFound when the directory holds no valid
+  /// checkpoint.
+  Status RestoreLatest(const CheckpointReadRequest& request,
+                       int64_t* epoch_out);
+
+  /// Epochs with a checkpoint file present, ascending.
+  std::vector<int64_t> ListEpochs() const;
+
+  const std::string& dir() const { return dir_; }
+  int keep_last() const { return keep_last_; }
+
+ private:
+  std::string dir_;
+  int keep_last_;
+};
 
 }  // namespace mgbr
 

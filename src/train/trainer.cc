@@ -1,7 +1,11 @@
 #include "train/trainer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 
+#include "common/checksum.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -33,7 +37,30 @@ Gauge* LearningRateGauge() {
 }
 #endif  // MGBR_TELEMETRY
 
+std::atomic<bool> g_stop_requested{false};
+
+void MgbrStopSignalHandler(int /*signum*/) {
+  // Only async-signal-safe work here: flip the flag, let the training
+  // loop notice it at the next epoch boundary.
+  g_stop_requested.store(true, std::memory_order_relaxed);
+}
+
 }  // namespace
+
+void InstallStopSignalHandlers() {
+  std::signal(SIGINT, MgbrStopSignalHandler);
+  std::signal(SIGTERM, MgbrStopSignalHandler);
+}
+
+bool StopRequested() {
+  return g_stop_requested.load(std::memory_order_relaxed);
+}
+
+void RequestStop() { g_stop_requested.store(true, std::memory_order_relaxed); }
+
+void ClearStopRequest() {
+  g_stop_requested.store(false, std::memory_order_relaxed);
+}
 
 Trainer::Trainer(RecModel* model, const TrainingSampler* sampler,
                  TrainConfig config)
@@ -85,6 +112,9 @@ EpochStats Trainer::RunEpoch() {
   MGBR_CHECK_GT(steps, 0u);
   for (size_t step = 0; step < steps; ++step) {
     MGBR_TRACE_SPAN("trainer.step", "trainer");
+    // Crash-recovery testing hook: MGBR_FAULT="kill@trainer.step:N"
+    // terminates the process at the N-th step (common/fault.h).
+    fault::KillPoint("trainer.step");
     {
       MGBR_TRACE_SPAN("trainer.refresh", "trainer");
       model_->Refresh();
@@ -167,13 +197,13 @@ EpochStats Trainer::RunEpoch() {
                  static_cast<double>(stats.learning_rate));
 #endif
   stats.seconds = epoch_span.Finish();
-  ++epochs_run_;
+  ++state_.epochs_run;
 
   if (telemetry_ != nullptr) {
     const double inv = 1.0 / static_cast<double>(stats.steps);
     EpochTelemetry record;
     record.model = model_->name();
-    record.epoch = epochs_run_;
+    record.epoch = state_.epochs_run;
     record.steps = stats.steps;
     record.loss_a = stats.loss_a * inv;
     record.loss_b = stats.loss_b * inv;
@@ -202,7 +232,11 @@ std::vector<EpochStats> Trainer::Train(int64_t epochs) {
   std::vector<EpochStats> history;
   const int64_t decay_epoch = static_cast<int64_t>(
       static_cast<float>(epochs) * config_.lr_decay_after);
-  for (int64_t e = 0; e < epochs; ++e) {
+  // The epoch cursor is absolute (state_.epochs_run), so a resumed
+  // trainer picks up exactly where the checkpoint left off: the decay
+  // step fires at the same absolute epoch, checkpoints land on the same
+  // cadence, and the drawn random stream continues unbroken.
+  for (int64_t e = state_.epochs_run; e < epochs; ++e) {
     if (config_.lr_decay_factor > 0.0f && config_.lr_decay_factor < 1.0f &&
         e == decay_epoch && decay_epoch > 0) {
       optimizer_->set_learning_rate(optimizer_->learning_rate() *
@@ -217,8 +251,70 @@ std::vector<EpochStats> Trainer::Train(int64_t epochs) {
                     ") ", FormatFloat(stats.seconds, 2), "s");
     }
     history.push_back(stats);
+    const bool stopping = StopRequested();
+    const Status saved = MaybeCheckpoint(stopping || e + 1 >= epochs);
+    if (!saved.ok()) {
+      MGBR_LOG_WARNING("checkpoint failed: ", saved.ToString());
+    }
+    if (stopping) {
+      MGBR_LOG_WARNING("stop requested; exiting after epoch ",
+                       state_.epochs_run, " (checkpoint ",
+                       config_.checkpoint_dir.empty() ? "disabled"
+                                                      : "written",
+                       ")");
+      break;
+    }
   }
   return history;
+}
+
+uint64_t Trainer::ConfigFingerprint() const {
+  const std::string name = model_->name();
+  uint64_t h = Fnv1a64(name.data(), name.size());
+  for (const Var& p : optimizer_->params()) {
+    h = Fnv1a64Mix(p.value().rows(), h);
+    h = Fnv1a64Mix(p.value().cols(), h);
+  }
+  if (mgbr_ != nullptr) h = mgbr_->config().Fingerprint(h);
+  return h;
+}
+
+Result<int64_t> Trainer::TryResume() {
+  if (config_.checkpoint_dir.empty()) return int64_t{0};
+  CheckpointManager manager(config_.checkpoint_dir, config_.checkpoint_keep);
+  CheckpointReadRequest request;
+  // The optimizer's Vars are shared handles onto the model's parameters
+  // (Trainer's constructor passes model->Parameters()), so restoring
+  // through them updates the model in place.
+  request.params = &optimizer_->params_mutable();
+  request.optimizer = optimizer_.get();
+  request.rng = &rng_;
+  request.trainer = &state_;
+  request.expected_fingerprint = ConfigFingerprint();
+  int64_t epoch = 0;
+  const Status status = manager.RestoreLatest(request, &epoch);
+  if (status.code() == StatusCode::kNotFound) return int64_t{0};
+  if (!status.ok()) return status;
+  model_->Refresh();
+  MGBR_LOG_INFO("resumed from ", manager.PathFor(epoch), " (",
+                state_.epochs_run, " epoch(s) already run)");
+  return state_.epochs_run;
+}
+
+Status Trainer::MaybeCheckpoint(bool force) {
+  if (config_.checkpoint_dir.empty()) return Status::OK();
+  if (!force && (config_.checkpoint_every <= 0 ||
+                 state_.epochs_run % config_.checkpoint_every != 0)) {
+    return Status::OK();
+  }
+  CheckpointManager manager(config_.checkpoint_dir, config_.checkpoint_keep);
+  CheckpointWriteRequest request;
+  request.params = &optimizer_->params();
+  request.optimizer = optimizer_.get();
+  request.rng = &rng_;
+  request.trainer = &state_;
+  request.fingerprint = ConfigFingerprint();
+  return manager.Save(request, state_.epochs_run);
 }
 
 ValidatedTrainResult TrainWithEarlyStopping(
@@ -229,17 +325,25 @@ ValidatedTrainResult TrainWithEarlyStopping(
   MGBR_CHECK(model != nullptr);
   MGBR_CHECK_GE(patience, 1);
   ValidatedTrainResult result;
-  int64_t since_best = 0;
-  for (int64_t epoch = 0; epoch < max_epochs; ++epoch) {
+  // The scoreboard lives in TrainerState so it rides along in periodic
+  // checkpoints; a resumed trainer (TryResume) re-enters this loop with
+  // its best-so-far and patience budget intact.
+  TrainerState* state = trainer->mutable_state();
+  result.best_metric = state->best_metric;
+  result.best_epoch = state->best_epoch;
+  for (int64_t epoch = state->epochs_run; epoch < max_epochs; ++epoch) {
     result.history.push_back(trainer->RunEpoch());
     const double metric = validate();
     if (trainer->telemetry() != nullptr) {
       trainer->telemetry()->AnnotateLastEpoch({{"val_metric", metric}});
     }
-    if (metric > result.best_metric) {
+    bool stop = StopRequested();
+    if (metric > state->best_metric) {
+      state->best_metric = metric;
+      state->best_epoch = epoch;
+      state->since_best = 0;
       result.best_metric = metric;
       result.best_epoch = epoch;
-      since_best = 0;
       if (!checkpoint_path.empty()) {
         auto params = model->Parameters();
         Status s = SaveParameters(params, checkpoint_path);
@@ -247,10 +351,16 @@ ValidatedTrainResult TrainWithEarlyStopping(
           MGBR_LOG_WARNING("best-epoch checkpoint failed: ", s.ToString());
         }
       }
-    } else if (++since_best >= patience) {
+    } else if (++state->since_best >= patience) {
       result.stopped_early = true;
-      break;
+      stop = true;
     }
+    const Status saved =
+        trainer->MaybeCheckpoint(stop || epoch + 1 >= max_epochs);
+    if (!saved.ok()) {
+      MGBR_LOG_WARNING("checkpoint failed: ", saved.ToString());
+    }
+    if (stop) break;
   }
   return result;
 }

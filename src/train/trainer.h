@@ -11,6 +11,7 @@
 #include "data/sampler.h"
 #include "models/rec_model.h"
 #include "tensor/optim.h"
+#include "train/checkpoint.h"
 
 namespace mgbr {
 
@@ -41,6 +42,15 @@ struct TrainConfig {
   float beta = 1.0f;
   uint64_t seed = 7;
   bool verbose = false;
+
+  /// Crash-safe checkpointing (docs/robustness.md). Empty dir disables
+  /// it. When set, the trainer writes parameters + Adam moments + RNG
+  /// state + trainer bookkeeping to `<checkpoint_dir>/ckpt-NNNNNN.mgbr`
+  /// every `checkpoint_every` epochs (and always at the final epoch or
+  /// on a stop signal), keeping the newest `checkpoint_keep` files.
+  std::string checkpoint_dir;
+  int64_t checkpoint_every = 1;
+  int checkpoint_keep = 3;
 };
 
 /// Per-epoch training statistics. Loss and grad-norm fields are sums
@@ -95,6 +105,30 @@ class Trainer {
   void SetTelemetry(RunTelemetry* telemetry) { telemetry_ = telemetry; }
   RunTelemetry* telemetry() const { return telemetry_; }
 
+  /// Epoch cursor + early-stopping scoreboard, exactly what the
+  /// checkpoint's TRN1 section round-trips.
+  const TrainerState& state() const { return state_; }
+  TrainerState* mutable_state() { return &state_; }
+
+  /// Structural hash of the training setup (model name, parameter
+  /// shapes, and the MgbrConfig when the model is an MgbrModel).
+  /// Stored in every checkpoint; a resume against a different setup is
+  /// rejected instead of silently mis-trained.
+  uint64_t ConfigFingerprint() const;
+
+  /// Restores the newest valid checkpoint from config.checkpoint_dir
+  /// (params, Adam moments, RNG stream, trainer state) and refreshes
+  /// the model. Returns the number of epochs already run (0 = nothing
+  /// to resume, fresh start). Corrupt files fall back to older ones;
+  /// a fingerprint mismatch or unreadable directory is an error. A
+  /// resumed run continues bit-identically with an uninterrupted one.
+  Result<int64_t> TryResume();
+
+  /// Writes a checkpoint for the epochs run so far when checkpointing
+  /// is enabled and the cadence (or `force`) calls for one; otherwise a
+  /// no-op.
+  Status MaybeCheckpoint(bool force = false);
+
  private:
   RecModel* model_;
   MgbrModel* mgbr_;  // non-null when model_ is an MgbrModel
@@ -103,8 +137,20 @@ class Trainer {
   Rng rng_;
   std::unique_ptr<Adam> optimizer_;
   RunTelemetry* telemetry_ = nullptr;
-  int64_t epochs_run_ = 0;
+  TrainerState state_;
 };
+
+/// Installs SIGINT/SIGTERM handlers that set the stop flag polled by
+/// Train / TrainWithEarlyStopping: the current epoch finishes, a final
+/// checkpoint is written (when enabled), and the loop exits cleanly.
+void InstallStopSignalHandlers();
+
+/// True once a stop signal arrived (or RequestStop() was called).
+bool StopRequested();
+
+/// Sets / clears the stop flag programmatically (tests, embedding).
+void RequestStop();
+void ClearStopRequest();
 
 /// Result of TrainWithEarlyStopping.
 struct ValidatedTrainResult {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "data/synthetic.h"
 #include "tests/test_util.h"
 
@@ -147,6 +148,74 @@ TEST(DatasetIoTest, RejectsMalformedFiles) {
   EXPECT_FALSE(GroupBuyingDataset::Load(path).ok());
   std::remove(path.c_str());
   EXPECT_FALSE(GroupBuyingDataset::Load("/no/such/file.csv").ok());
+}
+
+TEST(DatasetIoTest, LenientModeSkipsAndCountsDefectiveRows) {
+  const std::string path = ::testing::TempDir() + "/mgbr_lenient_ds.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    // header; good row; out-of-range participant; short row;
+    // out-of-range item; non-numeric initiator; row with duplicate
+    // participant + participant == initiator.
+    fputs(
+        "5,4\n"
+        "0,1,2\n"
+        "0,1,9\n"
+        "3\n"
+        "0,7\n"
+        "x,1\n"
+        "1,2,3,3,1\n",
+        f);
+    fclose(f);
+  }
+  DatasetLoadOptions lenient;
+  lenient.strict = false;
+  Result<GroupBuyingDataset> result = GroupBuyingDataset::Load(path, lenient);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const GroupBuyingDataset& ds = result.value();
+  // Good row + deduplicated row survive; the four defective rows don't.
+  ASSERT_EQ(ds.n_groups(), 2);
+  EXPECT_EQ(ds.groups()[0].participants, (std::vector<int64_t>{2}));
+  // "1,2,3,3,1": duplicate 3 and initiator-as-participant 1 dropped.
+  EXPECT_EQ(ds.groups()[1].initiator, 1);
+  EXPECT_EQ(ds.groups()[1].participants, (std::vector<int64_t>{3}));
+
+  // The same file fails fast in strict mode.
+  EXPECT_FALSE(GroupBuyingDataset::Load(path).ok());
+
+  // Lenient mode still refuses a garbled header outright.
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("not-a-header\n0,1\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(GroupBuyingDataset::Load(path, lenient).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LenientModeCountsSkipCauses) {
+  const bool saved = TelemetryEnabled();
+  SetTelemetryEnabled(true);
+  Counter* skipped = MetricsRegistry::Global().GetCounter(
+      "dataset.rows_skipped_bad_participant");
+  Counter* dropped = MetricsRegistry::Global().GetCounter(
+      "dataset.duplicate_participants_dropped");
+  const int64_t skipped_before = skipped->Value();
+  const int64_t dropped_before = dropped->Value();
+
+  const std::string path = ::testing::TempDir() + "/mgbr_lenient_count.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("5,4\n0,1,9\n1,2,3,3\n", f);
+    fclose(f);
+  }
+  DatasetLoadOptions lenient;
+  lenient.strict = false;
+  ASSERT_TRUE(GroupBuyingDataset::Load(path, lenient).ok());
+  EXPECT_EQ(skipped->Value(), skipped_before + 1);
+  EXPECT_EQ(dropped->Value(), dropped_before + 1);
+  std::remove(path.c_str());
+  SetTelemetryEnabled(saved);
 }
 
 // ---------------------------------------------------------------------------
