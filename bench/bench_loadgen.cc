@@ -1,0 +1,367 @@
+// Open-loop load generator for the serving layer (the CI latency-SLO
+// gate's workload): arrivals are scheduled on a fixed clock at the
+// offered QPS regardless of completion times, so queueing delay shows
+// up in the measured latency instead of silently throttling the
+// generator (closed-loop generators hide overload; see docs/serving.md).
+//
+// Phases: build model -> install into a ModelPool -> closed-loop cache
+// fill over the request working set -> timed open-loop window at
+// --qps for --duration-s with per-request deadlines. Emits a
+// "mgbr-loadgen-v1" JSON report (--json-out) that
+// scripts/check_bench_gate.py --serving checks against the floors in
+// BENCH_baseline.json, plus a human summary on stdout.
+//
+// Honours MGBR_BENCH_FAST=1 (smaller synthetic dataset) and the
+// telemetry flags --trace-out / --trace-stream / --metrics-out.
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/logging.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+#include "serve/model_pool.h"
+#include "serve/server.h"
+
+namespace mgbr::bench {
+namespace {
+
+using serve::ModelPool;
+using serve::Request;
+using serve::Response;
+using serve::ResponseCode;
+using serve::Server;
+using serve::ServerConfig;
+using serve::ServerStats;
+using serve::TaskKind;
+
+struct LoadgenOptions {
+  double qps = 2000.0;
+  double duration_s = 10.0;
+  int64_t deadline_ms = 50;  // 0 = no deadline
+  std::string task = "a";    // a | b | mix
+  int64_t k = 10;
+  int64_t cache = -1;  // -1 = auto-size to the working set
+  int64_t workers = 2;
+  int64_t max_batch = 32;
+  int64_t batch_timeout_us = 2000;
+  int64_t queue_capacity = 512;
+  int64_t b_pairs = 256;  // distinct (user, item) pairs in the Task B mix
+  std::string json_out;
+};
+
+/// Deterministic request working set: Task A cycles every user, Task B
+/// cycles `b_pairs` (user, item) pairs, "mix" interleaves one B request
+/// per three A requests. Deterministic so the cache-fill phase can
+/// enumerate exactly the keys the timed window will replay.
+class KeySchedule {
+ public:
+  KeySchedule(const std::string& task, int64_t n_users, int64_t n_items,
+              int64_t b_pairs)
+      : task_(task),
+        n_users_(n_users),
+        n_items_(n_items),
+        b_pairs_(std::min(b_pairs, n_users)) {}
+
+  Request At(int64_t i) const {
+    Request r;
+    if (task_ == "b" || (task_ == "mix" && i % 4 == 3)) {
+      const int64_t p = i % b_pairs_;
+      r.task = TaskKind::kTopKParticipants;
+      r.user = p;
+      r.item = (p * 31 + 7) % n_items_;
+    } else {
+      r.task = TaskKind::kTopKItems;
+      r.user = i % n_users_;
+    }
+    return r;
+  }
+
+  /// Every distinct (task, user, item) key the schedule can emit.
+  std::vector<Request> WorkingSet() const {
+    std::vector<Request> keys;
+    if (task_ == "a" || task_ == "mix") {
+      for (int64_t u = 0; u < n_users_; ++u) {
+        Request r;
+        r.task = TaskKind::kTopKItems;
+        r.user = u;
+        keys.push_back(r);
+      }
+    }
+    if (task_ == "b" || task_ == "mix") {
+      for (int64_t p = 0; p < b_pairs_; ++p) {
+        Request r;
+        r.task = TaskKind::kTopKParticipants;
+        r.user = p;
+        r.item = (p * 31 + 7) % n_items_;
+        keys.push_back(r);
+      }
+    }
+    return keys;
+  }
+
+ private:
+  std::string task_;
+  int64_t n_users_;
+  int64_t n_items_;
+  int64_t b_pairs_;
+};
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+int Run(const LoadgenOptions& opt) {
+  ExperimentHarness harness(HarnessConfig::FromEnv());
+  MGBR_LOG_INFO("loadgen dataset: ", harness.DataSummary());
+
+  ModelPool pool([&harness] {
+    auto m = harness.MakeMgbr(harness.MgbrBenchConfig(), 7);
+    m->Refresh();
+    return std::unique_ptr<RecModel>(std::move(m));
+  });
+  {
+    auto m = harness.MakeMgbr(harness.MgbrBenchConfig(), 7);
+    m->Refresh();
+    pool.Install(std::move(m), "loadgen-seed");
+  }
+
+  const KeySchedule schedule(opt.task, harness.n_users(), harness.n_items(),
+                             opt.b_pairs);
+  const std::vector<Request> working_set = schedule.WorkingSet();
+
+  ServerConfig config;
+  config.queue_capacity = opt.queue_capacity;
+  config.max_batch = opt.max_batch;
+  config.batch_timeout_us = opt.batch_timeout_us;
+  config.n_workers = static_cast<int>(opt.workers);
+  config.cache_capacity =
+      opt.cache >= 0 ? opt.cache
+                     : static_cast<int64_t>(working_set.size()) * 2;
+  Server server(&pool, config);
+
+  // Cache fill: score every key in the working set once, closed-loop,
+  // so the timed window measures the steady serving state (between
+  // model swaps a version's scores are immutable and fully cacheable;
+  // a production server would precompute exactly this set on swap).
+  {
+    const int64_t t0 = trace::NowMicros();
+    std::vector<std::future<Response>> fills;
+    fills.reserve(working_set.size());
+    for (Request r : working_set) {
+      r.k = opt.k;
+      fills.push_back(server.Submit(r));
+    }
+    int64_t ok = 0;
+    for (auto& f : fills) {
+      ok += f.get().code == ResponseCode::kOk ? 1 : 0;
+    }
+    MGBR_LOG_INFO("cache fill: ", ok, "/", working_set.size(), " keys in ",
+                  Num(static_cast<double>(trace::NowMicros() - t0) * 1e-6),
+                  "s");
+  }
+
+  // Timed open-loop window.
+  const int64_t interval_count =
+      static_cast<int64_t>(opt.qps * opt.duration_s);
+  std::vector<std::future<Response>> futures;
+  futures.reserve(static_cast<size_t>(interval_count));
+  const int64_t start_us = trace::NowMicros();
+  for (int64_t i = 0; i < interval_count; ++i) {
+    const int64_t arrival_us =
+        start_us + static_cast<int64_t>(static_cast<double>(i) * 1e6 /
+                                        opt.qps);
+    const int64_t now = trace::NowMicros();
+    if (arrival_us > now) {
+      std::this_thread::sleep_for(std::chrono::microseconds(arrival_us - now));
+    }
+    Request r = schedule.At(i);
+    r.k = opt.k;
+    if (opt.deadline_ms > 0) {
+      r.deadline_us = trace::NowMicros() + opt.deadline_ms * 1000;
+    }
+    futures.push_back(server.Submit(r));
+  }
+  server.Stop();  // drain; every future resolves
+  const int64_t end_us = trace::NowMicros();
+  const double window_s = static_cast<double>(end_us - start_us) * 1e-6;
+
+  int64_t ok = 0, shed_queue = 0, shed_deadline = 0, other = 0;
+  int64_t cache_hits = 0;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(futures.size());
+  for (auto& f : futures) {
+    const Response r = f.get();
+    switch (r.code) {
+      case ResponseCode::kOk:
+        ++ok;
+        cache_hits += r.cache_hit ? 1 : 0;
+        latencies_ms.push_back(
+            static_cast<double>(r.done_us - r.enqueue_us) * 1e-3);
+        break;
+      case ResponseCode::kShedQueueFull:
+        ++shed_queue;
+        break;
+      case ResponseCode::kShedDeadline:
+        ++shed_deadline;
+        break;
+      default:
+        ++other;
+        break;
+    }
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double qps = static_cast<double>(ok) / window_s;
+  const double shed_fraction =
+      futures.empty() ? 0.0
+                      : static_cast<double>(shed_queue + shed_deadline) /
+                            static_cast<double>(futures.size());
+  const double p50 = Percentile(latencies_ms, 0.50);
+  const double p90 = Percentile(latencies_ms, 0.90);
+  const double p99 = Percentile(latencies_ms, 0.99);
+  const double lat_max = latencies_ms.empty() ? 0.0 : latencies_ms.back();
+  const ServerStats stats = server.stats();
+
+  std::printf(
+      "loadgen: offered %.0f qps for %.1fs (task=%s)\n"
+      "  completed %" PRId64 "/%zu (%.1f qps), shed %.2f%% "
+      "(queue=%" PRId64 " deadline=%" PRId64 " other=%" PRId64 ")\n"
+      "  latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f\n"
+      "  batches=%" PRId64 " unique_scored=%" PRId64 " coalesced=%" PRId64
+      " cache_hits=%" PRId64 "\n",
+      opt.qps, window_s, opt.task.c_str(), ok, futures.size(), qps,
+      shed_fraction * 100.0, shed_queue, shed_deadline, other, p50, p90, p99,
+      lat_max, stats.batches, stats.unique_scored, stats.coalesced,
+      stats.cache_hits);
+
+  if (!opt.json_out.empty()) {
+    std::string out;
+    out += "{\"schema\":\"mgbr-loadgen-v1\",";
+    out += "\"config\":{";
+    out += "\"offered_qps\":" + Num(opt.qps);
+    out += ",\"duration_s\":" + Num(opt.duration_s);
+    out += ",\"deadline_ms\":" + std::to_string(opt.deadline_ms);
+    out += ",\"task\":\"" + opt.task + "\"";
+    out += ",\"k\":" + std::to_string(opt.k);
+    out += ",\"cache_capacity\":" + std::to_string(config.cache_capacity);
+    out += ",\"n_workers\":" + std::to_string(config.n_workers);
+    out += ",\"max_batch\":" + std::to_string(config.max_batch);
+    out += ",\"batch_timeout_us\":" + std::to_string(config.batch_timeout_us);
+    out += ",\"queue_capacity\":" + std::to_string(config.queue_capacity);
+    out += ",\"working_set\":" + std::to_string(working_set.size());
+    out += ",\"fast\":" +
+           std::string(harness.config().fast ? "true" : "false");
+    out += "},\"results\":{";
+    out += "\"offered\":" + std::to_string(futures.size());
+    out += ",\"completed\":" + std::to_string(ok);
+    out += ",\"shed_queue_full\":" + std::to_string(shed_queue);
+    out += ",\"shed_deadline\":" + std::to_string(shed_deadline);
+    out += ",\"other\":" + std::to_string(other);
+    out += ",\"qps\":" + Num(qps);
+    out += ",\"shed_fraction\":" + Num(shed_fraction);
+    out += ",\"cache_hit_fraction\":" +
+           Num(ok > 0 ? static_cast<double>(cache_hits) /
+                            static_cast<double>(ok)
+                      : 0.0);
+    out += ",\"latency_ms\":{\"p50\":" + Num(p50) + ",\"p90\":" + Num(p90) +
+           ",\"p99\":" + Num(p99) + ",\"max\":" + Num(lat_max) + "}";
+    out += ",\"batches\":" + std::to_string(stats.batches);
+    out += ",\"unique_scored\":" + std::to_string(stats.unique_scored);
+    out += ",\"coalesced\":" + std::to_string(stats.coalesced);
+    out += ",\"cache_hits\":" + std::to_string(stats.cache_hits);
+    out += "}}\n";
+    std::FILE* f = std::fopen(opt.json_out.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(out.data(), 1, out.size(), f) != out.size() ||
+        std::fclose(f) != 0) {
+      MGBR_LOG_ERROR("cannot write loadgen report: ", opt.json_out);
+      return 1;
+    }
+    MGBR_LOG_INFO("wrote loadgen report to ", opt.json_out);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mgbr::bench
+
+int main(int argc, char** argv) {
+  const mgbr::TelemetryOptions telemetry =
+      mgbr::TelemetryOptions::FromArgs(argc, argv);
+  telemetry.EnableRequested();
+
+  mgbr::bench::LoadgenOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (mgbr::bench::ParseFlag(arg, "qps", &v)) {
+      opt.qps = std::stod(v);
+    } else if (mgbr::bench::ParseFlag(arg, "duration-s", &v)) {
+      opt.duration_s = std::stod(v);
+    } else if (mgbr::bench::ParseFlag(arg, "deadline-ms", &v)) {
+      opt.deadline_ms = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "task", &v)) {
+      opt.task = v;
+    } else if (mgbr::bench::ParseFlag(arg, "k", &v)) {
+      opt.k = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "cache", &v)) {
+      opt.cache = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "workers", &v)) {
+      opt.workers = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "max-batch", &v)) {
+      opt.max_batch = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "batch-timeout-us", &v)) {
+      opt.batch_timeout_us = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "queue-capacity", &v)) {
+      opt.queue_capacity = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "b-pairs", &v)) {
+      opt.b_pairs = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "json-out", &v)) {
+      opt.json_out = v;
+    } else if (arg.rfind("--trace-out", 0) == 0 ||
+               arg.rfind("--metrics-out", 0) == 0 || arg == "--trace-stream") {
+      if ((arg == "--trace-out" || arg == "--metrics-out") && i + 1 < argc) {
+        ++i;  // handled by TelemetryOptions; skip its value form too
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (opt.task != "a" && opt.task != "b" && opt.task != "mix") {
+    std::fprintf(stderr, "--task must be a, b or mix\n");
+    return 2;
+  }
+
+  const int rc = mgbr::bench::Run(opt);
+  const mgbr::Status flush = telemetry.Flush(nullptr);
+  return rc != 0 ? rc : (flush.ok() ? 0 : 1);
+}

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Benchmark regression gates (SIMD kernels + no-grad eval path).
+"""Benchmark regression gates (SIMD kernels, no-grad eval path, serving SLO).
 
 Default mode — SIMD gate. Compares two bench_micro_engine JSON outputs,
 one run with the simd kernel variants dispatched (MGBR_SIMD=1) and one
@@ -17,16 +17,31 @@ catalogue scoring gives a structural speedup that is deterministic for
 a fixed dataset seed (it is a dedup ratio, not a kernel timing), so the
 floor holds even on noisy shared runners.
 
-Both floors are intentionally far below the dev-box numbers recorded in
+`--serving` mode — latency-SLO gate. Reads ONE bench_loadgen JSON
+report ("mgbr-loadgen-v1") from an open-loop run at fixed offered load
+and fails when completed QPS falls below `ci_gate.serving_slo.min_qps`,
+p99 latency exceeds `max_p99_ms`, or the shed fraction exceeds
+`max_shed_fraction`. The QPS floor is the ">= 10x BM_ServeQpsTaskA"
+deliverable: the router's batching + per-version score cache must keep
+clearing an order of magnitude over the brute-force serving baseline.
+
+Every input file is schema-validated before any number is compared, so
+a truncated artifact or a format drift fails loudly instead of gating
+on garbage. `--self-test` runs the built-in unit tests (CI invokes it
+before trusting the gate).
+
+All floors are intentionally far below the dev-box numbers recorded in
 BENCH_baseline.json: CI runners are noisy, share cores, and build
 without -march=native, so the gates only exist to catch a real
 structural regression (a kernel edit that silently serializes, an eval
-refactor that reverts to per-instance scoring), not to enforce exact
-numbers.
+refactor that reverts to per-instance scoring, a serving change that
+breaks batching or caching), not to enforce exact numbers.
 
 Usage:
     check_bench_gate.py BENCH_baseline.json simd_on.json simd_off.json
     check_bench_gate.py --eval BENCH_baseline.json serving.json
+    check_bench_gate.py --serving BENCH_baseline.json loadgen.json
+    check_bench_gate.py --self-test
 """
 
 import json
@@ -34,9 +49,73 @@ import math
 import sys
 
 
+class SchemaError(Exception):
+    """An input file does not look like what the gate expects."""
+
+
+def _require(cond, message):
+    if not cond:
+        raise SchemaError(message)
+
+
+def validate_google_benchmark(data, path):
+    """Google-benchmark JSON: {"benchmarks": [{"run_name", "real_time"...}]}."""
+    _require(isinstance(data, dict), f"{path}: top level is not an object")
+    _require("benchmarks" in data, f"{path}: missing 'benchmarks' array")
+    _require(isinstance(data["benchmarks"], list),
+             f"{path}: 'benchmarks' is not an array")
+    _require(data["benchmarks"], f"{path}: 'benchmarks' is empty")
+    for i, bench in enumerate(data["benchmarks"]):
+        _require(isinstance(bench, dict),
+                 f"{path}: benchmarks[{i}] is not an object")
+        _require("run_name" in bench,
+                 f"{path}: benchmarks[{i}] missing 'run_name'")
+        if bench.get("aggregate_name") == "median":
+            _require(isinstance(bench.get("real_time"), (int, float)),
+                     f"{path}: median entry '{bench['run_name']}' has no "
+                     "numeric 'real_time'")
+
+
+def validate_loadgen(data, path):
+    """bench_loadgen JSON: schema mgbr-loadgen-v1 (see bench_loadgen.cc)."""
+    _require(isinstance(data, dict), f"{path}: top level is not an object")
+    _require(data.get("schema") == "mgbr-loadgen-v1",
+             f"{path}: schema is {data.get('schema')!r}, "
+             "expected 'mgbr-loadgen-v1'")
+    for section in ("config", "results"):
+        _require(isinstance(data.get(section), dict),
+                 f"{path}: missing '{section}' object")
+    results = data["results"]
+    for key in ("offered", "completed", "qps", "shed_fraction"):
+        _require(isinstance(results.get(key), (int, float)),
+                 f"{path}: results.{key} missing or not numeric")
+    latency = results.get("latency_ms")
+    _require(isinstance(latency, dict), f"{path}: missing results.latency_ms")
+    for q in ("p50", "p90", "p99", "max"):
+        _require(isinstance(latency.get(q), (int, float)),
+                 f"{path}: results.latency_ms.{q} missing or not numeric")
+
+
+def validate_serving_slo(slo, path):
+    """The ci_gate.serving_slo block of BENCH_baseline.json."""
+    _require(isinstance(slo, dict), f"{path}: ci_gate.serving_slo missing")
+    for key in ("min_qps", "max_p99_ms", "max_shed_fraction"):
+        _require(isinstance(slo.get(key), (int, float)),
+                 f"{path}: ci_gate.serving_slo.{key} missing or not numeric")
+
+
+def load_json(path, validator):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SchemaError(f"{path}: unreadable or invalid JSON ({e})")
+    validator(data, path)
+    return data
+
+
 def medians(path):
-    with open(path) as f:
-        data = json.load(f)
+    data = load_json(path, validate_google_benchmark)
     out = {}
     for bench in data["benchmarks"]:
         if bench.get("aggregate_name") == "median":
@@ -105,20 +184,163 @@ def eval_gate(baseline, serving_path):
     return 0
 
 
+def serving_gate(baseline, loadgen_path):
+    slo = baseline.get("ci_gate", {}).get("serving_slo")
+    validate_serving_slo(slo, "baseline")
+    report = load_json(loadgen_path, validate_loadgen)
+    results = report["results"]
+
+    qps = results["qps"]
+    p99 = results["latency_ms"]["p99"]
+    shed = results["shed_fraction"]
+    print(f"{'offered':20s} {report['config'].get('offered_qps')} qps "
+          f"for {report['config'].get('duration_s')}s")
+    print(f"{'completed qps':20s} {qps:10.1f} (floor {slo['min_qps']:.0f})")
+    print(f"{'p99 latency':20s} {p99:10.3f} ms "
+          f"(ceiling {slo['max_p99_ms']:.1f} ms)")
+    print(f"{'shed fraction':20s} {shed:10.4f} "
+          f"(ceiling {slo['max_shed_fraction']:.4f})")
+
+    failures = []
+    if qps < slo["min_qps"]:
+        failures.append(
+            f"completed QPS {qps:.1f} is below the floor {slo['min_qps']:.0f}"
+            " — batching/caching no longer sustains the offered load")
+    if p99 > slo["max_p99_ms"]:
+        failures.append(
+            f"p99 latency {p99:.3f} ms exceeds the ceiling "
+            f"{slo['max_p99_ms']:.1f} ms — tail latency has regressed")
+    if shed > slo["max_shed_fraction"]:
+        failures.append(
+            f"shed fraction {shed:.4f} exceeds the ceiling "
+            f"{slo['max_shed_fraction']:.4f} — the server is load-shedding "
+            "at an offered load it must absorb")
+    for failure in failures:
+        print(f"ERROR: {failure}")
+    if failures:
+        return 1
+    print("OK: the serving layer meets the latency SLO.")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test (pytest-style asserts, zero dependencies; CI runs this first).
+# ---------------------------------------------------------------------------
+
+
+def _expect_schema_error(fn, *args):
+    try:
+        fn(*args)
+    except SchemaError:
+        return True
+    return False
+
+
+def self_test():
+    import os
+    import tempfile
+
+    checks = []
+
+    def check(name, ok):
+        checks.append((name, ok))
+        print(f"{'ok' if ok else 'FAIL':4s} {name}")
+
+    # geomean sanity.
+    check("geomean_identity", abs(geomean([2.0, 8.0]) - 4.0) < 1e-12)
+
+    # Google-benchmark schema validation.
+    good_gb = {"benchmarks": [
+        {"run_name": "BM_X", "aggregate_name": "median", "real_time": 2.0}]}
+    validate_google_benchmark(good_gb, "mem")
+    check("gb_accepts_valid", True)
+    check("gb_rejects_no_benchmarks",
+          _expect_schema_error(validate_google_benchmark, {}, "mem"))
+    check("gb_rejects_bad_median",
+          _expect_schema_error(
+              validate_google_benchmark,
+              {"benchmarks": [{"run_name": "b", "aggregate_name": "median",
+                               "real_time": "fast"}]}, "mem"))
+
+    # Loadgen schema validation.
+    def loadgen_report(qps=2500.0, p99=2.0, shed=0.0):
+        return {
+            "schema": "mgbr-loadgen-v1",
+            "config": {"offered_qps": 2500, "duration_s": 8},
+            "results": {
+                "offered": 20000, "completed": 20000, "qps": qps,
+                "shed_fraction": shed,
+                "latency_ms": {"p50": 1.0, "p90": 1.5, "p99": p99,
+                               "max": 10.0},
+            },
+        }
+
+    validate_loadgen(loadgen_report(), "mem")
+    check("loadgen_accepts_valid", True)
+    check("loadgen_rejects_wrong_schema",
+          _expect_schema_error(
+              validate_loadgen, {"schema": "v0"}, "mem"))
+    bad = loadgen_report()
+    del bad["results"]["latency_ms"]["p99"]
+    check("loadgen_rejects_missing_p99",
+          _expect_schema_error(validate_loadgen, bad, "mem"))
+
+    # Serving gate verdicts against an in-memory baseline.
+    baseline = {"ci_gate": {"serving_slo": {
+        "min_qps": 2150, "max_p99_ms": 15.0, "max_shed_fraction": 0.01}}}
+
+    def run_serving(report):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump(report, f)
+            path = f.name
+        try:
+            return serving_gate(baseline, path)
+        finally:
+            os.unlink(path)
+
+    check("serving_passes_within_slo", run_serving(loadgen_report()) == 0)
+    check("serving_fails_low_qps",
+          run_serving(loadgen_report(qps=1000.0)) == 1)
+    check("serving_fails_high_p99",
+          run_serving(loadgen_report(p99=50.0)) == 1)
+    check("serving_fails_high_shed",
+          run_serving(loadgen_report(shed=0.2)) == 1)
+    check("serving_rejects_malformed_baseline",
+          _expect_schema_error(validate_serving_slo, None, "baseline"))
+
+    failed = [name for name, ok in checks if not ok]
+    print(f"self-test: {len(checks) - len(failed)}/{len(checks)} passed")
+    return 1 if failed else 0
+
+
 def main(argv):
-    if len(argv) >= 2 and argv[1] == "--eval":
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    try:
+        if len(argv) >= 2 and argv[1] == "--eval":
+            if len(argv) != 4:
+                print(__doc__)
+                return 2
+            with open(argv[2]) as f:
+                baseline = json.load(f)
+            return eval_gate(baseline, argv[3])
+        if len(argv) >= 2 and argv[1] == "--serving":
+            if len(argv) != 4:
+                print(__doc__)
+                return 2
+            with open(argv[2]) as f:
+                baseline = json.load(f)
+            return serving_gate(baseline, argv[3])
         if len(argv) != 4:
             print(__doc__)
             return 2
-        with open(argv[2]) as f:
+        with open(argv[1]) as f:
             baseline = json.load(f)
-        return eval_gate(baseline, argv[3])
-    if len(argv) != 4:
-        print(__doc__)
-        return 2
-    with open(argv[1]) as f:
-        baseline = json.load(f)
-    return simd_gate(baseline, argv[2], argv[3])
+        return simd_gate(baseline, argv[2], argv[3])
+    except SchemaError as e:
+        print(f"ERROR: {e}")
+        return 1
 
 
 if __name__ == "__main__":

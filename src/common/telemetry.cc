@@ -204,12 +204,21 @@ TelemetryOptions TelemetryOptions::FromArgs(int argc,
                                             const char* const* argv) {
   TelemetryOptions options;
   for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-stream") {
+      options.trace_stream = true;
+      continue;
+    }
     if (MatchFlag("trace-out", argc, argv, &i, &options.trace_out)) continue;
     MatchFlag("metrics-out", argc, argv, &i, &options.metrics_out);
   }
   if (options.trace_out.empty()) {
     const char* env = std::getenv("MGBR_TRACE_OUT");
     if (env != nullptr) options.trace_out = env;
+  }
+  if (!options.trace_stream) {
+    const char* env = std::getenv("MGBR_TRACE_STREAM");
+    options.trace_stream = env != nullptr && env[0] != '\0' && env[0] != '0';
   }
   if (options.metrics_out.empty()) {
     const char* env = std::getenv("MGBR_METRICS_OUT");
@@ -219,20 +228,38 @@ TelemetryOptions TelemetryOptions::FromArgs(int argc,
 }
 
 void TelemetryOptions::EnableRequested() const {
-  if (!trace_out.empty()) trace::SetEnabled(true);
+  if (!trace_out.empty()) {
+    if (trace_stream) {
+      Status s = trace::StartStreaming(trace_out);
+      if (!s.ok()) {
+        MGBR_LOG_WARNING("trace stream open failed: ", s.ToString());
+      }
+    }
+    trace::SetEnabled(true);
+  }
   if (!metrics_out.empty()) SetTelemetryEnabled(true);
 }
 
 Status TelemetryOptions::Flush(const RunTelemetry* run) const {
   Status result = Status::OK();
   if (!trace_out.empty()) {
-    Status s = trace::WriteChromeTrace(trace_out);
+    Status s;
+    if (trace::StreamingActive()) {
+      s = trace::FinishStreaming();
+      if (s.ok()) {
+        MGBR_LOG_INFO("streamed ", trace::FlushedCount(), " trace events to ",
+                      trace_out);
+      }
+    } else {
+      s = trace::WriteChromeTrace(trace_out);
+      if (s.ok()) {
+        MGBR_LOG_INFO("wrote ", trace::EventCount(), " trace events to ",
+                      trace_out);
+      }
+    }
     if (!s.ok()) {
       MGBR_LOG_WARNING("trace flush failed: ", s.ToString());
       if (result.ok()) result = s;
-    } else {
-      MGBR_LOG_INFO("wrote ", trace::EventCount(), " trace events to ",
-                    trace_out);
     }
   }
   if (!metrics_out.empty()) {

@@ -81,12 +81,18 @@ class RunTelemetry {
 /// Output destinations for one process's telemetry, shared by the bench
 /// harness and the example binaries:
 ///   --trace-out=PATH / --trace-out PATH     Chrome trace-event JSON
+///   --trace-stream                          stream trace chunks to the
+///                                           file as they fill instead of
+///                                           buffering (long runs; see
+///                                           trace::StartStreaming)
 ///   --metrics-out=PATH / --metrics-out PATH per-epoch JSONL + summary
-/// (env fallbacks MGBR_TRACE_OUT / MGBR_METRICS_OUT for binaries whose
-/// argv is owned by another framework, e.g. google-benchmark).
+/// (env fallbacks MGBR_TRACE_OUT / MGBR_TRACE_STREAM / MGBR_METRICS_OUT
+/// for binaries whose argv is owned by another framework, e.g.
+/// google-benchmark).
 struct TelemetryOptions {
   std::string trace_out;
   std::string metrics_out;
+  bool trace_stream = false;
 
   /// Scans argv for the two flags (both separator forms); unrelated
   /// arguments are left for the caller's own parser. Falls back to the
@@ -97,7 +103,8 @@ struct TelemetryOptions {
 
   /// Turns on span recording if trace_out is set and metric collection
   /// if metrics_out is set (in addition to the MGBR_TRACE /
-  /// MGBR_TELEMETRY env switches).
+  /// MGBR_TELEMETRY env switches). With trace_stream, also opens the
+  /// trace stream on trace_out so chunks flush incrementally.
   void EnableRequested() const;
 
   /// Writes the requested artifacts: the Chrome trace to trace_out and,

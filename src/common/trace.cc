@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -42,6 +43,54 @@ std::atomic<bool> g_enabled{[] {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }()};
 std::atomic<int64_t> g_dropped{0};
+
+/// Streaming sink state. `g_streaming` is the fast-path flag read inside
+/// RecordComplete; the file handle and the leading-comma state are only
+/// touched under g_stream_mu. Lock order: ThreadBuffer::mu before
+/// g_stream_mu (a flushing thread holds its own buffer lock while it
+/// appends to the file; exporters take the registry lock first).
+std::mutex g_stream_mu;
+std::FILE* g_stream_file = nullptr;
+bool g_stream_any_event = false;
+std::atomic<bool> g_streaming{false};
+std::atomic<int64_t> g_stream_chunk{8192};
+std::atomic<int64_t> g_flushed{0};
+
+void AppendEventJson(const Event& e, std::string* out) {
+  *out += "{\"name\":";
+  mgbr::internal::AppendJsonString(e.name, out);
+  *out += ",\"cat\":";
+  mgbr::internal::AppendJsonString(e.cat, out);
+  *out += ",\"ph\":\"X\",\"pid\":1,\"tid\":";
+  *out += std::to_string(e.tid);
+  *out += ",\"ts\":";
+  *out += std::to_string(e.ts_us);
+  *out += ",\"dur\":";
+  *out += std::to_string(e.dur_us);
+  *out += '}';
+}
+
+/// Serializes `events` and appends them to the open stream file.
+/// Caller may hold a ThreadBuffer lock; takes g_stream_mu internally.
+Status FlushEventsToStream(const std::vector<Event>& events) {
+  if (events.empty()) return Status::OK();
+  std::string out;
+  out.reserve(events.size() * 96);
+  std::lock_guard<std::mutex> lock(g_stream_mu);
+  if (g_stream_file == nullptr) return Status::OK();  // raced FinishStreaming
+  for (const Event& e : events) {
+    if (g_stream_any_event) out += ',';
+    g_stream_any_event = true;
+    AppendEventJson(e, &out);
+  }
+  const size_t written = std::fwrite(out.data(), 1, out.size(), g_stream_file);
+  if (written != out.size()) {
+    return Status::IoError("short write to trace stream");
+  }
+  g_flushed.fetch_add(static_cast<int64_t>(events.size()),
+                      std::memory_order_relaxed);
+  return Status::OK();
+}
 
 ThreadBuffer* LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
@@ -84,6 +133,74 @@ int64_t EventCount() {
 
 int64_t DroppedCount() { return g_dropped.load(std::memory_order_relaxed); }
 
+int64_t FlushedCount() { return g_flushed.load(std::memory_order_relaxed); }
+
+bool StreamingActive() { return g_streaming.load(std::memory_order_acquire); }
+
+Status StartStreaming(const std::string& path, int64_t chunk_events) {
+  if (chunk_events <= 0 || chunk_events > kMaxEventsPerThread) {
+    return Status::InvalidArgument("trace stream chunk_events out of range");
+  }
+  std::lock_guard<std::mutex> lock(g_stream_mu);
+  if (g_stream_file != nullptr) {
+    return Status::FailedPrecondition("trace stream already active");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace stream output: " + path);
+  }
+  const char* header = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  if (std::fwrite(header, 1, std::strlen(header), f) != std::strlen(header)) {
+    std::fclose(f);
+    return Status::IoError("short write to trace stream output: " + path);
+  }
+  g_stream_file = f;
+  g_stream_any_event = false;
+  g_stream_chunk.store(chunk_events, std::memory_order_relaxed);
+  g_flushed.store(0, std::memory_order_relaxed);
+  g_streaming.store(true, std::memory_order_release);
+  SetEnabled(true);
+  return Status::OK();
+}
+
+Status FinishStreaming() {
+  if (!StreamingActive()) {
+    return Status::FailedPrecondition("no trace stream active");
+  }
+  // Stop per-thread chunk flushes first so the final drain below is the
+  // only writer racing Record-side flushes (which re-check the handle
+  // under g_stream_mu and become no-ops once it is closed).
+  g_streaming.store(false, std::memory_order_release);
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> registry_lock(g_registry_mu);
+    buffers = Registry();
+  }
+  Status status = Status::OK();
+  for (const auto& b : buffers) {
+    std::vector<Event> chunk;
+    {
+      std::lock_guard<std::mutex> lock(b->mu);
+      chunk.swap(b->events);
+    }
+    const Status flush = FlushEventsToStream(chunk);
+    if (status.ok() && !flush.ok()) status = flush;
+  }
+  std::lock_guard<std::mutex> lock(g_stream_mu);
+  if (g_stream_file == nullptr) {
+    return Status::FailedPrecondition("no trace stream active");
+  }
+  const char* footer = "]}\n";
+  const bool ok =
+      std::fwrite(footer, 1, 3, g_stream_file) == 3 &&
+      std::fclose(g_stream_file) == 0;
+  g_stream_file = nullptr;
+  if (status.ok() && !ok) {
+    status = Status::IoError("short write closing trace stream");
+  }
+  return status;
+}
+
 void Clear() {
   std::lock_guard<std::mutex> registry_lock(g_registry_mu);
   for (const auto& b : Registry()) {
@@ -108,19 +225,8 @@ Status WriteChromeTrace(const std::string& path) {
   out.reserve(all.size() * 96 + 128);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   for (size_t i = 0; i < all.size(); ++i) {
-    const Event& e = all[i];
     if (i > 0) out += ',';
-    out += "{\"name\":";
-    mgbr::internal::AppendJsonString(e.name, &out);
-    out += ",\"cat\":";
-    mgbr::internal::AppendJsonString(e.cat, &out);
-    out += ",\"ph\":\"X\",\"pid\":1,\"tid\":";
-    out += std::to_string(e.tid);
-    out += ",\"ts\":";
-    out += std::to_string(e.ts_us);
-    out += ",\"dur\":";
-    out += std::to_string(e.dur_us);
-    out += '}';
+    AppendEventJson(all[i], &out);
   }
   out += "]";
   const int64_t dropped = DroppedCount();
@@ -147,6 +253,22 @@ void RecordComplete(const char* name, const char* cat, int64_t start_us,
                     int64_t end_us) {
   ThreadBuffer* buffer = LocalBuffer();
   std::lock_guard<std::mutex> lock(buffer->mu);
+  if (g_streaming.load(std::memory_order_acquire)) {
+    buffer->events.push_back(
+        Event{name, cat, start_us, end_us - start_us, buffer->tid});
+    if (static_cast<int64_t>(buffer->events.size()) >=
+        g_stream_chunk.load(std::memory_order_relaxed)) {
+      std::vector<Event> chunk;
+      chunk.swap(buffer->events);
+      if (!FlushEventsToStream(chunk).ok()) {
+        // Hot path cannot propagate a Status; account the chunk as
+        // dropped so exporters can report the loss.
+        g_dropped.fetch_add(static_cast<int64_t>(chunk.size()),
+                            std::memory_order_relaxed);
+      }
+    }
+    return;
+  }
   if (static_cast<int64_t>(buffer->events.size()) >= kMaxEventsPerThread) {
     g_dropped.fetch_add(1, std::memory_order_relaxed);
     return;

@@ -28,11 +28,31 @@ int CurrentThreadId();
 
 /// Number of span events buffered so far across all threads.
 int64_t EventCount();
-/// Events dropped because a thread hit its buffer cap (kMaxEventsPerThread).
+/// Events dropped because a thread hit its buffer cap (kMaxEventsPerThread)
+/// while no stream sink was installed.
 int64_t DroppedCount();
+/// Events already flushed to the streaming sink (see StartStreaming).
+int64_t FlushedCount();
 
 /// Discards all buffered events (tests, between bench repetitions).
 void Clear();
+
+/// Installs a streaming sink: the Chrome trace-event JSON header is
+/// written to `path` immediately, and from then on every thread flushes
+/// its buffer to the file whenever it reaches `chunk_events` buffered
+/// events, instead of capping at kMaxEventsPerThread and dropping. Long
+/// load-generator runs therefore produce complete traces in bounded
+/// memory. Also enables span recording. Fails if a stream is already
+/// open or the file cannot be created.
+Status StartStreaming(const std::string& path, int64_t chunk_events = 8192);
+
+/// Flushes every remaining buffered event, writes the JSON footer and
+/// closes the stream file (buffers are cleared). No-op error when no
+/// stream is active.
+Status FinishStreaming();
+
+/// True between a successful StartStreaming and FinishStreaming.
+bool StreamingActive();
 
 /// Writes every buffered event as Chrome trace-event JSON
 /// ({"traceEvents":[...]}; complete events, ph="X", ts/dur in

@@ -42,16 +42,13 @@ RankingReport ReduceRanks(const std::vector<int64_t>& ranks, int64_t cutoff) {
   return report;
 }
 
-/// Candidate rows per batched scorer call. Large enough that one call
-/// amortizes op dispatch over many instances, small enough that the
-/// flattened activations stay cache-resident: MGBR's MTL keeps several
-/// ~6d-float-per-row activations alive at once, so 512 rows is
-/// roughly 1 MiB of working set — inside a typical L2. (Measured on a
-/// 2 MiB-L2 box: 1024-row chunks spill and run ~2x slower on the
-/// sampled Task A pass; 512 matches the per-instance path.) Chunk
-/// boundaries are a pure function of the instance list, never of the
-/// thread count.
-constexpr int64_t kEvalBatchCandidates = 512;
+// kEvalBatchCandidates (eval/metrics.h) sizing rationale: MGBR's MTL
+// keeps several ~6d-float-per-row activations alive at once, so 512
+// rows is roughly 1 MiB of working set — inside a typical L2.
+// (Measured on a 2 MiB-L2 box: 1024-row chunks spill and run ~2x
+// slower on the sampled Task A pass; 512 matches the per-instance
+// path.) Chunk boundaries are a pure function of the instance list,
+// never of the thread count.
 
 /// Splits [0, n) instances into chunks of >= 1 instance whose summed
 /// candidate counts reach kEvalBatchCandidates. Returns boundaries

@@ -61,6 +61,14 @@ using BatchTaskBScorer = std::function<std::vector<double>(
 /// item order (RecModel::ScoreAAll behind an adapter).
 using FullTaskAScorer = std::function<std::vector<double>(int64_t u)>;
 
+/// Candidate rows per batched scorer call (the L2-sized mega-batch the
+/// batched evaluators pack instances into, and the packing unit the
+/// serving layer's full-catalogue scorers inherit). Large enough that
+/// one call amortizes op dispatch over many instances, small enough
+/// that the flattened activations stay cache-resident; see the sizing
+/// note in eval/metrics.cc and docs/inference.md.
+inline constexpr int64_t kEvalBatchCandidates = 512;
+
 /// Deterministic partial-selection top-K: indices of the K largest
 /// scores ordered by (score desc, index asc). The index tiebreak makes
 /// the result a pure function of the scores — equal scores never

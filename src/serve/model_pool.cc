@@ -1,0 +1,98 @@
+#include "serve/model_pool.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/metrics.h"
+
+namespace mgbr::serve {
+
+namespace {
+
+#if MGBR_TELEMETRY
+Counter* SwapCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("serve.model_swaps");
+  return c;
+}
+
+Gauge* VersionGauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge("serve.model_version");
+  return g;
+}
+#endif  // MGBR_TELEMETRY
+
+}  // namespace
+
+ModelPool::ModelPool(Factory factory) : factory_(std::move(factory)) {}
+
+int64_t ModelPool::Install(std::unique_ptr<RecModel> model,
+                           std::string source) {
+  MGBR_CHECK(model != nullptr);
+  auto version = std::make_shared<Version>();
+  version->model = std::move(model);
+  version->source = std::move(source);
+  std::lock_guard<std::mutex> lock(mu_);
+  version->id = next_id_++;
+  current_ = std::move(version);
+  ++swaps_;
+#if MGBR_TELEMETRY
+  MGBR_COUNTER_ADD(SwapCounter(), 1);
+  MGBR_GAUGE_SET(VersionGauge(), static_cast<double>(current_->id));
+#endif
+  return current_->id;
+}
+
+Status ModelPool::LoadInto(RecModel* model,
+                           const std::string& checkpoint_path) {
+  std::vector<Var> params = model->Parameters();
+  CheckpointReadRequest request;
+  request.params = &params;
+  Status status = LoadCheckpoint(checkpoint_path, request);
+  if (!status.ok()) return status;
+  model->Refresh();
+  return Status::OK();
+}
+
+Status ModelPool::LoadVersion(const std::string& checkpoint_path) {
+  MGBR_CHECK(factory_ != nullptr);
+  std::unique_ptr<RecModel> model = factory_();
+  MGBR_CHECK(model != nullptr);
+  Status status = LoadInto(model.get(), checkpoint_path);
+  if (!status.ok()) return status;
+  Install(std::move(model), checkpoint_path);
+  return Status::OK();
+}
+
+Status ModelPool::LoadLatest(CheckpointManager* manager) {
+  MGBR_CHECK(factory_ != nullptr);
+  MGBR_CHECK(manager != nullptr);
+  std::unique_ptr<RecModel> model = factory_();
+  MGBR_CHECK(model != nullptr);
+  std::vector<Var> params = model->Parameters();
+  CheckpointReadRequest request;
+  request.params = &params;
+  int64_t epoch = 0;
+  Status status = manager->RestoreLatest(request, &epoch);
+  if (!status.ok()) return status;
+  model->Refresh();
+  Install(std::move(model), manager->PathFor(epoch));
+  return Status::OK();
+}
+
+std::shared_ptr<ModelPool::Version> ModelPool::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+int64_t ModelPool::current_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->id;
+}
+
+int64_t ModelPool::swap_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return swaps_;
+}
+
+}  // namespace mgbr::serve

@@ -1,0 +1,76 @@
+#ifndef MGBR_SERVE_MODEL_POOL_H_
+#define MGBR_SERVE_MODEL_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "models/rec_model.h"
+#include "train/checkpoint.h"
+
+namespace mgbr::serve {
+
+/// Double-buffered model versions for zero-downtime refresh.
+///
+/// The pool owns the currently served model behind a shared_ptr that
+/// readers snapshot with Acquire(). LoadVersion() builds a FRESH model
+/// instance through the factory, restores a checkpoint's parameters
+/// into that instance, runs Refresh() on it, and only then swaps the
+/// pointer — the served model is never mutated in place, so a reader
+/// that acquired the old version keeps scoring off an immutable
+/// snapshot until its last reference drops. A response is therefore
+/// bitwise attributable to exactly one version: there is no moment at
+/// which any thread can observe a half-loaded parameter set.
+class ModelPool {
+ public:
+  /// Builds an uninitialised model whose parameter shapes match the
+  /// checkpoints being served (same config/graphs/seed family).
+  using Factory = std::function<std::unique_ptr<RecModel>()>;
+
+  struct Version {
+    std::unique_ptr<RecModel> model;
+    int64_t id = 0;          // monotonically increasing, first is 1
+    std::string source;      // checkpoint path or a caller-chosen tag
+  };
+
+  explicit ModelPool(Factory factory);
+
+  /// Wraps an already-built (and Refreshed) model as the next version.
+  /// Returns the new version id.
+  int64_t Install(std::unique_ptr<RecModel> model, std::string source);
+
+  /// Factory -> LoadCheckpoint(params only) -> Refresh -> atomic swap.
+  /// A failed build/load leaves the served version untouched.
+  Status LoadVersion(const std::string& checkpoint_path);
+
+  /// LoadVersion from the newest checkpoint in `manager` that fully
+  /// verifies (CheckpointManager::RestoreLatest fall-back semantics).
+  Status LoadLatest(CheckpointManager* manager);
+
+  /// Snapshot of the current version; null before the first Install/
+  /// LoadVersion. Holding the returned pointer pins the version, so
+  /// scoring through it is immune to concurrent swaps.
+  std::shared_ptr<Version> Acquire() const;
+
+  /// Id of the served version (0 when empty).
+  int64_t current_id() const;
+
+  /// Number of successful Install/LoadVersion swaps so far.
+  int64_t swap_count() const;
+
+ private:
+  Status LoadInto(RecModel* model, const std::string& checkpoint_path);
+
+  Factory factory_;
+  mutable std::mutex mu_;
+  std::shared_ptr<Version> current_;
+  int64_t next_id_ = 1;
+  int64_t swaps_ = 0;
+};
+
+}  // namespace mgbr::serve
+
+#endif  // MGBR_SERVE_MODEL_POOL_H_

@@ -1,0 +1,394 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "eval/metrics.h"
+#include "tensor/variable.h"
+
+namespace mgbr::serve {
+
+namespace {
+
+#if MGBR_TELEMETRY
+Counter* RequestsCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("serve.requests");
+  return c;
+}
+Counter* ShedQueueFullCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("serve.shed_queue_full");
+  return c;
+}
+Counter* ShedDeadlineCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("serve.shed_deadline");
+  return c;
+}
+Counter* CompletedCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("serve.completed");
+  return c;
+}
+Counter* CacheHitCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("serve.cache_hits");
+  return c;
+}
+Counter* BatchesCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("serve.batches");
+  return c;
+}
+Gauge* QueueDepthGauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge("serve.queue_depth");
+  return g;
+}
+/// Batch sizes: 1 * 2^k buckets up to 2048 requests.
+Histogram* BatchSizeHistogram() {
+  static Histogram* h =
+      MetricsRegistry::Global().GetHistogram("serve.batch_size", 1.0, 2.0, 12);
+  return h;
+}
+/// End-to-end latency (admission -> response): 1us * 4^k up to ~1000s;
+/// p50/p99 are exported by MetricsRegistry::ToJson.
+Histogram* LatencyHistogram() {
+  static Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "serve.latency_us", 1.0, 4.0, 16);
+  return h;
+}
+#endif  // MGBR_TELEMETRY
+
+/// Copies a (B x 1) score column into the double vector top-K selection
+/// consumes; float -> double widening is exact (same contract as the
+/// eval adapters in rec_model.cc).
+std::vector<double> ColumnToDoubles(const Var& column) {
+  std::vector<double> out(static_cast<size_t>(column.rows()));
+  for (int64_t r = 0; r < column.rows(); ++r) {
+    out[static_cast<size_t>(r)] = column.value().at(r, 0);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* ResponseCodeToString(ResponseCode code) {
+  switch (code) {
+    case ResponseCode::kOk:
+      return "Ok";
+    case ResponseCode::kShedQueueFull:
+      return "ShedQueueFull";
+    case ResponseCode::kShedDeadline:
+      return "ShedDeadline";
+    case ResponseCode::kInvalidArgument:
+      return "InvalidArgument";
+    case ResponseCode::kShutdown:
+      return "Shutdown";
+  }
+  return "Unknown";
+}
+
+Server::Server(ModelPool* pool, ServerConfig config)
+    : pool_(pool), config_(config) {
+  MGBR_CHECK(pool_ != nullptr);
+  MGBR_CHECK(pool_->current_id() > 0);  // a version must be installed
+  MGBR_CHECK_GE(config_.queue_capacity, 1);
+  MGBR_CHECK_GE(config_.max_batch, 1);
+  MGBR_CHECK_GE(config_.batch_timeout_us, 0);
+  MGBR_CHECK_GE(config_.n_workers, 1);
+  MGBR_CHECK_GE(config_.batch_backlog, 1);
+  MGBR_CHECK_GE(config_.cache_capacity, 0);
+  batcher_ = std::thread([this] { BatcherLoop(); });
+  workers_.reserve(static_cast<size_t>(config_.n_workers));
+  for (int i = 0; i < config_.n_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      // Already stopped; threads were joined by the first Stop().
+      return;
+    }
+    stop_ = true;
+  }
+  cv_nonempty_.notify_all();
+  cv_batch_ready_.notify_all();
+  cv_batch_space_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::future<Response> Server::Submit(const Request& request) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  const int64_t now = trace::NowMicros();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  MGBR_COUNTER_ADD(RequestsCounter(), 1);
+
+  Response shed;
+  shed.enqueue_us = now;
+  shed.done_us = now;
+  if (request.deadline_us > 0 && now >= request.deadline_us) {
+    shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+    MGBR_COUNTER_ADD(ShedDeadlineCounter(), 1);
+    shed.code = ResponseCode::kShedDeadline;
+    promise.set_value(std::move(shed));
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      shed.code = ResponseCode::kShutdown;
+      promise.set_value(std::move(shed));
+      return future;
+    }
+    if (static_cast<int64_t>(queue_.size()) >= config_.queue_capacity) {
+      shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      MGBR_COUNTER_ADD(ShedQueueFullCounter(), 1);
+      shed.code = ResponseCode::kShedQueueFull;
+      promise.set_value(std::move(shed));
+      return future;
+    }
+    Pending pending;
+    pending.request = request;
+    pending.promise = std::move(promise);
+    pending.enqueue_us = now;
+    queue_.push_back(std::move(pending));
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    MGBR_GAUGE_SET(QueueDepthGauge(), static_cast<double>(queue_.size()));
+  }
+  cv_nonempty_.notify_one();
+  return future;
+}
+
+void Server::BatcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_nonempty_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) break;  // stop_ with a drained queue
+
+    // The batch opened when its first request was admitted; close it on
+    // size or when batch_timeout_us has elapsed since that admission.
+    // On stop, flush immediately so the drain never waits on the timer.
+    const int64_t close_us =
+        queue_.front().enqueue_us + config_.batch_timeout_us;
+    while (!stop_ &&
+           static_cast<int64_t>(queue_.size()) < config_.max_batch) {
+      const int64_t now = trace::NowMicros();
+      if (now >= close_us) break;
+      cv_nonempty_.wait_for(lock, std::chrono::microseconds(close_us - now));
+    }
+
+    Batch batch;
+    const int64_t take = std::min<int64_t>(
+        static_cast<int64_t>(queue_.size()), config_.max_batch);
+    batch.reserve(static_cast<size_t>(take));
+    for (int64_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    MGBR_GAUGE_SET(QueueDepthGauge(), static_cast<double>(queue_.size()));
+
+    // Bounded hand-off: when every worker is busy and the backlog is
+    // full, the batcher blocks here; the admission queue then fills and
+    // Submit() starts shedding — backpressure instead of memory growth.
+    cv_batch_space_.wait(lock, [this] {
+      return stop_ ||
+             static_cast<int64_t>(batches_.size()) < config_.batch_backlog;
+    });
+    batches_.push_back(std::move(batch));
+    cv_batch_ready_.notify_one();
+    if (stop_ && queue_.empty()) break;
+  }
+  batcher_done_ = true;
+  cv_batch_ready_.notify_all();
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    Batch batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_batch_ready_.wait(
+          lock, [this] { return !batches_.empty() || batcher_done_; });
+      if (batches_.empty()) return;  // batcher done and nothing left
+      batch = std::move(batches_.front());
+      batches_.pop_front();
+    }
+    cv_batch_space_.notify_one();
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void Server::Finish(Pending* pending, Response response) {
+  response.enqueue_us = pending->enqueue_us;
+  response.done_us = trace::NowMicros();
+  if (response.code == ResponseCode::kOk) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    MGBR_COUNTER_ADD(CompletedCounter(), 1);
+    if (pending->request.deadline_us > 0 &&
+        response.done_us > pending->request.deadline_us) {
+      late_completions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  MGBR_HISTOGRAM_OBSERVE(
+      LatencyHistogram(),
+      static_cast<double>(response.done_us - response.enqueue_us));
+  pending->promise.set_value(std::move(response));
+}
+
+std::shared_ptr<const std::vector<double>> Server::CacheLookup(
+    const CacheKey& key, int64_t version) {
+  if (config_.cache_capacity <= 0) return nullptr;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return nullptr;
+  if (it->second.version != version) {
+    // Stale version: a swap happened since this entry was cached.
+    lru_.erase(it->second.lru_pos);
+    cache_.erase(it);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.scores;
+}
+
+void Server::CacheInsert(const CacheKey& key, int64_t version,
+                         std::shared_ptr<const std::vector<double>> scores) {
+  if (config_.cache_capacity <= 0) return;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    it->second.version = version;
+    it->second.scores = std::move(scores);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  while (static_cast<int64_t>(cache_.size()) >= config_.cache_capacity) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  cache_.emplace(key, CacheEntry{version, std::move(scores), lru_.begin()});
+}
+
+void Server::ExecuteBatch(Batch batch) {
+  MGBR_TRACE_SPAN("serve.batch", "serve");
+  n_batches_.fetch_add(1, std::memory_order_relaxed);
+  MGBR_COUNTER_ADD(BatchesCounter(), 1);
+  MGBR_HISTOGRAM_OBSERVE(BatchSizeHistogram(),
+                         static_cast<double>(batch.size()));
+
+  // One version pinned for the whole batch: every response in it is
+  // attributable to this snapshot even if a swap lands mid-batch.
+  const std::shared_ptr<ModelPool::Version> snapshot = pool_->Acquire();
+  MGBR_CHECK(snapshot != nullptr);
+  RecModel* model = snapshot->model.get();
+  const int64_t n_users = model->num_users();
+  const int64_t n_items = model->num_items();
+
+  // Group requests by (task, user, item) in first-appearance order so
+  // a key shared by several requests is scored exactly once.
+  std::vector<CacheKey> keys;
+  std::unordered_map<CacheKey, std::vector<size_t>, CacheKeyHash> groups;
+  for (size_t idx = 0; idx < batch.size(); ++idx) {
+    Pending& pending = batch[idx];
+    const Request& req = pending.request;
+    const int64_t now = trace::NowMicros();
+    if (req.deadline_us > 0 && now >= req.deadline_us) {
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      MGBR_COUNTER_ADD(ShedDeadlineCounter(), 1);
+      Response response;
+      response.code = ResponseCode::kShedDeadline;
+      Finish(&pending, std::move(response));
+      continue;
+    }
+    const bool task_a = req.task == TaskKind::kTopKItems;
+    if (req.user < 0 || req.user >= n_users ||
+        (!task_a && (req.item < 0 || req.item >= n_items))) {
+      invalid_.fetch_add(1, std::memory_order_relaxed);
+      Response response;
+      response.code = ResponseCode::kInvalidArgument;
+      response.version = snapshot->id;
+      Finish(&pending, std::move(response));
+      continue;
+    }
+    CacheKey key{static_cast<int64_t>(req.task), req.user,
+                 task_a ? int64_t{0} : req.item};
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) keys.push_back(key);
+    it->second.push_back(idx);
+  }
+
+  NoGradScope no_grad;
+  for (const CacheKey& key : keys) {
+    std::shared_ptr<const std::vector<double>> scores =
+        CacheLookup(key, snapshot->id);
+    const bool hit = scores != nullptr;
+    if (!hit) {
+      MGBR_TRACE_SPAN("serve.score", "serve");
+      const Var column =
+          key.task == static_cast<int64_t>(TaskKind::kTopKItems)
+              ? model->ScoreAAll(key.user)
+              : model->ScoreBAll(key.user, key.item);
+      scores = std::make_shared<const std::vector<double>>(
+          ColumnToDoubles(column));
+      unique_scored_.fetch_add(1, std::memory_order_relaxed);
+      CacheInsert(key, snapshot->id, scores);
+    }
+    const std::vector<size_t>& members = groups.at(key);
+    if (hit) {
+      cache_hits_.fetch_add(static_cast<int64_t>(members.size()),
+                            std::memory_order_relaxed);
+      MGBR_COUNTER_ADD(CacheHitCounter(),
+                       static_cast<int64_t>(members.size()));
+    } else if (members.size() > 1) {
+      coalesced_.fetch_add(static_cast<int64_t>(members.size()) - 1,
+                           std::memory_order_relaxed);
+    }
+    for (size_t idx : members) {
+      Pending& pending = batch[idx];
+      Response response;
+      response.code = ResponseCode::kOk;
+      response.version = snapshot->id;
+      response.cache_hit = hit;
+      response.top_k = TopKIndices(*scores, pending.request.k);
+      response.scores.reserve(response.top_k.size());
+      for (int64_t i : response.top_k) {
+        response.scores.push_back((*scores)[static_cast<size_t>(i)]);
+      }
+      Finish(&pending, std::move(response));
+    }
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.invalid = invalid_.load(std::memory_order_relaxed);
+  s.late_completions = late_completions_.load(std::memory_order_relaxed);
+  s.batches = n_batches_.load(std::memory_order_relaxed);
+  s.unique_scored = unique_scored_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+int64_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+}  // namespace mgbr::serve

@@ -1,0 +1,162 @@
+#ifndef MGBR_SERVE_SERVER_H_
+#define MGBR_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/model_pool.h"
+#include "serve/types.h"
+
+namespace mgbr::serve {
+
+/// Dynamic-batching policy and capacity bounds. See docs/serving.md.
+struct ServerConfig {
+  /// Bounded admission queue; Submit() beyond it sheds immediately
+  /// with kShedQueueFull (explicit backpressure, never unbounded RAM).
+  int64_t queue_capacity = 256;
+  /// A batch closes when it holds this many requests...
+  int64_t max_batch = 32;
+  /// ...or this many microseconds after its FIRST request was
+  /// admitted, whichever comes first (size-or-timeout close).
+  int64_t batch_timeout_us = 2000;
+  /// Scoring threads consuming closed batches. Each drives
+  /// RecModel::ScoreAAll/ScoreBAll under NoGradScope; the kernels
+  /// inside parallelize over the shared thread pool.
+  int n_workers = 2;
+  /// Closed batches allowed to wait for a worker. When full, the
+  /// batcher blocks and the admission queue fills, so total in-flight
+  /// work stays bounded by queue_capacity + batch_backlog * max_batch.
+  int64_t batch_backlog = 4;
+  /// Per-version score cache entries (unique (task, user, item) keys);
+  /// 0 disables caching. Exact, not approximate: a version's
+  /// propagated embeddings are frozen between swaps, so the
+  /// full-catalogue score vector of a key is immutable for the
+  /// lifetime of that version. Entries are invalidated by version id,
+  /// so a hot swap can never serve stale scores.
+  int64_t cache_capacity = 0;
+};
+
+/// Multi-threaded request router with dynamic batching.
+///
+/// Data path: Submit() -> bounded admission queue -> batcher thread
+/// (closes a batch on size-or-timeout) -> bounded batch backlog ->
+/// worker threads. A worker pins one ModelPool version for the whole
+/// batch, coalesces requests that share a (task, user, item) key into
+/// one full-catalogue scorer call (the kEvalBatchCandidates-packed
+/// mega-batch path from the inference engine), consults the
+/// per-version score cache, and resolves each request's future with a
+/// deterministic TopKIndices cut. Per-request results are independent
+/// of batch composition: batching changes only latency, never scores.
+///
+/// Shutdown is graceful: Stop() rejects new submissions, drains every
+/// admitted request through the normal scoring path, then joins the
+/// batcher and workers. The destructor calls Stop().
+class Server {
+ public:
+  /// `pool` must outlive the server and already hold a version.
+  Server(ModelPool* pool, ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Non-blocking admission. Shed decisions (queue full, deadline
+  /// already passed, shutdown) resolve the future immediately.
+  std::future<Response> Submit(const Request& request);
+
+  /// Graceful drain; idempotent.
+  void Stop();
+
+  /// Snapshot of the always-on functional counters.
+  ServerStats stats() const;
+
+  const ServerConfig& config() const { return config_; }
+
+  /// Current admission queue depth (tests/monitoring).
+  int64_t queue_depth() const;
+
+ private:
+  struct Pending {
+    Request request;
+    std::promise<Response> promise;
+    int64_t enqueue_us = 0;
+  };
+  using Batch = std::vector<Pending>;
+
+  struct CacheKey {
+    int64_t task = 0;
+    int64_t user = 0;
+    int64_t item = 0;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const {
+      uint64_t h = 0x9E3779B97F4A7C15ULL;
+      for (uint64_t v : {static_cast<uint64_t>(k.task),
+                         static_cast<uint64_t>(k.user),
+                         static_cast<uint64_t>(k.item)}) {
+        h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  struct CacheEntry {
+    int64_t version = 0;
+    std::shared_ptr<const std::vector<double>> scores;
+    std::list<CacheKey>::iterator lru_pos;
+  };
+
+  void BatcherLoop();
+  void WorkerLoop();
+  void ExecuteBatch(Batch batch);
+  void Finish(Pending* pending, Response response);
+  std::shared_ptr<const std::vector<double>> CacheLookup(const CacheKey& key,
+                                                         int64_t version);
+  void CacheInsert(const CacheKey& key, int64_t version,
+                   std::shared_ptr<const std::vector<double>> scores);
+
+  ModelPool* pool_;
+  const ServerConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_nonempty_;     // batcher <- Submit
+  std::condition_variable cv_batch_ready_;  // workers <- batcher
+  std::condition_variable cv_batch_space_;  // batcher <- workers
+  std::deque<Pending> queue_;
+  std::deque<Batch> batches_;
+  bool stop_ = false;
+  bool batcher_done_ = false;
+
+  std::mutex cache_mu_;
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+  std::list<CacheKey> lru_;  // front = most recently used
+
+  // Always-on functional accounting (see ServerStats).
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> admitted_{0};
+  std::atomic<int64_t> shed_queue_full_{0};
+  std::atomic<int64_t> shed_deadline_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> invalid_{0};
+  std::atomic<int64_t> late_completions_{0};
+  std::atomic<int64_t> n_batches_{0};
+  std::atomic<int64_t> unique_scored_{0};
+  std::atomic<int64_t> coalesced_{0};
+  std::atomic<int64_t> cache_hits_{0};
+
+  std::thread batcher_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mgbr::serve
+
+#endif  // MGBR_SERVE_SERVER_H_

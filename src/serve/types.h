@@ -1,0 +1,78 @@
+#ifndef MGBR_SERVE_TYPES_H_
+#define MGBR_SERVE_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mgbr::serve {
+
+/// Which catalogue a request ranks over.
+enum class TaskKind {
+  kTopKItems,         // Task A: top-K items for `user`
+  kTopKParticipants,  // Task B: top-K co-buyers for (`user`, `item`)
+};
+
+/// One top-K request. `deadline_us` is an absolute time on the
+/// trace::NowMicros() clock (0 = no deadline); a request whose deadline
+/// has passed before scoring starts is shed, never served late.
+struct Request {
+  TaskKind task = TaskKind::kTopKItems;
+  int64_t user = 0;
+  int64_t item = 0;  // Task B context item; ignored for Task A
+  int64_t k = 10;
+  int64_t deadline_us = 0;
+};
+
+enum class ResponseCode {
+  kOk = 0,
+  kShedQueueFull,     // admission queue at capacity (backpressure)
+  kShedDeadline,      // deadline passed before scoring started
+  kInvalidArgument,   // user/item outside the served catalogue
+  kShutdown,          // server stopped before the request was admitted
+};
+
+const char* ResponseCodeToString(ResponseCode code);
+
+struct Response {
+  ResponseCode code = ResponseCode::kShutdown;
+  /// Item (Task A) or participant-user (Task B) indices in TopKIndices
+  /// order (score desc, index asc), plus their scores.
+  std::vector<int64_t> top_k;
+  std::vector<double> scores;
+  /// ModelPool version id that produced the scores (0 = none; every OK
+  /// response is attributable to exactly one version).
+  int64_t version = 0;
+  /// True when the score vector came from the per-version score cache.
+  bool cache_hit = false;
+  // Lifecycle timestamps on the trace::NowMicros() clock.
+  int64_t enqueue_us = 0;
+  int64_t done_us = 0;
+};
+
+/// Always-on functional accounting, independent of the telemetry
+/// switches: the admission/shed contract is part of the server's API,
+/// not an observability extra. Mirrored into the metrics registry
+/// (serve.* counters/histograms) when telemetry is enabled.
+struct ServerStats {
+  int64_t submitted = 0;
+  int64_t admitted = 0;
+  int64_t shed_queue_full = 0;
+  int64_t shed_deadline = 0;
+  int64_t completed = 0;
+  int64_t invalid = 0;
+  /// Completed after their deadline (scoring started in time but ran
+  /// long); the response is still delivered.
+  int64_t late_completions = 0;
+  int64_t batches = 0;
+  /// ScoreAAll/ScoreBAll calls actually issued (after in-batch
+  /// coalescing and cache hits).
+  int64_t unique_scored = 0;
+  /// Requests whose score vector was shared with an earlier request of
+  /// the same (task, user, item) key in the same batch.
+  int64_t coalesced = 0;
+  int64_t cache_hits = 0;
+};
+
+}  // namespace mgbr::serve
+
+#endif  // MGBR_SERVE_TYPES_H_

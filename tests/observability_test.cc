@@ -171,10 +171,12 @@ class ObservabilityTest : public testing::Test {
     saved_trace_ = trace::Enabled();
     SetTelemetryEnabled(false);
     trace::SetEnabled(false);
+    if (trace::StreamingActive()) trace::FinishStreaming();
     trace::Clear();
     MetricsRegistry::Global().ResetAll();
   }
   void TearDown() override {
+    if (trace::StreamingActive()) trace::FinishStreaming();
     SetTelemetryEnabled(saved_metrics_);
     trace::SetEnabled(saved_trace_);
     trace::Clear();
@@ -340,6 +342,74 @@ TEST_F(ObservabilityTest, ClearDiscardsBufferedEvents) {
   EXPECT_EQ(trace::EventCount(), 1);
   trace::Clear();
   EXPECT_EQ(trace::EventCount(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming trace export.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObservabilityTest, StreamingFlushesChunksIncrementallyWithoutDrops) {
+  const std::string path = TempPath("observability_stream.json");
+  ASSERT_TRUE(trace::StartStreaming(path, /*chunk_events=*/8).ok());
+  EXPECT_TRUE(trace::StreamingActive());
+  EXPECT_TRUE(trace::Enabled());  // StartStreaming enables recording
+
+  // Two full chunks flush mid-run; the remainder stays buffered until
+  // FinishStreaming. Nothing is ever dropped while streaming.
+  for (int i = 0; i < 20; ++i) {
+    TraceSpan span("test.stream", "test");
+  }
+  EXPECT_EQ(trace::FlushedCount(), 16);
+  EXPECT_EQ(trace::EventCount(), 4);
+  EXPECT_EQ(trace::DroppedCount(), 0);
+
+  ASSERT_TRUE(trace::FinishStreaming().ok());
+  EXPECT_FALSE(trace::StreamingActive());
+  EXPECT_EQ(trace::FlushedCount(), 20);
+  EXPECT_EQ(trace::EventCount(), 0);  // drained into the file
+
+  const std::string json = ReadFileOrDie(path);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  size_t events = 0;
+  for (size_t pos = json.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 20u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObservabilityTest, StreamingRejectsDoubleStartAndBadFinish) {
+  EXPECT_FALSE(trace::FinishStreaming().ok());  // nothing active
+  const std::string path = TempPath("observability_stream2.json");
+  ASSERT_TRUE(trace::StartStreaming(path).ok());
+  EXPECT_FALSE(trace::StartStreaming(path).ok());  // already active
+  EXPECT_FALSE(trace::StartStreaming(path, 0).ok());  // bad chunk size
+  ASSERT_TRUE(trace::FinishStreaming().ok());
+  EXPECT_FALSE(trace::FinishStreaming().ok());  // idempotence is an error
+  std::remove(path.c_str());
+}
+
+TEST_F(ObservabilityTest, StreamingIsRaceFreeUnderConcurrentSpans) {
+  const std::string path = TempPath("observability_stream3.json");
+  ASSERT_TRUE(trace::StartStreaming(path, /*chunk_events=*/32).ok());
+  const int kThreads = 4;
+  const int kSpans = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        TraceSpan span("test.stream.mt", "test");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(trace::FinishStreaming().ok());
+  EXPECT_EQ(trace::FlushedCount(), kThreads * kSpans);
+  EXPECT_EQ(trace::DroppedCount(), 0);
+  const std::string json = ReadFileOrDie(path);
+  EXPECT_TRUE(IsValidJson(json));
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,579 @@
+// Tests for the serving layer: ModelPool double-buffered versions
+// (checkpoint load, atomic swap, failed-load isolation), the dynamic
+// batching Server (correctness vs direct scoring, coalescing, the
+// per-version score cache, backpressure and deadline shedding, graceful
+// drain) and the zero-downtime swap contract — every response produced
+// while checkpoints are hot-swapped mid-traffic is bitwise attributable
+// to exactly one version. ServeServerTest / ModelPoolTest /
+// ServeSwapTest run under TSan in CI.
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/trace.h"
+#include "core/mgbr.h"
+#include "eval/metrics.h"
+#include "models/graph_inputs.h"
+#include "serve/model_pool.h"
+#include "serve/server.h"
+#include "tensor/variable.h"
+#include "tests/test_util.h"
+#include "train/checkpoint.h"
+
+namespace mgbr {
+namespace {
+
+using mgbr::testing::TinyDataset;
+using serve::ModelPool;
+using serve::Request;
+using serve::Response;
+using serve::ResponseCode;
+using serve::Server;
+using serve::ServerConfig;
+using serve::ServerStats;
+using serve::TaskKind;
+
+std::string UniqueTempDir(const std::string& tag) {
+  static int counter = 0;
+  return ::testing::TempDir() + "mgbr_serve_" + tag + "_" +
+         std::to_string(::getpid()) + "_" + std::to_string(counter++);
+}
+
+/// Tiny dataset + a factory for shape-compatible MGBR models. Different
+/// seeds give different parameters (and therefore different scores),
+/// which is what the version-attribution tests key on.
+class ServeTestBase : public ::testing::Test {
+ protected:
+  ServeTestBase()
+      : dataset_(TinyDataset(12, 6, 40, 21)),
+        graphs_(BuildGraphInputs(dataset_)) {}
+
+  std::unique_ptr<MgbrModel> MakeModel(uint64_t seed) const {
+    MgbrConfig config = MgbrConfig::Variant("MGBR");
+    config.dim = 4;
+    config.n_experts = 2;
+    config.aux_negatives = 2;
+    Rng rng(seed);
+    auto model = std::make_unique<MgbrModel>(graphs_, config, &rng);
+    model->Refresh();
+    return model;
+  }
+
+  ModelPool::Factory Factory(uint64_t seed) const {
+    return [this, seed] {
+      return std::unique_ptr<RecModel>(MakeModel(seed));
+    };
+  }
+
+  /// Reference result computed directly against `model`, bypassing the
+  /// server: the batching/caching layer must reproduce this exactly.
+  static Response DirectScore(RecModel* model, const Request& req) {
+    NoGradScope no_grad;
+    const Var column = req.task == TaskKind::kTopKItems
+                           ? model->ScoreAAll(req.user)
+                           : model->ScoreBAll(req.user, req.item);
+    std::vector<double> scores(static_cast<size_t>(column.rows()));
+    for (int64_t r = 0; r < column.rows(); ++r) {
+      scores[static_cast<size_t>(r)] = column.value().at(r, 0);
+    }
+    Response expected;
+    expected.code = ResponseCode::kOk;
+    expected.top_k = TopKIndices(scores, req.k);
+    for (int64_t i : expected.top_k) {
+      expected.scores.push_back(scores[static_cast<size_t>(i)]);
+    }
+    return expected;
+  }
+
+  GroupBuyingDataset dataset_;
+  GraphInputs graphs_;
+};
+
+class ModelPoolTest : public ServeTestBase {};
+class ServeServerTest : public ServeTestBase {};
+class ServeSwapTest : public ServeTestBase {};
+
+TEST_F(ModelPoolTest, InstallAssignsMonotonicIdsAndPinsSnapshots) {
+  ModelPool pool(Factory(3));
+  EXPECT_EQ(pool.current_id(), 0);
+  EXPECT_EQ(pool.Acquire(), nullptr);
+
+  EXPECT_EQ(pool.Install(MakeModel(1), "a"), 1);
+  std::shared_ptr<ModelPool::Version> v1 = pool.Acquire();
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->id, 1);
+  EXPECT_EQ(v1->source, "a");
+
+  EXPECT_EQ(pool.Install(MakeModel(2), "b"), 2);
+  EXPECT_EQ(pool.current_id(), 2);
+  EXPECT_EQ(pool.swap_count(), 2);
+  // The old snapshot stays alive and serviceable after the swap.
+  EXPECT_EQ(v1->id, 1);
+  NoGradScope no_grad;
+  EXPECT_EQ(v1->model->ScoreAAll(0).rows(), graphs_.n_items);
+}
+
+TEST_F(ModelPoolTest, LoadVersionRestoresCheckpointBitwise) {
+  std::unique_ptr<MgbrModel> source = MakeModel(1);
+  const std::string path = UniqueTempDir("load") + ".mgbr";
+  ASSERT_TRUE(SaveParameters(source->Parameters(), path).ok());
+
+  // The factory seeds differently: every parameter must come from the
+  // checkpoint, not from the factory's init.
+  ModelPool pool(Factory(99));
+  ASSERT_TRUE(pool.LoadVersion(path).ok());
+  std::shared_ptr<ModelPool::Version> version = pool.Acquire();
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->source, path);
+
+  NoGradScope no_grad;
+  for (int64_t u = 0; u < graphs_.n_users; ++u) {
+    // Keep the Vars alive: value() references the node they own.
+    const Var got_var = version->model->ScoreAAll(u);
+    const Var want_var = source->ScoreAAll(u);
+    const Tensor& got = got_var.value();
+    const Tensor& want = want_var.value();
+    ASSERT_EQ(got.numel(), want.numel());
+    EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                          sizeof(float) * static_cast<size_t>(want.numel())),
+              0)
+        << "user " << u;
+  }
+}
+
+TEST_F(ModelPoolTest, FailedLoadLeavesServedVersionUntouched) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+  EXPECT_FALSE(pool.LoadVersion("/nonexistent/ckpt.mgbr").ok());
+  EXPECT_EQ(pool.current_id(), 1);
+  EXPECT_EQ(pool.swap_count(), 1);
+}
+
+TEST_F(ModelPoolTest, LoadLatestUsesNewestVerifyingCheckpoint) {
+  const std::string dir = UniqueTempDir("latest");
+  CheckpointManager manager(dir);
+  std::unique_ptr<MgbrModel> old_model = MakeModel(1);
+  std::unique_ptr<MgbrModel> new_model = MakeModel(2);
+  CheckpointWriteRequest write;
+  std::vector<Var> old_params = old_model->Parameters();
+  write.params = &old_params;
+  ASSERT_TRUE(manager.Save(write, 1).ok());
+  std::vector<Var> new_params = new_model->Parameters();
+  write.params = &new_params;
+  ASSERT_TRUE(manager.Save(write, 2).ok());
+
+  ModelPool pool(Factory(99));
+  ASSERT_TRUE(pool.LoadLatest(&manager).ok());
+  std::shared_ptr<ModelPool::Version> version = pool.Acquire();
+  ASSERT_NE(version, nullptr);
+
+  NoGradScope no_grad;
+  const Var got_var = version->model->ScoreAAll(0);
+  const Var want_var = new_model->ScoreAAll(0);
+  const Tensor& got = got_var.value();
+  const Tensor& want = want_var.value();
+  EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                        sizeof(float) * static_cast<size_t>(want.numel())),
+            0);
+}
+
+TEST_F(ServeServerTest, ResponsesMatchDirectScoringBitwise) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+  std::shared_ptr<ModelPool::Version> version = pool.Acquire();
+
+  ServerConfig config;
+  config.n_workers = 2;
+  config.batch_timeout_us = 500;
+  Server server(&pool, config);
+
+  std::vector<Request> requests;
+  for (int64_t u = 0; u < graphs_.n_users; ++u) {
+    Request a;
+    a.task = TaskKind::kTopKItems;
+    a.user = u;
+    a.k = 3;
+    requests.push_back(a);
+    Request b;
+    b.task = TaskKind::kTopKParticipants;
+    b.user = u;
+    b.item = u % graphs_.n_items;
+    b.k = 5;
+    requests.push_back(b);
+  }
+  std::vector<std::future<Response>> futures;
+  for (const Request& r : requests) futures.push_back(server.Submit(r));
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Response got = futures[i].get();
+    ASSERT_EQ(got.code, ResponseCode::kOk);
+    EXPECT_EQ(got.version, 1);
+    const Response want = DirectScore(version->model.get(), requests[i]);
+    EXPECT_EQ(got.top_k, want.top_k) << "request " << i;
+    EXPECT_EQ(got.scores, want.scores) << "request " << i;
+    EXPECT_GE(got.done_us, got.enqueue_us);
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, static_cast<int64_t>(requests.size()));
+  EXPECT_EQ(stats.completed, static_cast<int64_t>(requests.size()));
+  EXPECT_EQ(stats.shed_queue_full + stats.shed_deadline + stats.invalid, 0);
+}
+
+TEST_F(ServeServerTest, DuplicateKeysInOneBatchAreScoredOnce) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+
+  ServerConfig config;
+  config.n_workers = 1;
+  config.max_batch = 64;
+  config.batch_timeout_us = 200 * 1000;  // hold the batch open
+  Server server(&pool, config);
+
+  const int64_t n = 16;
+  Request r;
+  r.task = TaskKind::kTopKItems;
+  r.user = 2;
+  r.k = 4;
+  std::vector<std::future<Response>> futures;
+  for (int64_t i = 0; i < n; ++i) futures.push_back(server.Submit(r));
+  std::vector<Response> responses;
+  for (auto& f : futures) responses.push_back(f.get());
+
+  for (size_t i = 1; i < responses.size(); ++i) {
+    ASSERT_EQ(responses[i].code, ResponseCode::kOk);
+    EXPECT_EQ(responses[i].top_k, responses[0].top_k);
+    EXPECT_EQ(responses[i].scores, responses[0].scores);
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.unique_scored, 1);
+  EXPECT_EQ(stats.coalesced, n - 1);
+  EXPECT_EQ(stats.batches, 1);
+}
+
+TEST_F(ServeServerTest, CacheServesRepeatKeysAcrossBatches) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+
+  ServerConfig config;
+  config.n_workers = 1;
+  config.batch_timeout_us = 100;
+  config.cache_capacity = 8;
+  Server server(&pool, config);
+
+  Request r;
+  r.task = TaskKind::kTopKItems;
+  r.user = 5;
+  r.k = 3;
+  const Response first = server.Submit(r).get();
+  ASSERT_EQ(first.code, ResponseCode::kOk);
+  EXPECT_FALSE(first.cache_hit);
+
+  const Response second = server.Submit(r).get();
+  ASSERT_EQ(second.code, ResponseCode::kOk);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.top_k, first.top_k);
+  EXPECT_EQ(second.scores, first.scores);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.unique_scored, 1);
+  EXPECT_EQ(stats.cache_hits, 1);
+}
+
+TEST_F(ServeServerTest, CacheEvictsLeastRecentlyUsedKey) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+
+  ServerConfig config;
+  config.n_workers = 1;
+  config.batch_timeout_us = 100;
+  config.cache_capacity = 2;
+  Server server(&pool, config);
+
+  auto submit_user = [&](int64_t u) {
+    Request r;
+    r.task = TaskKind::kTopKItems;
+    r.user = u;
+    return server.Submit(r).get();
+  };
+  EXPECT_FALSE(submit_user(0).cache_hit);  // cache {0}
+  EXPECT_FALSE(submit_user(1).cache_hit);  // cache {1, 0}
+  EXPECT_TRUE(submit_user(0).cache_hit);   // cache {0, 1}
+  EXPECT_FALSE(submit_user(2).cache_hit);  // evicts 1 -> {2, 0}
+  EXPECT_FALSE(submit_user(1).cache_hit);  // 1 was evicted
+  EXPECT_TRUE(submit_user(2).cache_hit);
+}
+
+TEST_F(ServeServerTest, ShedsWithBackpressureWhenQueueIsFull) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+
+  // max_batch larger than the queue capacity and a long timeout: the
+  // batcher holds its batch open while submissions pile up, so the
+  // bounded queue must shed the overflow.
+  ServerConfig config;
+  config.queue_capacity = 4;
+  config.max_batch = 64;
+  config.batch_timeout_us = 300 * 1000;
+  config.n_workers = 1;
+  Server server(&pool, config);
+
+  Request r;
+  r.task = TaskKind::kTopKItems;
+  r.user = 1;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 10; ++i) futures.push_back(server.Submit(r));
+
+  int64_t ok = 0, shed = 0;
+  for (auto& f : futures) {
+    const Response resp = f.get();
+    if (resp.code == ResponseCode::kOk) ++ok;
+    if (resp.code == ResponseCode::kShedQueueFull) ++shed;
+  }
+  EXPECT_EQ(ok, 4);
+  EXPECT_EQ(shed, 6);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admitted, 4);
+  EXPECT_EQ(stats.shed_queue_full, 6);
+}
+
+TEST_F(ServeServerTest, ShedsExpiredDeadlinesAtAdmissionAndInBatch) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+
+  ServerConfig config;
+  config.n_workers = 1;
+  config.batch_timeout_us = 100 * 1000;
+  Server server(&pool, config);
+
+  // The monotonic clock starts at 0 on its first use in the process;
+  // spin past it so NowMicros() - 1 is a real (positive) deadline.
+  while (trace::NowMicros() <= 1) {
+  }
+
+  // Already expired at Submit: shed immediately, never queued.
+  Request expired;
+  expired.task = TaskKind::kTopKItems;
+  expired.user = 0;
+  expired.deadline_us = trace::NowMicros() - 1;
+  EXPECT_EQ(server.Submit(expired).get().code, ResponseCode::kShedDeadline);
+
+  // Expires while waiting for the 100ms batch window: shed at scoring
+  // time, not served late.
+  Request queued;
+  queued.task = TaskKind::kTopKItems;
+  queued.user = 0;
+  queued.deadline_us = trace::NowMicros() + 5 * 1000;
+  EXPECT_EQ(server.Submit(queued).get().code, ResponseCode::kShedDeadline);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.shed_deadline, 2);
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.admitted, 1);
+}
+
+TEST_F(ServeServerTest, RejectsOutOfCatalogueKeys) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+  ServerConfig config;
+  config.batch_timeout_us = 100;
+  Server server(&pool, config);
+
+  Request bad_user;
+  bad_user.task = TaskKind::kTopKItems;
+  bad_user.user = graphs_.n_users + 7;
+  EXPECT_EQ(server.Submit(bad_user).get().code,
+            ResponseCode::kInvalidArgument);
+
+  Request bad_item;
+  bad_item.task = TaskKind::kTopKParticipants;
+  bad_item.user = 0;
+  bad_item.item = graphs_.n_items;
+  EXPECT_EQ(server.Submit(bad_item).get().code,
+            ResponseCode::kInvalidArgument);
+
+  EXPECT_EQ(server.stats().invalid, 2);
+}
+
+TEST_F(ServeServerTest, BatchClosesOnSizeBeforeTimeout) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+
+  ServerConfig config;
+  config.max_batch = 4;
+  config.batch_timeout_us = 10 * 1000 * 1000;  // 10s: size must win
+  config.n_workers = 1;
+  Server server(&pool, config);
+
+  Request r;
+  r.task = TaskKind::kTopKItems;
+  r.user = 0;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(server.Submit(r));
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(5)), std::future_status::ready);
+    EXPECT_EQ(f.get().code, ResponseCode::kOk);
+  }
+  EXPECT_EQ(server.stats().batches, 1);
+}
+
+TEST_F(ServeServerTest, StopDrainsAdmittedRequestsAndRejectsNewOnes) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+
+  ServerConfig config;
+  config.batch_timeout_us = 500 * 1000;  // drain must not wait for this
+  config.n_workers = 2;
+  Server server(&pool, config);
+
+  Request r;
+  r.task = TaskKind::kTopKItems;
+  r.user = 3;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(server.Submit(r));
+  server.Stop();
+
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().code, ResponseCode::kOk);
+  }
+  EXPECT_EQ(server.Submit(r).get().code, ResponseCode::kShutdown);
+  server.Stop();  // idempotent
+}
+
+TEST_F(ServeServerTest, ConcurrentSubmittersAccountForEveryRequest) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+
+  ServerConfig config;
+  config.n_workers = 2;
+  config.batch_timeout_us = 1000;
+  config.cache_capacity = 64;
+  Server server(&pool, config);
+
+  const int kThreads = 4;
+  const int kPerThread = 40;
+  std::atomic<int64_t> ok{0}, shed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Request r;
+        r.task = i % 3 == 0 ? TaskKind::kTopKParticipants
+                            : TaskKind::kTopKItems;
+        r.user = (t * kPerThread + i) % graphs_.n_users;
+        r.item = i % graphs_.n_items;
+        const Response resp = server.Submit(r).get();
+        if (resp.code == ResponseCode::kOk) {
+          ok.fetch_add(1);
+        } else {
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.Stop();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, kThreads * kPerThread);
+  EXPECT_EQ(ok.load() + shed.load(), kThreads * kPerThread);
+  EXPECT_EQ(stats.completed, ok.load());
+  EXPECT_EQ(stats.completed + stats.shed_queue_full + stats.shed_deadline +
+                stats.invalid,
+            stats.submitted);
+}
+
+TEST_F(ServeSwapTest, HotSwapMidTrafficEveryResponseBitwiseAttributable) {
+  // Two checkpoints with different parameters, plus the direct-scoring
+  // reference model for each. Checkpoint round-trips are bitwise (see
+  // checkpoint_test), so the reference models ARE the served versions.
+  std::unique_ptr<MgbrModel> model_a = MakeModel(1);
+  std::unique_ptr<MgbrModel> model_b = MakeModel(2);
+  const std::string dir = UniqueTempDir("swap");
+  const std::string ckpt_a = dir + "_a.mgbr";
+  const std::string ckpt_b = dir + "_b.mgbr";
+  ASSERT_TRUE(SaveParameters(model_a->Parameters(), ckpt_a).ok());
+  ASSERT_TRUE(SaveParameters(model_b->Parameters(), ckpt_b).ok());
+
+  ModelPool pool(Factory(99));
+  ASSERT_TRUE(pool.LoadVersion(ckpt_a).ok());  // id 1 = A
+
+  ServerConfig config;
+  config.n_workers = 2;
+  config.batch_timeout_us = 500;
+  config.cache_capacity = 32;  // also exercises swap invalidation
+  Server server(&pool, config);
+
+  auto reference_for = [&](int64_t version_id) -> RecModel* {
+    // id 1 = ckpt_a, id 2 = ckpt_b, id 3 = ckpt_a again.
+    return version_id == 2 ? static_cast<RecModel*>(model_b.get())
+                           : static_cast<RecModel*>(model_a.get());
+  };
+  auto check = [&](const Request& req, const Response& resp) {
+    ASSERT_EQ(resp.code, ResponseCode::kOk);
+    ASSERT_GE(resp.version, 1);
+    ASSERT_LE(resp.version, 3);
+    const Response want = DirectScore(reference_for(resp.version), req);
+    EXPECT_EQ(resp.top_k, want.top_k) << "version " << resp.version;
+    EXPECT_EQ(resp.scores, want.scores) << "version " << resp.version;
+  };
+  auto make_request = [&](int i) {
+    Request r;
+    r.task = TaskKind::kTopKItems;
+    r.user = i % graphs_.n_users;
+    r.k = 4;
+    return r;
+  };
+
+  // Phase 1: all traffic served by version 1 (A).
+  for (int i = 0; i < 20; ++i) {
+    const Request req = make_request(i);
+    const Response resp = server.Submit(req).get();
+    check(req, resp);
+    EXPECT_EQ(resp.version, 1);
+  }
+
+  // Phase 2: swap to B with zero downtime, then verify the very next
+  // response already scores from B (and never a half-loaded mix).
+  ASSERT_TRUE(pool.LoadVersion(ckpt_b).ok());  // id 2 = B
+  for (int i = 0; i < 20; ++i) {
+    const Request req = make_request(i);
+    const Response resp = server.Submit(req).get();
+    check(req, resp);
+    EXPECT_EQ(resp.version, 2);
+  }
+
+  // Phase 3: swap back to A concurrently with in-flight traffic; every
+  // response must match whichever version it claims (2 or 3), bitwise.
+  std::thread swapper([&] { ASSERT_TRUE(pool.LoadVersion(ckpt_a).ok()); });
+  std::vector<std::pair<Request, std::future<Response>>> inflight;
+  for (int i = 0; i < 40; ++i) {
+    const Request req = make_request(i);
+    inflight.emplace_back(req, server.Submit(req));
+  }
+  swapper.join();
+  bool saw_v3 = false;
+  for (auto& [req, future] : inflight) {
+    const Response resp = future.get();
+    check(req, resp);
+    saw_v3 = saw_v3 || resp.version == 3;
+  }
+  // After the swap completed, new traffic must be on version 3.
+  const Request req = make_request(0);
+  const Response resp = server.Submit(req).get();
+  check(req, resp);
+  EXPECT_EQ(resp.version, 3);
+  saw_v3 = saw_v3 || resp.version == 3;
+  EXPECT_TRUE(saw_v3);
+  EXPECT_EQ(pool.swap_count(), 3);
+}
+
+}  // namespace
+}  // namespace mgbr
