@@ -28,6 +28,7 @@
 
 #include "bench/harness.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "serve/model_pool.h"
@@ -58,6 +59,16 @@ struct LoadgenOptions {
   int64_t queue_capacity = 512;
   int64_t b_pairs = 256;  // distinct (user, item) pairs in the Task B mix
   std::string json_out;
+  /// Serving observability stack (docs/observability.md). -1 keeps the
+  /// exporter off (the default, and what the perf-gated CI run uses so
+  /// the floors measure the zero-cost path); 0 binds an ephemeral port.
+  int64_t metrics_port = -1;
+  int64_t flight_capacity = 0;
+  std::string flight_dump_out;
+  /// Seconds to keep the process (and therefore the exporter, which
+  /// lives until the Server is destroyed) alive after the report is
+  /// written, so CI can take a final post-drain scrape.
+  double linger_s = 0.0;
 };
 
 /// Deterministic request working set: Task A cycles every user, Task B
@@ -166,7 +177,19 @@ int Run(const LoadgenOptions& opt) {
   config.cache_capacity =
       opt.cache >= 0 ? opt.cache
                      : static_cast<int64_t>(working_set.size()) * 2;
+  config.obs.metrics_port = static_cast<int>(opt.metrics_port);
+  config.obs.flight_capacity = opt.flight_capacity;
+  config.obs.flight_dump_path = opt.flight_dump_out;
+  if (opt.metrics_port >= 0) {
+    // /metrics is rendered from the registry; without the runtime
+    // switch the serve.* series would scrape as all-zero.
+    SetTelemetryEnabled(true);
+  }
   Server server(&pool, config);
+  if (opt.metrics_port >= 0) {
+    MGBR_LOG_INFO("metrics exporter on http://127.0.0.1:",
+                  server.metrics_port());
+  }
 
   // Cache fill: score every key in the working set once, closed-loop,
   // so the timed window measures the steady serving state (between
@@ -297,6 +320,20 @@ int Run(const LoadgenOptions& opt) {
     out += ",\"unique_scored\":" + std::to_string(stats.unique_scored);
     out += ",\"coalesced\":" + std::to_string(stats.coalesced);
     out += ",\"cache_hits\":" + std::to_string(stats.cache_hits);
+    // The server's own lifetime accounting (cache fill included), the
+    // ground truth the CI scrape-reconciliation checks /metrics against.
+    out += "},\"server\":{";
+    out += "\"submitted\":" + std::to_string(stats.submitted);
+    out += ",\"admitted\":" + std::to_string(stats.admitted);
+    out += ",\"shed_queue_full\":" + std::to_string(stats.shed_queue_full);
+    out += ",\"shed_deadline\":" + std::to_string(stats.shed_deadline);
+    out += ",\"completed\":" + std::to_string(stats.completed);
+    out += ",\"invalid\":" + std::to_string(stats.invalid);
+    out += ",\"late_completions\":" + std::to_string(stats.late_completions);
+    out += ",\"batches\":" + std::to_string(stats.batches);
+    out += ",\"unique_scored\":" + std::to_string(stats.unique_scored);
+    out += ",\"coalesced\":" + std::to_string(stats.coalesced);
+    out += ",\"cache_hits\":" + std::to_string(stats.cache_hits);
     out += "}}\n";
     std::FILE* f = std::fopen(opt.json_out.c_str(), "w");
     if (f == nullptr ||
@@ -306,6 +343,16 @@ int Run(const LoadgenOptions& opt) {
       return 1;
     }
     MGBR_LOG_INFO("wrote loadgen report to ", opt.json_out);
+  }
+
+  // Linger with the (already drained) server alive: its exporter keeps
+  // answering /metrics and /healthz, so a scraper can reconcile the
+  // final counters against the JSON report above.
+  if (opt.linger_s > 0.0) {
+    MGBR_LOG_INFO("lingering ", Num(opt.linger_s),
+                  "s for post-drain scrapes");
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(opt.linger_s));
   }
   return 0;
 }
@@ -346,6 +393,14 @@ int main(int argc, char** argv) {
       opt.b_pairs = std::stoll(v);
     } else if (mgbr::bench::ParseFlag(arg, "json-out", &v)) {
       opt.json_out = v;
+    } else if (mgbr::bench::ParseFlag(arg, "metrics-port", &v)) {
+      opt.metrics_port = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "flight-capacity", &v)) {
+      opt.flight_capacity = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "flight-dump-out", &v)) {
+      opt.flight_dump_out = v;
+    } else if (mgbr::bench::ParseFlag(arg, "linger-s", &v)) {
+      opt.linger_s = std::stod(v);
     } else if (arg.rfind("--trace-out", 0) == 0 ||
                arg.rfind("--metrics-out", 0) == 0 || arg == "--trace-stream") {
       if ((arg == "--trace-out" || arg == "--metrics-out") && i + 1 < argc) {

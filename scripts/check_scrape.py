@@ -1,0 +1,268 @@
+#!/usr/bin/env python3
+"""Scrape-reconciliation gate for the serving observability stack.
+
+CI runs bench_loadgen a second time with the metrics exporter on
+(`--metrics-port`), curls /metrics and /healthz both mid-run and after
+the drain (the loadgen lingers via `--linger-s` so the exporter stays
+up), and hands the scrapes plus the loadgen JSON report to this script.
+The exporter is only trusted if what Prometheus would see agrees with
+what the server itself counted:
+
+  * the final /metrics scrape parses as Prometheus text 0.0.4 — every
+    histogram's bucket counts are cumulative, end in an `+Inf` bucket,
+    and that bucket equals `_count`;
+  * the scraped serve_* counters equal the `server` object in the
+    loadgen report (requests == completed + shed_queue_full +
+    shed_deadline + invalid, and each counter matches field-for-field);
+  * /healthz reported `running` mid-run and `stopped` after the drain.
+
+A counter that never fired is simply absent from the scrape (metrics
+are registered on first touch), so missing serve_* series read as 0.
+
+Usage:
+    check_scrape.py REPORT.json FINAL.prom FINAL_healthz.json \
+        MID_healthz.json
+    check_scrape.py --self-test
+"""
+
+import json
+import sys
+
+
+class ScrapeError(Exception):
+    """A scrape or report does not satisfy the reconciliation checks."""
+
+
+def _require(cond, message):
+    if not cond:
+        raise ScrapeError(message)
+
+
+def parse_prometheus(text):
+    """Parse Prometheus text 0.0.4 into {name: value} and {name: type}.
+
+    Histogram series keep their full sample name (`x_bucket{le="..."}`,
+    `x_sum`, `x_count`) as the key. Values are floats; `+Inf`/`-Inf`/
+    `NaN` parse to the corresponding float.
+    """
+    values = {}
+    types = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            _require(len(parts) == 4, f"line {lineno}: malformed TYPE line")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        # Sample line: `name{labels} value` or `name value`. Labels
+        # never contain spaces in our exporter's output.
+        head, _, value = line.rpartition(" ")
+        _require(head != "", f"line {lineno}: sample line without a value")
+        try:
+            values[head] = float(value)
+        except ValueError as err:
+            raise ScrapeError(f"line {lineno}: bad sample value "
+                              f"{value!r}") from err
+    _require(values, "scrape contains no samples")
+    return values, types
+
+
+def check_histograms(values, types):
+    """Every histogram must have cumulative buckets ending in +Inf."""
+    checked = 0
+    for name, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = []
+        for key, value in values.items():
+            prefix = name + '_bucket{le="'
+            if key.startswith(prefix):
+                buckets.append((key[len(prefix):-2], value))
+        _require(buckets, f"histogram {name} has no _bucket series")
+        _require(buckets[-1][0] == "+Inf",
+                 f"histogram {name} does not end in an +Inf bucket")
+        counts = [count for _, count in buckets]
+        _require(counts == sorted(counts),
+                 f"histogram {name} buckets are not cumulative: {counts}")
+        count_key = name + "_count"
+        _require(count_key in values, f"histogram {name} is missing _count")
+        _require(counts[-1] == values[count_key],
+                 f"histogram {name}: +Inf bucket {counts[-1]} != "
+                 f"_count {values[count_key]}")
+        _require(name + "_sum" in values,
+                 f"histogram {name} is missing _sum")
+        checked += 1
+    return checked
+
+
+# /metrics series name -> field of the report's "server" object. The
+# report is written from ServerStats after Stop(), i.e. the same
+# atomics the telemetry macros mirror, so after the drain the two views
+# must agree exactly.
+RECONCILED = {
+    "serve_requests": "submitted",
+    "serve_admitted": "admitted",
+    "serve_shed_queue_full": "shed_queue_full",
+    "serve_shed_deadline": "shed_deadline",
+    "serve_completed": "completed",
+    "serve_batches": "batches",
+    "serve_cache_hits": "cache_hits",
+}
+
+
+def check_reconciliation(values, server):
+    for series, field in RECONCILED.items():
+        scraped = values.get(series, 0.0)
+        reported = server.get(field)
+        _require(reported is not None,
+                 f"report's server object is missing {field!r}")
+        _require(scraped == reported,
+                 f"{series} scraped {scraped:g} != report "
+                 f"{field} {reported}")
+    total = (server["completed"] + server["shed_queue_full"] +
+             server["shed_deadline"] + server["invalid"])
+    _require(server["submitted"] == total,
+             f"submitted {server['submitted']} != completed + shed + "
+             f"invalid {total}")
+
+
+def check_healthz(raw, want_status):
+    healthz = json.loads(raw)
+    _require(healthz.get("status") == want_status,
+             f"healthz status {healthz.get('status')!r}, "
+             f"wanted {want_status!r}")
+    _require(isinstance(healthz.get("model_version"), int),
+             "healthz is missing an integer model_version")
+
+
+def run_checks(report, final_prom, final_healthz, mid_healthz):
+    _require(report.get("schema") == "mgbr-loadgen-v1",
+             "report is not an mgbr-loadgen-v1 document")
+    server = report.get("server")
+    _require(isinstance(server, dict),
+             "report has no server object (loadgen too old?)")
+    values, types = parse_prometheus(final_prom)
+    histograms = check_histograms(values, types)
+    check_reconciliation(values, server)
+    check_healthz(mid_healthz, "running")
+    check_healthz(final_healthz, "stopped")
+    print(f"scrape gate: {len(values)} samples, {histograms} histograms "
+          f"valid, {len(RECONCILED)} serve counters reconciled, "
+          f"submitted {server['submitted']} == completed "
+          f"{server['completed']} + shed "
+          f"{server['shed_queue_full'] + server['shed_deadline']} + "
+          f"invalid {server['invalid']}")
+
+
+SELF_TEST_PROM = """\
+# TYPE serve_requests counter
+serve_requests 10
+# TYPE serve_admitted counter
+serve_admitted 9
+# TYPE serve_completed counter
+serve_completed 8
+# TYPE serve_shed_queue_full counter
+serve_shed_queue_full 1
+# TYPE serve_shed_deadline counter
+serve_shed_deadline 1
+# TYPE serve_batches counter
+serve_batches 2
+# TYPE serve_cache_hits counter
+serve_cache_hits 3
+# TYPE serve_latency_us histogram
+serve_latency_us_bucket{le="100"} 3
+serve_latency_us_bucket{le="1000"} 7
+serve_latency_us_bucket{le="+Inf"} 8
+serve_latency_us_sum 4200
+serve_latency_us_count 8
+"""
+
+SELF_TEST_SERVER = {
+    "submitted": 10, "admitted": 9, "shed_queue_full": 1,
+    "shed_deadline": 1, "completed": 8, "invalid": 0,
+    "late_completions": 0, "batches": 2, "unique_scored": 4,
+    "coalesced": 0, "cache_hits": 3,
+}
+
+
+def self_test():
+    report = {"schema": "mgbr-loadgen-v1", "server": dict(SELF_TEST_SERVER)}
+    running = '{"status":"running","model_version":1,"swap_count":1}'
+    stopped = '{"status":"stopped","model_version":1,"swap_count":1}'
+
+    def fails(mutate):
+        bad_report = json.loads(json.dumps(report))
+        prom = [SELF_TEST_PROM]
+        healthz = [running, stopped]
+        mutate(bad_report, prom, healthz)
+        try:
+            run_checks(bad_report, prom[0], healthz[1], healthz[0])
+        except ScrapeError:
+            return True
+        return False
+
+    checks = {
+        "accepts a consistent scrape": lambda: (
+            run_checks(report, SELF_TEST_PROM, stopped, running) or True),
+        "rejects a counter mismatch": lambda: fails(
+            lambda r, p, h: r["server"].update(completed=7)),
+        "rejects a broken sum invariant": lambda: fails(
+            lambda r, p, h: r["server"].update(submitted=11)),
+        "rejects non-cumulative buckets": lambda: fails(
+            lambda r, p, h: p.__setitem__(0, p[0].replace(
+                'le="1000"} 7', 'le="1000"} 2'))),
+        "rejects +Inf != _count": lambda: fails(
+            lambda r, p, h: p.__setitem__(0, p[0].replace(
+                "serve_latency_us_count 8", "serve_latency_us_count 9"))),
+        "rejects a missing +Inf bucket": lambda: fails(
+            lambda r, p, h: p.__setitem__(0, p[0].replace(
+                'serve_latency_us_bucket{le="+Inf"} 8\n', ""))),
+        "rejects a draining final healthz": lambda: fails(
+            lambda r, p, h: h.__setitem__(
+                1, running.replace("running", "draining"))),
+        "treats an absent shed counter as zero": lambda: (
+            run_checks(
+                {"schema": "mgbr-loadgen-v1",
+                 "server": dict(SELF_TEST_SERVER, submitted=9,
+                                shed_deadline=0)},
+                SELF_TEST_PROM.replace(
+                    "# TYPE serve_shed_deadline counter\n"
+                    "serve_shed_deadline 1\n", "").replace(
+                    "serve_requests 10", "serve_requests 9"),
+                stopped, running) or True),
+    }
+    failed = [name for name, check in checks.items() if not check()]
+    for name in failed:
+        print(f"self-test FAILED: {name}", file=sys.stderr)
+    print(f"self-test: {len(checks) - len(failed)}/{len(checks)} passed")
+    return 1 if failed else 0
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) != 5:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as fh:
+        report = json.load(fh)
+    with open(argv[2], encoding="utf-8") as fh:
+        final_prom = fh.read()
+    with open(argv[3], encoding="utf-8") as fh:
+        final_healthz = fh.read()
+    with open(argv[4], encoding="utf-8") as fh:
+        mid_healthz = fh.read()
+    try:
+        run_checks(report, final_prom, final_healthz, mid_healthz)
+    except ScrapeError as err:
+        print(f"scrape gate FAILED: {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

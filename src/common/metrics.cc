@@ -86,11 +86,20 @@ double Histogram::Quantile(double q) const {
   const double target = q * static_cast<double>(total);
   int64_t seen = 0;
   for (size_t k = 0; k < counts.size(); ++k) {
+    if (counts[k] == 0) continue;
+    const int64_t before = seen;
     seen += counts[k];
-    if (static_cast<double>(seen) >= target && counts[k] > 0) {
-      // Upper bound of the containing bucket; the overflow bucket
-      // reports the largest finite bound.
-      return bounds_[std::min(k, bounds_.size() - 1)];
+    if (static_cast<double>(seen) >= target) {
+      // Linear interpolation between the containing bucket's bounds,
+      // assuming observations are uniform within the bucket. The
+      // overflow bucket has no upper bound; report the largest finite
+      // bound (a known floor) rather than extrapolating.
+      if (k >= bounds_.size()) return bounds_.back();
+      const double lower = k == 0 ? 0.0 : bounds_[k - 1];
+      const double upper = bounds_[k];
+      const double frac = (target - static_cast<double>(before)) /
+                          static_cast<double>(counts[k]);
+      return lower + frac * (upper - lower);
     }
   }
   return bounds_.back();
@@ -178,6 +187,30 @@ std::string MetricsRegistry::ToJson() const {
   }
   out += "}}";
   return out;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.name = name;
+    data.bounds = h->bounds();
+    data.buckets = h->BucketCounts();
+    data.count = h->Count();
+    data.sum = h->Sum();
+    snap.histograms.push_back(std::move(data));
+  }
+  return snap;
 }
 
 Status MetricsRegistry::WriteJson(const std::string& path) const {

@@ -65,8 +65,8 @@ class Gauge {
 ///   bound_k = first_bound * growth^k,   k in [0, n_buckets)
 /// plus an implicit overflow bucket. Observe() touches only relaxed
 /// atomics, so concurrent observation is lock-free; totals are exact,
-/// quantiles are bucket-resolution approximations (upper bound of the
-/// containing bucket).
+/// quantiles are bucket-resolution approximations (linear interpolation
+/// between the containing bucket's bounds).
 class Histogram {
  public:
   Histogram(std::string name, double first_bound, double growth,
@@ -94,6 +94,24 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Point-in-time copy of every registered metric, decoupled from the
+/// registry lock: renderers (JSON, Prometheus text) walk the snapshot
+/// instead of holding the registry mutex while formatting.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    /// Finite bucket upper bounds (ascending).
+    std::vector<double> bounds;
+    /// Per-bucket counts; bounds.size() + 1 entries, last = overflow.
+    std::vector<int64_t> buckets;
+    int64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramData> histograms;
+};
+
 /// Process-wide registry. Get* registers on first use and returns a
 /// pointer that stays valid for the process lifetime, so call sites can
 /// cache it in a function-local static and skip the map lookup on the
@@ -112,6 +130,8 @@ class MetricsRegistry {
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   /// Histograms export count/sum/mean/p50/p95/p99.
   std::string ToJson() const;
+  /// Point-in-time copy of every metric, sorted by name (map order).
+  MetricsSnapshot Snapshot() const;
   Status WriteJson(const std::string& path) const;
 
   /// Zeroes every registered metric (tests, per-run isolation).

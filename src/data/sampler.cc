@@ -46,6 +46,39 @@ struct ScopedSampleStats {
   }
 };
 
+/// Per-chunk seeds for one parallel sampling pass. Legacy path (no
+/// persistent streams): every chunk derives from one draw of the
+/// caller's Rng. Stream path: seeds are pre-drawn SERIALLY from the
+/// persistent streams round-robin (stream c % S feeds chunk c), so the
+/// caller's Rng is untouched and each stream advances by exactly the
+/// number of chunks it fed — independent of the thread count, and
+/// restorable stream-by-stream from a checkpoint's RNG1 section.
+struct ChunkSeeds {
+  uint64_t base_seed = 0;
+  std::vector<uint64_t> per_chunk;  // empty on the legacy path
+
+  ChunkSeeds(int64_t total, Rng* rng, std::vector<Rng>* streams) {
+    if (streams == nullptr || streams->empty()) {
+      base_seed = rng->Next();
+      return;
+    }
+    const int64_t n_chunks =
+        total > 0 ? (total + kSamplerGrain - 1) / kSamplerGrain : 0;
+    per_chunk.resize(static_cast<size_t>(n_chunks));
+    for (int64_t c = 0; c < n_chunks; ++c) {
+      per_chunk[static_cast<size_t>(c)] =
+          (*streams)[static_cast<size_t>(c) % streams->size()].Next();
+    }
+  }
+
+  Rng RngForChunk(int64_t chunk) const {
+    const uint64_t seed = per_chunk.empty()
+                              ? base_seed
+                              : per_chunk[static_cast<size_t>(chunk)];
+    return Rng::ForStream(seed, static_cast<uint64_t>(chunk));
+  }
+};
+
 }  // namespace
 
 TrainingSampler::TrainingSampler(const GroupBuyingDataset& train,
@@ -93,9 +126,9 @@ int64_t TrainingSampler::SampleNegativeParticipant(
   return p == u ? (p + 1) % n_users_ : p;
 }
 
-std::vector<TaskABatch> TrainingSampler::EpochBatchesA(size_t batch_size,
-                                                       int64_t negs_per_pos,
-                                                       Rng* rng) const {
+std::vector<TaskABatch> TrainingSampler::EpochBatchesA(
+    size_t batch_size, int64_t negs_per_pos, Rng* rng,
+    std::vector<Rng>* streams) const {
   MGBR_TRACE_SPAN("sampler.epoch_a", "sampler");
   MGBR_CHECK_GT(batch_size, 0u);
   MGBR_CHECK_GE(negs_per_pos, 1);
@@ -104,13 +137,13 @@ std::vector<TaskABatch> TrainingSampler::EpochBatchesA(size_t batch_size,
   rng->Shuffle(&order);
 
   // Draw all negatives up front, chunk-parallel with per-chunk streams.
-  const uint64_t base_seed = rng->Next();
   const int64_t total = static_cast<int64_t>(order.size()) * negs_per_pos;
+  const ChunkSeeds seeds(total, rng, streams);
   std::vector<int64_t> negs(static_cast<size_t>(total));
   ParallelForChunked(
       0, total, kSamplerGrain,
       [&](int64_t chunk, int64_t lo, int64_t hi) {
-        Rng local = Rng::ForStream(base_seed, static_cast<uint64_t>(chunk));
+        Rng local = seeds.RngForChunk(chunk);
         ScopedSampleStats stats;
         for (int64_t t = lo; t < hi; ++t) {
           const int64_t u = pos_a_[order[static_cast<size_t>(
@@ -137,9 +170,9 @@ std::vector<TaskABatch> TrainingSampler::EpochBatchesA(size_t batch_size,
   return batches;
 }
 
-std::vector<TaskBBatch> TrainingSampler::EpochBatchesB(size_t batch_size,
-                                                       int64_t negs_per_pos,
-                                                       Rng* rng) const {
+std::vector<TaskBBatch> TrainingSampler::EpochBatchesB(
+    size_t batch_size, int64_t negs_per_pos, Rng* rng,
+    std::vector<Rng>* streams) const {
   MGBR_TRACE_SPAN("sampler.epoch_b", "sampler");
   MGBR_CHECK_GT(batch_size, 0u);
   MGBR_CHECK_GE(negs_per_pos, 1);
@@ -147,13 +180,13 @@ std::vector<TaskBBatch> TrainingSampler::EpochBatchesB(size_t batch_size,
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng->Shuffle(&order);
 
-  const uint64_t base_seed = rng->Next();
   const int64_t total = static_cast<int64_t>(order.size()) * negs_per_pos;
+  const ChunkSeeds seeds(total, rng, streams);
   std::vector<int64_t> negs(static_cast<size_t>(total));
   ParallelForChunked(
       0, total, kSamplerGrain,
       [&](int64_t chunk, int64_t lo, int64_t hi) {
-        Rng local = Rng::ForStream(base_seed, static_cast<uint64_t>(chunk));
+        Rng local = seeds.RngForChunk(chunk);
         ScopedSampleStats stats;
         for (int64_t t = lo; t < hi; ++t) {
           const auto& pos = pos_b_[order[static_cast<size_t>(
@@ -180,9 +213,9 @@ std::vector<TaskBBatch> TrainingSampler::EpochBatchesB(size_t batch_size,
   return batches;
 }
 
-std::vector<AuxBatch> TrainingSampler::EpochAuxBatches(size_t batch_size,
-                                                       int64_t n_corrupt,
-                                                       Rng* rng) const {
+std::vector<AuxBatch> TrainingSampler::EpochAuxBatches(
+    size_t batch_size, int64_t n_corrupt, Rng* rng,
+    std::vector<Rng>* streams) const {
   MGBR_TRACE_SPAN("sampler.epoch_aux", "sampler");
   MGBR_CHECK_GT(batch_size, 0u);
   MGBR_CHECK_GE(n_corrupt, 1);
@@ -192,8 +225,8 @@ std::vector<AuxBatch> TrainingSampler::EpochAuxBatches(size_t batch_size,
 
   // For each positive triple draw its item corruptions (T_t^I) then its
   // participant corruptions (T_t^P), chunk-parallel over triples.
-  const uint64_t base_seed = rng->Next();
   const int64_t n_rows = static_cast<int64_t>(order.size());
+  const ChunkSeeds seeds(n_rows, rng, streams);
   std::vector<int64_t> corrupt_items(
       static_cast<size_t>(n_rows * n_corrupt));
   std::vector<int64_t> corrupt_parts(
@@ -201,7 +234,7 @@ std::vector<AuxBatch> TrainingSampler::EpochAuxBatches(size_t batch_size,
   ParallelForChunked(
       0, n_rows, kSamplerGrain,
       [&](int64_t chunk, int64_t lo, int64_t hi) {
-        Rng local = Rng::ForStream(base_seed, static_cast<uint64_t>(chunk));
+        Rng local = seeds.RngForChunk(chunk);
         ScopedSampleStats stats;
         for (int64_t row = lo; row < hi; ++row) {
           const auto& t = pos_b_[order[static_cast<size_t>(row)]];

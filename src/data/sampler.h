@@ -79,6 +79,16 @@ struct NegSampleStats {
 /// the caller's Rng, then draws negatives chunk-parallel with one
 /// derived Rng stream per fixed-size chunk (Rng::ForStream), so the
 /// output is bit-identical for every MGBR_NUM_THREADS value.
+///
+/// Each Epoch* method optionally takes a set of persistent sampler
+/// `streams`. When given (non-null, non-empty), per-chunk seeds are
+/// pre-drawn serially from the streams round-robin (stream c % S feeds
+/// chunk c) instead of burning one draw of the caller's Rng, so (a)
+/// sampling state is decoupled from the trainer's main Rng and (b) the
+/// streams can be checkpointed individually (the RNG1 section's stream
+/// count; see docs/robustness.md). Results remain bit-identical at any
+/// thread count because the pre-draw is serial and chunk decomposition
+/// is fixed by kSamplerGrain.
 /// Protocol:
 ///   * Task A positive: (u, i) of each deal group; negatives are items
 ///     u never bought (any role, judged against the FULL dataset so
@@ -94,20 +104,21 @@ class TrainingSampler {
 
   /// All Task A positives with `negs_per_pos` fresh negatives each,
   /// shuffled; split into batches of `batch_size`.
-  std::vector<TaskABatch> EpochBatchesA(size_t batch_size,
-                                        int64_t negs_per_pos,
-                                        Rng* rng) const;
+  std::vector<TaskABatch> EpochBatchesA(
+      size_t batch_size, int64_t negs_per_pos, Rng* rng,
+      std::vector<Rng>* streams = nullptr) const;
 
   /// All Task B positives with `negs_per_pos` fresh negatives each.
-  std::vector<TaskBBatch> EpochBatchesB(size_t batch_size,
-                                        int64_t negs_per_pos,
-                                        Rng* rng) const;
+  std::vector<TaskBBatch> EpochBatchesB(
+      size_t batch_size, int64_t negs_per_pos, Rng* rng,
+      std::vector<Rng>* streams = nullptr) const;
 
   /// Auxiliary corruption batches over the Task B positive triples
   /// (each (u,i,p) positive feeds both L'_A and L'_B). `n_corrupt` is
   /// the |T| of Table II.
-  std::vector<AuxBatch> EpochAuxBatches(size_t batch_size, int64_t n_corrupt,
-                                        Rng* rng) const;
+  std::vector<AuxBatch> EpochAuxBatches(
+      size_t batch_size, int64_t n_corrupt, Rng* rng,
+      std::vector<Rng>* streams = nullptr) const;
 
   size_t n_pos_a() const { return pos_a_.size(); }
   size_t n_pos_b() const { return pos_b_.size(); }

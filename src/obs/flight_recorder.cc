@@ -1,0 +1,158 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/metrics.h"
+
+namespace mgbr::obs {
+
+namespace {
+
+/// Field order inside a slot; must match PackFields/UnpackFields.
+enum FieldIndex : size_t {
+  kId = 0,
+  kTask,
+  kUser,
+  kItem,
+  kTopK,
+  kSubmitUs,
+  kBatchCloseUs,
+  kScoreStartUs,
+  kDoneUs,
+  kOutcome,
+  kVersion,
+  kCacheHit,
+};
+
+std::array<int64_t, 12> PackFields(const FlightRecord& r) {
+  return {r.id,        r.task,           r.user,           r.item,
+          r.k,         r.submit_us,      r.batch_close_us, r.score_start_us,
+          r.done_us,   r.outcome,        r.version,        r.cache_hit};
+}
+
+FlightRecord UnpackFields(const std::array<int64_t, 12>& f) {
+  FlightRecord r;
+  r.id = f[kId];
+  r.task = f[kTask];
+  r.user = f[kUser];
+  r.item = f[kItem];
+  r.k = f[kTopK];
+  r.submit_us = f[kSubmitUs];
+  r.batch_close_us = f[kBatchCloseUs];
+  r.score_start_us = f[kScoreStartUs];
+  r.done_us = f[kDoneUs];
+  r.outcome = f[kOutcome];
+  r.version = f[kVersion];
+  r.cache_hit = f[kCacheHit];
+  return r;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(int64_t capacity)
+    : slots_(static_cast<size_t>(capacity)) {
+  MGBR_CHECK_GE(capacity, 1);
+}
+
+void FlightRecorder::Record(const FlightRecord& record) {
+  const int64_t pos = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<size_t>(pos) % slots_.size()];
+  const std::array<int64_t, kFields> fields = PackFields(record);
+  slot.seq.store(0, std::memory_order_release);  // invalidate for readers
+  for (size_t i = 0; i < kFields; ++i) {
+    slot.fields[i].store(fields[i], std::memory_order_relaxed);
+  }
+  slot.seq.store(static_cast<uint64_t>(pos) + 1, std::memory_order_release);
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::vector<FlightRecord> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before == 0) continue;
+    std::array<int64_t, kFields> fields;
+    for (size_t i = 0; i < kFields; ++i) {
+      fields[i] = slot.fields[i].load(std::memory_order_acquire);
+    }
+    const uint64_t seq_after = slot.seq.load(std::memory_order_acquire);
+    if (seq_after != seq_before) continue;  // overwritten mid-copy
+    out.push_back(UnpackFields(fields));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::string FlightRecorder::ToJson() const {
+  const std::vector<FlightRecord> records = Snapshot();
+  std::string out = "{\"capacity\":";
+  out += std::to_string(capacity());
+  out += ",\"total_recorded\":";
+  out += std::to_string(total_recorded());
+  out += ",\"records\":[";
+  bool first = true;
+  for (const FlightRecord& r : records) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":" + std::to_string(r.id);
+    out += ",\"task\":";
+    if (task_namer_ != nullptr) {
+      internal::AppendJsonString(task_namer_(r.task), &out);
+    } else {
+      out += std::to_string(r.task);
+    }
+    out += ",\"user\":" + std::to_string(r.user);
+    out += ",\"item\":" + std::to_string(r.item);
+    out += ",\"k\":" + std::to_string(r.k);
+    out += ",\"outcome\":";
+    if (outcome_namer_ != nullptr) {
+      internal::AppendJsonString(outcome_namer_(r.outcome), &out);
+    } else {
+      out += std::to_string(r.outcome);
+    }
+    out += ",\"version\":" + std::to_string(r.version);
+    out += ",\"cache_hit\":";
+    out += r.cache_hit != 0 ? "true" : "false";
+    out += ",\"submit_us\":" + std::to_string(r.submit_us);
+    out += ",\"batch_close_us\":" + std::to_string(r.batch_close_us);
+    out += ",\"score_start_us\":" + std::to_string(r.score_start_us);
+    out += ",\"done_us\":" + std::to_string(r.done_us);
+    // Stage waits, precomputed so the postmortem needs no spreadsheet:
+    // 0 when the request never reached the stage.
+    const int64_t queue_wait =
+        r.batch_close_us > 0 ? r.batch_close_us - r.submit_us : 0;
+    const int64_t batch_wait =
+        r.score_start_us > 0 && r.batch_close_us > 0
+            ? r.score_start_us - r.batch_close_us
+            : 0;
+    const int64_t score =
+        r.done_us > 0 && r.score_start_us > 0 ? r.done_us - r.score_start_us
+                                              : 0;
+    out += ",\"queue_wait_us\":" + std::to_string(queue_wait);
+    out += ",\"batch_wait_us\":" + std::to_string(batch_wait);
+    out += ",\"score_us\":" + std::to_string(score);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+Status FlightRecorder::DumpTo(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open flight dump output: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  return ok ? Status::OK()
+            : Status::IoError("short write to flight dump output: " + path);
+}
+
+}  // namespace mgbr::obs

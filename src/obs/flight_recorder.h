@@ -1,0 +1,93 @@
+#ifndef MGBR_OBS_FLIGHT_RECORDER_H_
+#define MGBR_OBS_FLIGHT_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mgbr::obs {
+
+/// One request's black-box record. Plain integers only so the obs
+/// layer stays independent of serve types; the server maps its enums
+/// (TaskKind, ResponseCode) onto `task`/`outcome` and names them in
+/// the JSON dump.
+struct FlightRecord {
+  int64_t id = 0;
+  int64_t task = 0;
+  int64_t user = 0;
+  int64_t item = 0;
+  int64_t k = 0;
+  /// Stage timestamps on the trace::NowMicros() clock; 0 = the request
+  /// never reached that stage (e.g. shed at admission).
+  int64_t submit_us = 0;
+  int64_t batch_close_us = 0;
+  int64_t score_start_us = 0;
+  int64_t done_us = 0;
+  int64_t outcome = 0;
+  int64_t version = 0;
+  int64_t cache_hit = 0;
+};
+
+/// Fixed-size lock-free ring of recent request records for shed-spike
+/// postmortems. Record() claims a slot with one fetch-add and writes
+/// the record field-by-field behind a per-slot sequence tag (store 0 ->
+/// fields -> store ticket), so writers never block each other or the
+/// serving path. Snapshot() copies every slot and keeps only those
+/// whose tag was stable across the copy; a record can be torn only if
+/// two writers lap the ring onto the same slot mid-read, which garbles
+/// at most that one postmortem record (all loads/stores are atomic, so
+/// there is no undefined behaviour either way).
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(int64_t capacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void Record(const FlightRecord& record);
+
+  /// Consistent records, ordered by id ascending.
+  std::vector<FlightRecord> Snapshot() const;
+
+  /// {"capacity":...,"total_recorded":...,"records":[...]} with stage
+  /// waits precomputed (queue_wait_us/batch_wait_us/score_us) and the
+  /// outcome/task rendered by the registered namer (raw ints without
+  /// one).
+  std::string ToJson() const;
+
+  /// Writes ToJson() + newline; parent directory must exist.
+  Status DumpTo(const std::string& path) const;
+
+  /// Optional enum names for the JSON dump, e.g. serve wiring passes
+  /// ResponseCodeToString. Set before traffic starts.
+  using Namer = const char* (*)(int64_t value);
+  void set_outcome_namer(Namer namer) { outcome_namer_ = namer; }
+  void set_task_namer(Namer namer) { task_namer_ = namer; }
+
+  int64_t capacity() const { return static_cast<int64_t>(slots_.size()); }
+  int64_t total_recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kFields = 12;
+
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // 0 = never written
+    std::array<std::atomic<int64_t>, kFields> fields{};
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<int64_t> next_{0};
+  Namer outcome_namer_ = nullptr;
+  Namer task_namer_ = nullptr;
+};
+
+}  // namespace mgbr::obs
+
+#endif  // MGBR_OBS_FLIGHT_RECORDER_H_

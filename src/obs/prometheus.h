@@ -1,0 +1,30 @@
+#ifndef MGBR_OBS_PROMETHEUS_H_
+#define MGBR_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "common/metrics.h"
+
+namespace mgbr::obs {
+
+/// Renders a metrics snapshot in Prometheus text exposition format
+/// 0.0.4: one `# TYPE` line per metric, counters/gauges as plain
+/// samples, histograms as cumulative `_bucket{le="..."}` series ending
+/// in `+Inf`, plus `_sum` and `_count`. Metric names are sanitized
+/// (every character outside [a-zA-Z0-9_:] becomes '_', so
+/// `serve.latency_us` exports as `serve_latency_us`).
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+namespace internal {
+/// Maps a registry metric name onto the Prometheus name charset.
+std::string SanitizeMetricName(const std::string& name);
+/// Escapes backslash, double quote and newline for label values.
+std::string EscapeLabelValue(const std::string& value);
+/// Shortest round-trippable decimal for a sample value ("+Inf"/"-Inf"
+/// /"NaN" for non-finite, matching the exposition format).
+std::string FormatValue(double v);
+}  // namespace internal
+
+}  // namespace mgbr::obs
+
+#endif  // MGBR_OBS_PROMETHEUS_H_

@@ -1,0 +1,237 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace mgbr::obs {
+
+namespace {
+
+#if MGBR_TELEMETRY
+Gauge* P50Gauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge("slo.window.p50_ms");
+  return g;
+}
+Gauge* P95Gauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge("slo.window.p95_ms");
+  return g;
+}
+Gauge* P99Gauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge("slo.window.p99_ms");
+  return g;
+}
+Gauge* ShedFractionGauge() {
+  static Gauge* g =
+      MetricsRegistry::Global().GetGauge("slo.window.shed_fraction");
+  return g;
+}
+Gauge* CompletedGauge() {
+  static Gauge* g =
+      MetricsRegistry::Global().GetGauge("slo.window.completed");
+  return g;
+}
+Gauge* ShedGauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge("slo.window.shed");
+  return g;
+}
+Counter* P99ViolationsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("slo.p99_violations");
+  return c;
+}
+Counter* BurnFastCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("slo.burn_rate_fast");
+  return c;
+}
+Counter* BurnSlowCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("slo.burn_rate_slow");
+  return c;
+}
+#endif  // MGBR_TELEMETRY
+
+/// Interpolated quantile over merged per-second latency counts, same
+/// estimator as Histogram::Quantile (uniform within the bucket, last
+/// finite bound for the overflow bucket). Returns microseconds.
+double MergedQuantile(const std::array<int64_t, SloMonitor::kLatencyBuckets + 1>&
+                          counts,
+                      const std::array<double, SloMonitor::kLatencyBuckets>&
+                          bounds,
+                      double q) {
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  int64_t seen = 0;
+  for (size_t k = 0; k < counts.size(); ++k) {
+    if (counts[k] == 0) continue;
+    const int64_t before = seen;
+    seen += counts[k];
+    if (static_cast<double>(seen) >= target) {
+      if (k >= bounds.size()) return bounds.back();
+      const double lower = k == 0 ? 0.0 : bounds[k - 1];
+      const double frac = (target - static_cast<double>(before)) /
+                          static_cast<double>(counts[k]);
+      return lower + frac * (bounds[k] - lower);
+    }
+  }
+  return bounds.back();
+}
+
+}  // namespace
+
+SloMonitor::SloMonitor(SloConfig config)
+    : config_(config), ring_(static_cast<size_t>(config.window_s)) {
+  MGBR_CHECK_GE(config_.window_s, 1);
+  MGBR_CHECK_GE(config_.fast_window_s, 1);
+  MGBR_CHECK_LE(config_.fast_window_s, config_.window_s);
+  double b = 1.0;
+  for (int k = 0; k < kLatencyBuckets; ++k) {
+    bounds_[static_cast<size_t>(k)] = b;
+    b *= 4.0;
+  }
+}
+
+SloMonitor::~SloMonitor() { Stop(); }
+
+SloMonitor::SecondBucket* SloMonitor::Touch(int64_t now_us) {
+  const int64_t sec = now_us / 1'000'000;
+  SecondBucket& b = ring_[static_cast<size_t>(
+      sec % static_cast<int64_t>(ring_.size()))];
+  int64_t tag = b.second.load(std::memory_order_acquire);
+  if (tag != sec &&
+      b.second.compare_exchange_strong(tag, sec,
+                                       std::memory_order_acq_rel)) {
+    // This thread won the rollover; recycle the bucket. Observations
+    // racing with the reset may be lost (see class comment).
+    b.completed.store(0, std::memory_order_relaxed);
+    b.shed.store(0, std::memory_order_relaxed);
+    for (auto& c : b.latency) c.store(0, std::memory_order_relaxed);
+  }
+  return &b;
+}
+
+void SloMonitor::RecordLatency(int64_t now_us, double latency_us) {
+  SecondBucket* b = Touch(now_us);
+  size_t k = 0;
+  while (k < bounds_.size() && latency_us > bounds_[k]) ++k;
+  b->latency[k].fetch_add(1, std::memory_order_relaxed);
+  b->completed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SloMonitor::RecordShed(int64_t now_us) {
+  Touch(now_us)->shed.fetch_add(1, std::memory_order_relaxed);
+}
+
+SloWindowStats SloMonitor::Evaluate(int64_t now_us) {
+  const int64_t sec = now_us / 1'000'000;
+  std::array<int64_t, kLatencyBuckets + 1> merged{};
+  std::array<int64_t, kLatencyBuckets + 1> fast_merged{};
+  SloWindowStats stats;
+  for (const SecondBucket& b : ring_) {
+    const int64_t tag = b.second.load(std::memory_order_acquire);
+    if (tag < 0 || tag > sec || tag <= sec - config_.window_s) continue;
+    const int64_t completed = b.completed.load(std::memory_order_relaxed);
+    const int64_t shed = b.shed.load(std::memory_order_relaxed);
+    stats.completed += completed;
+    stats.shed += shed;
+    const bool fast = tag > sec - config_.fast_window_s;
+    if (fast) {
+      stats.fast_completed += completed;
+      stats.fast_shed += shed;
+    }
+    for (size_t k = 0; k < merged.size(); ++k) {
+      const int64_t c = b.latency[k].load(std::memory_order_relaxed);
+      merged[k] += c;
+      if (fast) fast_merged[k] += c;
+    }
+  }
+  const int64_t total = stats.completed + stats.shed;
+  stats.shed_fraction =
+      total > 0 ? static_cast<double>(stats.shed) / static_cast<double>(total)
+                : 0.0;
+  const int64_t fast_total = stats.fast_completed + stats.fast_shed;
+  stats.fast_shed_fraction =
+      fast_total > 0 ? static_cast<double>(stats.fast_shed) /
+                           static_cast<double>(fast_total)
+                     : 0.0;
+  stats.p50_ms = MergedQuantile(merged, bounds_, 0.50) / 1e3;
+  stats.p95_ms = MergedQuantile(merged, bounds_, 0.95) / 1e3;
+  stats.p99_ms = MergedQuantile(merged, bounds_, 0.99) / 1e3;
+  stats.fast_p99_ms = MergedQuantile(fast_merged, bounds_, 0.99) / 1e3;
+
+  MGBR_GAUGE_SET(P50Gauge(), stats.p50_ms);
+  MGBR_GAUGE_SET(P95Gauge(), stats.p95_ms);
+  MGBR_GAUGE_SET(P99Gauge(), stats.p99_ms);
+  MGBR_GAUGE_SET(ShedFractionGauge(), stats.shed_fraction);
+  MGBR_GAUGE_SET(CompletedGauge(), static_cast<double>(stats.completed));
+  MGBR_GAUGE_SET(ShedGauge(), static_cast<double>(stats.shed));
+  const bool p99_violated =
+      stats.completed > 0 && stats.p99_ms > config_.target_p99_ms;
+  const bool shed_violated = stats.shed_fraction > config_.max_shed_fraction;
+  const bool fast_violated =
+      (stats.fast_completed > 0 &&
+       stats.fast_p99_ms > config_.target_p99_ms) ||
+      stats.fast_shed_fraction > config_.max_shed_fraction;
+  if (p99_violated) MGBR_COUNTER_ADD(P99ViolationsCounter(), 1);
+  if (fast_violated) MGBR_COUNTER_ADD(BurnFastCounter(), 1);
+  if (p99_violated || shed_violated) MGBR_COUNTER_ADD(BurnSlowCounter(), 1);
+
+  // Edge-triggered shed callback (flight-recorder auto-dump): fire once
+  // when the fast window crosses the threshold, re-arm after it drops
+  // below. Evaluate runs on one thread (the ticker, or a test), so the
+  // armed flag needs no lock.
+  if (shed_threshold_ >= 0.0 && threshold_cb_) {
+    if (stats.fast_shed_fraction >= shed_threshold_ && fast_total > 0) {
+      if (threshold_armed_) {
+        threshold_armed_ = false;
+        threshold_cb_(stats);
+      }
+    } else {
+      threshold_armed_ = true;
+    }
+  }
+  return stats;
+}
+
+void SloMonitor::SetShedThresholdCallback(
+    double shed_threshold, std::function<void(const SloWindowStats&)> cb) {
+  shed_threshold_ = shed_threshold;
+  threshold_cb_ = std::move(cb);
+  threshold_armed_ = true;
+}
+
+void SloMonitor::Start() {
+  std::lock_guard<std::mutex> lock(ticker_mu_);
+  if (ticker_.joinable()) return;
+  ticker_stop_ = false;
+  ticker_ = std::thread([this] { TickerLoop(); });
+}
+
+void SloMonitor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(ticker_mu_);
+    ticker_stop_ = true;
+  }
+  ticker_cv_.notify_all();
+  if (ticker_.joinable()) ticker_.join();
+}
+
+void SloMonitor::TickerLoop() {
+  std::unique_lock<std::mutex> lock(ticker_mu_);
+  while (!ticker_stop_) {
+    ticker_cv_.wait_for(lock, std::chrono::seconds(1),
+                        [this] { return ticker_stop_; });
+    if (ticker_stop_) break;
+    lock.unlock();
+    Evaluate(trace::NowMicros());
+    lock.lock();
+  }
+}
+
+}  // namespace mgbr::obs

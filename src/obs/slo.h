@@ -1,0 +1,124 @@
+#ifndef MGBR_OBS_SLO_H_
+#define MGBR_OBS_SLO_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mgbr::obs {
+
+/// Targets and window geometry for the sliding-window SLO monitor.
+struct SloConfig {
+  /// Full (slow) evaluation window in seconds.
+  int window_s = 30;
+  /// Short (fast) sub-window for burn-rate alerting, in seconds.
+  int fast_window_s = 5;
+  /// Windowed p99 above this counts as an SLO violation.
+  double target_p99_ms = 15.0;
+  /// Windowed shed fraction above this burns error budget.
+  double max_shed_fraction = 0.01;
+};
+
+/// Windowed statistics computed by SloMonitor::Evaluate.
+struct SloWindowStats {
+  int64_t completed = 0;
+  int64_t shed = 0;
+  double shed_fraction = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  // Fast sub-window (last fast_window_s seconds).
+  int64_t fast_completed = 0;
+  int64_t fast_shed = 0;
+  double fast_shed_fraction = 0.0;
+  double fast_p99_ms = 0.0;
+};
+
+/// Sliding-window latency/shed monitor: a ring of per-second buckets,
+/// each holding exponential latency-bucket counts plus completed/shed
+/// totals. Record* are lock-free (a few relaxed atomic adds) and safe
+/// from any number of server workers; bucket recycling at second
+/// rollover is racy by design (a handful of observations can land in a
+/// bucket being reset), which shifts windowed stats by at most a few
+/// samples — acceptable for monitoring, never for accounting (the
+/// server's own counters stay exact).
+///
+/// Evaluate() merges the buckets inside the window, publishes windowed
+/// p50/p95/p99 + shed fraction as `slo.window.*` gauges, and advances
+/// the burn-rate counters:
+///   slo.p99_violations   +1 per evaluation whose windowed p99 exceeds
+///                        target_p99_ms
+///   slo.burn_rate_fast   +1 per evaluation whose FAST sub-window
+///                        breaches either target (pages-worthy burn)
+///   slo.burn_rate_slow   +1 per evaluation whose full window breaches
+///                        either target (sustained burn)
+/// Start() spawns a 1 Hz ticker calling Evaluate; tests call Evaluate
+/// directly with synthetic clocks instead.
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloConfig config = {});
+  ~SloMonitor();
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  /// One completed request with end-to-end latency, at `now_us` on the
+  /// trace::NowMicros() clock.
+  void RecordLatency(int64_t now_us, double latency_us);
+  /// One shed request at `now_us`.
+  void RecordShed(int64_t now_us);
+
+  /// Computes windowed stats ending at `now_us`, updates the slo.*
+  /// gauges/counters, and fires the threshold callback when the fast
+  /// sub-window's shed fraction crosses `shed_threshold` (set by
+  /// SetShedThresholdCallback; one fire per crossing, re-armed when the
+  /// fraction drops back below).
+  SloWindowStats Evaluate(int64_t now_us);
+
+  /// Fires from Evaluate when fast-window shed fraction >= threshold.
+  void SetShedThresholdCallback(double shed_threshold,
+                                std::function<void(const SloWindowStats&)> cb);
+
+  /// Background 1 Hz ticker driving Evaluate(trace::NowMicros()).
+  void Start();
+  void Stop();
+
+  const SloConfig& config() const { return config_; }
+
+  /// Latency bucket bounds shared by every per-second bucket:
+  /// 1us * 4^k, matching the serve.latency_us histogram shape.
+  static constexpr int kLatencyBuckets = 16;
+
+ private:
+  struct SecondBucket {
+    std::atomic<int64_t> second{-1};
+    std::atomic<int64_t> completed{0};
+    std::atomic<int64_t> shed{0};
+    std::array<std::atomic<int64_t>, kLatencyBuckets + 1> latency;
+  };
+
+  SecondBucket* Touch(int64_t now_us);
+  void TickerLoop();
+
+  const SloConfig config_;
+  std::vector<SecondBucket> ring_;
+  std::array<double, kLatencyBuckets> bounds_;  // finite bounds, us
+
+  double shed_threshold_ = -1.0;  // < 0: callback disabled
+  std::function<void(const SloWindowStats&)> threshold_cb_;
+  bool threshold_armed_ = true;
+
+  std::mutex ticker_mu_;
+  std::condition_variable ticker_cv_;
+  bool ticker_stop_ = false;
+  std::thread ticker_;
+};
+
+}  // namespace mgbr::obs
+
+#endif  // MGBR_OBS_SLO_H_

@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/metrics.h"
+#include "common/string_util.h"
 #include "common/trace.h"
 #include "eval/metrics.h"
 #include "tensor/variable.h"
@@ -17,6 +19,10 @@ namespace {
 #if MGBR_TELEMETRY
 Counter* RequestsCounter() {
   static Counter* c = MetricsRegistry::Global().GetCounter("serve.requests");
+  return c;
+}
+Counter* AdmittedCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("serve.admitted");
   return c;
 }
 Counter* ShedQueueFullCounter() {
@@ -56,6 +62,35 @@ Histogram* BatchSizeHistogram() {
 Histogram* LatencyHistogram() {
   static Histogram* h = MetricsRegistry::Global().GetHistogram(
       "serve.latency_us", 1.0, 4.0, 16);
+  return h;
+}
+// Per-stage latency attribution (same 1us * 4^k shape as the
+// end-to-end histogram so tails line up column-for-column).
+Histogram* QueueWaitHistogram() {
+  static Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "serve.stage.queue_wait_us", 1.0, 4.0, 16);
+  return h;
+}
+Histogram* BatchWaitHistogram() {
+  static Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "serve.stage.batch_wait_us", 1.0, 4.0, 16);
+  return h;
+}
+Histogram* ScoreHistogram() {
+  static Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "serve.stage.score_us", 1.0, 4.0, 16);
+  return h;
+}
+// Cache hit/miss split of the score stage: a hit skips the model
+// entirely, so the two populations have very different shapes.
+Histogram* ScoreHitHistogram() {
+  static Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "serve.stage.score_hit_us", 1.0, 4.0, 16);
+  return h;
+}
+Histogram* ScoreMissHistogram() {
+  static Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "serve.stage.score_miss_us", 1.0, 4.0, 16);
   return h;
 }
 #endif  // MGBR_TELEMETRY
@@ -99,6 +134,48 @@ Server::Server(ModelPool* pool, ServerConfig config)
   MGBR_CHECK_GE(config_.n_workers, 1);
   MGBR_CHECK_GE(config_.batch_backlog, 1);
   MGBR_CHECK_GE(config_.cache_capacity, 0);
+
+  if (config_.obs.enabled()) {
+    obs::SloConfig slo_config;
+    slo_config.window_s = config_.obs.slo_window_s;
+    slo_config.fast_window_s = config_.obs.slo_fast_window_s;
+    slo_config.target_p99_ms = config_.obs.slo_target_p99_ms;
+    slo_config.max_shed_fraction = config_.obs.slo_max_shed_fraction;
+    slo_ = std::make_unique<obs::SloMonitor>(slo_config);
+    if (config_.obs.flight_capacity > 0) {
+      flight_ =
+          std::make_unique<obs::FlightRecorder>(config_.obs.flight_capacity);
+      flight_->set_outcome_namer([](int64_t v) {
+        return ResponseCodeToString(static_cast<ResponseCode>(v));
+      });
+      flight_->set_task_namer([](int64_t v) {
+        return v == static_cast<int64_t>(TaskKind::kTopKItems)
+                   ? "TopKItems"
+                   : "TopKParticipants";
+      });
+      if (!config_.obs.flight_dump_path.empty()) {
+        slo_->SetShedThresholdCallback(
+            config_.obs.flight_dump_shed_threshold,
+            [this](const obs::SloWindowStats& s) { MaybeDumpFlight(s); });
+      }
+    }
+    slo_->Start();
+    if (config_.obs.metrics_port >= 0) {
+      obs::ExporterConfig exporter_config;
+      exporter_config.port = config_.obs.metrics_port;
+      exporter_ = std::make_unique<obs::Exporter>(exporter_config);
+      exporter_->set_healthz_handler([this] { return HealthzJson(); });
+      exporter_->set_varz_handler(
+          [this](bool flight) { return VarzJson(flight); });
+      const Status status = exporter_->Start();
+      if (!status.ok()) {
+        // A taken port must not take down serving; run blind instead.
+        MGBR_LOG_WARNING("serve: exporter disabled: ", status.ToString());
+        exporter_.reset();
+      }
+    }
+  }
+
   batcher_ = std::thread([this] { BatcherLoop(); });
   workers_.reserve(static_cast<size_t>(config_.n_workers));
   for (int i = 0; i < config_.n_workers; ++i) {
@@ -106,7 +183,13 @@ Server::Server(ModelPool* pool, ServerConfig config)
   }
 }
 
-Server::~Server() { Stop(); }
+Server::~Server() {
+  Stop();
+  // The exporter's handlers and the SLO ticker's dump callback capture
+  // `this`; shut both threads down before members start destructing.
+  exporter_.reset();
+  if (slo_ != nullptr) slo_->Stop();
+}
 
 void Server::Stop() {
   {
@@ -116,6 +199,8 @@ void Server::Stop() {
       return;
     }
     stop_ = true;
+    state_.store(static_cast<int>(State::kDraining),
+                 std::memory_order_release);
   }
   cv_nonempty_.notify_all();
   cv_batch_ready_.notify_all();
@@ -124,49 +209,66 @@ void Server::Stop() {
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
+  state_.store(static_cast<int>(State::kStopped), std::memory_order_release);
 }
 
 std::future<Response> Server::Submit(const Request& request) {
   std::promise<Response> promise;
   std::future<Response> future = promise.get_future();
   const int64_t now = trace::NowMicros();
+  const int64_t id = next_request_id_.fetch_add(1, std::memory_order_relaxed) +
+                     1;  // ids start at 1; 0 = "never assigned"
   submitted_.fetch_add(1, std::memory_order_relaxed);
   MGBR_COUNTER_ADD(RequestsCounter(), 1);
 
   Response shed;
+  shed.id = id;
   shed.enqueue_us = now;
   shed.done_us = now;
   if (request.deadline_us > 0 && now >= request.deadline_us) {
     shed_deadline_.fetch_add(1, std::memory_order_relaxed);
     MGBR_COUNTER_ADD(ShedDeadlineCounter(), 1);
     shed.code = ResponseCode::kShedDeadline;
-    promise.set_value(std::move(shed));
+    FinishUnadmitted(request, now, std::move(promise), std::move(shed));
     return future;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) {
       shed.code = ResponseCode::kShutdown;
-      promise.set_value(std::move(shed));
+      FinishUnadmitted(request, now, std::move(promise), std::move(shed));
       return future;
     }
     if (static_cast<int64_t>(queue_.size()) >= config_.queue_capacity) {
       shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
       MGBR_COUNTER_ADD(ShedQueueFullCounter(), 1);
       shed.code = ResponseCode::kShedQueueFull;
-      promise.set_value(std::move(shed));
+      FinishUnadmitted(request, now, std::move(promise), std::move(shed));
       return future;
     }
     Pending pending;
     pending.request = request;
     pending.promise = std::move(promise);
+    pending.id = id;
     pending.enqueue_us = now;
     queue_.push_back(std::move(pending));
     admitted_.fetch_add(1, std::memory_order_relaxed);
+    MGBR_COUNTER_ADD(AdmittedCounter(), 1);
     MGBR_GAUGE_SET(QueueDepthGauge(), static_cast<double>(queue_.size()));
   }
   cv_nonempty_.notify_one();
   return future;
+}
+
+void Server::FinishUnadmitted(const Request& request, int64_t now_us,
+                              std::promise<Response> promise,
+                              Response response) {
+  if (slo_ != nullptr && (response.code == ResponseCode::kShedQueueFull ||
+                          response.code == ResponseCode::kShedDeadline)) {
+    slo_->RecordShed(now_us);
+  }
+  RecordFlight(request, response);
+  promise.set_value(std::move(response));
 }
 
 void Server::BatcherLoop() {
@@ -191,7 +293,9 @@ void Server::BatcherLoop() {
     const int64_t take = std::min<int64_t>(
         static_cast<int64_t>(queue_.size()), config_.max_batch);
     batch.reserve(static_cast<size_t>(take));
+    const int64_t closed_at = trace::NowMicros();
     for (int64_t i = 0; i < take; ++i) {
+      queue_.front().batch_close_us = closed_at;
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
@@ -229,7 +333,10 @@ void Server::WorkerLoop() {
 }
 
 void Server::Finish(Pending* pending, Response response) {
+  response.id = pending->id;
   response.enqueue_us = pending->enqueue_us;
+  response.batch_close_us = pending->batch_close_us;
+  response.score_start_us = pending->score_start_us;
   response.done_us = trace::NowMicros();
   if (response.code == ResponseCode::kOk) {
     completed_.fetch_add(1, std::memory_order_relaxed);
@@ -242,7 +349,73 @@ void Server::Finish(Pending* pending, Response response) {
   MGBR_HISTOGRAM_OBSERVE(
       LatencyHistogram(),
       static_cast<double>(response.done_us - response.enqueue_us));
+  // Stage attribution; a stage the request never reached stays
+  // unobserved (e.g. no score stage for an in-batch deadline shed).
+  if (response.batch_close_us > 0) {
+    MGBR_HISTOGRAM_OBSERVE(
+        QueueWaitHistogram(),
+        static_cast<double>(response.batch_close_us - response.enqueue_us));
+  }
+  if (response.score_start_us > 0 && response.batch_close_us > 0) {
+    MGBR_HISTOGRAM_OBSERVE(BatchWaitHistogram(),
+                           static_cast<double>(response.score_start_us -
+                                               response.batch_close_us));
+  }
+  if (response.score_start_us > 0) {
+    const double score_us =
+        static_cast<double>(response.done_us - response.score_start_us);
+    MGBR_HISTOGRAM_OBSERVE(ScoreHistogram(), score_us);
+    if (response.code == ResponseCode::kOk) {
+      if (response.cache_hit) {
+        MGBR_HISTOGRAM_OBSERVE(ScoreHitHistogram(), score_us);
+      } else {
+        MGBR_HISTOGRAM_OBSERVE(ScoreMissHistogram(), score_us);
+      }
+    }
+  }
+  if (slo_ != nullptr) {
+    if (response.code == ResponseCode::kShedDeadline) {
+      slo_->RecordShed(response.done_us);
+    } else {
+      slo_->RecordLatency(
+          response.done_us,
+          static_cast<double>(response.done_us - response.enqueue_us));
+    }
+  }
+  RecordFlight(pending->request, response);
   pending->promise.set_value(std::move(response));
+}
+
+void Server::RecordFlight(const Request& request, const Response& response) {
+  if (flight_ == nullptr) return;
+  obs::FlightRecord record;
+  record.id = response.id;
+  record.task = static_cast<int64_t>(request.task);
+  record.user = request.user;
+  record.item = request.item;
+  record.k = request.k;
+  record.submit_us = response.enqueue_us;
+  record.batch_close_us = response.batch_close_us;
+  record.score_start_us = response.score_start_us;
+  record.done_us = response.done_us;
+  record.outcome = static_cast<int64_t>(response.code);
+  record.version = response.version;
+  record.cache_hit = response.cache_hit ? 1 : 0;
+  flight_->Record(record);
+}
+
+void Server::MaybeDumpFlight(const obs::SloWindowStats& stats) {
+  if (flight_ == nullptr || config_.obs.flight_dump_path.empty()) return;
+  const Status status = flight_->DumpTo(config_.obs.flight_dump_path);
+  if (status.ok()) {
+    flight_dumps_.fetch_add(1, std::memory_order_relaxed);
+    MGBR_LOG_WARNING(
+        "serve: shed fraction ", stats.fast_shed_fraction,
+        " crossed the flight-dump threshold; wrote flight recorder to ",
+        config_.obs.flight_dump_path);
+  } else {
+    MGBR_LOG_WARNING("serve: flight dump failed: ", status.ToString());
+  }
 }
 
 std::shared_ptr<const std::vector<double>> Server::CacheLookup(
@@ -286,6 +459,10 @@ void Server::ExecuteBatch(Batch batch) {
   MGBR_COUNTER_ADD(BatchesCounter(), 1);
   MGBR_HISTOGRAM_OBSERVE(BatchSizeHistogram(),
                          static_cast<double>(batch.size()));
+  // The backlog wait ends for every member when a worker picks the
+  // batch up; whatever follows is the score stage.
+  const int64_t score_start = trace::NowMicros();
+  for (Pending& pending : batch) pending.score_start_us = score_start;
 
   // One version pinned for the whole batch: every response in it is
   // attributable to this snapshot even if a swap lands mid-batch.
@@ -389,6 +566,73 @@ ServerStats Server::stats() const {
 int64_t Server::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(queue_.size());
+}
+
+int Server::metrics_port() const {
+  return exporter_ != nullptr && exporter_->running() ? exporter_->port() : 0;
+}
+
+namespace {
+const char* StateName(Server::State state) {
+  switch (state) {
+    case Server::State::kRunning:
+      return "running";
+    case Server::State::kDraining:
+      return "draining";
+    case Server::State::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+}  // namespace
+
+std::string Server::HealthzJson() const {
+  std::string out = "{\"status\":\"";
+  out += StateName(state());
+  out += "\",\"model_version\":";
+  out += std::to_string(pool_->current_id());
+  out += ",\"swap_count\":";
+  out += std::to_string(pool_->swap_count());
+  out += '}';
+  return out;
+}
+
+std::string Server::VarzJson(bool include_flight) const {
+  const ServerStats s = stats();
+  std::string out = "{\"state\":\"";
+  out += StateName(state());
+  out += "\",\"model_version\":";
+  out += std::to_string(pool_->current_id());
+  out += ",\"server\":{\"submitted\":";
+  out += std::to_string(s.submitted);
+  out += ",\"admitted\":";
+  out += std::to_string(s.admitted);
+  out += ",\"shed_queue_full\":";
+  out += std::to_string(s.shed_queue_full);
+  out += ",\"shed_deadline\":";
+  out += std::to_string(s.shed_deadline);
+  out += ",\"completed\":";
+  out += std::to_string(s.completed);
+  out += ",\"invalid\":";
+  out += std::to_string(s.invalid);
+  out += ",\"late_completions\":";
+  out += std::to_string(s.late_completions);
+  out += ",\"batches\":";
+  out += std::to_string(s.batches);
+  out += ",\"unique_scored\":";
+  out += std::to_string(s.unique_scored);
+  out += ",\"coalesced\":";
+  out += std::to_string(s.coalesced);
+  out += ",\"cache_hits\":";
+  out += std::to_string(s.cache_hits);
+  out += "},\"metrics\":";
+  out += MetricsRegistry::Global().ToJson();
+  if (include_flight && flight_ != nullptr) {
+    out += ",\"flight\":";
+    out += flight_->ToJson();
+  }
+  out += '}';
+  return out;
 }
 
 }  // namespace mgbr::serve

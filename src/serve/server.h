@@ -9,14 +9,43 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/exporter.h"
+#include "obs/flight_recorder.h"
+#include "obs/slo.h"
 #include "serve/model_pool.h"
 #include "serve/types.h"
 
 namespace mgbr::serve {
+
+/// Opt-in serving observability (exporter, SLO monitor, flight
+/// recorder). Everything defaults off: a default-constructed server
+/// spawns no extra threads and records nothing beyond the always-on
+/// ServerStats counters, preserving the zero-cost-when-off contract.
+struct ObsOptions {
+  /// -1 disables the HTTP exposition endpoint; 0 binds an ephemeral
+  /// port (Server::metrics_port() reads it back).
+  int metrics_port = -1;
+  /// Sliding-window SLO targets (docs/observability.md). The monitor
+  /// runs whenever any obs feature is enabled.
+  int slo_window_s = 30;
+  int slo_fast_window_s = 5;
+  double slo_target_p99_ms = 15.0;
+  double slo_max_shed_fraction = 0.01;
+  /// Flight-recorder ring capacity; 0 disables the recorder.
+  int64_t flight_capacity = 0;
+  /// Auto-dump the flight ring to `flight_dump_path` when the SLO
+  /// monitor's fast-window shed fraction crosses this (edge-triggered;
+  /// re-arms when the fraction drops back below).
+  double flight_dump_shed_threshold = 0.05;
+  std::string flight_dump_path;
+
+  bool enabled() const { return metrics_port >= 0 || flight_capacity > 0; }
+};
 
 /// Dynamic-batching policy and capacity bounds. See docs/serving.md.
 struct ServerConfig {
@@ -43,6 +72,8 @@ struct ServerConfig {
   /// lifetime of that version. Entries are invalidated by version id,
   /// so a hot swap can never serve stale scores.
   int64_t cache_capacity = 0;
+  /// Serving observability stack (off by default).
+  ObsOptions obs;
 };
 
 /// Multi-threaded request router with dynamic batching.
@@ -62,6 +93,11 @@ struct ServerConfig {
 /// batcher and workers. The destructor calls Stop().
 class Server {
  public:
+  /// Lifecycle reported by /healthz: Running until Stop() is called,
+  /// Draining while Stop() flushes admitted requests through scoring,
+  /// Stopped once the batcher and workers have joined.
+  enum class State { kRunning = 0, kDraining, kStopped };
+
   /// `pool` must outlive the server and already hold a version.
   Server(ModelPool* pool, ServerConfig config = {});
   ~Server();
@@ -73,7 +109,9 @@ class Server {
   /// already passed, shutdown) resolve the future immediately.
   std::future<Response> Submit(const Request& request);
 
-  /// Graceful drain; idempotent.
+  /// Graceful drain; idempotent. The exporter (if enabled) keeps
+  /// serving /metrics and /healthz until destruction so post-drain
+  /// totals stay scrapeable.
   void Stop();
 
   /// Snapshot of the always-on functional counters.
@@ -84,11 +122,43 @@ class Server {
   /// Current admission queue depth (tests/monitoring).
   int64_t queue_depth() const;
 
+  State state() const {
+    return static_cast<State>(state_.load(std::memory_order_acquire));
+  }
+
+  /// Port the exposition endpoint actually bound (0 when disabled or
+  /// Start failed). With obs.metrics_port = 0 this is the ephemeral
+  /// port the OS picked.
+  int metrics_port() const;
+
+  /// /healthz body: {"status":"running|draining|stopped",
+  /// "model_version":N,"swap_count":M}. Public so tests can assert
+  /// transitions without the socket layer.
+  std::string HealthzJson() const;
+  /// /varz body: metrics snapshot + server stats + state; with
+  /// `include_flight`, the flight-recorder dump too.
+  std::string VarzJson(bool include_flight) const;
+
+  /// Flight-recorder auto-dumps performed so far (tests/monitoring).
+  int64_t flight_dumps() const {
+    return flight_dumps_.load(std::memory_order_relaxed);
+  }
+  /// The recorder itself (nullptr when obs.flight_capacity == 0).
+  const obs::FlightRecorder* flight_recorder() const {
+    return flight_.get();
+  }
+  /// The SLO monitor (nullptr when the obs stack is disabled). Tests
+  /// drive Evaluate directly with synthetic clocks.
+  obs::SloMonitor* slo_monitor() { return slo_.get(); }
+
  private:
   struct Pending {
     Request request;
     std::promise<Response> promise;
+    int64_t id = 0;
     int64_t enqueue_us = 0;
+    int64_t batch_close_us = 0;
+    int64_t score_start_us = 0;
   };
   using Batch = std::vector<Pending>;
 
@@ -119,6 +189,12 @@ class Server {
   void WorkerLoop();
   void ExecuteBatch(Batch batch);
   void Finish(Pending* pending, Response response);
+  /// Records a request that never entered the pipeline (shed at
+  /// admission / shutdown) into the obs stack and resolves `promise`.
+  void FinishUnadmitted(const Request& request, int64_t now_us,
+                        std::promise<Response> promise, Response response);
+  void RecordFlight(const Request& request, const Response& response);
+  void MaybeDumpFlight(const obs::SloWindowStats& stats);
   std::shared_ptr<const std::vector<double>> CacheLookup(const CacheKey& key,
                                                          int64_t version);
   void CacheInsert(const CacheKey& key, int64_t version,
@@ -139,6 +215,15 @@ class Server {
   std::mutex cache_mu_;
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
   std::list<CacheKey> lru_;  // front = most recently used
+
+  // Observability stack (all nullptr when config_.obs is disabled).
+  std::unique_ptr<obs::SloMonitor> slo_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::Exporter> exporter_;
+  std::atomic<int64_t> flight_dumps_{0};
+
+  std::atomic<int> state_{0};  // State enum
+  std::atomic<int64_t> next_request_id_{0};
 
   // Always-on functional accounting (see ServerStats).
   std::atomic<int64_t> submitted_{0};

@@ -35,6 +35,10 @@ const char* ResponseCodeToString(ResponseCode code);
 
 struct Response {
   ResponseCode code = ResponseCode::kShutdown;
+  /// Monotonically increasing per-server request id, assigned at
+  /// Submit() for every request (shed ones included) so logs, traces
+  /// and flight-recorder records can be joined on it.
+  int64_t id = 0;
   /// Item (Task A) or participant-user (Task B) indices in TopKIndices
   /// order (score desc, index asc), plus their scores.
   std::vector<int64_t> top_k;
@@ -44,8 +48,15 @@ struct Response {
   int64_t version = 0;
   /// True when the score vector came from the per-version score cache.
   bool cache_hit = false;
-  // Lifecycle timestamps on the trace::NowMicros() clock.
+  // Lifecycle timestamps on the trace::NowMicros() clock; a stage the
+  // request never reached stays 0 (e.g. batch_close_us for a request
+  // shed at admission). Stage waits:
+  //   queue wait  = batch_close_us - enqueue_us
+  //   batch wait  = score_start_us - batch_close_us (backlog)
+  //   score       = done_us - score_start_us
   int64_t enqueue_us = 0;
+  int64_t batch_close_us = 0;
+  int64_t score_start_us = 0;
   int64_t done_us = 0;
 };
 

@@ -175,12 +175,21 @@ void BuildAdamPayload(const Adam& optimizer, std::string* out) {
   }
 }
 
-void BuildRngPayload(const Rng& rng, std::string* out) {
-  const RngState state = rng.state();
-  AppendPod(out, static_cast<uint64_t>(1));  // n_streams
+void AppendRngState(const RngState& state, std::string* out) {
   for (uint64_t word : state.s) AppendPod(out, word);
   AppendPod(out, static_cast<uint8_t>(state.has_cached_gaussian ? 1 : 0));
   AppendPod(out, state.cached_gaussian);
+}
+
+void BuildRngPayload(const Rng& rng, const std::vector<Rng>* extra_streams,
+                     std::string* out) {
+  const uint64_t n_extra =
+      extra_streams != nullptr ? extra_streams->size() : 0;
+  AppendPod(out, static_cast<uint64_t>(1) + n_extra);  // n_streams
+  AppendRngState(rng.state(), out);
+  for (uint64_t i = 0; i < n_extra; ++i) {
+    AppendRngState((*extra_streams)[i].state(), out);
+  }
 }
 
 void BuildTrainerPayload(const TrainerState& trainer, std::string* out) {
@@ -294,26 +303,42 @@ Status ParseAdamSection(const Section& section, const std::string& path,
   return Status::OK();
 }
 
+Status ReadRngState(Cursor* cursor, const std::string& path,
+                    RngState* staged) {
+  uint8_t has_cached = 0;
+  for (uint64_t& word : staged->s) {
+    if (!cursor->ReadPod(&word)) return Corrupt(path, "truncated RNG state");
+  }
+  if (!cursor->ReadPod(&has_cached) ||
+      !cursor->ReadPod(&staged->cached_gaussian)) {
+    return Corrupt(path, "truncated RNG state");
+  }
+  staged->has_cached_gaussian = has_cached != 0;
+  return Status::OK();
+}
+
+/// The first stream is the main Rng; `expected_extra` more follow (the
+/// trainer's persistent sampler streams). A count mismatch is an
+/// InvalidArgument, not corruption: the file is fine, the caller's
+/// configuration (e.g. TrainConfig::sampler_streams) disagrees with it.
 Status ParseRngSection(const Section& section, const std::string& path,
-                       RngState* staged) {
+                       size_t expected_extra, RngState* staged,
+                       std::vector<RngState>* staged_extra) {
   Cursor cursor(section.data, section.size);
   uint64_t n_streams = 0;
   if (!cursor.ReadPod(&n_streams)) {
     return Corrupt(path, "truncated RNG section");
   }
-  if (n_streams != 1) {
+  if (n_streams != 1 + expected_extra) {
     return Status::InvalidArgument(
-        StrCat("checkpoint has ", n_streams, " RNG streams, expected 1"));
+        StrCat("checkpoint has ", n_streams, " RNG streams, expected ",
+               1 + expected_extra));
   }
-  uint8_t has_cached = 0;
-  for (uint64_t& word : staged->s) {
-    if (!cursor.ReadPod(&word)) return Corrupt(path, "truncated RNG state");
+  MGBR_RETURN_NOT_OK(ReadRngState(&cursor, path, staged));
+  staged_extra->resize(expected_extra);
+  for (size_t i = 0; i < expected_extra; ++i) {
+    MGBR_RETURN_NOT_OK(ReadRngState(&cursor, path, &(*staged_extra)[i]));
   }
-  if (!cursor.ReadPod(&has_cached) ||
-      !cursor.ReadPod(&staged->cached_gaussian)) {
-    return Corrupt(path, "truncated RNG state");
-  }
-  staged->has_cached_gaussian = has_cached != 0;
   if (!cursor.at_end()) {
     return Corrupt(path, "trailing bytes in RNG section");
   }
@@ -436,7 +461,7 @@ Status SaveCheckpoint(const CheckpointWriteRequest& request,
   }
   if (request.rng != nullptr) {
     std::string payload;
-    BuildRngPayload(*request.rng, &payload);
+    BuildRngPayload(*request.rng, request.rng_streams, &payload);
     AppendSection(&body, kTagRng, payload);
     ++n_sections;
   }
@@ -578,13 +603,17 @@ Status LoadCheckpoint(const std::string& path,
   }
 
   RngState staged_rng;
+  std::vector<RngState> staged_rng_extra;
   if (request.rng != nullptr) {
     const Section* rng = FindSection(sections, kTagRng);
     if (rng == nullptr) {
       return Status::NotFound(
           StrCat("checkpoint ", path, " has no RNG section"));
     }
-    MGBR_RETURN_NOT_OK(ParseRngSection(*rng, path, &staged_rng));
+    const size_t expected_extra =
+        request.rng_streams != nullptr ? request.rng_streams->size() : 0;
+    MGBR_RETURN_NOT_OK(ParseRngSection(*rng, path, expected_extra,
+                                       &staged_rng, &staged_rng_extra));
   }
 
   TrainerState staged_trainer;
@@ -608,7 +637,14 @@ Status LoadCheckpoint(const std::string& path,
   for (size_t i = 0; i < request.params->size(); ++i) {
     (*request.params)[i].mutable_value() = std::move(staged_params[i]);
   }
-  if (request.rng != nullptr) request.rng->set_state(staged_rng);
+  if (request.rng != nullptr) {
+    request.rng->set_state(staged_rng);
+    if (request.rng_streams != nullptr) {
+      for (size_t i = 0; i < staged_rng_extra.size(); ++i) {
+        (*request.rng_streams)[i].set_state(staged_rng_extra[i]);
+      }
+    }
+  }
   if (request.trainer != nullptr) *request.trainer = staged_trainer;
   MGBR_COUNTER_ADD(LoadsCounter(), 1);
   return Status::OK();

@@ -54,6 +54,10 @@ struct CheckpointWriteRequest {
   const std::vector<Var>* params = nullptr;
   const Adam* optimizer = nullptr;
   const Rng* rng = nullptr;
+  /// Optional extra RNG streams (e.g. the trainer's persistent sampler
+  /// streams) appended after `rng` in the RNG1 section. Ignored when
+  /// `rng` is null.
+  const std::vector<Rng>* rng_streams = nullptr;
   const TrainerState* trainer = nullptr;
   /// Stored in the CFG1 section when non-zero (see
   /// Trainer::ConfigFingerprint / MgbrConfig::Fingerprint).
@@ -69,6 +73,11 @@ struct CheckpointReadRequest {
   std::vector<Var>* params = nullptr;
   Adam* optimizer = nullptr;
   Rng* rng = nullptr;
+  /// When non-null, the RNG1 section must carry exactly
+  /// 1 + rng_streams->size() streams; the extras are restored into
+  /// *rng_streams in order. When null, the file must carry exactly one
+  /// stream (the legacy layout). Ignored when `rng` is null.
+  std::vector<Rng>* rng_streams = nullptr;
   TrainerState* trainer = nullptr;
   /// When non-zero, the file's CFG1 fingerprint must equal it.
   uint64_t expected_fingerprint = 0;

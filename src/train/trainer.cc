@@ -71,6 +71,15 @@ Trainer::Trainer(RecModel* model, const TrainingSampler* sampler,
       rng_(config.seed) {
   MGBR_CHECK(model != nullptr);
   MGBR_CHECK(sampler != nullptr);
+  MGBR_CHECK_GE(config_.sampler_streams, 0);
+  // Stream s gets its own ForStream lane off the base seed (offset past
+  // the lanes the samplers themselves derive), so the set is stable for
+  // a given (seed, sampler_streams) regardless of thread count.
+  sampler_streams_.reserve(static_cast<size_t>(config_.sampler_streams));
+  for (int s = 0; s < config_.sampler_streams; ++s) {
+    sampler_streams_.push_back(
+        Rng::ForStream(config_.seed, 1000 + static_cast<uint64_t>(s)));
+  }
   optimizer_ = std::make_unique<Adam>(model_->Parameters(),
                                       config_.learning_rate, 0.9f, 0.999f,
                                       1e-8f, config_.weight_decay);
@@ -93,18 +102,21 @@ EpochStats Trainer::RunEpoch() {
   const float beta_a = mgbr_ != nullptr ? mgbr_->config().beta_a : 0.0f;
   const float beta_b = mgbr_ != nullptr ? mgbr_->config().beta_b : 0.0f;
 
+  std::vector<Rng>* streams =
+      sampler_streams_.empty() ? nullptr : &sampler_streams_;
   std::vector<TaskABatch> batches_a;
   std::vector<TaskBBatch> batches_b;
   std::vector<AuxBatch> batches_aux;
   {
     MGBR_TRACE_SPAN("trainer.sample_epoch", "trainer");
     batches_a = sampler_->EpochBatchesA(config_.batch_size,
-                                        config_.negs_per_pos, &rng_);
+                                        config_.negs_per_pos, &rng_, streams);
     batches_b = sampler_->EpochBatchesB(config_.batch_size,
-                                        config_.negs_per_pos, &rng_);
+                                        config_.negs_per_pos, &rng_, streams);
     if (use_aux) {
-      batches_aux = sampler_->EpochAuxBatches(
-          config_.aux_batch_size, mgbr_->config().aux_negatives, &rng_);
+      batches_aux = sampler_->EpochAuxBatches(config_.aux_batch_size,
+                                              mgbr_->config().aux_negatives,
+                                              &rng_, streams);
     }
   }
 
@@ -125,18 +137,19 @@ EpochStats Trainer::RunEpoch() {
     // instead of replaying stale ones.
     if (!batches_a.empty() && step > 0 && step % batches_a.size() == 0 &&
         batches_a.size() < steps) {
-      batches_a = sampler_->EpochBatchesA(config_.batch_size,
-                                          config_.negs_per_pos, &rng_);
+      batches_a = sampler_->EpochBatchesA(
+          config_.batch_size, config_.negs_per_pos, &rng_, streams);
     }
     if (!batches_b.empty() && step > 0 && step % batches_b.size() == 0 &&
         batches_b.size() < steps) {
-      batches_b = sampler_->EpochBatchesB(config_.batch_size,
-                                          config_.negs_per_pos, &rng_);
+      batches_b = sampler_->EpochBatchesB(
+          config_.batch_size, config_.negs_per_pos, &rng_, streams);
     }
     if (use_aux && !batches_aux.empty() && step > 0 &&
         step % batches_aux.size() == 0 && batches_aux.size() < steps) {
-      batches_aux = sampler_->EpochAuxBatches(
-          config_.aux_batch_size, mgbr_->config().aux_negatives, &rng_);
+      batches_aux = sampler_->EpochAuxBatches(config_.aux_batch_size,
+                                              mgbr_->config().aux_negatives,
+                                              &rng_, streams);
     }
 
     Var loss;
@@ -289,6 +302,7 @@ Result<int64_t> Trainer::TryResume() {
   request.params = &optimizer_->params_mutable();
   request.optimizer = optimizer_.get();
   request.rng = &rng_;
+  request.rng_streams = sampler_streams_.empty() ? nullptr : &sampler_streams_;
   request.trainer = &state_;
   request.expected_fingerprint = ConfigFingerprint();
   int64_t epoch = 0;
@@ -312,6 +326,7 @@ Status Trainer::MaybeCheckpoint(bool force) {
   request.params = &optimizer_->params();
   request.optimizer = optimizer_.get();
   request.rng = &rng_;
+  request.rng_streams = sampler_streams_.empty() ? nullptr : &sampler_streams_;
   request.trainer = &state_;
   request.fingerprint = ConfigFingerprint();
   return manager.Save(request, state_.epochs_run);

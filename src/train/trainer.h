@@ -41,6 +41,14 @@ struct TrainConfig {
   /// MgbrConfig instead).
   float beta = 1.0f;
   uint64_t seed = 7;
+  /// Persistent sampler RNG streams (0 = legacy single-stream mode).
+  /// When > 0, negative sampling draws its per-chunk seeds from this
+  /// many dedicated streams (round-robin) instead of the trainer's main
+  /// Rng, and every stream is checkpointed in the RNG1 section, so a
+  /// resumed run stays bit-identical at ANY thread count. The streams
+  /// are seeded from `seed`, so results depend only on (seed,
+  /// sampler_streams), never on MGBR_NUM_THREADS.
+  int sampler_streams = 0;
   bool verbose = false;
 
   /// Crash-safe checkpointing (docs/robustness.md). Empty dir disables
@@ -135,6 +143,9 @@ class Trainer {
   const TrainingSampler* sampler_;
   TrainConfig config_;
   Rng rng_;
+  /// Dedicated sampler streams (empty in legacy mode); passed to every
+  /// Epoch* sampler call and round-tripped through checkpoints.
+  std::vector<Rng> sampler_streams_;
   std::unique_ptr<Adam> optimizer_;
   RunTelemetry* telemetry_ = nullptr;
   TrainerState state_;

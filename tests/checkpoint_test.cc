@@ -250,6 +250,51 @@ TEST(CheckpointV2Test, FullRoundTripRestoresEverySection) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointV2Test, RngStreamsRoundTripAndCountIsEnforced) {
+  // RNG1 with 1 main + 2 sampler streams: every stream resumes its
+  // exact sequence, and a reader whose configuration expects a
+  // different stream count is rejected (InvalidArgument, not corrupt).
+  Rng main_rng(5);
+  main_rng.Next();
+  std::vector<Rng> streams{Rng::ForStream(7, 1000), Rng::ForStream(7, 1001)};
+  streams[0].Next();
+  streams[1].Gaussian();  // odd draw: cached spare must round-trip too
+  const uint64_t main_next = Rng(main_rng).Next();
+  const uint64_t s0_next = Rng(streams[0]).Next();
+  const double s1_next = Rng(streams[1]).Gaussian();
+
+  std::vector<Var> params = {Var(Tensor::Full(2, 2, 1.0f), true)};
+  const std::string path = UniqueTempDir("rngstreams") + ".mgbr";
+  CheckpointWriteRequest write;
+  write.params = &params;
+  write.rng = &main_rng;
+  write.rng_streams = &streams;
+  ASSERT_TRUE(SaveCheckpoint(write, path).ok());
+
+  std::vector<Var> restore = {Var(Tensor::Zeros(2, 2), true)};
+  Rng main_restored(999);
+  std::vector<Rng> streams_restored{Rng(1), Rng(2)};
+  CheckpointReadRequest read;
+  read.params = &restore;
+  read.rng = &main_restored;
+  read.rng_streams = &streams_restored;
+  ASSERT_TRUE(LoadCheckpoint(path, read).ok());
+  EXPECT_EQ(main_restored.Next(), main_next);
+  EXPECT_EQ(streams_restored[0].Next(), s0_next);
+  EXPECT_EQ(streams_restored[1].Gaussian(), s1_next);
+
+  // Wrong expected count: 1 stream requested, file has 3.
+  std::vector<Rng> wrong_count{Rng(1)};
+  read.rng_streams = &wrong_count;
+  EXPECT_EQ(LoadCheckpoint(path, read).code(),
+            StatusCode::kInvalidArgument);
+  // Legacy reader (no streams requested) also sees the mismatch.
+  read.rng_streams = nullptr;
+  EXPECT_EQ(LoadCheckpoint(path, read).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointV2Test, FingerprintMismatchIsRejected) {
   const std::string path = UniqueTempDir("fprint") + ".mgbr";
   std::vector<Var> params = {Var(Tensor::Full(3, 3, 1.5f), true)};
@@ -519,8 +564,11 @@ TEST(CheckpointManagerTest, EmptyDirectoryIsNotFound) {
 // ---------------------------------------------------------------------------
 
 /// Trains the reference model for 4 epochs in one uninterrupted run.
-std::vector<Tensor> TrainStraight(const std::string& dir) {
-  Harness h(SmallTrainConfig(dir));
+std::vector<Tensor> TrainStraight(const std::string& dir,
+                                  int sampler_streams = 0) {
+  TrainConfig config = SmallTrainConfig(dir);
+  config.sampler_streams = sampler_streams;
+  Harness h(config);
   h.trainer->Train(4);
   std::vector<Tensor> params;
   for (const Var& p : h.model->Parameters()) params.push_back(p.value());
@@ -531,9 +579,12 @@ std::vector<Tensor> TrainStraight(const std::string& dir) {
 /// newest checkpoint after every single epoch: a fresh Harness is built
 /// each leg (as a restarted process would), resumed, run for one epoch
 /// via the stop flag, and torn down.
-std::vector<Tensor> TrainWithRestarts(const std::string& dir) {
+std::vector<Tensor> TrainWithRestarts(const std::string& dir,
+                                      int sampler_streams = 0) {
+  TrainConfig config = SmallTrainConfig(dir);
+  config.sampler_streams = sampler_streams;
   for (int leg = 0; leg < 4; ++leg) {
-    Harness h(SmallTrainConfig(dir));
+    Harness h(config);
     if (leg > 0) {
       Result<int64_t> resumed = h.trainer->TryResume();
       EXPECT_TRUE(resumed.ok()) << resumed.status().ToString();
@@ -544,7 +595,7 @@ std::vector<Tensor> TrainWithRestarts(const std::string& dir) {
     ClearStopRequest();
     EXPECT_EQ(h.trainer->state().epochs_run, leg + 1);
   }
-  Harness final(SmallTrainConfig(dir));
+  Harness final(config);
   Result<int64_t> resumed = final.trainer->TryResume();
   EXPECT_TRUE(resumed.ok());
   EXPECT_EQ(resumed.value(), 4);
@@ -594,6 +645,44 @@ TEST(CheckpointResumeTest, ResumeIsBitIdenticalAcrossSimdArenaThreads) {
               ReadAll(base_dir + "_ref/ckpt-000004.mgbr"))
         << v.label;
   }
+}
+
+TEST(CheckpointResumeTest, SamplerStreamsResumeBitIdenticallyAcrossThreads) {
+  // With persistent sampler streams the restart contract strengthens to
+  // "bit-identical at ANY thread count": the streams (not the thread
+  // layout) carry every sampling decision, and the RNG1 section
+  // round-trips all of them.
+  const std::string base_dir = UniqueTempDir("resume_streams");
+  std::vector<Tensor> reference;
+  {
+    ScopedNumThreads threads(1);
+    reference = TrainStraight(base_dir + "_ref", /*sampler_streams=*/3);
+  }
+  ASSERT_FALSE(reference.empty());
+  for (const int n_threads : {1, 4}) {
+    ScopedNumThreads threads(n_threads);
+    const std::string dir = base_dir + "_t" + std::to_string(n_threads);
+    const std::vector<Tensor> resumed =
+        TrainWithRestarts(dir, /*sampler_streams=*/3);
+    ASSERT_EQ(resumed.size(), reference.size()) << n_threads << " threads";
+    for (size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_TRUE(BitEqualT(reference[i], resumed[i]))
+          << "parameter " << i << " diverged at " << n_threads << " threads";
+    }
+    EXPECT_EQ(ReadAll(dir + "/ckpt-000004.mgbr"),
+              ReadAll(base_dir + "_ref/ckpt-000004.mgbr"))
+        << n_threads << " threads";
+  }
+  // A resume that asks for a different stream count than the file holds
+  // rejects the file (InvalidArgument inside RestoreLatest's walk) and
+  // falls back to a fresh start rather than silently mis-seeding the
+  // sampler with a truncated stream set.
+  TrainConfig mismatched = SmallTrainConfig(base_dir + "_ref");
+  mismatched.sampler_streams = 2;
+  Harness h(mismatched);
+  Result<int64_t> resumed = h.trainer->TryResume();
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed.value(), 0);  // nothing loadable for this config
 }
 
 // ---------------------------------------------------------------------------

@@ -240,9 +240,12 @@ TEST_F(ObservabilityTest, HistogramBucketsTotalsAndQuantiles) {
   EXPECT_EQ(buckets[3], 0);
   EXPECT_EQ(buckets[4], 1);
 
-  // Quantile = upper bound of the containing bucket.
-  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  // Quantile interpolates linearly within the containing bucket.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  // target = 2 observations: all of bucket [0,1] plus all of (1,4].
   EXPECT_DOUBLE_EQ(h.Quantile(0.5), 4.0);
+  // target = 1.5: halfway through the (1,4] bucket.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.375), 2.5);
   // The top quantile lands in the unbounded overflow bucket; the last
   // finite bound is reported.
   EXPECT_DOUBLE_EQ(h.Quantile(1.0), 64.0);
@@ -250,6 +253,35 @@ TEST_F(ObservabilityTest, HistogramBucketsTotalsAndQuantiles) {
   h.Reset();
   EXPECT_EQ(h.Count(), 0);
   EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST_F(ObservabilityTest, HistogramQuantileInterpolatesKnownDistributions) {
+  // Uniform: 100 observations spread evenly over (0, 100] with bounds
+  // 100, 200, 400 land in the first bucket; interpolation recovers the
+  // true percentiles to bucket-width resolution.
+  Histogram uniform("test.hist.uniform", 100.0, 2.0, 3);
+  for (int i = 1; i <= 100; ++i) uniform.Observe(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(uniform.Quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(uniform.Quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(uniform.Quantile(0.99), 99.0);
+
+  // Point mass: every observation in one bucket; quantiles stay inside
+  // that bucket's bounds instead of jumping to the upper edge.
+  Histogram point("test.hist.point", 1.0, 10.0, 3);  // bounds 1, 10, 100
+  for (int i = 0; i < 8; ++i) point.Observe(5.0);    // all in (1, 10]
+  const double p50 = point.Quantile(0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LT(p50, 10.0);
+  EXPECT_DOUBLE_EQ(p50, 1.0 + 0.5 * 9.0);  // halfway through (1, 10]
+
+  // Bimodal: half at the bottom, half at the top; the median sits at
+  // the seam between the two occupied buckets.
+  Histogram bimodal("test.hist.bimodal", 1.0, 10.0, 3);
+  for (int i = 0; i < 10; ++i) bimodal.Observe(0.5);   // bucket [0, 1]
+  for (int i = 0; i < 10; ++i) bimodal.Observe(50.0);  // bucket (10, 100]
+  EXPECT_DOUBLE_EQ(bimodal.Quantile(0.5), 1.0);
+  // p75 = 5 observations into the (10, 100] bucket of 10 -> halfway.
+  EXPECT_DOUBLE_EQ(bimodal.Quantile(0.75), 10.0 + 0.5 * 90.0);
 }
 
 TEST_F(ObservabilityTest, HistogramIsExactUnderConcurrentObserves) {

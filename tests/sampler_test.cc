@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "data/sampler.h"
 #include "tests/test_util.h"
 
@@ -160,6 +161,74 @@ TEST_F(SamplerTest, MaxInstancesCapRespected) {
   EXPECT_EQ(a.size(), 5u);
   auto b = BuildEvalInstancesB(dataset_, index_, 3, &rng, 7);
   EXPECT_EQ(b.size(), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Persistent sampler streams (TrainConfig::sampler_streams).
+// ---------------------------------------------------------------------------
+
+std::vector<Rng> MakeStreams(int n, uint64_t seed = 7) {
+  std::vector<Rng> streams;
+  for (int s = 0; s < n; ++s) {
+    streams.push_back(Rng::ForStream(seed, 1000 + static_cast<uint64_t>(s)));
+  }
+  return streams;
+}
+
+TEST_F(SamplerTest, StreamsBitIdenticalAcrossThreadCounts) {
+  // The per-chunk seed pre-draw is serial and the chunk decomposition
+  // is fixed, so the same (main rng, streams) state must produce the
+  // same epoch at every thread count.
+  std::vector<TaskABatch> ref_a;
+  std::vector<TaskBBatch> ref_b;
+  std::vector<AuxBatch> ref_x;
+  for (const int n_threads : {1, 2, 5}) {
+    ScopedNumThreads scoped(n_threads);
+    Rng rng(42);
+    std::vector<Rng> streams = MakeStreams(3);
+    auto a = sampler_.EpochBatchesA(16, 2, &rng, &streams);
+    auto b = sampler_.EpochBatchesB(16, 2, &rng, &streams);
+    auto x = sampler_.EpochAuxBatches(8, 3, &rng, &streams);
+    if (n_threads == 1) {
+      ref_a = std::move(a);
+      ref_b = std::move(b);
+      ref_x = std::move(x);
+      continue;
+    }
+    ASSERT_EQ(a.size(), ref_a.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].users, ref_a[i].users) << n_threads << " threads";
+      EXPECT_EQ(a[i].neg_items, ref_a[i].neg_items)
+          << n_threads << " threads";
+    }
+    ASSERT_EQ(b.size(), ref_b.size());
+    for (size_t i = 0; i < b.size(); ++i) {
+      EXPECT_EQ(b[i].neg_parts, ref_b[i].neg_parts)
+          << n_threads << " threads";
+    }
+    ASSERT_EQ(x.size(), ref_x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      EXPECT_EQ(x[i].items, ref_x[i].items) << n_threads << " threads";
+      EXPECT_EQ(x[i].parts, ref_x[i].parts) << n_threads << " threads";
+    }
+  }
+}
+
+TEST_F(SamplerTest, StreamsDecoupleSamplingFromMainRng) {
+  // With streams, the main Rng is used only for the shuffle: two epochs
+  // from identical main-Rng state but ADVANCED streams keep the same
+  // positive order yet draw fresh negatives (the streams carry the
+  // sampling state, as the RNG1 checkpoint section requires).
+  std::vector<Rng> streams = MakeStreams(2);
+  Rng rng_first(11);
+  auto first = sampler_.EpochBatchesA(1000, 1, &rng_first, &streams);
+  Rng rng_second(11);
+  auto second = sampler_.EpochBatchesA(1000, 1, &rng_second, &streams);
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(first[0].users, second[0].users);
+  EXPECT_EQ(first[0].pos_items, second[0].pos_items);
+  EXPECT_NE(first[0].neg_items, second[0].neg_items);
 }
 
 TEST_F(SamplerTest, EpochsDifferAcrossRngState) {

@@ -7,10 +7,18 @@
 // to exactly one version. ServeServerTest / ModelPoolTest /
 // ServeSwapTest run under TSan in CI.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -100,6 +108,12 @@ class ServeTestBase : public ::testing::Test {
 class ModelPoolTest : public ServeTestBase {};
 class ServeServerTest : public ServeTestBase {};
 class ServeSwapTest : public ServeTestBase {};
+// Observability wiring (exporter / healthz / flight recorder). Kept in
+// its own fixture: these tests drive SloMonitor::Evaluate directly
+// after stopping the ticker, which the TSan job's suite regex need not
+// cover (the lock-free recording paths are TSan-covered through
+// ServeServerTest traffic).
+class ServeObsTest : public ServeTestBase {};
 
 TEST_F(ModelPoolTest, InstallAssignsMonotonicIdsAndPinsSnapshots) {
   ModelPool pool(Factory(3));
@@ -573,6 +587,229 @@ TEST_F(ServeSwapTest, HotSwapMidTrafficEveryResponseBitwiseAttributable) {
   saw_v3 = saw_v3 || resp.version == 3;
   EXPECT_TRUE(saw_v3);
   EXPECT_EQ(pool.swap_count(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Serving observability: request ids + stage timestamps, /healthz
+// lifecycle, exporter wiring, and the shed-triggered flight dump.
+// ---------------------------------------------------------------------------
+
+/// Blocking one-shot HTTP GET against 127.0.0.1:`port`.
+std::string HttpGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(ServeObsTest, ResponsesCarryIdsAndStageTimestamps) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+  ServerConfig config;
+  config.batch_timeout_us = 500;
+  config.n_workers = 1;
+  Server server(&pool, config);
+
+  // The monotonic clock starts at 0 on first use; spin past it so every
+  // reached stage gets a strictly positive timestamp.
+  while (trace::NowMicros() <= 1) {
+  }
+
+  Request r;
+  r.task = TaskKind::kTopKItems;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 6; ++i) {
+    r.user = i % graphs_.n_users;
+    futures.push_back(server.Submit(r));
+  }
+  std::vector<int64_t> ids;
+  for (auto& f : futures) {
+    const Response resp = f.get();
+    ASSERT_EQ(resp.code, ResponseCode::kOk);
+    ids.push_back(resp.id);
+    // Every lifecycle stage was reached, in order.
+    EXPECT_GT(resp.enqueue_us, 0);
+    EXPECT_GE(resp.batch_close_us, resp.enqueue_us);
+    EXPECT_GE(resp.score_start_us, resp.batch_close_us);
+    EXPECT_GE(resp.done_us, resp.score_start_us);
+  }
+  // Ids are assigned at Submit in order: 1..6, all distinct.
+  std::sort(ids.begin(), ids.end());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], static_cast<int64_t>(i + 1));
+  }
+
+  // A request shed at admission still gets an id, but no stage
+  // timestamps past submission.
+  while (trace::NowMicros() <= 1) {
+  }
+  Request expired;
+  expired.task = TaskKind::kTopKItems;
+  expired.user = 0;
+  expired.deadline_us = trace::NowMicros() - 1;
+  const Response shed = server.Submit(expired).get();
+  EXPECT_EQ(shed.code, ResponseCode::kShedDeadline);
+  EXPECT_EQ(shed.id, 7);
+  EXPECT_EQ(shed.batch_close_us, 0);
+  EXPECT_EQ(shed.score_start_us, 0);
+}
+
+TEST_F(ServeObsTest, HealthzTracksDrainAndHotSwap) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "a");
+  ServerConfig config;
+  config.batch_timeout_us = 1000;
+  Server server(&pool, config);
+
+  EXPECT_EQ(server.state(), Server::State::kRunning);
+  EXPECT_NE(server.HealthzJson().find("\"status\":\"running\""),
+            std::string::npos);
+  EXPECT_NE(server.HealthzJson().find("\"model_version\":1"),
+            std::string::npos);
+
+  // A hot swap shows up immediately.
+  pool.Install(MakeModel(2), "b");
+  EXPECT_NE(server.HealthzJson().find("\"model_version\":2"),
+            std::string::npos);
+  EXPECT_NE(server.HealthzJson().find("\"swap_count\":2"),
+            std::string::npos);
+
+  // Drive traffic and stop concurrently; every /healthz observation
+  // along the way must be a valid forward transition
+  // running -> draining -> stopped.
+  Request r;
+  r.task = TaskKind::kTopKItems;
+  r.user = 1;
+  for (int i = 0; i < 8; ++i) server.Submit(r);
+  std::thread stopper([&] { server.Stop(); });
+  int last_rank = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::string healthz = server.HealthzJson();
+    int rank = -1;
+    if (healthz.find("\"status\":\"running\"") != std::string::npos) rank = 0;
+    if (healthz.find("\"status\":\"draining\"") != std::string::npos) rank = 1;
+    if (healthz.find("\"status\":\"stopped\"") != std::string::npos) rank = 2;
+    ASSERT_GE(rank, 0) << healthz;
+    EXPECT_GE(rank, last_rank) << "state went backwards: " << healthz;
+    last_rank = rank;
+    if (rank == 2) break;
+  }
+  stopper.join();
+  EXPECT_EQ(last_rank, 2);
+  EXPECT_EQ(server.state(), Server::State::kStopped);
+  // /varz keeps reporting after the drain (post-drain scrape contract).
+  EXPECT_NE(server.VarzJson(false).find("\"state\":\"stopped\""),
+            std::string::npos);
+}
+
+TEST_F(ServeObsTest, ExporterServesScrapesWhileServing) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+  ServerConfig config;
+  config.batch_timeout_us = 500;
+  config.obs.metrics_port = 0;  // ephemeral
+  config.obs.flight_capacity = 16;
+  Server server(&pool, config);
+  ASSERT_GT(server.metrics_port(), 0);
+
+  Request r;
+  r.task = TaskKind::kTopKItems;
+  r.user = 2;
+  EXPECT_EQ(server.Submit(r).get().code, ResponseCode::kOk);
+
+  const std::string healthz = HttpGet(server.metrics_port(), "/healthz");
+  EXPECT_NE(healthz.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(healthz.find("\"status\":\"running\""), std::string::npos);
+  const std::string metrics = HttpGet(server.metrics_port(), "/metrics");
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  const std::string varz =
+      HttpGet(server.metrics_port(), "/varz?flight=1");
+  EXPECT_NE(varz.find("\"server\":"), std::string::npos);
+  EXPECT_NE(varz.find("\"flight\":"), std::string::npos);
+  EXPECT_NE(varz.find("\"id\":1"), std::string::npos);  // the request above
+
+  // The exporter outlives Stop(): post-drain totals stay scrapeable.
+  server.Stop();
+  const std::string after = HttpGet(server.metrics_port(), "/healthz");
+  EXPECT_NE(after.find("\"status\":\"stopped\""), std::string::npos);
+}
+
+TEST_F(ServeObsTest, ShedBurstTriggersFlightDump) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+
+  const std::string dump_path = UniqueTempDir("flight") + ".json";
+  ServerConfig config;
+  config.queue_capacity = 2;
+  config.max_batch = 64;
+  config.batch_timeout_us = 200 * 1000;  // hold the batch open
+  config.n_workers = 1;
+  config.obs.flight_capacity = 64;
+  config.obs.flight_dump_path = dump_path;
+  config.obs.flight_dump_shed_threshold = 0.05;
+  Server server(&pool, config);
+
+  Request r;
+  r.task = TaskKind::kTopKItems;
+  r.user = 1;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 12; ++i) futures.push_back(server.Submit(r));
+  int64_t shed = 0;
+  for (auto& f : futures) {
+    if (f.get().code == ResponseCode::kShedQueueFull) ++shed;
+  }
+  ASSERT_GE(shed, 8);  // a real burst, way past the 5% threshold
+
+  // Make the evaluation deterministic: stop the 1 Hz ticker, then
+  // evaluate the window that just absorbed the burst.
+  ASSERT_NE(server.slo_monitor(), nullptr);
+  server.slo_monitor()->Stop();
+  server.slo_monitor()->Evaluate(trace::NowMicros());
+  EXPECT_EQ(server.flight_dumps(), 1);
+
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string dump = content.str();
+  // Shed and completed requests both land in the black box, with the
+  // outcome named and the stage waits attributed.
+  EXPECT_NE(dump.find("\"outcome\":\"ShedQueueFull\""), std::string::npos);
+  EXPECT_NE(dump.find("\"outcome\":\"Ok\""), std::string::npos);
+  EXPECT_NE(dump.find("\"queue_wait_us\":"), std::string::npos);
+  EXPECT_NE(dump.find("\"batch_wait_us\":"), std::string::npos);
+  EXPECT_NE(dump.find("\"score_us\":"), std::string::npos);
+  std::remove(dump_path.c_str());
+
+  // Still breaching on the next evaluation: edge-triggered, no re-dump.
+  server.slo_monitor()->Evaluate(trace::NowMicros());
+  EXPECT_EQ(server.flight_dumps(), 1);
 }
 
 }  // namespace
