@@ -51,6 +51,15 @@ struct LoadgenOptions {
   double duration_s = 10.0;
   int64_t deadline_ms = 50;  // 0 = no deadline
   std::string task = "a";    // a | b | mix
+  /// "mgbr" (default) or "gbgcn". The two-stage retrieval path needs a
+  /// dot-product scoring head, which MGBR's MLP head is not — with
+  /// --retrieval=1 and the default model the server silently serves
+  /// brute force (stats.two_stage stays 0); gbgcn exercises the ANN
+  /// candidate path end to end through the batching router.
+  std::string model = "mgbr";
+  /// Enables ServerConfig.retrieval (ANN candidates + exact re-rank)
+  /// for Task A requests. Off by default, like the server's own.
+  bool retrieval = false;
   int64_t k = 10;
   int64_t cache = -1;  // -1 = auto-size to the working set
   int64_t workers = 2;
@@ -154,16 +163,18 @@ int Run(const LoadgenOptions& opt) {
   ExperimentHarness harness(HarnessConfig::FromEnv());
   MGBR_LOG_INFO("loadgen dataset: ", harness.DataSummary());
 
-  ModelPool pool([&harness] {
+  const auto make_model = [&harness, &opt]() -> std::unique_ptr<RecModel> {
+    if (opt.model == "gbgcn") {
+      auto m = harness.MakeBaseline("GBGCN", 8);
+      m->Refresh();
+      return m;
+    }
     auto m = harness.MakeMgbr(harness.MgbrBenchConfig(), 7);
     m->Refresh();
     return std::unique_ptr<RecModel>(std::move(m));
-  });
-  {
-    auto m = harness.MakeMgbr(harness.MgbrBenchConfig(), 7);
-    m->Refresh();
-    pool.Install(std::move(m), "loadgen-seed");
-  }
+  };
+  ModelPool pool(make_model);
+  pool.Install(make_model(), "loadgen-seed");
 
   const KeySchedule schedule(opt.task, harness.n_users(), harness.n_items(),
                              opt.b_pairs);
@@ -177,6 +188,7 @@ int Run(const LoadgenOptions& opt) {
   config.cache_capacity =
       opt.cache >= 0 ? opt.cache
                      : static_cast<int64_t>(working_set.size()) * 2;
+  config.retrieval.enabled = opt.retrieval;
   config.obs.metrics_port = static_cast<int>(opt.metrics_port);
   config.obs.flight_capacity = opt.flight_capacity;
   config.obs.flight_dump_path = opt.flight_dump_out;
@@ -279,11 +291,11 @@ int Run(const LoadgenOptions& opt) {
       "(queue=%" PRId64 " deadline=%" PRId64 " other=%" PRId64 ")\n"
       "  latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f\n"
       "  batches=%" PRId64 " unique_scored=%" PRId64 " coalesced=%" PRId64
-      " cache_hits=%" PRId64 "\n",
+      " cache_hits=%" PRId64 " two_stage=%" PRId64 "\n",
       opt.qps, window_s, opt.task.c_str(), ok, futures.size(), qps,
       shed_fraction * 100.0, shed_queue, shed_deadline, other, p50, p90, p99,
       lat_max, stats.batches, stats.unique_scored, stats.coalesced,
-      stats.cache_hits);
+      stats.cache_hits, stats.two_stage);
 
   if (!opt.json_out.empty()) {
     std::string out;
@@ -293,6 +305,8 @@ int Run(const LoadgenOptions& opt) {
     out += ",\"duration_s\":" + Num(opt.duration_s);
     out += ",\"deadline_ms\":" + std::to_string(opt.deadline_ms);
     out += ",\"task\":\"" + opt.task + "\"";
+    out += ",\"model\":\"" + opt.model + "\"";
+    out += ",\"retrieval\":" + std::string(opt.retrieval ? "true" : "false");
     out += ",\"k\":" + std::to_string(opt.k);
     out += ",\"cache_capacity\":" + std::to_string(config.cache_capacity);
     out += ",\"n_workers\":" + std::to_string(config.n_workers);
@@ -334,6 +348,7 @@ int Run(const LoadgenOptions& opt) {
     out += ",\"unique_scored\":" + std::to_string(stats.unique_scored);
     out += ",\"coalesced\":" + std::to_string(stats.coalesced);
     out += ",\"cache_hits\":" + std::to_string(stats.cache_hits);
+    out += ",\"two_stage\":" + std::to_string(stats.two_stage);
     out += "}}\n";
     std::FILE* f = std::fopen(opt.json_out.c_str(), "w");
     if (f == nullptr ||
@@ -377,6 +392,10 @@ int main(int argc, char** argv) {
       opt.deadline_ms = std::stoll(v);
     } else if (mgbr::bench::ParseFlag(arg, "task", &v)) {
       opt.task = v;
+    } else if (mgbr::bench::ParseFlag(arg, "model", &v)) {
+      opt.model = v;
+    } else if (mgbr::bench::ParseFlag(arg, "retrieval", &v)) {
+      opt.retrieval = v != "0";
     } else if (mgbr::bench::ParseFlag(arg, "k", &v)) {
       opt.k = std::stoll(v);
     } else if (mgbr::bench::ParseFlag(arg, "cache", &v)) {
@@ -413,6 +432,10 @@ int main(int argc, char** argv) {
   }
   if (opt.task != "a" && opt.task != "b" && opt.task != "mix") {
     std::fprintf(stderr, "--task must be a, b or mix\n");
+    return 2;
+  }
+  if (opt.model != "mgbr" && opt.model != "gbgcn") {
+    std::fprintf(stderr, "--model must be mgbr or gbgcn\n");
     return 2;
   }
 

@@ -1,0 +1,322 @@
+// Recall/speedup harness for the two-stage retrieval path (the CI
+// retrieval-gate workload): builds the dot-product baselines on a
+// retrieval-scale catalogue, measures per-query recall@k of the
+// ANN + exact-re-rank pipeline against the brute-force reference
+// TopKIndices(ScoreAAll), and times both paths over the same query
+// set. Emits a "mgbr-retrieval-v1" JSON report (--json-out) that
+// scripts/check_bench_gate.py --retrieval checks against the floors in
+// BENCH_baseline.json, plus a human summary on stdout.
+//
+// This bench does NOT use ExperimentHarness: the metrics harness's
+// calibrated generator costs O(n_groups * n_items) per group draw and
+// its >=5-interaction filter compacts the catalogue to the few hundred
+// warm items — useless for measuring sublinear search. Instead the
+// deal log is drawn uniformly (O(n_groups)) so every item survives
+// into the graph, at a catalogue size where an index can earn its
+// keep (docs/retrieval.md). MGBR_BENCH_FAST=1 shrinks it for smoke
+// runs. The models are random-initialised + Refresh()ed, not trained:
+// recall and latency depend only on the embedding geometry, and an
+// untrained propagated table is the harder, less-clustered case for
+// the index.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "models/gbgcn.h"
+#include "models/graph_inputs.h"
+#include "models/lightgcn.h"
+#include "models/rec_model.h"
+#include "retrieval/two_stage.h"
+#include "tensor/variable.h"
+
+namespace mgbr::bench {
+namespace {
+
+using retrieval::ItemRetriever;
+using retrieval::RetrievalResult;
+using retrieval::TwoStageConfig;
+using retrieval::TwoStageTopK;
+
+struct RetrievalOptions {
+  int64_t items = 0;    // 0 = auto: 20000 (4000 under MGBR_BENCH_FAST)
+  int64_t k = 10;       // top-K cutoff for both recall and timing
+  int64_t queries = 0;  // distinct users measured; 0 = min(200, n_users)
+  int64_t reps = 3;     // timing passes; min total is reported
+  int64_t nprobe = 0;     // 0 = TwoStageConfig default
+  int64_t overfetch = 0;  // 0 = TwoStageConfig default
+  std::string json_out;
+};
+
+struct CaseResult {
+  std::string name;
+  double recall = 0.0;
+  double brute_ns = 0.0;      // per query
+  double two_stage_ns = 0.0;  // per query
+  double speedup = 0.0;
+  double build_ms = 0.0;
+  int64_t nlist = 0;
+  int64_t nprobe = 0;
+  int64_t overfetch = 0;
+};
+
+/// Uniform deal log at retrieval scale: every item is drawn with equal
+/// probability, so (unlike the calibrated Zipf generator) the whole
+/// catalogue carries interactions and none of it is filtered away.
+GroupBuyingDataset RetrievalScaleDataset(int64_t n_users, int64_t n_items,
+                                         int64_t n_groups, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DealGroup> groups;
+  groups.reserve(static_cast<size_t>(n_groups));
+  for (int64_t g = 0; g < n_groups; ++g) {
+    DealGroup group;
+    group.initiator = static_cast<int64_t>(rng.UniformInt(n_users));
+    group.item = static_cast<int64_t>(rng.UniformInt(n_items));
+    const int n_parts = static_cast<int>(rng.UniformInt(4));
+    for (int p = 0; p < n_parts; ++p) {
+      const int64_t cand = static_cast<int64_t>(rng.UniformInt(n_users));
+      if (cand != group.initiator) group.participants.push_back(cand);
+    }
+    groups.push_back(std::move(group));
+  }
+  return GroupBuyingDataset(n_users, n_items, std::move(groups));
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+/// Brute-force reference, identical to the serving brute path: exact
+/// ScoreAAll column under NoGradScope, deterministic TopKIndices cut.
+std::vector<int64_t> BruteTopK(RecModel* model, int64_t u, int64_t k) {
+  NoGradScope no_grad;
+  const Var column = model->ScoreAAll(u);
+  std::vector<double> scores(static_cast<size_t>(column.rows()));
+  for (int64_t r = 0; r < column.rows(); ++r) {
+    scores[static_cast<size_t>(r)] = column.value().at(r, 0);
+  }
+  return TopKIndices(scores, k);
+}
+
+CaseResult RunCase(const std::string& name, RecModel* model,
+                   const RetrievalOptions& opt, int64_t n_queries) {
+  CaseResult result;
+  result.name = name;
+
+  TwoStageConfig config;
+  config.enabled = true;
+  if (opt.nprobe > 0) config.nprobe = opt.nprobe;
+  if (opt.overfetch > 0) config.overfetch = opt.overfetch;
+
+  const int64_t build_t0 = trace::NowMicros();
+  const std::shared_ptr<const ItemRetriever> retriever =
+      ItemRetriever::BuildFor(*model, config);
+  MGBR_CHECK_MSG(retriever != nullptr, name,
+                 " exposes no retrieval view; case list is wrong");
+  result.build_ms =
+      static_cast<double>(trace::NowMicros() - build_t0) * 1e-3;
+  result.nlist = retriever->index().nlist();
+  result.nprobe = std::min(retriever->config().nprobe, result.nlist);
+  result.overfetch = retriever->config().overfetch;
+
+  // Recall@k of the two-stage ids against the brute reference. Both
+  // sides share the (score desc, id asc) order, so positional overlap
+  // is the honest metric and exact ties cannot depress it.
+  double recall_sum = 0.0;
+  for (int64_t u = 0; u < n_queries; ++u) {
+    const std::vector<int64_t> want = BruteTopK(model, u, opt.k);
+    const RetrievalResult got = TwoStageTopK(model, *retriever, u, opt.k);
+    int64_t hit = 0;
+    for (const int64_t id : got.top_k) {
+      hit += std::find(want.begin(), want.end(), id) != want.end() ? 1 : 0;
+    }
+    recall_sum += want.empty()
+                      ? 1.0
+                      : static_cast<double>(hit) /
+                            static_cast<double>(want.size());
+  }
+  result.recall = recall_sum / static_cast<double>(n_queries);
+
+  // Timed passes over the same query set; min-of-reps rejects
+  // scheduler noise. The recall loop above doubles as the warm-up.
+  int64_t brute_best = 0, two_stage_best = 0;
+  for (int64_t rep = 0; rep < opt.reps; ++rep) {
+    int64_t t0 = trace::NowMicros();
+    for (int64_t u = 0; u < n_queries; ++u) {
+      BruteTopK(model, u, opt.k);
+    }
+    const int64_t brute_us = trace::NowMicros() - t0;
+    t0 = trace::NowMicros();
+    for (int64_t u = 0; u < n_queries; ++u) {
+      TwoStageTopK(model, *retriever, u, opt.k);
+    }
+    const int64_t two_stage_us = trace::NowMicros() - t0;
+    if (rep == 0 || brute_us < brute_best) brute_best = brute_us;
+    if (rep == 0 || two_stage_us < two_stage_best) {
+      two_stage_best = two_stage_us;
+    }
+  }
+  result.brute_ns =
+      static_cast<double>(brute_best) * 1e3 / static_cast<double>(n_queries);
+  result.two_stage_ns = static_cast<double>(two_stage_best) * 1e3 /
+                        static_cast<double>(n_queries);
+  result.speedup =
+      result.two_stage_ns > 0.0 ? result.brute_ns / result.two_stage_ns : 0.0;
+  return result;
+}
+
+int Run(const RetrievalOptions& opt) {
+  const char* fast_env = std::getenv("MGBR_BENCH_FAST");
+  const bool fast =
+      fast_env != nullptr && fast_env[0] != '\0' && fast_env[0] != '0';
+  const int64_t n_items = opt.items > 0 ? opt.items : (fast ? 4000 : 20000);
+  const int64_t n_users = fast ? 300 : 500;
+  const int64_t dim = 16;  // the table-3 baseline operating point
+  const GroupBuyingDataset data =
+      RetrievalScaleDataset(n_users, n_items, /*n_groups=*/4 * n_items, 97);
+  const GraphInputs graphs = BuildGraphInputs(data);
+  MGBR_LOG_INFO("retrieval dataset: ", data.StatsString());
+
+  const int64_t n_queries =
+      opt.queries > 0 ? std::min(opt.queries, n_users)
+                      : std::min<int64_t>(200, n_users);
+
+  std::vector<CaseResult> cases;
+  for (const char* name : {"GBGCN", "LightGCN"}) {
+    Rng rng(8);
+    std::unique_ptr<RecModel> model;
+    if (std::string(name) == "GBGCN") {
+      model = std::make_unique<Gbgcn>(graphs, dim, /*n_layers=*/2, &rng);
+    } else {
+      model = std::make_unique<LightGcn>(graphs, dim, /*n_layers=*/2, &rng);
+    }
+    model->Refresh();
+    cases.push_back(RunCase(name, model.get(), opt, n_queries));
+    const CaseResult& c = cases.back();
+    std::printf(
+        "%-9s recall@%" PRId64 "=%.4f  brute=%.0fns  two_stage=%.0fns  "
+        "speedup=%.2fx  (nlist=%" PRId64 " nprobe=%" PRId64 " overfetch=%"
+        PRId64 " build=%.1fms)\n",
+        c.name.c_str(), opt.k, c.recall, c.brute_ns, c.two_stage_ns,
+        c.speedup, c.nlist, c.nprobe, c.overfetch, c.build_ms);
+  }
+
+  double log_sum = 0.0;
+  double min_recall = 1.0;
+  for (const CaseResult& c : cases) {
+    log_sum += std::log(c.speedup);
+    min_recall = std::min(min_recall, c.recall);
+  }
+  const double geomean =
+      std::exp(log_sum / static_cast<double>(cases.size()));
+  std::printf("geomean speedup %.2fx, min recall@%" PRId64 " %.4f over %zu "
+              "cases\n",
+              geomean, opt.k, min_recall, cases.size());
+
+  if (!opt.json_out.empty()) {
+    std::string out;
+    out += "{\"schema\":\"mgbr-retrieval-v1\",";
+    out += "\"config\":{";
+    out += "\"n_items\":" + std::to_string(n_items);
+    out += ",\"n_users\":" + std::to_string(n_users);
+    out += ",\"dim\":" + std::to_string(dim);
+    out += ",\"k\":" + std::to_string(opt.k);
+    out += ",\"queries\":" + std::to_string(n_queries);
+    out += ",\"reps\":" + std::to_string(opt.reps);
+    out += ",\"fast\":" + std::string(fast ? "true" : "false");
+    out += "},\"results\":{\"cases\":[";
+    for (size_t i = 0; i < cases.size(); ++i) {
+      const CaseResult& c = cases[i];
+      if (i > 0) out += ",";
+      out += "{\"name\":\"" + c.name + "\"";
+      out += ",\"recall_at_k\":" + Num(c.recall);
+      out += ",\"brute_ns\":" + Num(c.brute_ns);
+      out += ",\"two_stage_ns\":" + Num(c.two_stage_ns);
+      out += ",\"speedup\":" + Num(c.speedup);
+      out += ",\"build_ms\":" + Num(c.build_ms);
+      out += ",\"nlist\":" + std::to_string(c.nlist);
+      out += ",\"nprobe\":" + std::to_string(c.nprobe);
+      out += ",\"overfetch\":" + std::to_string(c.overfetch);
+      out += "}";
+    }
+    out += "],\"geomean_speedup\":" + Num(geomean);
+    out += ",\"min_recall_at_k\":" + Num(min_recall);
+    out += "}}\n";
+    std::FILE* f = std::fopen(opt.json_out.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(out.data(), 1, out.size(), f) != out.size() ||
+        std::fclose(f) != 0) {
+      MGBR_LOG_ERROR("cannot write retrieval report: ", opt.json_out);
+      return 1;
+    }
+    MGBR_LOG_INFO("wrote retrieval report to ", opt.json_out);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mgbr::bench
+
+int main(int argc, char** argv) {
+  const mgbr::TelemetryOptions telemetry =
+      mgbr::TelemetryOptions::FromArgs(argc, argv);
+  telemetry.EnableRequested();
+
+  mgbr::bench::RetrievalOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (mgbr::bench::ParseFlag(arg, "items", &v)) {
+      opt.items = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "k", &v)) {
+      opt.k = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "queries", &v)) {
+      opt.queries = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "reps", &v)) {
+      opt.reps = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "nprobe", &v)) {
+      opt.nprobe = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "overfetch", &v)) {
+      opt.overfetch = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "json-out", &v)) {
+      opt.json_out = v;
+    } else if (arg.rfind("--trace-out", 0) == 0 ||
+               arg.rfind("--metrics-out", 0) == 0 || arg == "--trace-stream") {
+      if ((arg == "--trace-out" || arg == "--metrics-out") && i + 1 < argc) {
+        ++i;  // handled by TelemetryOptions; skip its value form too
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (opt.k <= 0 || opt.reps <= 0) {
+    std::fprintf(stderr, "--k and --reps must be positive\n");
+    return 2;
+  }
+
+  const int rc = mgbr::bench::Run(opt);
+  const mgbr::Status flush = telemetry.Flush(nullptr);
+  return rc != 0 ? rc : (flush.ok() ? 0 : 1);
+}

@@ -25,6 +25,16 @@ p99 latency exceeds `max_p99_ms`, or the shed fraction exceeds
 deliverable: the router's batching + per-version score cache must keep
 clearing an order of magnitude over the brute-force serving baseline.
 
+`--retrieval` mode — two-stage top-K gate. Reads ONE bench_retrieval
+JSON report ("mgbr-retrieval-v1") and fails when the min-over-cases
+recall@10 of the ANN + exact-re-rank pipeline against the brute-force
+reference falls below `ci_gate.retrieval.min_recall_at_10`, or the
+geometric-mean brute/two-stage speedup falls below
+`ci_gate.retrieval.min_speedup_geomean`. Recall is deterministic for
+the committed seeds (index construction is bit-identical by contract),
+so the recall floor holds exactly; the speedup floor is a ratio on one
+machine and carries ~2x headroom for runner noise.
+
 Every input file is schema-validated before any number is compared, so
 a truncated artifact or a format drift fails loudly instead of gating
 on garbage. `--self-test` runs the built-in unit tests (CI invokes it
@@ -41,6 +51,7 @@ Usage:
     check_bench_gate.py BENCH_baseline.json simd_on.json simd_off.json
     check_bench_gate.py --eval BENCH_baseline.json serving.json
     check_bench_gate.py --serving BENCH_baseline.json loadgen.json
+    check_bench_gate.py --retrieval BENCH_baseline.json retrieval.json
     check_bench_gate.py --self-test
 """
 
@@ -94,6 +105,41 @@ def validate_loadgen(data, path):
     for q in ("p50", "p90", "p99", "max"):
         _require(isinstance(latency.get(q), (int, float)),
                  f"{path}: results.latency_ms.{q} missing or not numeric")
+
+
+def validate_retrieval(data, path):
+    """bench_retrieval JSON: schema mgbr-retrieval-v1 (bench_retrieval.cc)."""
+    _require(isinstance(data, dict), f"{path}: top level is not an object")
+    _require(data.get("schema") == "mgbr-retrieval-v1",
+             f"{path}: schema is {data.get('schema')!r}, "
+             "expected 'mgbr-retrieval-v1'")
+    config = data.get("config")
+    _require(isinstance(config, dict), f"{path}: missing 'config' object")
+    _require(isinstance(config.get("k"), int),
+             f"{path}: config.k missing or not an integer")
+    results = data.get("results")
+    _require(isinstance(results, dict), f"{path}: missing 'results' object")
+    for key in ("geomean_speedup", "min_recall_at_k"):
+        _require(isinstance(results.get(key), (int, float)),
+                 f"{path}: results.{key} missing or not numeric")
+    cases = results.get("cases")
+    _require(isinstance(cases, list) and cases,
+             f"{path}: results.cases missing or empty")
+    for i, case in enumerate(cases):
+        _require(isinstance(case, dict),
+                 f"{path}: results.cases[{i}] is not an object")
+        for key in ("name", "recall_at_k", "brute_ns", "two_stage_ns",
+                    "speedup"):
+            _require(key in case,
+                     f"{path}: results.cases[{i}] missing '{key}'")
+
+
+def validate_retrieval_floors(floors, path):
+    """The ci_gate.retrieval block of BENCH_baseline.json."""
+    _require(isinstance(floors, dict), f"{path}: ci_gate.retrieval missing")
+    for key in ("min_recall_at_10", "min_speedup_geomean"):
+        _require(isinstance(floors.get(key), (int, float)),
+                 f"{path}: ci_gate.retrieval.{key} missing or not numeric")
 
 
 def validate_serving_slo(slo, path):
@@ -223,6 +269,48 @@ def serving_gate(baseline, loadgen_path):
     return 0
 
 
+def retrieval_gate(baseline, retrieval_path):
+    floors = baseline.get("ci_gate", {}).get("retrieval")
+    validate_retrieval_floors(floors, "baseline")
+    report = load_json(retrieval_path, validate_retrieval)
+    results = report["results"]
+
+    k = report["config"]["k"]
+    if k != 10:
+        print(f"ERROR: report measured recall@{k}; the committed floor is "
+              "recall@10 — run bench_retrieval with --k=10")
+        return 1
+    for case in results["cases"]:
+        print(f"{case['name']:12s} recall@10 = {case['recall_at_k']:.4f}  "
+              f"speedup = {case['speedup']:6.2f}x "
+              f"(brute {case['brute_ns']:.0f} ns, "
+              f"two-stage {case['two_stage_ns']:.0f} ns)")
+    min_recall = results["min_recall_at_k"]
+    gm = results["geomean_speedup"]
+    print(f"{'min recall@10':12s} {min_recall:10.4f} "
+          f"(floor {floors['min_recall_at_10']:.4f})")
+    print(f"{'geomean':12s} {gm:9.2f}x "
+          f"(floor {floors['min_speedup_geomean']:.2f}x)")
+
+    failures = []
+    if min_recall < floors["min_recall_at_10"]:
+        failures.append(
+            f"min recall@10 {min_recall:.4f} is below the floor "
+            f"{floors['min_recall_at_10']:.4f} — the candidate generator "
+            "is dropping true top-10 items it must surface")
+    if gm < floors["min_speedup_geomean"]:
+        failures.append(
+            f"speedup geomean {gm:.2f}x is below the floor "
+            f"{floors['min_speedup_geomean']:.2f}x — the two-stage path "
+            "no longer beats brute-force scoring")
+    for failure in failures:
+        print(f"ERROR: {failure}")
+    if failures:
+        return 1
+    print("OK: two-stage retrieval clears the recall and speedup floors.")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Self-test (pytest-style asserts, zero dependencies; CI runs this first).
 # ---------------------------------------------------------------------------
@@ -309,6 +397,51 @@ def self_test():
     check("serving_rejects_malformed_baseline",
           _expect_schema_error(validate_serving_slo, None, "baseline"))
 
+    # Retrieval gate verdicts against an in-memory baseline.
+    def retrieval_report(recall=0.99, speedup=6.0, k=10):
+        case = {"name": "GBGCN", "recall_at_k": recall, "brute_ns": 1e6,
+                "two_stage_ns": 1e6 / speedup, "speedup": speedup}
+        return {
+            "schema": "mgbr-retrieval-v1",
+            "config": {"n_items": 20000, "k": k, "queries": 200},
+            "results": {"cases": [case], "geomean_speedup": speedup,
+                        "min_recall_at_k": recall},
+        }
+
+    validate_retrieval(retrieval_report(), "mem")
+    check("retrieval_accepts_valid", True)
+    check("retrieval_rejects_wrong_schema",
+          _expect_schema_error(
+              validate_retrieval, {"schema": "mgbr-loadgen-v1"}, "mem"))
+    bad = retrieval_report()
+    del bad["results"]["cases"][0]["recall_at_k"]
+    check("retrieval_rejects_missing_recall",
+          _expect_schema_error(validate_retrieval, bad, "mem"))
+
+    retrieval_baseline = {"ci_gate": {"retrieval": {
+        "min_recall_at_10": 0.98, "min_speedup_geomean": 3.0}}}
+
+    def run_retrieval(report):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump(report, f)
+            path = f.name
+        try:
+            return retrieval_gate(retrieval_baseline, path)
+        finally:
+            os.unlink(path)
+
+    check("retrieval_passes_within_floors",
+          run_retrieval(retrieval_report()) == 0)
+    check("retrieval_fails_low_recall",
+          run_retrieval(retrieval_report(recall=0.9)) == 1)
+    check("retrieval_fails_low_speedup",
+          run_retrieval(retrieval_report(speedup=1.2)) == 1)
+    check("retrieval_fails_wrong_k",
+          run_retrieval(retrieval_report(k=100)) == 1)
+    check("retrieval_rejects_malformed_baseline",
+          _expect_schema_error(validate_retrieval_floors, None, "baseline"))
+
     failed = [name for name, ok in checks if not ok]
     print(f"self-test: {len(checks) - len(failed)}/{len(checks)} passed")
     return 1 if failed else 0
@@ -332,6 +465,13 @@ def main(argv):
             with open(argv[2]) as f:
                 baseline = json.load(f)
             return serving_gate(baseline, argv[3])
+        if len(argv) >= 2 and argv[1] == "--retrieval":
+            if len(argv) != 4:
+                print(__doc__)
+                return 2
+            with open(argv[2]) as f:
+                baseline = json.load(f)
+            return retrieval_gate(baseline, argv[3])
         if len(argv) != 4:
             print(__doc__)
             return 2

@@ -126,16 +126,38 @@ std::vector<int64_t> TopKIndices(const std::vector<double>& scores,
   const int64_t n = static_cast<int64_t>(scores.size());
   k = std::min(k, n);
   if (k <= 0) return {};
-  std::vector<int64_t> idx(static_cast<size_t>(n));
-  std::iota(idx.begin(), idx.end(), int64_t{0});
-  // (score desc, index asc) is a strict weak order over distinct
-  // indices, so partial_sort yields one well-defined answer.
+  // (score desc, index asc) is a strict TOTAL order over distinct
+  // indices, so any correct selection algorithm yields the same k
+  // indices in the same order; the two branches below are
+  // interchangeable by construction.
   const auto better = [&scores](int64_t a, int64_t b) {
     const double sa = scores[static_cast<size_t>(a)];
     const double sb = scores[static_cast<size_t>(b)];
     if (sa != sb) return sa > sb;
     return a < b;
   };
+  if (n >= kTopKHeapMinN && k <= n / kTopKHeapMaxFrac) {
+    // Large catalogue, small cutoff: a bounded max-heap of the k best
+    // indices seen so far (heap top = worst kept, since `better` plays
+    // the role of operator< for std heaps). O(n log k) with no O(n)
+    // index materialization — the win over partial_sort's full iota +
+    // heapify at serving catalogue sizes.
+    std::vector<int64_t> heap;
+    heap.reserve(static_cast<size_t>(k));
+    for (int64_t i = 0; i < k; ++i) heap.push_back(i);
+    std::make_heap(heap.begin(), heap.end(), better);
+    for (int64_t i = k; i < n; ++i) {
+      if (better(i, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), better);
+        heap.back() = i;
+        std::push_heap(heap.begin(), heap.end(), better);
+      }
+    }
+    std::sort(heap.begin(), heap.end(), better);
+    return heap;
+  }
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  std::iota(idx.begin(), idx.end(), int64_t{0});
   std::partial_sort(idx.begin(), idx.begin() + static_cast<size_t>(k),
                     idx.end(), better);
   idx.resize(static_cast<size_t>(k));

@@ -72,7 +72,16 @@ inline constexpr int64_t kEvalBatchCandidates = 512;
 /// Deterministic partial-selection top-K: indices of the K largest
 /// scores ordered by (score desc, index asc). The index tiebreak makes
 /// the result a pure function of the scores — equal scores never
-/// reorder across runs or thread counts. K is clamped to scores.size().
+/// reorder across runs or thread counts; because the order is a strict
+/// total order, the SAME k indices come back no matter which selection
+/// algorithm runs underneath. K is clamped to scores.size().
+///
+/// Two interchangeable implementations: below the thresholds, iota +
+/// partial_sort; at serving catalogue sizes with small cutoffs
+/// (n >= kTopKHeapMinN and k <= n / kTopKHeapMaxFrac), a bounded
+/// k-element heap that skips the O(n) index materialization.
+inline constexpr int64_t kTopKHeapMinN = 4096;
+inline constexpr int64_t kTopKHeapMaxFrac = 8;
 std::vector<int64_t> TopKIndices(const std::vector<double>& scores, int64_t k);
 
 /// Runs the paper's ranked-list protocol on Task A: for each instance

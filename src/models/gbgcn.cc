@@ -61,4 +61,21 @@ Var Gbgcn::ScoreBAll(int64_t u, int64_t item) {
   return DotAllRows(init_user_, u, part_user_);
 }
 
+bool Gbgcn::RetrievalItemView(const float** data, int64_t* n,
+                              int64_t* d) const {
+  if (!item_final_.defined()) return false;
+  *data = item_final_.value().data();
+  *n = item_final_.rows();
+  *d = item_final_.cols();
+  return true;
+}
+
+bool Gbgcn::RetrievalQueryA(int64_t u, std::vector<float>* query) const {
+  if (!init_user_.defined()) return false;
+  MGBR_CHECK(u >= 0 && u < init_user_.rows());
+  const float* row = init_user_.value().data() + u * init_user_.cols();
+  query->assign(row, row + init_user_.cols());
+  return true;
+}
+
 }  // namespace mgbr

@@ -33,6 +33,12 @@ class Gbgcn : public RecModel {
   Var ScoreAAll(int64_t u) override;
   Var ScoreBAll(int64_t u, int64_t item) override;
 
+  /// Task A is <u_init, item>: the ANN retrieval view is the cached
+  /// item_final_ block with init_user_ rows as queries.
+  bool RetrievalItemView(const float** data, int64_t* n,
+                         int64_t* d) const override;
+  bool RetrievalQueryA(int64_t u, std::vector<float>* query) const override;
+
  private:
   int64_t n_users_;
   SharedCsr a_ui_;

@@ -46,6 +46,23 @@ Var LightGcn::ScoreBAll(int64_t u, int64_t item) {
   return DotAllRows(final_, u, user_block_);
 }
 
+bool LightGcn::RetrievalItemView(const float** data, int64_t* n,
+                                 int64_t* d) const {
+  if (!item_block_.defined()) return false;
+  *data = item_block_.value().data();
+  *n = item_block_.rows();
+  *d = item_block_.cols();
+  return true;
+}
+
+bool LightGcn::RetrievalQueryA(int64_t u, std::vector<float>* query) const {
+  if (!final_.defined()) return false;
+  MGBR_CHECK(u >= 0 && u < n_users_);
+  const float* row = final_.value().data() + u * final_.cols();
+  query->assign(row, row + final_.cols());
+  return true;
+}
+
 Var LightGcn::ScoreA(const std::vector<int64_t>& users,
                      const std::vector<int64_t>& items) {
   MGBR_CHECK(final_.defined());

@@ -32,6 +32,12 @@ class LightGcn : public RecModel {
   Var ScoreAAll(int64_t u) override;
   Var ScoreBAll(int64_t u, int64_t item) override;
 
+  /// Task A is <final_[u], item_block_[i]>: the ANN retrieval view is
+  /// the cached item block with user rows of final_ as queries.
+  bool RetrievalItemView(const float** data, int64_t* n,
+                         int64_t* d) const override;
+  bool RetrievalQueryA(int64_t u, std::vector<float>* query) const override;
+
  private:
   int64_t n_users_;
   int64_t n_items_;

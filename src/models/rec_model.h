@@ -65,6 +65,33 @@ class RecModel {
   /// ScoreAAll.
   virtual Var ScoreBAll(int64_t u, int64_t item);
 
+  /// Retrieval view for ANN candidate generation (src/retrieval/):
+  /// when the model's Task A score is an inner product over cached
+  /// propagated embeddings, points *data at the (n x d) row-major item
+  /// block those scores are taken against and returns true. The block
+  /// stays valid (and frozen) until the next Refresh(); retrieval
+  /// indexes built from it are therefore exact proxies of ScoreAAll's
+  /// ordering. Models whose Task A head is not an inner product of a
+  /// fixed item table (e.g. the MGBR MLP head) keep the default false
+  /// and are served by the brute-force path.
+  virtual bool RetrievalItemView(const float** data, int64_t* n,
+                                 int64_t* d) const {
+    (void)data;
+    (void)n;
+    (void)d;
+    return false;
+  }
+
+  /// The Task A query vector paired with RetrievalItemView: copies the
+  /// d floats whose inner product with item row i equals (bitwise) the
+  /// products ScoreAAll(u) row i reduces. Returns false whenever
+  /// RetrievalItemView does.
+  virtual bool RetrievalQueryA(int64_t u, std::vector<float>* query) const {
+    (void)u;
+    (void)query;
+    return false;
+  }
+
   /// Total number of scalar parameters (Table V).
   int64_t ParameterCount() const;
 

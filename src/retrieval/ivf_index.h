@@ -1,0 +1,80 @@
+#ifndef MGBR_RETRIEVAL_IVF_INDEX_H_
+#define MGBR_RETRIEVAL_IVF_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mgbr::retrieval {
+
+/// Coarse-quantizer configuration for IvfIndex::Build.
+struct IvfConfig {
+  /// Number of inverted lists (k-means clusters); 0 picks
+  /// ceil(sqrt(n)) at build time, the classic IVF sizing rule.
+  int64_t nlist = 0;
+  /// Lloyd iterations of the coarse k-means. Construction cost is
+  /// O(iters * n * nlist * d); a handful of iterations is enough for a
+  /// coarse quantizer.
+  int64_t kmeans_iters = 8;
+  /// Seed for the initial-centroid draw. Same data + same config
+  /// (including this seed) => bit-identical index.
+  uint64_t seed = 0x1f0ed5;
+};
+
+/// IVF-flat inner-product index: a k-means coarse quantizer partitions
+/// the row set into `nlist` inverted lists; a query probes the
+/// `nprobe` lists whose centroids score highest against it and scans
+/// those lists exactly.
+///
+/// Determinism contract (tests/retrieval_test.cc asserts all of it):
+///  * Construction is a pure function of (data bytes, config). Initial
+///    centroids are drawn from a fixed Rng stream seeded by
+///    `config.seed` and sorted ascending; Lloyd assignment visits
+///    points in index order with centroid ties broken by the lowest
+///    centroid index; centroid updates accumulate in point-index order
+///    into double sums; an emptied cluster keeps its previous
+///    centroid. Assignment may run on the thread pool because each
+///    point's nearest centroid is independent of every other point's.
+///  * All distances/scores go through the kernels:: dot-product
+///    primitives, whose simd and scalar variants are bitwise
+///    identical, so the index does not depend on the SIMD toggle or
+///    the thread count.
+///  * Search returns ids ordered by (score desc, id asc); equal-score
+///    rows therefore always surface lowest-id-first, matching the
+///    TopKIndices tie rule of the exact path.
+class IvfIndex {
+ public:
+  /// Builds the index over `n` rows of `d` contiguous floats
+  /// (row-major). The data is copied; the caller's buffer may be
+  /// freed afterwards. Requires n >= 1 and d >= 1.
+  void Build(const float* data, int64_t n, int64_t d,
+             const IvfConfig& config);
+
+  /// Ids of the top-k rows by inner product with `query` (length d)
+  /// among the `nprobe` probed lists, ordered (score desc, id asc).
+  /// Returns fewer than k ids when the probed lists hold fewer rows.
+  /// nprobe is clamped to [1, nlist]; probing every list makes the
+  /// search exhaustive (exact by construction).
+  std::vector<int64_t> Search(const float* query, int64_t k,
+                              int64_t nprobe) const;
+
+  int64_t n() const { return n_; }
+  int64_t d() const { return d_; }
+  int64_t nlist() const { return nlist_; }
+
+  /// CRC32 over the centroid bytes, list layout and list payloads —
+  /// two builds fingerprint equal iff the index bytes are identical.
+  uint32_t Fingerprint() const;
+
+ private:
+  int64_t n_ = 0;
+  int64_t d_ = 0;
+  int64_t nlist_ = 0;
+  std::vector<float> centroids_;       // nlist x d, row-major
+  std::vector<int64_t> list_offsets_;  // nlist + 1; list l = [l, l+1)
+  std::vector<int64_t> list_ids_;      // concatenated, ascending per list
+  std::vector<float> list_data_;       // rows in list_ids_ order
+};
+
+}  // namespace mgbr::retrieval
+
+#endif  // MGBR_RETRIEVAL_IVF_INDEX_H_

@@ -1,0 +1,81 @@
+#ifndef MGBR_RETRIEVAL_TWO_STAGE_H_
+#define MGBR_RETRIEVAL_TWO_STAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "models/rec_model.h"
+#include "retrieval/ivf_index.h"
+
+namespace mgbr::retrieval {
+
+/// Two-stage Task-A top-K configuration: ANN candidate generation over
+/// the model's retrieval view, followed by an exact batched no-grad
+/// re-rank of the candidates. Off by default — the brute-force
+/// full-catalogue path stays the reference (docs/retrieval.md).
+struct TwoStageConfig {
+  bool enabled = false;
+  /// IVF coarse-quantizer sizing; 0 = auto (ceil(sqrt(n_items))).
+  int64_t nlist = 0;
+  /// Inverted lists probed per query. Recall rises with nprobe
+  /// (nprobe == nlist is exhaustive); latency rises with the scanned
+  /// fraction nprobe/nlist.
+  int64_t nprobe = 12;
+  /// Candidate budget multiplier: the index returns k * overfetch ids
+  /// for the exact re-rank stage. Headroom against near-boundary
+  /// candidates whose index score ordering differs from the model's.
+  int64_t overfetch = 4;
+  int64_t kmeans_iters = 8;
+  uint64_t seed = 0x1f0ed5;
+};
+
+/// One top-K result: item ids best-first with their exact re-rank
+/// scores (same layout as Response.top_k / Response.scores).
+struct RetrievalResult {
+  std::vector<int64_t> top_k;
+  std::vector<double> scores;
+};
+
+/// An immutable ANN retriever over one model version's cached
+/// propagated item embeddings. Built once per version (ModelPool
+/// rebuilds it on every Install, so the index can never be consulted
+/// against a different version's embeddings) and shared read-only by
+/// the serving workers — Candidates() is const and lock-free.
+class ItemRetriever {
+ public:
+  /// Builds a retriever over `model`'s retrieval item view, or null
+  /// when the model exposes none (MLP-head scorers; see
+  /// docs/retrieval.md). `model` must be Refresh()ed.
+  static std::shared_ptr<const ItemRetriever> BuildFor(
+      const RecModel& model, const TwoStageConfig& config);
+
+  /// Candidate item ids for (user u, cutoff k): the top k * overfetch
+  /// index hits, returned SORTED ASCENDING BY ID so the exact re-rank
+  /// scores them in a canonical order (position-ascending ties in
+  /// TopKIndices then equal id-ascending ties of the brute path).
+  std::vector<int64_t> Candidates(const RecModel& model, int64_t u,
+                                  int64_t k) const;
+
+  const IvfIndex& index() const { return index_; }
+  const TwoStageConfig& config() const { return config_; }
+  uint32_t Fingerprint() const { return index_.Fingerprint(); }
+
+ private:
+  ItemRetriever() = default;
+
+  IvfIndex index_;
+  TwoStageConfig config_;
+};
+
+/// Full two-stage top-K for one user: candidates from `retriever`,
+/// exact ScoreA re-rank under NoGradScope, deterministic TopKIndices
+/// cut mapped back to global item ids. Equals the brute-force
+/// TopKIndices(ScoreAAll(u), k) whenever the candidate set contains
+/// the true top-k (ScoreA row-equivalence contract, docs/inference.md).
+RetrievalResult TwoStageTopK(RecModel* model, const ItemRetriever& retriever,
+                             int64_t u, int64_t k);
+
+}  // namespace mgbr::retrieval
+
+#endif  // MGBR_RETRIEVAL_TWO_STAGE_H_

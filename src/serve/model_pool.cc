@@ -26,12 +26,26 @@ Gauge* VersionGauge() {
 
 ModelPool::ModelPool(Factory factory) : factory_(std::move(factory)) {}
 
+std::shared_ptr<const retrieval::ItemRetriever> ModelPool::BuildRetriever(
+    const RecModel& model) const {
+  retrieval::TwoStageConfig config;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!retrieval_enabled_) return nullptr;
+    config = retrieval_config_;
+  }
+  return retrieval::ItemRetriever::BuildFor(model, config);
+}
+
 int64_t ModelPool::Install(std::unique_ptr<RecModel> model,
                            std::string source) {
   MGBR_CHECK(model != nullptr);
   auto version = std::make_shared<Version>();
-  version->model = std::move(model);
+  version->model = std::shared_ptr<RecModel>(std::move(model));
   version->source = std::move(source);
+  // Index construction happens before the version becomes visible, so
+  // no reader can ever pair this model with another version's index.
+  version->retriever = BuildRetriever(*version->model);
   std::lock_guard<std::mutex> lock(mu_);
   version->id = next_id_++;
   current_ = std::move(version);
@@ -41,6 +55,26 @@ int64_t ModelPool::Install(std::unique_ptr<RecModel> model,
   MGBR_GAUGE_SET(VersionGauge(), static_cast<double>(current_->id));
 #endif
   return current_->id;
+}
+
+void ModelPool::EnableRetrieval(const retrieval::TwoStageConfig& config) {
+  std::shared_ptr<Version> served;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retrieval_enabled_ = true;
+    retrieval_config_ = config;
+    served = current_;
+  }
+  if (served == nullptr || served->retriever != nullptr) return;
+  // Retrofit the already-served version: build over its own model,
+  // republish under the SAME id (this is not a swap — the parameters
+  // did not change). If a real swap lands while we build, the newer
+  // version already carries its own retriever; drop ours.
+  auto upgraded = std::make_shared<Version>(*served);
+  upgraded->retriever =
+      retrieval::ItemRetriever::BuildFor(*upgraded->model, config);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ == served) current_ = std::move(upgraded);
 }
 
 Status ModelPool::LoadInto(RecModel* model,

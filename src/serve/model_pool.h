@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "models/rec_model.h"
+#include "retrieval/two_stage.h"
 #include "train/checkpoint.h"
 
 namespace mgbr::serve {
@@ -24,6 +25,14 @@ namespace mgbr::serve {
 /// snapshot until its last reference drops. A response is therefore
 /// bitwise attributable to exactly one version: there is no moment at
 /// which any thread can observe a half-loaded parameter set.
+///
+/// With EnableRetrieval(), every version also carries an immutable ANN
+/// ItemRetriever built over that exact model instance's refreshed
+/// embeddings BEFORE the version is published. Model and index always
+/// travel together inside one Version object, so a hot swap can never
+/// pair a new model with a stale index (or vice versa) — the swap
+/// safety half of the retrieval determinism contract
+/// (docs/retrieval.md).
 class ModelPool {
  public:
   /// Builds an uninitialised model whose parameter shapes match the
@@ -31,7 +40,10 @@ class ModelPool {
   using Factory = std::function<std::unique_ptr<RecModel>()>;
 
   struct Version {
-    std::unique_ptr<RecModel> model;
+    std::shared_ptr<RecModel> model;
+    /// Null when retrieval is disabled or the model exposes no
+    /// retrieval view; the server then brute-forces this version.
+    std::shared_ptr<const retrieval::ItemRetriever> retriever;
     int64_t id = 0;          // monotonically increasing, first is 1
     std::string source;      // checkpoint path or a caller-chosen tag
   };
@@ -50,6 +62,15 @@ class ModelPool {
   /// verifies (CheckpointManager::RestoreLatest fall-back semantics).
   Status LoadLatest(CheckpointManager* manager);
 
+  /// Turns on per-version ANN retriever construction: every later
+  /// Install/LoadVersion builds the index before publishing, and the
+  /// currently served version (if any) is republished with a retriever
+  /// built over its own model — same version id, the model pointer is
+  /// shared, only the retriever is added. Readers that already hold
+  /// the pre-retrofit snapshot keep brute-forcing it; both snapshots
+  /// score identically because they share the model.
+  void EnableRetrieval(const retrieval::TwoStageConfig& config);
+
   /// Snapshot of the current version; null before the first Install/
   /// LoadVersion. Holding the returned pointer pins the version, so
   /// scoring through it is immune to concurrent swaps.
@@ -63,12 +84,19 @@ class ModelPool {
 
  private:
   Status LoadInto(RecModel* model, const std::string& checkpoint_path);
+  /// Retriever for `model` under the current retrieval config (null
+  /// when disabled/unsupported). Called outside mu_ — k-means builds
+  /// must not serialize Acquire().
+  std::shared_ptr<const retrieval::ItemRetriever> BuildRetriever(
+      const RecModel& model) const;
 
   Factory factory_;
   mutable std::mutex mu_;
   std::shared_ptr<Version> current_;
   int64_t next_id_ = 1;
   int64_t swaps_ = 0;
+  bool retrieval_enabled_ = false;
+  retrieval::TwoStageConfig retrieval_config_;
 };
 
 }  // namespace mgbr::serve

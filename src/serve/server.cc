@@ -134,6 +134,13 @@ Server::Server(ModelPool* pool, ServerConfig config)
   MGBR_CHECK_GE(config_.n_workers, 1);
   MGBR_CHECK_GE(config_.batch_backlog, 1);
   MGBR_CHECK_GE(config_.cache_capacity, 0);
+  if (config_.retrieval.enabled) {
+    MGBR_CHECK_GE(config_.retrieval.nprobe, 1);
+    MGBR_CHECK_GE(config_.retrieval.overfetch, 1);
+    // Every version published from here on carries its own ANN index;
+    // the served one is retrofitted before the first batch runs.
+    pool_->EnableRetrieval(config_.retrieval);
+  }
 
   if (config_.obs.enabled()) {
     obs::SloConfig slo_config;
@@ -418,30 +425,31 @@ void Server::MaybeDumpFlight(const obs::SloWindowStats& stats) {
   }
 }
 
-std::shared_ptr<const std::vector<double>> Server::CacheLookup(
-    const CacheKey& key, int64_t version) {
-  if (config_.cache_capacity <= 0) return nullptr;
+bool Server::CacheLookup(const CacheKey& key, int64_t version,
+                         CacheValue* out) {
+  if (config_.cache_capacity <= 0) return false;
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = cache_.find(key);
-  if (it == cache_.end()) return nullptr;
+  if (it == cache_.end()) return false;
   if (it->second.version != version) {
     // Stale version: a swap happened since this entry was cached.
     lru_.erase(it->second.lru_pos);
     cache_.erase(it);
-    return nullptr;
+    return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-  return it->second.scores;
+  *out = it->second.value;
+  return true;
 }
 
 void Server::CacheInsert(const CacheKey& key, int64_t version,
-                         std::shared_ptr<const std::vector<double>> scores) {
+                         CacheValue value) {
   if (config_.cache_capacity <= 0) return;
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     it->second.version = version;
-    it->second.scores = std::move(scores);
+    it->second.value = std::move(value);
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return;
   }
@@ -450,7 +458,7 @@ void Server::CacheInsert(const CacheKey& key, int64_t version,
     lru_.pop_back();
   }
   lru_.push_front(key);
-  cache_.emplace(key, CacheEntry{version, std::move(scores), lru_.begin()});
+  cache_.emplace(key, CacheEntry{version, std::move(value), lru_.begin()});
 }
 
 void Server::ExecuteBatch(Batch batch) {
@@ -471,9 +479,19 @@ void Server::ExecuteBatch(Batch batch) {
   RecModel* model = snapshot->model.get();
   const int64_t n_users = model->num_users();
   const int64_t n_items = model->num_items();
+  // The retriever travels inside the pinned version, so the candidates
+  // below always come from the index built over THIS snapshot's
+  // embeddings — a hot swap mid-batch can never mix versions. Null for
+  // versions without a retrieval view (brute-force fallback).
+  const retrieval::ItemRetriever* retriever =
+      config_.retrieval.enabled ? snapshot->retriever.get() : nullptr;
 
   // Group requests by (task, user, item) in first-appearance order so
-  // a key shared by several requests is scored exactly once.
+  // a key shared by several requests is scored exactly once. Two-stage
+  // Task-A keys encode the cutoff as item = -k: the candidate set (and
+  // so the cached value) depends on k, and keying on it keeps the
+  // "results are independent of batch composition" property —
+  // different-k requests never share a candidate set.
   std::vector<CacheKey> keys;
   std::unordered_map<CacheKey, std::vector<size_t>, CacheKeyHash> groups;
   for (size_t idx = 0; idx < batch.size(); ++idx) {
@@ -498,8 +516,9 @@ void Server::ExecuteBatch(Batch batch) {
       Finish(&pending, std::move(response));
       continue;
     }
+    const bool two_stage = task_a && retriever != nullptr && req.k > 0;
     CacheKey key{static_cast<int64_t>(req.task), req.user,
-                 task_a ? int64_t{0} : req.item};
+                 task_a ? (two_stage ? -req.k : int64_t{0}) : req.item};
     auto [it, inserted] = groups.try_emplace(key);
     if (inserted) keys.push_back(key);
     it->second.push_back(idx);
@@ -507,19 +526,34 @@ void Server::ExecuteBatch(Batch batch) {
 
   NoGradScope no_grad;
   for (const CacheKey& key : keys) {
-    std::shared_ptr<const std::vector<double>> scores =
-        CacheLookup(key, snapshot->id);
-    const bool hit = scores != nullptr;
+    CacheValue value;
+    const bool hit = CacheLookup(key, snapshot->id, &value);
     if (!hit) {
       MGBR_TRACE_SPAN("serve.score", "serve");
-      const Var column =
-          key.task == static_cast<int64_t>(TaskKind::kTopKItems)
-              ? model->ScoreAAll(key.user)
-              : model->ScoreBAll(key.user, key.item);
-      scores = std::make_shared<const std::vector<double>>(
-          ColumnToDoubles(column));
+      const bool task_a = key.task == static_cast<int64_t>(TaskKind::kTopKItems);
+      std::vector<int64_t> cands;
+      if (task_a && key.item < 0) {
+        cands = retriever->Candidates(*model, key.user, -key.item);
+      }
+      if (!cands.empty()) {
+        // Two-stage: exact re-rank of the ANN candidates through the
+        // same differentiable scorer the brute path lifts (row i of
+        // ScoreAAll is bitwise ScoreA({u},{i})), just restricted to
+        // the candidate set.
+        const std::vector<int64_t> users(cands.size(), key.user);
+        const Var column = model->ScoreA(users, cands);
+        value.scores = std::make_shared<const std::vector<double>>(
+            ColumnToDoubles(column));
+        value.ids = std::make_shared<const std::vector<int64_t>>(
+            std::move(cands));
+      } else {
+        const Var column = task_a ? model->ScoreAAll(key.user)
+                                  : model->ScoreBAll(key.user, key.item);
+        value.scores = std::make_shared<const std::vector<double>>(
+            ColumnToDoubles(column));
+      }
       unique_scored_.fetch_add(1, std::memory_order_relaxed);
-      CacheInsert(key, snapshot->id, scores);
+      CacheInsert(key, snapshot->id, value);
     }
     const std::vector<size_t>& members = groups.at(key);
     if (hit) {
@@ -531,16 +565,29 @@ void Server::ExecuteBatch(Batch batch) {
       coalesced_.fetch_add(static_cast<int64_t>(members.size()) - 1,
                            std::memory_order_relaxed);
     }
+    if (value.ids != nullptr) {
+      two_stage_.fetch_add(static_cast<int64_t>(members.size()),
+                           std::memory_order_relaxed);
+    }
+    const std::vector<double>& scores = *value.scores;
     for (size_t idx : members) {
       Pending& pending = batch[idx];
       Response response;
       response.code = ResponseCode::kOk;
       response.version = snapshot->id;
       response.cache_hit = hit;
-      response.top_k = TopKIndices(*scores, pending.request.k);
+      // TopKIndices positions map straight to item ids on the brute
+      // path; on the two-stage path they index the ascending candidate
+      // list, so position-ascending ties stay id-ascending ties.
+      response.top_k = TopKIndices(scores, pending.request.k);
       response.scores.reserve(response.top_k.size());
       for (int64_t i : response.top_k) {
-        response.scores.push_back((*scores)[static_cast<size_t>(i)]);
+        response.scores.push_back(scores[static_cast<size_t>(i)]);
+      }
+      if (value.ids != nullptr) {
+        for (int64_t& id : response.top_k) {
+          id = (*value.ids)[static_cast<size_t>(id)];
+        }
       }
       Finish(&pending, std::move(response));
     }
@@ -560,6 +607,7 @@ ServerStats Server::stats() const {
   s.unique_scored = unique_scored_.load(std::memory_order_relaxed);
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.two_stage = two_stage_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -625,6 +673,8 @@ std::string Server::VarzJson(bool include_flight) const {
   out += std::to_string(s.coalesced);
   out += ",\"cache_hits\":";
   out += std::to_string(s.cache_hits);
+  out += ",\"two_stage\":";
+  out += std::to_string(s.two_stage);
   out += "},\"metrics\":";
   out += MetricsRegistry::Global().ToJson();
   if (include_flight && flight_ != nullptr) {

@@ -17,6 +17,7 @@
 #include "obs/exporter.h"
 #include "obs/flight_recorder.h"
 #include "obs/slo.h"
+#include "retrieval/two_stage.h"
 #include "serve/model_pool.h"
 #include "serve/types.h"
 
@@ -72,6 +73,14 @@ struct ServerConfig {
   /// lifetime of that version. Entries are invalidated by version id,
   /// so a hot swap can never serve stale scores.
   int64_t cache_capacity = 0;
+  /// Two-stage Task-A top-K: ANN candidate generation over the model's
+  /// retrieval view, exact batched re-rank of the candidates. Off by
+  /// default — brute force stays the reference path. When enabled the
+  /// server calls pool->EnableRetrieval(retrieval) at construction, so
+  /// every served version carries an index built over its own
+  /// embeddings; versions without a retrieval view (or acquired before
+  /// the retrofit published) fall back to brute force per batch.
+  retrieval::TwoStageConfig retrieval;
   /// Serving observability stack (off by default).
   ObsOptions obs;
 };
@@ -179,9 +188,19 @@ class Server {
       return static_cast<size_t>(h);
     }
   };
+  /// Cached result of one scorer call. `ids` is null for brute-force
+  /// entries (scores index the full catalogue) and holds the
+  /// ascending candidate ids for two-stage entries (scores[i] is the
+  /// exact re-rank score of ids[i]). Both kinds are exact for their
+  /// version: embeddings AND the per-version ANN index are frozen
+  /// between swaps, so a candidate set is immutable too.
+  struct CacheValue {
+    std::shared_ptr<const std::vector<double>> scores;
+    std::shared_ptr<const std::vector<int64_t>> ids;
+  };
   struct CacheEntry {
     int64_t version = 0;
-    std::shared_ptr<const std::vector<double>> scores;
+    CacheValue value;
     std::list<CacheKey>::iterator lru_pos;
   };
 
@@ -195,10 +214,8 @@ class Server {
                         std::promise<Response> promise, Response response);
   void RecordFlight(const Request& request, const Response& response);
   void MaybeDumpFlight(const obs::SloWindowStats& stats);
-  std::shared_ptr<const std::vector<double>> CacheLookup(const CacheKey& key,
-                                                         int64_t version);
-  void CacheInsert(const CacheKey& key, int64_t version,
-                   std::shared_ptr<const std::vector<double>> scores);
+  bool CacheLookup(const CacheKey& key, int64_t version, CacheValue* out);
+  void CacheInsert(const CacheKey& key, int64_t version, CacheValue value);
 
   ModelPool* pool_;
   const ServerConfig config_;
@@ -237,6 +254,7 @@ class Server {
   std::atomic<int64_t> unique_scored_{0};
   std::atomic<int64_t> coalesced_{0};
   std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> two_stage_{0};
 
   std::thread batcher_;
   std::vector<std::thread> workers_;

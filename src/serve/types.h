@@ -82,6 +82,10 @@ struct ServerStats {
   /// the same (task, user, item) key in the same batch.
   int64_t coalesced = 0;
   int64_t cache_hits = 0;
+  /// OK responses produced by the two-stage ANN candidate-gen +
+  /// exact re-rank path (0 when retrieval is off or the served model
+  /// exposes no retrieval view).
+  int64_t two_stage = 0;
 };
 
 }  // namespace mgbr::serve

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 // Both kernel variants are instantiated from one implementation file so
 // their loop bodies can never drift apart (the bitwise-equality tests

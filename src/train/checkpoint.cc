@@ -432,9 +432,11 @@ int64_t EpochFromName(const std::string& name) {
 
 }  // namespace
 
-Status SaveCheckpoint(const CheckpointWriteRequest& request,
-                      const std::string& path) {
-  MGBR_TRACE_SPAN("checkpoint.save", "checkpoint");
+Status SerializeCheckpoint(const CheckpointWriteRequest& request,
+                           std::string* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("SerializeCheckpoint needs an output");
+  }
   if (request.params == nullptr) {
     return Status::InvalidArgument("checkpoint write request needs params");
   }
@@ -472,20 +474,25 @@ Status SaveCheckpoint(const CheckpointWriteRequest& request,
     ++n_sections;
   }
 
-  std::string file_bytes;
+  std::string& file_bytes = *out;
+  file_bytes.clear();
   file_bytes.reserve(sizeof(kMagicV2) + 2 * sizeof(uint32_t) + body.size());
   AppendBytes(&file_bytes, kMagicV2, sizeof(kMagicV2));
   AppendPod(&file_bytes, kFormatVersion);
   AppendPod(&file_bytes, n_sections);
   file_bytes.append(body);
+  return Status::OK();
+}
 
+Status WriteCheckpointBytes(const std::string& bytes,
+                            const std::string& path) {
   // Write-temp -> fsync -> atomic-rename: a crash at any instant leaves
   // either the previous checkpoint or the new one under `path`, never a
   // torn mix.
   const std::string tmp_path = path + kTempSuffix;
   {
     MGBR_ASSIGN_OR_RETURN(io::File file, io::File::OpenForWrite(tmp_path));
-    MGBR_RETURN_NOT_OK(file.Write(file_bytes.data(), file_bytes.size()));
+    MGBR_RETURN_NOT_OK(file.Write(bytes.data(), bytes.size()));
     MGBR_RETURN_NOT_OK(file.Sync());
     MGBR_RETURN_NOT_OK(file.Close());
   }
@@ -494,6 +501,14 @@ Status SaveCheckpoint(const CheckpointWriteRequest& request,
   fault::KillPoint("checkpoint.post_rename");
   MGBR_COUNTER_ADD(SavesCounter(), 1);
   return Status::OK();
+}
+
+Status SaveCheckpoint(const CheckpointWriteRequest& request,
+                      const std::string& path) {
+  MGBR_TRACE_SPAN("checkpoint.save", "checkpoint");
+  std::string bytes;
+  MGBR_RETURN_NOT_OK(SerializeCheckpoint(request, &bytes));
+  return WriteCheckpointBytes(bytes, path);
 }
 
 Status LoadCheckpoint(const std::string& path,
@@ -670,8 +685,20 @@ Status LoadParameters(const std::string& path, std::vector<Var>* params) {
 // CheckpointManager.
 // ---------------------------------------------------------------------------
 
-CheckpointManager::CheckpointManager(std::string dir, int keep_last)
-    : dir_(std::move(dir)), keep_last_(keep_last < 1 ? 1 : keep_last) {}
+CheckpointManager::CheckpointManager(std::string dir, int keep_last,
+                                     bool async)
+    : dir_(std::move(dir)),
+      keep_last_(keep_last < 1 ? 1 : keep_last),
+      async_(async) {}
+
+CheckpointManager::~CheckpointManager() {
+  const Status pending = WaitForPending();
+  if (!pending.ok()) {
+    MGBR_LOG_WARNING("checkpoint: async write failed (status uncollected "
+                     "at destruction): ",
+                     pending.ToString());
+  }
+}
 
 std::string CheckpointManager::PathFor(int64_t epoch) const {
   char name[64];
@@ -692,23 +719,9 @@ std::vector<int64_t> CheckpointManager::ListEpochs() const {
   return epochs;
 }
 
-Status CheckpointManager::Save(const CheckpointWriteRequest& request,
-                               int64_t epoch) {
-  MGBR_RETURN_NOT_OK(io::MakeDirs(dir_));
-  // Sweep temp files left by a run that died mid-save: they never
-  // became checkpoints and never will.
-  Result<std::vector<std::string>> entries = io::ListDir(dir_);
-  if (entries.ok()) {
-    for (const std::string& name : entries.value()) {
-      if (HasSuffix(name, kTempSuffix)) {
-        MGBR_LOG_WARNING("checkpoint: removing stale temp file ", dir_, "/",
-                         name);
-        const Status removed = io::RemoveFile(StrCat(dir_, "/", name));
-        (void)removed;  // stale-temp sweep is best-effort
-      }
-    }
-  }
-  MGBR_RETURN_NOT_OK(SaveCheckpoint(request, PathFor(epoch)));
+Status CheckpointManager::WriteAndRotate(const std::string& bytes,
+                                         int64_t epoch) {
+  MGBR_RETURN_NOT_OK(WriteCheckpointBytes(bytes, PathFor(epoch)));
   // Rotate: keep the newest keep_last_ checkpoints.
   std::vector<int64_t> epochs = ListEpochs();
   if (epochs.size() > static_cast<size_t>(keep_last_)) {
@@ -720,8 +733,58 @@ Status CheckpointManager::Save(const CheckpointWriteRequest& request,
   return Status::OK();
 }
 
+Status CheckpointManager::WaitForPending() {
+  if (!writer_.joinable()) return Status::OK();
+  writer_.join();
+  Status status = std::move(pending_status_);
+  pending_status_ = Status::OK();
+  return status;
+}
+
+Status CheckpointManager::Save(const CheckpointWriteRequest& request,
+                               int64_t epoch) {
+  MGBR_TRACE_SPAN("checkpoint.save", "checkpoint");
+  // Only one write in flight: surface the previous async write's fate
+  // before starting (or shadowing) the next one.
+  MGBR_RETURN_NOT_OK(WaitForPending());
+  MGBR_RETURN_NOT_OK(io::MakeDirs(dir_));
+  // Sweep temp files left by a run that died mid-save: they never
+  // became checkpoints and never will. Runs on the caller thread, so
+  // it can never race the writer (which is joined above).
+  Result<std::vector<std::string>> entries = io::ListDir(dir_);
+  if (entries.ok()) {
+    for (const std::string& name : entries.value()) {
+      if (HasSuffix(name, kTempSuffix)) {
+        MGBR_LOG_WARNING("checkpoint: removing stale temp file ", dir_, "/",
+                         name);
+        const Status removed = io::RemoveFile(StrCat(dir_, "/", name));
+        (void)removed;  // stale-temp sweep is best-effort
+      }
+    }
+  }
+  // Serialize on the caller thread: the request's pointers capture live
+  // training state that the train loop will mutate right after Save()
+  // returns, so the snapshot must complete here. Only the immutable
+  // byte image crosses the thread boundary.
+  std::string bytes;
+  MGBR_RETURN_NOT_OK(SerializeCheckpoint(request, &bytes));
+  if (!async_) return WriteAndRotate(bytes, epoch);
+  writer_ = std::thread([this, epoch, bytes = std::move(bytes)]() {
+    pending_status_ = WriteAndRotate(bytes, epoch);
+  });
+  return Status::OK();
+}
+
 Status CheckpointManager::RestoreLatest(const CheckpointReadRequest& request,
                                         int64_t* epoch_out) {
+  // An in-flight async write must land before the directory is scanned,
+  // or the newest checkpoint would be invisible. A failed write is only
+  // logged: older checkpoints may still restore.
+  const Status pending = WaitForPending();
+  if (!pending.ok()) {
+    MGBR_LOG_WARNING("checkpoint: pending async write failed: ",
+                     pending.ToString());
+  }
   std::vector<int64_t> epochs = ListEpochs();
   bool fell_back = false;
   for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {

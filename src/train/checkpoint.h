@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -84,8 +85,25 @@ struct CheckpointReadRequest {
 };
 
 /// Writes a v2 checkpoint atomically (temp + fsync + rename).
+/// Equivalent to SerializeCheckpoint + WriteCheckpointBytes.
 Status SaveCheckpoint(const CheckpointWriteRequest& request,
                       const std::string& path);
+
+/// Builds the complete v2 file image (magic, header, CRC'd sections)
+/// into `*out` without touching the filesystem. Splitting serialization
+/// from I/O lets an async writer snapshot training state on the train
+/// thread — while the parameters are guaranteed quiescent — and pay the
+/// fsync latency elsewhere.
+Status SerializeCheckpoint(const CheckpointWriteRequest& request,
+                           std::string* out);
+
+/// Durably lands pre-serialized checkpoint bytes at `path` via the
+/// temp + fsync + atomic-rename protocol (including the crash-safety
+/// kill points exercised by the fault-injection tests). The bytes are
+/// written verbatim, so the produced file is byte-identical regardless
+/// of which thread calls this.
+Status WriteCheckpointBytes(const std::string& bytes,
+                            const std::string& path);
 
 /// Loads and verifies a checkpoint (v2 CRC-checked, or legacy v1 when
 /// only params are requested). Corruption — truncation, CRC mismatch,
@@ -109,15 +127,39 @@ Status LoadParameters(const std::string& path, std::vector<Var>* params);
 /// epochs newest-first and returns the first checkpoint that fully
 /// verifies, counting corrupt files (checkpoint.corrupt_detected) and
 /// fall-backs (checkpoint.fallbacks) along the way.
+///
+/// Async mode (`async = true`): Save() serializes the request on the
+/// calling thread — capturing the exact training state at the call —
+/// then hands the bytes to a background writer that performs the
+/// temp + fsync + rename and rotation, so the train loop never blocks
+/// on disk. At most one write is in flight: the next Save() (and
+/// WaitForPending()) first joins the previous writer and surfaces its
+/// status, so no write error is ever silently dropped. The produced
+/// files are byte-identical to sync mode. The destructor joins any
+/// in-flight write, so a manager never outlives its writer thread.
+/// All methods must be called from one thread (the train loop).
 class CheckpointManager {
  public:
-  explicit CheckpointManager(std::string dir, int keep_last = 3);
+  explicit CheckpointManager(std::string dir, int keep_last = 3,
+                             bool async = false);
+  ~CheckpointManager();
+
+  CheckpointManager(const CheckpointManager&) = delete;
+  CheckpointManager& operator=(const CheckpointManager&) = delete;
 
   /// `<dir>/ckpt-NNNNNN.mgbr` for the given epoch.
   std::string PathFor(int64_t epoch) const;
 
-  /// Atomically writes the checkpoint for `epoch`, then rotates.
+  /// Atomically writes the checkpoint for `epoch`, then rotates. In
+  /// async mode the serialized bytes are handed to the writer thread
+  /// and the returned status covers serialization plus the PREVIOUS
+  /// pending write (use WaitForPending() to collect the last one).
   Status Save(const CheckpointWriteRequest& request, int64_t epoch);
+
+  /// Joins the in-flight async write, if any, and returns its status
+  /// (OK when idle or in sync mode). Call before reading checkpoints
+  /// back or at end of training to ensure the last write is durable.
+  Status WaitForPending();
 
   /// Restores the newest checkpoint that verifies; `*epoch_out`
   /// receives its epoch. NotFound when the directory holds no valid
@@ -130,10 +172,22 @@ class CheckpointManager {
 
   const std::string& dir() const { return dir_; }
   int keep_last() const { return keep_last_; }
+  bool async() const { return async_; }
 
  private:
+  /// Write + rotate for pre-serialized bytes (the writer-thread body;
+  /// also the tail of the sync path, keeping the two modes identical).
+  Status WriteAndRotate(const std::string& bytes, int64_t epoch);
+
   std::string dir_;
   int keep_last_;
+  bool async_;
+  /// In-flight async writer. Joined (and its status collected) before
+  /// the next write starts and in the destructor. `pending_status_` is
+  /// written by the writer thread and read only after join(), which
+  /// provides the necessary synchronization.
+  std::thread writer_;
+  Status pending_status_;
 };
 
 }  // namespace mgbr

@@ -278,6 +278,12 @@ std::vector<EpochStats> Trainer::Train(int64_t epochs) {
       break;
     }
   }
+  // The final checkpoint must be durable before Train() returns: in
+  // async mode the last Save() may still be in flight here.
+  const Status flushed = FlushCheckpoints();
+  if (!flushed.ok()) {
+    MGBR_LOG_WARNING("final checkpoint write failed: ", flushed.ToString());
+  }
   return history;
 }
 
@@ -292,9 +298,23 @@ uint64_t Trainer::ConfigFingerprint() const {
   return h;
 }
 
+CheckpointManager* Trainer::Manager() {
+  if (ckpt_manager_ == nullptr) {
+    ckpt_manager_ = std::make_unique<CheckpointManager>(
+        config_.checkpoint_dir, config_.checkpoint_keep,
+        config_.async_checkpoints);
+  }
+  return ckpt_manager_.get();
+}
+
+Status Trainer::FlushCheckpoints() {
+  if (ckpt_manager_ == nullptr) return Status::OK();
+  return ckpt_manager_->WaitForPending();
+}
+
 Result<int64_t> Trainer::TryResume() {
   if (config_.checkpoint_dir.empty()) return int64_t{0};
-  CheckpointManager manager(config_.checkpoint_dir, config_.checkpoint_keep);
+  CheckpointManager& manager = *Manager();
   CheckpointReadRequest request;
   // The optimizer's Vars are shared handles onto the model's parameters
   // (Trainer's constructor passes model->Parameters()), so restoring
@@ -321,7 +341,7 @@ Status Trainer::MaybeCheckpoint(bool force) {
                  state_.epochs_run % config_.checkpoint_every != 0)) {
     return Status::OK();
   }
-  CheckpointManager manager(config_.checkpoint_dir, config_.checkpoint_keep);
+  CheckpointManager& manager = *Manager();
   CheckpointWriteRequest request;
   request.params = &optimizer_->params();
   request.optimizer = optimizer_.get();
@@ -376,6 +396,10 @@ ValidatedTrainResult TrainWithEarlyStopping(
       MGBR_LOG_WARNING("checkpoint failed: ", saved.ToString());
     }
     if (stop) break;
+  }
+  const Status flushed = trainer->FlushCheckpoints();
+  if (!flushed.ok()) {
+    MGBR_LOG_WARNING("final checkpoint write failed: ", flushed.ToString());
   }
   return result;
 }

@@ -59,6 +59,12 @@ struct TrainConfig {
   std::string checkpoint_dir;
   int64_t checkpoint_every = 1;
   int checkpoint_keep = 3;
+  /// Write checkpoints from a background thread. The training state is
+  /// still serialized synchronously between epochs (so the snapshot is
+  /// exact and files are byte-identical to sync mode), but the fsync +
+  /// rename + rotation happen off the train thread. Write errors
+  /// surface on the next checkpoint attempt or at the end of Train().
+  bool async_checkpoints = false;
 };
 
 /// Per-epoch training statistics. Loss and grad-norm fields are sums
@@ -134,10 +140,21 @@ class Trainer {
 
   /// Writes a checkpoint for the epochs run so far when checkpointing
   /// is enabled and the cadence (or `force`) calls for one; otherwise a
-  /// no-op.
+  /// no-op. With config.async_checkpoints the write completes in the
+  /// background; the returned status then covers serialization and the
+  /// previous pending write (see CheckpointManager::Save).
   Status MaybeCheckpoint(bool force = false);
 
+  /// Blocks until any in-flight async checkpoint write has landed and
+  /// returns its status. No-op (OK) in sync mode or when checkpointing
+  /// is disabled. Train() calls this before returning.
+  Status FlushCheckpoints();
+
  private:
+  /// Lazily-created persistent manager (lives across epochs so an async
+  /// writer can span the gap between checkpoints).
+  CheckpointManager* Manager();
+
   RecModel* model_;
   MgbrModel* mgbr_;  // non-null when model_ is an MgbrModel
   const TrainingSampler* sampler_;
@@ -149,6 +166,7 @@ class Trainer {
   std::unique_ptr<Adam> optimizer_;
   RunTelemetry* telemetry_ = nullptr;
   TrainerState state_;
+  std::unique_ptr<CheckpointManager> ckpt_manager_;
 };
 
 /// Installs SIGINT/SIGTERM handlers that set the stop flag polled by

@@ -560,6 +560,119 @@ TEST(CheckpointManagerTest, EmptyDirectoryIsNotFound) {
 }
 
 // ---------------------------------------------------------------------------
+// Async checkpoint writes.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncCheckpointTest, AsyncFileIsByteIdenticalToSync) {
+  // Serialization happens on the caller thread in both modes and
+  // WriteCheckpointBytes copies the image verbatim, so the landed file
+  // must match byte for byte.
+  Harness h(SmallTrainConfig());
+  h.trainer->Train(1);
+  auto params = h.model->Parameters();
+  Rng rng(11);
+  TrainerState state;
+  state.epochs_run = 1;
+  CheckpointWriteRequest write;
+  write.params = &params;
+  write.optimizer = h.trainer->optimizer();
+  write.rng = &rng;
+  write.trainer = &state;
+  write.fingerprint = h.trainer->ConfigFingerprint();
+
+  const std::string sync_dir = UniqueTempDir("async_eq_sync");
+  const std::string async_dir = UniqueTempDir("async_eq_async");
+  CheckpointManager sync_manager(sync_dir, 3, /*async=*/false);
+  ASSERT_TRUE(sync_manager.Save(write, 1).ok());
+  {
+    CheckpointManager async_manager(async_dir, 3, /*async=*/true);
+    ASSERT_TRUE(async_manager.Save(write, 1).ok());
+    ASSERT_TRUE(async_manager.WaitForPending().ok());
+  }
+  EXPECT_EQ(ReadAll(async_dir + "/ckpt-000001.mgbr"),
+            ReadAll(sync_dir + "/ckpt-000001.mgbr"));
+}
+
+TEST(AsyncCheckpointTest, DestructorJoinsInFlightWrite) {
+  const std::string dir = UniqueTempDir("async_dtor");
+  std::vector<Var> params = {Var(Tensor::Full(64, 64, 3.0f), true)};
+  CheckpointWriteRequest write;
+  write.params = &params;
+  {
+    CheckpointManager manager(dir, 3, /*async=*/true);
+    ASSERT_TRUE(manager.Save(write, 1).ok());
+    // No WaitForPending: destruction must join the writer itself.
+  }
+  std::vector<Var> restore = {Var(Tensor::Zeros(64, 64), true)};
+  ASSERT_TRUE(
+      LoadParameters(dir + "/ckpt-000001.mgbr", &restore).ok());
+  EXPECT_FLOAT_EQ(restore[0].value().at(63, 63), 3.0f);
+}
+
+TEST(AsyncCheckpointTest, RotationAndRestoreWorkInAsyncMode) {
+  const std::string dir = UniqueTempDir("async_rotate");
+  CheckpointManager manager(dir, /*keep_last=*/3, /*async=*/true);
+  std::vector<Var> params = {Var(Tensor::Full(2, 2, 1.0f), true)};
+  CheckpointWriteRequest write;
+  write.params = &params;
+  for (int64_t epoch = 1; epoch <= 5; ++epoch) {
+    params[0].mutable_value().Fill(static_cast<float>(epoch));
+    ASSERT_TRUE(manager.Save(write, epoch).ok());
+  }
+  // RestoreLatest must join the in-flight epoch-5 write before scanning,
+  // so the newest checkpoint is always visible.
+  int64_t epoch = 0;
+  std::vector<Var> restore = {Var(Tensor::Zeros(2, 2), true)};
+  CheckpointReadRequest read;
+  read.params = &restore;
+  ASSERT_TRUE(manager.RestoreLatest(read, &epoch).ok());
+  EXPECT_EQ(epoch, 5);
+  EXPECT_FLOAT_EQ(restore[0].value().at(0, 0), 5.0f);
+  EXPECT_EQ(manager.ListEpochs(), (std::vector<int64_t>{3, 4, 5}));
+}
+
+TEST(AsyncCheckpointTest, SnapshotIsImmuneToPostSaveMutation) {
+  // Save() serializes before returning, so state mutated right after —
+  // as the next training epoch would — must not leak into the file.
+  const std::string dir = UniqueTempDir("async_snapshot");
+  CheckpointManager manager(dir, 3, /*async=*/true);
+  std::vector<Var> params = {Var(Tensor::Full(128, 64, 1.0f), true)};
+  CheckpointWriteRequest write;
+  write.params = &params;
+  ASSERT_TRUE(manager.Save(write, 1).ok());
+  params[0].mutable_value().Fill(-9.0f);  // "next epoch" clobbers state
+  ASSERT_TRUE(manager.WaitForPending().ok());
+  std::vector<Var> restore = {Var(Tensor::Zeros(128, 64), true)};
+  ASSERT_TRUE(
+      LoadParameters(manager.PathFor(1), &restore).ok());
+  EXPECT_FLOAT_EQ(restore[0].value().at(0, 0), 1.0f);
+}
+
+TEST(AsyncCheckpointTest, TrainerAsyncRunMatchesSyncByteForByte) {
+  // End-to-end through the Trainer: the same run with
+  // async_checkpoints on produces byte-identical checkpoint files (the
+  // write path moves threads; the contents must not).
+  const std::string sync_dir = UniqueTempDir("trainer_sync");
+  const std::string async_dir = UniqueTempDir("trainer_async");
+  {
+    Harness h(SmallTrainConfig(sync_dir));
+    h.trainer->Train(3);
+  }
+  {
+    TrainConfig config = SmallTrainConfig(async_dir);
+    config.async_checkpoints = true;
+    Harness h(config);
+    h.trainer->Train(3);  // Train() flushes the last write on exit
+  }
+  for (int64_t epoch = 1; epoch <= 3; ++epoch) {
+    const std::string name =
+        "/ckpt-00000" + std::to_string(epoch) + ".mgbr";
+    EXPECT_EQ(ReadAll(async_dir + name), ReadAll(sync_dir + name))
+        << "epoch " << epoch;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Resume-vs-uninterrupted bitwise equality.
 // ---------------------------------------------------------------------------
 
@@ -758,6 +871,27 @@ TEST_F(FaultInjectionTest, ManagerFallsBackAfterTornWrite) {
   ASSERT_TRUE(manager.RestoreLatest(read, &epoch).ok());
   EXPECT_EQ(epoch, 1);
   EXPECT_FLOAT_EQ(restore[0].value().at(0, 0), 1.0f);
+}
+
+TEST_F(FaultInjectionTest, AsyncWriteErrorSurfacesOnTheNextSave) {
+  // The async Save() itself returns OK (the failure happens on the
+  // writer thread); the error must surface on the NEXT checkpoint
+  // attempt — or WaitForPending — never be dropped.
+  const std::string dir = UniqueTempDir("async_eio");
+  CheckpointManager manager(dir, 3, /*async=*/true);
+  std::vector<Var> params = {Var(Tensor::Full(4, 4, 1.0f), true)};
+  CheckpointWriteRequest write;
+  write.params = &params;
+  fault::Install(
+      Make(fault::Injection::Kind::kWriteEio, manager.PathFor(1)));
+  ASSERT_TRUE(manager.Save(write, 1).ok());  // spawned, not yet failed
+  EXPECT_EQ(manager.Save(write, 2).code(), StatusCode::kIoError);
+  // The failed epoch never landed; the follow-up save was aborted
+  // before starting, so a retry sees a clean slate.
+  EXPECT_FALSE(io::Exists(manager.PathFor(1)));
+  ASSERT_TRUE(manager.Save(write, 2).ok());
+  ASSERT_TRUE(manager.WaitForPending().ok());
+  EXPECT_TRUE(io::Exists(manager.PathFor(2)));
 }
 
 TEST_F(FaultInjectionTest, InjectedReadEioFailsTheLoad) {

@@ -5,6 +5,7 @@
 // full-ranking/sampled protocol agreement regression. The concurrency
 // suite (InferenceConcurrencyTest) runs under TSan in CI.
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -13,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/parallel.h"
+#include "common/rng.h"
 #include "core/mgbr.h"
 #include "data/sampler.h"
 #include "eval/metrics.h"
@@ -218,6 +220,45 @@ TEST_F(InferenceTest, TopKIndicesIsDeterministicAndBreaksTiesByIndex) {
             (std::vector<int64_t>{1, 4, 0, 2, 3}));  // k clamps to size
   EXPECT_TRUE(TopKIndices(scores, 0).empty());
   EXPECT_TRUE(TopKIndices({}, 10).empty());
+}
+
+TEST_F(InferenceTest, TopKIndicesHeapPathMatchesPartialSortExactly) {
+  // Above n >= kTopKHeapMinN with k <= n / kTopKHeapMaxFrac the
+  // selection switches to a bounded max-heap. The order is a strict
+  // total order, so the heap must return the SAME indices as the
+  // partial-sort path — exercised here by straddling the thresholds
+  // with tie-heavy inputs (scores drawn from a tiny value set, so
+  // nearly every comparison is an index tiebreak).
+  Rng rng(1234);
+  const int64_t n_big = kTopKHeapMinN + 17;       // heap-eligible size
+  const int64_t n_small = kTopKHeapMinN - 1;      // always partial_sort
+  for (const int64_t n : {n_small, n_big}) {
+    std::vector<double> scores(static_cast<size_t>(n));
+    for (double& s : scores) {
+      s = static_cast<double>(rng.Next() % 7);  // heavy exact ties
+    }
+    // k straddling the heap cutoff: well below, exactly at, just past
+    // (the just-past case must fall back to partial_sort on n_big).
+    const int64_t cutoff = n / kTopKHeapMaxFrac;
+    for (const int64_t k : {int64_t{1}, int64_t{10}, cutoff, cutoff + 1, n}) {
+      const std::vector<int64_t> got = TopKIndices(scores, k);
+      // Reference: full stable ordering by (score desc, index asc).
+      std::vector<int64_t> want(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) want[static_cast<size_t>(i)] = i;
+      std::sort(want.begin(), want.end(), [&](int64_t a, int64_t b) {
+        const double sa = scores[static_cast<size_t>(a)];
+        const double sb = scores[static_cast<size_t>(b)];
+        if (sa != sb) return sa > sb;
+        return a < b;
+      });
+      want.resize(static_cast<size_t>(std::min(k, n)));
+      EXPECT_EQ(got, want) << "n=" << n << " k=" << k;
+    }
+  }
+  // All-equal scores: the result is exactly 0..k-1 on both paths.
+  const std::vector<double> flat(static_cast<size_t>(n_big), 3.25);
+  const std::vector<int64_t> first = TopKIndices(flat, 5);
+  EXPECT_EQ(first, (std::vector<int64_t>{0, 1, 2, 3, 4}));
 }
 
 TEST_F(InferenceTest, FullRankingAgreesWithSampledWhenNegativesCoverCatalogue) {

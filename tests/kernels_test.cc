@@ -159,6 +159,78 @@ TEST(KernelsTest, GemmAtBRowSplitMatchesWholeCall) {
   EXPECT_TRUE(BitEqual(whole, split));
 }
 
+TEST(KernelsTest, GemmAbWidePackedPanelsMatchReferenceAndVariantsAgree) {
+  // n > 512 engages the B-panel packing path in BlockedAxB. Shapes
+  // straddle the pack boundary (513), a partial second jc block (520)
+  // and a k crossing the kKc=256 cache block with a multi-block n.
+  const GemmShape wide[] = {{3, 300, 520}, {5, 17, 513}, {4, 260, 1029}};
+  for (const GemmShape& s : wide) {
+    const auto a = RandomVec(s.m * s.k, 1300 + s.m);
+    const auto b = RandomVec(s.k * s.n, 2300 + s.n);
+    auto c_init = RandomVec(s.m * s.n, 3300 + s.k);
+    auto c_simd = c_init, c_scalar = c_init;
+    kernels::simd::GemmRowsAB(a.data(), b.data(), c_simd.data(), s.m, s.k,
+                              s.n);
+    kernels::scalar::GemmRowsAB(a.data(), b.data(), c_scalar.data(), s.m,
+                                s.k, s.n);
+    EXPECT_TRUE(BitEqual(c_simd, c_scalar))
+        << "simd/scalar diverge at m=" << s.m << " k=" << s.k
+        << " n=" << s.n;
+    for (int64_t i = 0; i < s.m; ++i) {
+      for (int64_t j = 0; j < s.n; ++j) {
+        double ref = c_init[static_cast<size_t>(i * s.n + j)];
+        for (int64_t kk = 0; kk < s.k; ++kk) {
+          ref += static_cast<double>(a[static_cast<size_t>(i * s.k + kk)]) *
+                 b[static_cast<size_t>(kk * s.n + j)];
+        }
+        EXPECT_NEAR(c_simd[static_cast<size_t>(i * s.n + j)], ref,
+                    1e-4 * std::max(1.0, std::fabs(ref)))
+            << "m=" << s.m << " k=" << s.k << " n=" << s.n << " at (" << i
+            << "," << j << ")";
+      }
+    }
+    // GemmRowsAtB shares BlockedAxB and therefore the packing path.
+    const auto at = RandomVec(s.k * s.m, 1400 + s.m);
+    auto ct_simd = c_init, ct_scalar = c_init;
+    kernels::simd::GemmRowsAtB(at.data(), s.m, 0, b.data(), ct_simd.data(),
+                               s.m, s.k, s.n);
+    kernels::scalar::GemmRowsAtB(at.data(), s.m, 0, b.data(),
+                                 ct_scalar.data(), s.m, s.k, s.n);
+    EXPECT_TRUE(BitEqual(ct_simd, ct_scalar))
+        << "AtB simd/scalar diverge at m=" << s.m << " k=" << s.k
+        << " n=" << s.n;
+  }
+}
+
+TEST(KernelsTest, GemmAbPackedPanelIsAPureRelayout) {
+  // Strongest form of the packing contract: for the SAME (kc, jc)
+  // block, the packed run (wide n, panels copied to stride nc) must be
+  // BITWISE equal to an unpacked run over a B holding just that block
+  // (n = 512, below the packing threshold) — the micro-kernel consumes
+  // identical values in an identical order either way.
+  const int64_t m = 6, k = 300, n_wide = 520, n_block = 512;
+  const auto a = RandomVec(m * k, 41);
+  const auto b = RandomVec(k * n_wide, 42);
+  // B_sub = first 512 columns of B, re-laid out with stride 512.
+  std::vector<float> b_sub(static_cast<size_t>(k * n_block));
+  for (int64_t kk = 0; kk < k; ++kk) {
+    std::memcpy(b_sub.data() + kk * n_block, b.data() + kk * n_wide,
+                static_cast<size_t>(n_block) * sizeof(float));
+  }
+  std::vector<float> c_wide(static_cast<size_t>(m * n_wide), 0.0f);
+  std::vector<float> c_block(static_cast<size_t>(m * n_block), 0.0f);
+  kernels::simd::GemmRowsAB(a.data(), b.data(), c_wide.data(), m, k, n_wide);
+  kernels::simd::GemmRowsAB(a.data(), b_sub.data(), c_block.data(), m, k,
+                            n_block);
+  for (int64_t i = 0; i < m; ++i) {
+    EXPECT_EQ(std::memcmp(c_wide.data() + i * n_wide,
+                          c_block.data() + i * n_block,
+                          static_cast<size_t>(n_block) * sizeof(float)),
+              0)
+        << "packed vs unpacked bytes differ in row " << i;
+  }
+}
+
 TEST(KernelsTest, GemmABtMatchesReferenceAndVariantsAgree) {
   // k values cover the fixed-lane reduction edge cases: below one lane
   // group, exactly one, tails of every length, and multi-block. n

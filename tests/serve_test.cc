@@ -29,7 +29,9 @@
 #include "common/trace.h"
 #include "core/mgbr.h"
 #include "eval/metrics.h"
+#include "models/gbgcn.h"
 #include "models/graph_inputs.h"
+#include "retrieval/two_stage.h"
 #include "serve/model_pool.h"
 #include "serve/server.h"
 #include "tensor/variable.h"
@@ -108,6 +110,28 @@ class ServeTestBase : public ::testing::Test {
 class ModelPoolTest : public ServeTestBase {};
 class ServeServerTest : public ServeTestBase {};
 class ServeSwapTest : public ServeTestBase {};
+/// Two-stage retrieval through the server. Uses GBGCN (a dot-product
+/// scorer with a retrieval view); on the tiny catalogue the default
+/// nprobe exceeds the auto nlist, so the ANN stage is exhaustive and
+/// two-stage responses must be BITWISE equal to the brute path — any
+/// divergence (including a stale index after a hot swap) is an error,
+/// not a recall shortfall. Runs under TSan in CI.
+class ServeRetrievalTest : public ServeTestBase {
+ protected:
+  std::unique_ptr<Gbgcn> MakeGbgcn(uint64_t seed) const {
+    Rng rng(seed);
+    auto model =
+        std::make_unique<Gbgcn>(graphs_, /*dim=*/8, /*n_layers=*/2, &rng);
+    model->Refresh();
+    return model;
+  }
+
+  ModelPool::Factory GbgcnFactory(uint64_t seed) const {
+    return [this, seed] {
+      return std::unique_ptr<RecModel>(MakeGbgcn(seed));
+    };
+  }
+};
 // Observability wiring (exporter / healthz / flight recorder). Kept in
 // its own fixture: these tests drive SloMonitor::Evaluate directly
 // after stopping the ticker, which the TSan job's suite regex need not
@@ -587,6 +611,175 @@ TEST_F(ServeSwapTest, HotSwapMidTrafficEveryResponseBitwiseAttributable) {
   saw_v3 = saw_v3 || resp.version == 3;
   EXPECT_TRUE(saw_v3);
   EXPECT_EQ(pool.swap_count(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Two-stage retrieval through the server.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeRetrievalTest, TwoStageResponsesMatchBruteBitwise) {
+  ModelPool pool(GbgcnFactory(8));
+  std::unique_ptr<Gbgcn> reference = MakeGbgcn(8);
+  pool.Install(MakeGbgcn(8), "init");  // installed BEFORE the server:
+                                       // exercises the EnableRetrieval
+                                       // retrofit of a served version
+  ServerConfig config;
+  config.n_workers = 2;
+  config.retrieval.enabled = true;
+  Server server(&pool, config);
+
+  for (int64_t u = 0; u < graphs_.n_users; ++u) {
+    Request req;
+    req.task = TaskKind::kTopKItems;
+    req.user = u;
+    req.k = 5;
+    const Response resp = server.Submit(req).get();
+    ASSERT_EQ(resp.code, ResponseCode::kOk);
+    const Response want = DirectScore(reference.get(), req);
+    EXPECT_EQ(resp.top_k, want.top_k) << "user " << u;
+    EXPECT_EQ(resp.scores, want.scores) << "user " << u;
+  }
+  server.Stop();
+  EXPECT_EQ(server.stats().two_stage, graphs_.n_users);
+}
+
+TEST_F(ServeRetrievalTest, RetrievalOffKeepsBrutePathAndCountsNothing) {
+  ModelPool pool(GbgcnFactory(8));
+  std::unique_ptr<Gbgcn> reference = MakeGbgcn(8);
+  pool.Install(MakeGbgcn(8), "init");
+  Server server(&pool, ServerConfig{});  // retrieval off by default
+
+  Request req;
+  req.task = TaskKind::kTopKItems;
+  req.user = 1;
+  req.k = 5;
+  const Response resp = server.Submit(req).get();
+  ASSERT_EQ(resp.code, ResponseCode::kOk);
+  const Response want = DirectScore(reference.get(), req);
+  EXPECT_EQ(resp.top_k, want.top_k);
+  EXPECT_EQ(resp.scores, want.scores);
+  server.Stop();
+  EXPECT_EQ(server.stats().two_stage, 0);
+}
+
+TEST_F(ServeRetrievalTest, ModelWithoutRetrievalViewFallsBackToBrute) {
+  // MGBR exposes no retrieval view: enabling retrieval must be a
+  // silent no-op, never an error or a wrong answer.
+  ModelPool pool(Factory(3));
+  std::unique_ptr<MgbrModel> reference = MakeModel(3);
+  pool.Install(MakeModel(3), "init");
+  ServerConfig config;
+  config.retrieval.enabled = true;
+  Server server(&pool, config);
+
+  Request req;
+  req.task = TaskKind::kTopKItems;
+  req.user = 2;
+  req.k = 5;
+  const Response resp = server.Submit(req).get();
+  ASSERT_EQ(resp.code, ResponseCode::kOk);
+  const Response want = DirectScore(reference.get(), req);
+  EXPECT_EQ(resp.top_k, want.top_k);
+  EXPECT_EQ(resp.scores, want.scores);
+  server.Stop();
+  EXPECT_EQ(server.stats().two_stage, 0);
+}
+
+TEST_F(ServeRetrievalTest, CacheSharesSameCutoffButNeverAcrossCutoffs) {
+  ModelPool pool(GbgcnFactory(8));
+  std::unique_ptr<Gbgcn> reference = MakeGbgcn(8);
+  pool.Install(MakeGbgcn(8), "init");
+  ServerConfig config;
+  config.cache_capacity = 32;
+  config.retrieval.enabled = true;
+  Server server(&pool, config);
+
+  auto submit = [&](int64_t k) {
+    Request req;
+    req.task = TaskKind::kTopKItems;
+    req.user = 3;
+    req.k = k;
+    const Response resp = server.Submit(req).get();
+    EXPECT_EQ(resp.code, ResponseCode::kOk);
+    const Response want = DirectScore(reference.get(), req);
+    EXPECT_EQ(resp.top_k, want.top_k) << "k=" << k;
+    EXPECT_EQ(resp.scores, want.scores) << "k=" << k;
+  };
+  // Same (user, k) repeats hit the candidate-score cache; a different k
+  // keys a DIFFERENT candidate set and must not reuse the k=4 entry.
+  submit(4);
+  const int64_t hits_before = server.stats().cache_hits;
+  submit(4);
+  EXPECT_GT(server.stats().cache_hits, hits_before);
+  submit(2);
+  submit(graphs_.n_items);  // k = catalogue: candidates cover everything
+  server.Stop();
+}
+
+TEST_F(ServeRetrievalTest, HotSwapNeverServesAStaleIndex) {
+  // ServeSwapTest's attribution contract with retrieval ON: every
+  // response must match its claimed version's brute-force reference
+  // bitwise. A retriever consulted against a different version's
+  // embeddings would surface wrong candidate sets and break equality.
+  std::unique_ptr<Gbgcn> model_a = MakeGbgcn(1);
+  std::unique_ptr<Gbgcn> model_b = MakeGbgcn(2);
+  const std::string dir = UniqueTempDir("retrieval_swap");
+  const std::string ckpt_a = dir + "_a.mgbr";
+  const std::string ckpt_b = dir + "_b.mgbr";
+  ASSERT_TRUE(SaveParameters(model_a->Parameters(), ckpt_a).ok());
+  ASSERT_TRUE(SaveParameters(model_b->Parameters(), ckpt_b).ok());
+
+  ModelPool pool(GbgcnFactory(99));
+  ASSERT_TRUE(pool.LoadVersion(ckpt_a).ok());  // id 1 = A
+  ServerConfig config;
+  config.n_workers = 2;
+  config.batch_timeout_us = 500;
+  config.cache_capacity = 32;
+  config.retrieval.enabled = true;
+  Server server(&pool, config);
+
+  auto reference_for = [&](int64_t version_id) -> RecModel* {
+    return version_id == 2 ? static_cast<RecModel*>(model_b.get())
+                           : static_cast<RecModel*>(model_a.get());
+  };
+  auto make_request = [&](int i) {
+    Request r;
+    r.task = TaskKind::kTopKItems;
+    r.user = i % graphs_.n_users;
+    r.k = 4;
+    return r;
+  };
+  auto check = [&](const Request& req, const Response& resp) {
+    ASSERT_EQ(resp.code, ResponseCode::kOk);
+    const Response want = DirectScore(reference_for(resp.version), req);
+    EXPECT_EQ(resp.top_k, want.top_k) << "version " << resp.version;
+    EXPECT_EQ(resp.scores, want.scores) << "version " << resp.version;
+  };
+
+  for (int i = 0; i < 20; ++i) {
+    const Request req = make_request(i);
+    const Response resp = server.Submit(req).get();
+    check(req, resp);
+    EXPECT_EQ(resp.version, 1);
+  }
+  // Swap to B concurrently with in-flight two-stage traffic.
+  std::thread swapper([&] { ASSERT_TRUE(pool.LoadVersion(ckpt_b).ok()); });
+  std::vector<std::pair<Request, std::future<Response>>> inflight;
+  for (int i = 0; i < 40; ++i) {
+    const Request req = make_request(i);
+    inflight.emplace_back(req, server.Submit(req));
+  }
+  swapper.join();
+  for (auto& [req, future] : inflight) {
+    const Response resp = future.get();
+    check(req, resp);
+  }
+  const Request req = make_request(0);
+  const Response resp = server.Submit(req).get();
+  check(req, resp);
+  EXPECT_EQ(resp.version, 2);
+  server.Stop();
+  EXPECT_GT(server.stats().two_stage, 0);
 }
 
 // ---------------------------------------------------------------------------
