@@ -31,8 +31,12 @@
 #include "common/metrics.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
+#include "eval/metrics.h"
+#include "models/quant_view.h"
 #include "serve/model_pool.h"
 #include "serve/server.h"
+#include "tensor/quant.h"
+#include "tensor/variable.h"
 
 namespace mgbr::bench {
 namespace {
@@ -60,6 +64,12 @@ struct LoadgenOptions {
   /// Enables ServerConfig.retrieval (ANN candidates + exact re-rank)
   /// for Task A requests. Off by default, like the server's own.
   bool retrieval = false;
+  /// Quantized scoring mode: "off" (fp32 reference), "bf16" or "int8".
+  /// Like retrieval, the quantized path needs a dot-product scoring
+  /// head — with the default MGBR model the server silently serves
+  /// fp32 (stats.quant_scored stays 0, quant.supported is false in the
+  /// report); use --model=gbgcn to exercise it end to end.
+  QuantMode quant = QuantMode::kFp32;
   int64_t k = 10;
   int64_t cache = -1;  // -1 = auto-size to the working set
   int64_t workers = 2;
@@ -159,6 +169,67 @@ bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
   return true;
 }
 
+/// Footprint and Task-A agreement snapshot of the served quantized
+/// view, for the report's "quant" block. Taken after the drain so the
+/// sample scoring cannot perturb the timed window. `supported` stays
+/// false when quantization is off or the model exposes no retrieval
+/// view (MGBR) — the gate treats that as "fp32 served", not a failure.
+struct QuantReport {
+  bool supported = false;
+  int64_t model_bytes = 0;
+  int64_t fp32_bytes = 0;
+  double bytes_per_item = 0.0;
+  double mean_topk_overlap = 1.0;
+  double min_topk_overlap = 1.0;
+  int64_t overlap_users = 0;
+};
+
+QuantReport MeasureQuant(ModelPool* pool, QuantMode mode, int64_t k,
+                         int64_t n_users) {
+  QuantReport rep;
+  if (mode == QuantMode::kFp32) return rep;
+  const auto version = pool->Acquire();
+  if (version == nullptr || version->quant == nullptr) return rep;
+  const QuantizedEmbeddingView& view = *version->quant;
+  rep.supported = true;
+  rep.model_bytes = view.model_bytes();
+  rep.fp32_bytes = view.fp32_bytes();
+  rep.bytes_per_item = view.bytes_per_item();
+  rep.overlap_users = std::min<int64_t>(32, n_users);
+  double sum = 0.0;
+  for (int64_t u = 0; u < rep.overlap_users; ++u) {
+    std::vector<double> ref;
+    {
+      NoGradScope no_grad;
+      const Var column = version->model->ScoreAAll(u);
+      ref.resize(static_cast<size_t>(column.rows()));
+      for (int64_t r = 0; r < column.rows(); ++r) {
+        ref[static_cast<size_t>(r)] = column.value().at(r, 0);
+      }
+    }
+    std::vector<double> quant;
+    MGBR_CHECK(view.ScoreAAll(*version->model, u, &quant));
+    const std::vector<int64_t> ref_top = TopKIndices(ref, k);
+    const std::vector<int64_t> quant_top = TopKIndices(quant, k);
+    int64_t hit = 0;
+    for (const int64_t id : quant_top) {
+      hit += std::find(ref_top.begin(), ref_top.end(), id) != ref_top.end()
+                 ? 1
+                 : 0;
+    }
+    const double overlap =
+        ref_top.empty() ? 1.0
+                        : static_cast<double>(hit) /
+                              static_cast<double>(ref_top.size());
+    sum += overlap;
+    rep.min_topk_overlap = std::min(rep.min_topk_overlap, overlap);
+  }
+  rep.mean_topk_overlap =
+      rep.overlap_users > 0 ? sum / static_cast<double>(rep.overlap_users)
+                            : 1.0;
+  return rep;
+}
+
 int Run(const LoadgenOptions& opt) {
   ExperimentHarness harness(HarnessConfig::FromEnv());
   MGBR_LOG_INFO("loadgen dataset: ", harness.DataSummary());
@@ -189,6 +260,7 @@ int Run(const LoadgenOptions& opt) {
       opt.cache >= 0 ? opt.cache
                      : static_cast<int64_t>(working_set.size()) * 2;
   config.retrieval.enabled = opt.retrieval;
+  config.quant = opt.quant;
   config.obs.metrics_port = static_cast<int>(opt.metrics_port);
   config.obs.flight_capacity = opt.flight_capacity;
   config.obs.flight_dump_path = opt.flight_dump_out;
@@ -284,6 +356,8 @@ int Run(const LoadgenOptions& opt) {
   const double p99 = Percentile(latencies_ms, 0.99);
   const double lat_max = latencies_ms.empty() ? 0.0 : latencies_ms.back();
   const ServerStats stats = server.stats();
+  const QuantReport quant =
+      MeasureQuant(&pool, opt.quant, opt.k, harness.n_users());
 
   std::printf(
       "loadgen: offered %.0f qps for %.1fs (task=%s)\n"
@@ -291,11 +365,20 @@ int Run(const LoadgenOptions& opt) {
       "(queue=%" PRId64 " deadline=%" PRId64 " other=%" PRId64 ")\n"
       "  latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f\n"
       "  batches=%" PRId64 " unique_scored=%" PRId64 " coalesced=%" PRId64
-      " cache_hits=%" PRId64 " two_stage=%" PRId64 "\n",
+      " cache_hits=%" PRId64 " two_stage=%" PRId64 " quant_scored=%" PRId64
+      "\n",
       opt.qps, window_s, opt.task.c_str(), ok, futures.size(), qps,
       shed_fraction * 100.0, shed_queue, shed_deadline, other, p50, p90, p99,
       lat_max, stats.batches, stats.unique_scored, stats.coalesced,
-      stats.cache_hits, stats.two_stage);
+      stats.cache_hits, stats.two_stage, stats.quant_scored);
+  if (quant.supported) {
+    std::printf("  quant[%s]: model_bytes=%" PRId64 " (fp32 %" PRId64
+                "), bytes_per_item=%.1f, top-%" PRId64
+                " overlap mean=%.4f min=%.4f over %" PRId64 " users\n",
+                QuantModeName(opt.quant), quant.model_bytes, quant.fp32_bytes,
+                quant.bytes_per_item, opt.k, quant.mean_topk_overlap,
+                quant.min_topk_overlap, quant.overlap_users);
+  }
 
   if (!opt.json_out.empty()) {
     std::string out;
@@ -307,6 +390,7 @@ int Run(const LoadgenOptions& opt) {
     out += ",\"task\":\"" + opt.task + "\"";
     out += ",\"model\":\"" + opt.model + "\"";
     out += ",\"retrieval\":" + std::string(opt.retrieval ? "true" : "false");
+    out += ",\"quant\":\"" + std::string(QuantModeName(opt.quant)) + "\"";
     out += ",\"k\":" + std::to_string(opt.k);
     out += ",\"cache_capacity\":" + std::to_string(config.cache_capacity);
     out += ",\"n_workers\":" + std::to_string(config.n_workers);
@@ -349,6 +433,18 @@ int Run(const LoadgenOptions& opt) {
     out += ",\"coalesced\":" + std::to_string(stats.coalesced);
     out += ",\"cache_hits\":" + std::to_string(stats.cache_hits);
     out += ",\"two_stage\":" + std::to_string(stats.two_stage);
+    out += ",\"quant_scored\":" + std::to_string(stats.quant_scored);
+    // Footprint + Task-A agreement of the served quantized view (all
+    // defaults when --quant=off or the model has no retrieval view).
+    out += "},\"quant\":{";
+    out += "\"mode\":\"" + std::string(QuantModeName(opt.quant)) + "\"";
+    out += ",\"supported\":" + std::string(quant.supported ? "true" : "false");
+    out += ",\"model_bytes\":" + std::to_string(quant.model_bytes);
+    out += ",\"fp32_bytes\":" + std::to_string(quant.fp32_bytes);
+    out += ",\"bytes_per_item\":" + Num(quant.bytes_per_item);
+    out += ",\"mean_topk_overlap\":" + Num(quant.mean_topk_overlap);
+    out += ",\"min_topk_overlap\":" + Num(quant.min_topk_overlap);
+    out += ",\"overlap_users\":" + std::to_string(quant.overlap_users);
     out += "}}\n";
     std::FILE* f = std::fopen(opt.json_out.c_str(), "w");
     if (f == nullptr ||
@@ -396,6 +492,11 @@ int main(int argc, char** argv) {
       opt.model = v;
     } else if (mgbr::bench::ParseFlag(arg, "retrieval", &v)) {
       opt.retrieval = v != "0";
+    } else if (mgbr::bench::ParseFlag(arg, "quant", &v)) {
+      if (!mgbr::ParseQuantMode(v, &opt.quant)) {
+        std::fprintf(stderr, "--quant must be off, fp32, bf16 or int8\n");
+        return 2;
+      }
     } else if (mgbr::bench::ParseFlag(arg, "k", &v)) {
       opt.k = std::stoll(v);
     } else if (mgbr::bench::ParseFlag(arg, "cache", &v)) {

@@ -1,0 +1,406 @@
+// Agreement/footprint/latency harness for the quantized scoring path
+// (the CI quant-gate workload): quantizes the cached propagated
+// embedding tables of the retrieval-view models to bf16 and int8,
+// measures per-query top-K overlap and Kendall-tau of the quantized
+// full-catalogue ranking against the fp32 reference, and times both
+// paths over the same query set. Emits a "mgbr-quant-v1" JSON report
+// (--json-out) that scripts/check_bench_gate.py --quant checks against
+// the floors in BENCH_baseline.json, plus a human summary on stdout.
+//
+// Same dataset policy as bench_retrieval: a uniform deal log at
+// catalogue scale (every item survives into the graph), models
+// random-initialised + Refresh()ed — agreement depends only on the
+// embedding geometry, and an untrained table is the harder case
+// because its score gaps are smallest. dim defaults to 32, the
+// operating point where int8 clears the >= 3.5x footprint floor
+// (4d / (d + 4) bytes per row; see docs/quantization.md).
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "models/gbgcn.h"
+#include "models/graph_inputs.h"
+#include "models/lightgcn.h"
+#include "models/quant_view.h"
+#include "models/rec_model.h"
+#include "tensor/quant.h"
+#include "tensor/variable.h"
+
+namespace mgbr::bench {
+namespace {
+
+struct QuantOptions {
+  int64_t items = 0;    // 0 = auto: 20000 (4000 under MGBR_BENCH_FAST)
+  int64_t dim = 32;     // embedding width (footprint ratios depend on it)
+  int64_t k = 10;       // top-K cutoff for the overlap metric
+  int64_t queries = 0;  // distinct users measured; 0 = min(200, n_users)
+  int64_t reps = 3;     // timing passes; min total is reported
+  std::string json_out;
+};
+
+struct CaseResult {
+  std::string name;
+  std::string mode;
+  double topk_overlap = 0.0;     // mean over queries
+  double min_topk_overlap = 1.0; // worst query
+  double kendall_tau = 0.0;      // mean over queries, full catalogue
+  double bytes_per_item = 0.0;
+  double fp32_bytes_per_item = 0.0;
+  double footprint_ratio = 0.0;  // fp32 bytes / quantized bytes, all tables
+  double fp32_ns = 0.0;          // per full-catalogue Task A query
+  double quant_ns = 0.0;
+  double speedup = 0.0;
+  double build_ms = 0.0;
+};
+
+/// Uniform deal log (same generator as bench_retrieval): every item is
+/// drawn with equal probability so the whole catalogue survives.
+GroupBuyingDataset QuantScaleDataset(int64_t n_users, int64_t n_items,
+                                     int64_t n_groups, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DealGroup> groups;
+  groups.reserve(static_cast<size_t>(n_groups));
+  for (int64_t g = 0; g < n_groups; ++g) {
+    DealGroup group;
+    group.initiator = static_cast<int64_t>(rng.UniformInt(n_users));
+    group.item = static_cast<int64_t>(rng.UniformInt(n_items));
+    const int n_parts = static_cast<int>(rng.UniformInt(4));
+    for (int p = 0; p < n_parts; ++p) {
+      const int64_t cand = static_cast<int64_t>(rng.UniformInt(n_users));
+      if (cand != group.initiator) group.participants.push_back(cand);
+    }
+    groups.push_back(std::move(group));
+  }
+  return GroupBuyingDataset(n_users, n_items, std::move(groups));
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+/// The fp32 serving reference: exact ScoreAAll column under
+/// NoGradScope, widened to doubles (bitwise what the server caches).
+std::vector<double> Fp32ScoreAll(RecModel* model, int64_t u) {
+  NoGradScope no_grad;
+  const Var column = model->ScoreAAll(u);
+  std::vector<double> scores(static_cast<size_t>(column.rows()));
+  for (int64_t r = 0; r < column.rows(); ++r) {
+    scores[static_cast<size_t>(r)] = column.value().at(r, 0);
+  }
+  return scores;
+}
+
+/// Inversions of `seq` by merge sort (O(n log n)); `tmp` is scratch.
+int64_t CountInversions(std::vector<int64_t>* seq, std::vector<int64_t>* tmp,
+                        int64_t lo, int64_t hi) {
+  if (hi - lo <= 1) return 0;
+  const int64_t mid = lo + (hi - lo) / 2;
+  int64_t inv = CountInversions(seq, tmp, lo, mid) +
+                CountInversions(seq, tmp, mid, hi);
+  int64_t i = lo, j = mid, out = lo;
+  while (i < mid && j < hi) {
+    if ((*seq)[static_cast<size_t>(i)] <= (*seq)[static_cast<size_t>(j)]) {
+      (*tmp)[static_cast<size_t>(out++)] = (*seq)[static_cast<size_t>(i++)];
+    } else {
+      inv += mid - i;
+      (*tmp)[static_cast<size_t>(out++)] = (*seq)[static_cast<size_t>(j++)];
+    }
+  }
+  while (i < mid) (*tmp)[static_cast<size_t>(out++)] = (*seq)[static_cast<size_t>(i++)];
+  while (j < hi) (*tmp)[static_cast<size_t>(out++)] = (*seq)[static_cast<size_t>(j++)];
+  std::copy(tmp->begin() + lo, tmp->begin() + hi, seq->begin() + lo);
+  return inv;
+}
+
+/// Kendall tau-a between two full rankings, both totally ordered by the
+/// serving tie rule (score desc, index asc — TopKIndices with k = n).
+/// tau = 1 - 4 * inversions / (n * (n - 1)).
+double KendallTau(const std::vector<int64_t>& order_ref,
+                  const std::vector<int64_t>& order_quant) {
+  const int64_t n = static_cast<int64_t>(order_ref.size());
+  if (n < 2) return 1.0;
+  std::vector<int64_t> pos(static_cast<size_t>(n));
+  for (int64_t p = 0; p < n; ++p) {
+    pos[static_cast<size_t>(order_quant[static_cast<size_t>(p)])] = p;
+  }
+  std::vector<int64_t> seq(static_cast<size_t>(n));
+  for (int64_t p = 0; p < n; ++p) {
+    seq[static_cast<size_t>(p)] = pos[static_cast<size_t>(
+        order_ref[static_cast<size_t>(p)])];
+  }
+  std::vector<int64_t> tmp(static_cast<size_t>(n));
+  const int64_t inv = CountInversions(&seq, &tmp, 0, n);
+  return 1.0 - 4.0 * static_cast<double>(inv) /
+                   (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+CaseResult RunCase(const std::string& name, RecModel* model, QuantMode mode,
+                   const QuantOptions& opt, int64_t n_queries) {
+  CaseResult result;
+  result.name = name;
+  result.mode = QuantModeName(mode);
+
+  const int64_t build_t0 = trace::NowMicros();
+  const std::shared_ptr<const QuantizedEmbeddingView> view =
+      QuantizedEmbeddingView::BuildFor(*model, mode);
+  MGBR_CHECK_MSG(view != nullptr, name,
+                 " exposes no retrieval view; case list is wrong");
+  result.build_ms = static_cast<double>(trace::NowMicros() - build_t0) * 1e-3;
+  result.bytes_per_item = view->bytes_per_item();
+  result.fp32_bytes_per_item =
+      static_cast<double>(view->item_table().d()) * 4.0;
+  result.footprint_ratio =
+      static_cast<double>(view->fp32_bytes()) /
+      static_cast<double>(view->model_bytes());
+
+  // Agreement pass: per-query top-K overlap and full-catalogue Kendall
+  // tau of the quantized ranking against the fp32 reference, both
+  // ordered by the serving tie rule.
+  const int64_t n_items = view->item_table().n();
+  double overlap_sum = 0.0;
+  double tau_sum = 0.0;
+  for (int64_t u = 0; u < n_queries; ++u) {
+    const std::vector<double> ref = Fp32ScoreAll(model, u);
+    std::vector<double> quant;
+    MGBR_CHECK(view->ScoreAAll(*model, u, &quant));
+    const std::vector<int64_t> ref_top = TopKIndices(ref, opt.k);
+    const std::vector<int64_t> quant_top = TopKIndices(quant, opt.k);
+    int64_t hit = 0;
+    for (const int64_t id : quant_top) {
+      hit += std::find(ref_top.begin(), ref_top.end(), id) != ref_top.end()
+                 ? 1
+                 : 0;
+    }
+    const double overlap =
+        ref_top.empty() ? 1.0
+                        : static_cast<double>(hit) /
+                              static_cast<double>(ref_top.size());
+    overlap_sum += overlap;
+    result.min_topk_overlap = std::min(result.min_topk_overlap, overlap);
+    tau_sum += KendallTau(TopKIndices(ref, n_items),
+                          TopKIndices(quant, n_items));
+  }
+  result.topk_overlap = overlap_sum / static_cast<double>(n_queries);
+  result.kendall_tau = tau_sum / static_cast<double>(n_queries);
+
+  // Timed passes over the same query set: the fp32 serving scorer vs
+  // the quantized view, both producing the double vector the server
+  // caches. Min-of-reps rejects scheduler noise; the agreement loop
+  // above doubles as the warm-up.
+  int64_t fp32_best = 0, quant_best = 0;
+  std::vector<double> scratch;
+  for (int64_t rep = 0; rep < opt.reps; ++rep) {
+    int64_t t0 = trace::NowMicros();
+    for (int64_t u = 0; u < n_queries; ++u) {
+      Fp32ScoreAll(model, u);
+    }
+    const int64_t fp32_us = trace::NowMicros() - t0;
+    t0 = trace::NowMicros();
+    for (int64_t u = 0; u < n_queries; ++u) {
+      view->ScoreAAll(*model, u, &scratch);
+    }
+    const int64_t quant_us = trace::NowMicros() - t0;
+    if (rep == 0 || fp32_us < fp32_best) fp32_best = fp32_us;
+    if (rep == 0 || quant_us < quant_best) quant_best = quant_us;
+  }
+  result.fp32_ns =
+      static_cast<double>(fp32_best) * 1e3 / static_cast<double>(n_queries);
+  result.quant_ns =
+      static_cast<double>(quant_best) * 1e3 / static_cast<double>(n_queries);
+  result.speedup =
+      result.quant_ns > 0.0 ? result.fp32_ns / result.quant_ns : 0.0;
+  return result;
+}
+
+struct ModeSummary {
+  double min_topk_overlap = 1.0;
+  double mean_kendall_tau = 0.0;
+  double min_footprint_ratio = 0.0;
+  double geomean_speedup = 0.0;
+  int64_t n_cases = 0;
+};
+
+int Run(const QuantOptions& opt) {
+  const char* fast_env = std::getenv("MGBR_BENCH_FAST");
+  const bool fast =
+      fast_env != nullptr && fast_env[0] != '\0' && fast_env[0] != '0';
+  const int64_t n_items = opt.items > 0 ? opt.items : (fast ? 4000 : 20000);
+  const int64_t n_users = fast ? 300 : 500;
+  const GroupBuyingDataset data =
+      QuantScaleDataset(n_users, n_items, /*n_groups=*/4 * n_items, 97);
+  const GraphInputs graphs = BuildGraphInputs(data);
+  MGBR_LOG_INFO("quant dataset: ", data.StatsString());
+
+  const int64_t n_queries =
+      opt.queries > 0 ? std::min(opt.queries, n_users)
+                      : std::min<int64_t>(200, n_users);
+
+  const QuantMode modes[] = {QuantMode::kBf16, QuantMode::kInt8};
+  std::vector<CaseResult> cases;
+  for (const char* name : {"GBGCN", "LightGCN"}) {
+    Rng rng(8);
+    std::unique_ptr<RecModel> model;
+    if (std::string(name) == "GBGCN") {
+      model = std::make_unique<Gbgcn>(graphs, opt.dim, /*n_layers=*/2, &rng);
+    } else {
+      model =
+          std::make_unique<LightGcn>(graphs, opt.dim, /*n_layers=*/2, &rng);
+    }
+    model->Refresh();
+    for (const QuantMode mode : modes) {
+      cases.push_back(RunCase(name, model.get(), mode, opt, n_queries));
+      const CaseResult& c = cases.back();
+      std::printf(
+          "%-9s %-4s overlap@%" PRId64 "=%.4f (min %.4f)  tau=%.4f  "
+          "B/item=%.1f (%.2fx)  fp32=%.0fns quant=%.0fns speedup=%.2fx\n",
+          c.name.c_str(), c.mode.c_str(), opt.k, c.topk_overlap,
+          c.min_topk_overlap, c.kendall_tau, c.bytes_per_item,
+          c.footprint_ratio, c.fp32_ns, c.quant_ns, c.speedup);
+    }
+  }
+
+  ModeSummary summaries[2];
+  for (size_t m = 0; m < 2; ++m) {
+    ModeSummary& s = summaries[m];
+    const char* mode_name = QuantModeName(modes[m]);
+    double log_sum = 0.0;
+    double min_ratio = 0.0;
+    for (const CaseResult& c : cases) {
+      if (c.mode != mode_name) continue;
+      s.min_topk_overlap = std::min(s.min_topk_overlap, c.topk_overlap);
+      s.mean_kendall_tau += c.kendall_tau;
+      min_ratio = s.n_cases == 0 ? c.footprint_ratio
+                                 : std::min(min_ratio, c.footprint_ratio);
+      log_sum += std::log(c.speedup);
+      ++s.n_cases;
+    }
+    MGBR_CHECK_GT(s.n_cases, 0);
+    s.mean_kendall_tau /= static_cast<double>(s.n_cases);
+    s.min_footprint_ratio = min_ratio;
+    s.geomean_speedup = std::exp(log_sum / static_cast<double>(s.n_cases));
+    std::printf(
+        "%-4s min overlap@%" PRId64 " %.4f  mean tau %.4f  footprint "
+        ">=%.2fx  geomean speedup %.2fx over %" PRId64 " cases\n",
+        mode_name, opt.k, s.min_topk_overlap, s.mean_kendall_tau,
+        s.min_footprint_ratio, s.geomean_speedup, s.n_cases);
+  }
+
+  if (!opt.json_out.empty()) {
+    std::string out;
+    out += "{\"schema\":\"mgbr-quant-v1\",";
+    out += "\"config\":{";
+    out += "\"n_items\":" + std::to_string(n_items);
+    out += ",\"n_users\":" + std::to_string(n_users);
+    out += ",\"dim\":" + std::to_string(opt.dim);
+    out += ",\"k\":" + std::to_string(opt.k);
+    out += ",\"queries\":" + std::to_string(n_queries);
+    out += ",\"reps\":" + std::to_string(opt.reps);
+    out += ",\"fast\":" + std::string(fast ? "true" : "false");
+    out += "},\"results\":{\"cases\":[";
+    for (size_t i = 0; i < cases.size(); ++i) {
+      const CaseResult& c = cases[i];
+      if (i > 0) out += ",";
+      out += "{\"name\":\"" + c.name + "\"";
+      out += ",\"mode\":\"" + c.mode + "\"";
+      out += ",\"topk_overlap\":" + Num(c.topk_overlap);
+      out += ",\"min_topk_overlap\":" + Num(c.min_topk_overlap);
+      out += ",\"kendall_tau\":" + Num(c.kendall_tau);
+      out += ",\"bytes_per_item\":" + Num(c.bytes_per_item);
+      out += ",\"fp32_bytes_per_item\":" + Num(c.fp32_bytes_per_item);
+      out += ",\"footprint_ratio\":" + Num(c.footprint_ratio);
+      out += ",\"fp32_ns\":" + Num(c.fp32_ns);
+      out += ",\"quant_ns\":" + Num(c.quant_ns);
+      out += ",\"speedup\":" + Num(c.speedup);
+      out += ",\"build_ms\":" + Num(c.build_ms);
+      out += "}";
+    }
+    out += "],\"modes\":{";
+    for (size_t m = 0; m < 2; ++m) {
+      const ModeSummary& s = summaries[m];
+      if (m > 0) out += ",";
+      out += std::string("\"") + QuantModeName(modes[m]) + "\":{";
+      out += "\"min_topk_overlap\":" + Num(s.min_topk_overlap);
+      out += ",\"mean_kendall_tau\":" + Num(s.mean_kendall_tau);
+      out += ",\"min_footprint_ratio\":" + Num(s.min_footprint_ratio);
+      out += ",\"geomean_speedup\":" + Num(s.geomean_speedup);
+      out += ",\"n_cases\":" + std::to_string(s.n_cases);
+      out += "}";
+    }
+    out += "}}}\n";
+    std::FILE* f = std::fopen(opt.json_out.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(out.data(), 1, out.size(), f) != out.size() ||
+        std::fclose(f) != 0) {
+      MGBR_LOG_ERROR("cannot write quant report: ", opt.json_out);
+      return 1;
+    }
+    MGBR_LOG_INFO("wrote quant report to ", opt.json_out);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mgbr::bench
+
+int main(int argc, char** argv) {
+  const mgbr::TelemetryOptions telemetry =
+      mgbr::TelemetryOptions::FromArgs(argc, argv);
+  telemetry.EnableRequested();
+
+  mgbr::bench::QuantOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (mgbr::bench::ParseFlag(arg, "items", &v)) {
+      opt.items = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "dim", &v)) {
+      opt.dim = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "k", &v)) {
+      opt.k = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "queries", &v)) {
+      opt.queries = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "reps", &v)) {
+      opt.reps = std::stoll(v);
+    } else if (mgbr::bench::ParseFlag(arg, "json-out", &v)) {
+      opt.json_out = v;
+    } else if (arg.rfind("--trace-out", 0) == 0 ||
+               arg.rfind("--metrics-out", 0) == 0 || arg == "--trace-stream") {
+      if ((arg == "--trace-out" || arg == "--metrics-out") && i + 1 < argc) {
+        ++i;  // handled by TelemetryOptions; skip its value form too
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (opt.k <= 0 || opt.reps <= 0 || opt.dim <= 0) {
+    std::fprintf(stderr, "--k, --reps and --dim must be positive\n");
+    return 2;
+  }
+
+  const int rc = mgbr::bench::Run(opt);
+  const mgbr::Status flush = telemetry.Flush(nullptr);
+  return rc != 0 ? rc : (flush.ok() ? 0 : 1);
+}

@@ -35,6 +35,19 @@ the committed seeds (index construction is bit-identical by contract),
 so the recall floor holds exactly; the speedup floor is a ratio on one
 machine and carries ~2x headroom for runner noise.
 
+`--quant` mode — quantized-scoring agreement gate. Reads ONE
+bench_quant JSON report ("mgbr-quant-v1") and fails, per quantized
+mode (bf16, int8), when the min-over-cases top-10 overlap against the
+fp32 reference ranking falls below
+`ci_gate.quant.<mode>.min_topk_overlap`, the min-over-cases footprint
+ratio (fp32 bytes / quantized bytes) falls below
+`min_footprint_ratio`, or the geometric-mean fp32/quantized scoring
+speedup falls below `min_speedup`. Overlap and footprint are
+deterministic for the committed seeds (quantization is elementwise and
+exactly specified, scoring is bit-identical across thread counts by
+the kernel contract), so those floors hold exactly; the speedup floor
+is a timing ratio and carries large headroom for runner noise.
+
 Every input file is schema-validated before any number is compared, so
 a truncated artifact or a format drift fails loudly instead of gating
 on garbage. `--self-test` runs the built-in unit tests (CI invokes it
@@ -52,6 +65,7 @@ Usage:
     check_bench_gate.py --eval BENCH_baseline.json serving.json
     check_bench_gate.py --serving BENCH_baseline.json loadgen.json
     check_bench_gate.py --retrieval BENCH_baseline.json retrieval.json
+    check_bench_gate.py --quant BENCH_baseline.json quant.json
     check_bench_gate.py --self-test
 """
 
@@ -132,6 +146,54 @@ def validate_retrieval(data, path):
                     "speedup"):
             _require(key in case,
                      f"{path}: results.cases[{i}] missing '{key}'")
+
+
+def validate_quant(data, path):
+    """bench_quant JSON: schema mgbr-quant-v1 (see bench_quant.cc)."""
+    _require(isinstance(data, dict), f"{path}: top level is not an object")
+    _require(data.get("schema") == "mgbr-quant-v1",
+             f"{path}: schema is {data.get('schema')!r}, "
+             "expected 'mgbr-quant-v1'")
+    config = data.get("config")
+    _require(isinstance(config, dict), f"{path}: missing 'config' object")
+    _require(isinstance(config.get("k"), int),
+             f"{path}: config.k missing or not an integer")
+    results = data.get("results")
+    _require(isinstance(results, dict), f"{path}: missing 'results' object")
+    cases = results.get("cases")
+    _require(isinstance(cases, list) and cases,
+             f"{path}: results.cases missing or empty")
+    for i, case in enumerate(cases):
+        _require(isinstance(case, dict),
+                 f"{path}: results.cases[{i}] is not an object")
+        for key in ("name", "mode", "topk_overlap", "kendall_tau",
+                    "footprint_ratio", "speedup"):
+            _require(key in case,
+                     f"{path}: results.cases[{i}] missing '{key}'")
+    modes = results.get("modes")
+    _require(isinstance(modes, dict) and modes,
+             f"{path}: results.modes missing or empty")
+    for mode, summary in modes.items():
+        _require(isinstance(summary, dict),
+                 f"{path}: results.modes.{mode} is not an object")
+        for key in ("min_topk_overlap", "min_footprint_ratio",
+                    "geomean_speedup"):
+            _require(isinstance(summary.get(key), (int, float)),
+                     f"{path}: results.modes.{mode}.{key} missing or not "
+                     "numeric")
+
+
+def validate_quant_floors(floors, path):
+    """The ci_gate.quant block of BENCH_baseline.json (per-mode floors)."""
+    _require(isinstance(floors, dict) and floors,
+             f"{path}: ci_gate.quant missing or empty")
+    for mode, block in floors.items():
+        _require(isinstance(block, dict),
+                 f"{path}: ci_gate.quant.{mode} is not an object")
+        for key in ("min_topk_overlap", "min_footprint_ratio", "min_speedup"):
+            _require(isinstance(block.get(key), (int, float)),
+                     f"{path}: ci_gate.quant.{mode}.{key} missing or not "
+                     "numeric")
 
 
 def validate_retrieval_floors(floors, path):
@@ -311,6 +373,65 @@ def retrieval_gate(baseline, retrieval_path):
     return 0
 
 
+def quant_gate(baseline, quant_path):
+    floors = baseline.get("ci_gate", {}).get("quant")
+    validate_quant_floors(floors, "baseline")
+    report = load_json(quant_path, validate_quant)
+    results = report["results"]
+
+    k = report["config"]["k"]
+    if k != 10:
+        print(f"ERROR: report measured top-{k} overlap; the committed "
+              "floors are top-10 — run bench_quant with --k=10")
+        return 1
+    for case in results["cases"]:
+        print(f"{case['name']:10s} {case['mode']:5s} "
+              f"overlap@10 = {case['topk_overlap']:.4f}  "
+              f"tau = {case['kendall_tau']:.4f}  "
+              f"footprint = {case['footprint_ratio']:.2f}x  "
+              f"speedup = {case['speedup']:6.2f}x")
+
+    failures = []
+    for mode, floor in sorted(floors.items()):
+        summary = results["modes"].get(mode)
+        if summary is None:
+            failures.append(
+                f"mode '{mode}' has committed floors but no results — "
+                "bench_quant no longer measures it")
+            continue
+        overlap = summary["min_topk_overlap"]
+        footprint = summary["min_footprint_ratio"]
+        speedup = summary["geomean_speedup"]
+        print(f"{mode:5s} min overlap@10 {overlap:7.4f} "
+              f"(floor {floor['min_topk_overlap']:.4f})  "
+              f"min footprint {footprint:5.2f}x "
+              f"(floor {floor['min_footprint_ratio']:.2f}x)  "
+              f"geomean speedup {speedup:6.2f}x "
+              f"(floor {floor['min_speedup']:.2f}x)")
+        if overlap < floor["min_topk_overlap"]:
+            failures.append(
+                f"{mode} min top-10 overlap {overlap:.4f} is below the "
+                f"floor {floor['min_topk_overlap']:.4f} — the quantized "
+                "ranking no longer agrees with the fp32 reference")
+        if footprint < floor["min_footprint_ratio"]:
+            failures.append(
+                f"{mode} min footprint ratio {footprint:.2f}x is below the "
+                f"floor {floor['min_footprint_ratio']:.2f}x — the quantized "
+                "table is not delivering its storage reduction")
+        if speedup < floor["min_speedup"]:
+            failures.append(
+                f"{mode} scoring speedup geomean {speedup:.2f}x is below "
+                f"the floor {floor['min_speedup']:.2f}x — the quantized "
+                "path no longer beats the fp32 reference scorer")
+    for failure in failures:
+        print(f"ERROR: {failure}")
+    if failures:
+        return 1
+    print("OK: quantized scoring clears the agreement, footprint and "
+          "speedup floors.")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Self-test (pytest-style asserts, zero dependencies; CI runs this first).
 # ---------------------------------------------------------------------------
@@ -442,6 +563,62 @@ def self_test():
     check("retrieval_rejects_malformed_baseline",
           _expect_schema_error(validate_retrieval_floors, None, "baseline"))
 
+    # Quant gate verdicts against an in-memory baseline.
+    def quant_report(overlap=0.99, footprint=3.5, speedup=7.0, k=10,
+                     mode="int8"):
+        case = {"name": "GBGCN", "mode": mode, "topk_overlap": overlap,
+                "kendall_tau": 0.997, "footprint_ratio": footprint,
+                "speedup": speedup}
+        return {
+            "schema": "mgbr-quant-v1",
+            "config": {"n_items": 20000, "k": k, "queries": 200},
+            "results": {
+                "cases": [case],
+                "modes": {mode: {"min_topk_overlap": overlap,
+                                 "mean_kendall_tau": 0.997,
+                                 "min_footprint_ratio": footprint,
+                                 "geomean_speedup": speedup,
+                                 "n_cases": 1}},
+            },
+        }
+
+    validate_quant(quant_report(), "mem")
+    check("quant_accepts_valid", True)
+    check("quant_rejects_wrong_schema",
+          _expect_schema_error(
+              validate_quant, {"schema": "mgbr-retrieval-v1"}, "mem"))
+    bad = quant_report()
+    del bad["results"]["modes"]["int8"]["min_topk_overlap"]
+    check("quant_rejects_missing_overlap",
+          _expect_schema_error(validate_quant, bad, "mem"))
+
+    quant_baseline = {"ci_gate": {"quant": {"int8": {
+        "min_topk_overlap": 0.90, "min_footprint_ratio": 3.5,
+        "min_speedup": 1.5}}}}
+
+    def run_quant(report):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump(report, f)
+            path = f.name
+        try:
+            return quant_gate(quant_baseline, path)
+        finally:
+            os.unlink(path)
+
+    check("quant_passes_within_floors", run_quant(quant_report()) == 0)
+    check("quant_fails_low_overlap",
+          run_quant(quant_report(overlap=0.8)) == 1)
+    check("quant_fails_low_footprint",
+          run_quant(quant_report(footprint=2.0)) == 1)
+    check("quant_fails_low_speedup",
+          run_quant(quant_report(speedup=1.0)) == 1)
+    check("quant_fails_wrong_k", run_quant(quant_report(k=100)) == 1)
+    check("quant_fails_missing_mode",
+          run_quant(quant_report(mode="bf16")) == 1)
+    check("quant_rejects_malformed_baseline",
+          _expect_schema_error(validate_quant_floors, None, "baseline"))
+
     failed = [name for name, ok in checks if not ok]
     print(f"self-test: {len(checks) - len(failed)}/{len(checks)} passed")
     return 1 if failed else 0
@@ -472,6 +649,13 @@ def main(argv):
             with open(argv[2]) as f:
                 baseline = json.load(f)
             return retrieval_gate(baseline, argv[3])
+        if len(argv) >= 2 and argv[1] == "--quant":
+            if len(argv) != 4:
+                print(__doc__)
+                return 2
+            with open(argv[2]) as f:
+                baseline = json.load(f)
+            return quant_gate(baseline, argv[3])
         if len(argv) != 4:
             print(__doc__)
             return 2

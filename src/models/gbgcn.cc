@@ -78,4 +78,19 @@ bool Gbgcn::RetrievalQueryA(int64_t u, std::vector<float>* query) const {
   return true;
 }
 
+bool Gbgcn::RetrievalPartView(const float** data, int64_t* n,
+                              int64_t* d) const {
+  if (!part_user_.defined()) return false;
+  *data = part_user_.value().data();
+  *n = part_user_.rows();
+  *d = part_user_.cols();
+  return true;
+}
+
+bool Gbgcn::RetrievalQueryB(int64_t u, int64_t item,
+                            std::vector<float>* query) const {
+  (void)item;
+  return RetrievalQueryA(u, query);
+}
+
 }  // namespace mgbr

@@ -39,6 +39,13 @@ class Gbgcn : public RecModel {
                          int64_t* d) const override;
   bool RetrievalQueryA(int64_t u, std::vector<float>* query) const override;
 
+  /// Task B is <u_init, p_part>: init_user_ rows as queries against the
+  /// cached part_user_ block.
+  bool RetrievalPartView(const float** data, int64_t* n,
+                         int64_t* d) const override;
+  bool RetrievalQueryB(int64_t u, int64_t item,
+                       std::vector<float>* query) const override;
+
  private:
   int64_t n_users_;
   SharedCsr a_ui_;

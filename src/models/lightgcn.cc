@@ -63,6 +63,21 @@ bool LightGcn::RetrievalQueryA(int64_t u, std::vector<float>* query) const {
   return true;
 }
 
+bool LightGcn::RetrievalPartView(const float** data, int64_t* n,
+                                 int64_t* d) const {
+  if (!user_block_.defined()) return false;
+  *data = user_block_.value().data();
+  *n = user_block_.rows();
+  *d = user_block_.cols();
+  return true;
+}
+
+bool LightGcn::RetrievalQueryB(int64_t u, int64_t item,
+                               std::vector<float>* query) const {
+  (void)item;
+  return RetrievalQueryA(u, query);
+}
+
 Var LightGcn::ScoreA(const std::vector<int64_t>& users,
                      const std::vector<int64_t>& items) {
   MGBR_CHECK(final_.defined());

@@ -38,6 +38,13 @@ class LightGcn : public RecModel {
                          int64_t* d) const override;
   bool RetrievalQueryA(int64_t u, std::vector<float>* query) const override;
 
+  /// Task B is <final_[u], user_block_[p]>: same query row, the cached
+  /// user block as candidates.
+  bool RetrievalPartView(const float** data, int64_t* n,
+                         int64_t* d) const override;
+  bool RetrievalQueryB(int64_t u, int64_t item,
+                       std::vector<float>* query) const override;
+
  private:
   int64_t n_users_;
   int64_t n_items_;

@@ -1,0 +1,79 @@
+#include "models/quant_view.h"
+
+#include "common/checksum.h"
+
+namespace mgbr {
+
+namespace {
+
+/// float -> double widening is exact, so rank comparisons downstream
+/// see the fp32 quantized scores bit-for-bit (same contract as
+/// ColumnToDoubles in rec_model.cc).
+void WidenToDoubles(const std::vector<float>& in, std::vector<double>* out) {
+  out->resize(in.size());
+  for (size_t i = 0; i < in.size(); ++i) (*out)[i] = in[i];
+}
+
+}  // namespace
+
+std::shared_ptr<const QuantizedEmbeddingView> QuantizedEmbeddingView::BuildFor(
+    const RecModel& model, QuantMode mode) {
+  if (mode == QuantMode::kFp32) return nullptr;
+  const float* data = nullptr;
+  int64_t n = 0;
+  int64_t d = 0;
+  if (!model.RetrievalItemView(&data, &n, &d)) return nullptr;
+  std::shared_ptr<QuantizedEmbeddingView> view(new QuantizedEmbeddingView());
+  view->item_.Build(data, n, d, mode);
+  const float* pdata = nullptr;
+  int64_t pn = 0;
+  int64_t pd = 0;
+  if (model.RetrievalPartView(&pdata, &pn, &pd)) {
+    view->part_.Build(pdata, pn, pd, mode);
+  }
+  return view;
+}
+
+bool QuantizedEmbeddingView::ScoreAAll(const RecModel& model, int64_t u,
+                                       std::vector<double>* out) const {
+  std::vector<float> query;
+  if (!model.RetrievalQueryA(u, &query)) return false;
+  std::vector<float> scores(static_cast<size_t>(item_.n()));
+  item_.ScoreAll(query.data(), scores.data());
+  WidenToDoubles(scores, out);
+  return true;
+}
+
+bool QuantizedEmbeddingView::ScoreACandidates(
+    const RecModel& model, int64_t u, const std::vector<int64_t>& ids,
+    std::vector<double>* out) const {
+  std::vector<float> query;
+  if (!model.RetrievalQueryA(u, &query)) return false;
+  std::vector<float> scores(ids.size());
+  item_.ScoreRows(query.data(), ids.data(),
+                  static_cast<int64_t>(ids.size()), scores.data());
+  WidenToDoubles(scores, out);
+  return true;
+}
+
+bool QuantizedEmbeddingView::ScoreBAll(const RecModel& model, int64_t u,
+                                       int64_t item,
+                                       std::vector<double>* out) const {
+  if (part_.empty()) return false;
+  std::vector<float> query;
+  if (!model.RetrievalQueryB(u, item, &query)) return false;
+  std::vector<float> scores(static_cast<size_t>(part_.n()));
+  part_.ScoreAll(query.data(), scores.data());
+  WidenToDoubles(scores, out);
+  return true;
+}
+
+uint32_t QuantizedEmbeddingView::Fingerprint() const {
+  const uint32_t item_crc = item_.Fingerprint();
+  const uint32_t part_crc = part_.Fingerprint();
+  uint32_t crc = Crc32(&item_crc, sizeof(item_crc));
+  crc = Crc32(&part_crc, sizeof(part_crc), crc);
+  return crc;
+}
+
+}  // namespace mgbr

@@ -1,0 +1,92 @@
+#ifndef MGBR_MODELS_QUANT_VIEW_H_
+#define MGBR_MODELS_QUANT_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "models/rec_model.h"
+#include "tensor/quant.h"
+
+namespace mgbr {
+
+/// Quantized snapshot of a model's cached propagated embedding tables:
+/// the Task A item block (RetrievalItemView) and, when the model
+/// exposes one, the Task B candidate-participant block
+/// (RetrievalPartView), both re-encoded as bf16 or int8 with fp32
+/// compute on top.
+///
+/// The view is immutable once built. It is constructed at ModelPool
+/// install time (after the model's Refresh, before the version is
+/// published) and travels inside the published Version, exactly like
+/// the IVF retriever — so a hot swap can never pair a new model with a
+/// stale quantized table. Queries are fetched from the model at score
+/// time (fp32, exact rows of the cached blocks); only the candidate
+/// tables are quantized.
+///
+/// Scores follow the kernel determinism contract: identical across
+/// simd/scalar variants and thread counts (see docs/quantization.md).
+/// They are NOT bitwise-equal to the fp32 path — that is the point —
+/// which is why the quant-gate measures ranking agreement instead.
+class QuantizedEmbeddingView {
+ public:
+  /// Builds the view from the model's current cached blocks. Returns
+  /// null when `mode` is kFp32 (quantization off) or the model exposes
+  /// no RetrievalItemView (e.g. MGBR's MLP head) — callers then use
+  /// the fp32 path unchanged.
+  static std::shared_ptr<const QuantizedEmbeddingView> BuildFor(
+      const RecModel& model, QuantMode mode);
+
+  QuantMode mode() const { return item_.mode(); }
+  bool has_part_table() const { return !part_.empty(); }
+
+  /// Quantized analogue of ScoreAAll(u): out[i] = <query_u, item row i>
+  /// over the quantized item table. False when the model cannot
+  /// produce a Task A query (the caller falls back to fp32).
+  bool ScoreAAll(const RecModel& model, int64_t u,
+                 std::vector<double>* out) const;
+
+  /// Quantized re-rank of a Task A candidate subset; out[i] scores
+  /// ids[i]. Each row scores bitwise-equal to the same row of
+  /// ScoreAAll.
+  bool ScoreACandidates(const RecModel& model, int64_t u,
+                        const std::vector<int64_t>& ids,
+                        std::vector<double>* out) const;
+
+  /// Quantized analogue of ScoreBAll(u, item) over the participant
+  /// table. False when the model exposes no Task B view.
+  bool ScoreBAll(const RecModel& model, int64_t u, int64_t item,
+                 std::vector<double>* out) const;
+
+  const QuantizedTable& item_table() const { return item_; }
+  const QuantizedTable& part_table() const { return part_; }
+
+  /// Quantized payload bytes across both tables (codes + scales).
+  int64_t model_bytes() const {
+    return item_.storage_bytes() + part_.storage_bytes();
+  }
+  /// The same tables in fp32.
+  int64_t fp32_bytes() const {
+    return item_.fp32_bytes() + part_.fp32_bytes();
+  }
+  double bytes_per_item() const {
+    return item_.n() > 0
+               ? static_cast<double>(item_.storage_bytes()) /
+                     static_cast<double>(item_.n())
+               : 0.0;
+  }
+
+  /// CRC32 over both tables; distinct embedding snapshots give
+  /// distinct fingerprints (hot-swap staleness test).
+  uint32_t Fingerprint() const;
+
+ private:
+  QuantizedEmbeddingView() = default;
+
+  QuantizedTable item_;
+  QuantizedTable part_;
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_MODELS_QUANT_VIEW_H_

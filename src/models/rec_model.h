@@ -92,6 +92,31 @@ class RecModel {
     return false;
   }
 
+  /// Task B analogue of RetrievalItemView: the (n_users x d) row-major
+  /// candidate-participant block ScoreBAll's inner products are taken
+  /// against, valid and frozen until the next Refresh(). Same default
+  /// (false) for models whose Task B head is not an inner product of a
+  /// fixed table.
+  virtual bool RetrievalPartView(const float** data, int64_t* n,
+                                 int64_t* d) const {
+    (void)data;
+    (void)n;
+    (void)d;
+    return false;
+  }
+
+  /// The Task B query vector paired with RetrievalPartView: copies the
+  /// d floats whose inner product with participant row p equals
+  /// (bitwise) the products ScoreBAll(u, item) row p reduces. Returns
+  /// false whenever RetrievalPartView does.
+  virtual bool RetrievalQueryB(int64_t u, int64_t item,
+                               std::vector<float>* query) const {
+    (void)u;
+    (void)item;
+    (void)query;
+    return false;
+  }
+
   /// Total number of scalar parameters (Table V).
   int64_t ParameterCount() const;
 

@@ -20,6 +20,11 @@ Gauge* VersionGauge() {
   static Gauge* g = MetricsRegistry::Global().GetGauge("serve.model_version");
   return g;
 }
+
+Gauge* ModelBytesGauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge("serve.model_bytes");
+  return g;
+}
 #endif  // MGBR_TELEMETRY
 
 }  // namespace
@@ -37,15 +42,49 @@ std::shared_ptr<const retrieval::ItemRetriever> ModelPool::BuildRetriever(
   return retrieval::ItemRetriever::BuildFor(model, config);
 }
 
+std::shared_ptr<const QuantizedEmbeddingView> ModelPool::BuildQuant(
+    const RecModel& model) const {
+  QuantMode mode;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mode = quant_mode_;
+  }
+  return QuantizedEmbeddingView::BuildFor(model, mode);
+}
+
+int64_t ModelPool::ServedTableBytes(const Version& version) {
+  if (version.quant != nullptr) return version.quant->model_bytes();
+  if (version.model == nullptr) return 0;
+  int64_t bytes = 0;
+  const float* data = nullptr;
+  int64_t n = 0;
+  int64_t d = 0;
+  if (version.model->RetrievalItemView(&data, &n, &d)) bytes += n * d * 4;
+  if (version.model->RetrievalPartView(&data, &n, &d)) bytes += n * d * 4;
+  return bytes;
+}
+
+void ModelPool::ExportModelBytes(const Version& version) const {
+#if MGBR_TELEMETRY
+  MGBR_GAUGE_SET(ModelBytesGauge(),
+                 static_cast<double>(ServedTableBytes(version)));
+#else
+  (void)version;
+#endif
+}
+
 int64_t ModelPool::Install(std::unique_ptr<RecModel> model,
                            std::string source) {
   MGBR_CHECK(model != nullptr);
   auto version = std::make_shared<Version>();
   version->model = std::shared_ptr<RecModel>(std::move(model));
   version->source = std::move(source);
-  // Index construction happens before the version becomes visible, so
-  // no reader can ever pair this model with another version's index.
+  // Index and quantized-table construction happen before the version
+  // becomes visible, so no reader can ever pair this model with
+  // another version's index or quantized table.
   version->retriever = BuildRetriever(*version->model);
+  version->quant = BuildQuant(*version->model);
+  ExportModelBytes(*version);
   std::lock_guard<std::mutex> lock(mu_);
   version->id = next_id_++;
   current_ = std::move(version);
@@ -73,6 +112,27 @@ void ModelPool::EnableRetrieval(const retrieval::TwoStageConfig& config) {
   auto upgraded = std::make_shared<Version>(*served);
   upgraded->retriever =
       retrieval::ItemRetriever::BuildFor(*upgraded->model, config);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ == served) current_ = std::move(upgraded);
+}
+
+void ModelPool::EnableQuantization(QuantMode mode) {
+  std::shared_ptr<Version> served;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    quant_mode_ = mode;
+    served = current_;
+  }
+  if (mode == QuantMode::kFp32) return;
+  if (served == nullptr || served->quant != nullptr) return;
+  // Retrofit the already-served version under the SAME id, as
+  // EnableRetrieval does. Callers invoke this before taking traffic
+  // (Server constructor), so no fp32 scores can already be cached
+  // against this version id. If a real swap lands while we build, the
+  // newer version already carries its own view; drop ours.
+  auto upgraded = std::make_shared<Version>(*served);
+  upgraded->quant = QuantizedEmbeddingView::BuildFor(*upgraded->model, mode);
+  ExportModelBytes(*upgraded);
   std::lock_guard<std::mutex> lock(mu_);
   if (current_ == served) current_ = std::move(upgraded);
 }

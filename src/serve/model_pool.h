@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "models/quant_view.h"
 #include "models/rec_model.h"
 #include "retrieval/two_stage.h"
 #include "train/checkpoint.h"
@@ -44,6 +45,11 @@ class ModelPool {
     /// Null when retrieval is disabled or the model exposes no
     /// retrieval view; the server then brute-forces this version.
     std::shared_ptr<const retrieval::ItemRetriever> retriever;
+    /// Quantized copy of this model's cached embedding tables; null
+    /// when quantization is off or the model exposes no retrieval
+    /// view. Built before the version is published, exactly like the
+    /// retriever, so the quantized table always matches the model.
+    std::shared_ptr<const QuantizedEmbeddingView> quant;
     int64_t id = 0;          // monotonically increasing, first is 1
     std::string source;      // checkpoint path or a caller-chosen tag
   };
@@ -71,6 +77,16 @@ class ModelPool {
   /// score identically because they share the model.
   void EnableRetrieval(const retrieval::TwoStageConfig& config);
 
+  /// Turns on per-version quantized-table construction (bf16/int8;
+  /// kFp32 is a no-op): every later Install/LoadVersion builds the
+  /// QuantizedEmbeddingView before publishing, and the currently
+  /// served version (if any) is republished with a view built over its
+  /// own model — same retrofit semantics as EnableRetrieval. The
+  /// server calls this from its constructor (before any traffic), so a
+  /// retrofit can never race already-cached fp32 scores for the same
+  /// version id.
+  void EnableQuantization(QuantMode mode);
+
   /// Snapshot of the current version; null before the first Install/
   /// LoadVersion. Holding the returned pointer pins the version, so
   /// scoring through it is immune to concurrent swaps.
@@ -82,6 +98,14 @@ class ModelPool {
   /// Number of successful Install/LoadVersion swaps so far.
   int64_t swap_count() const;
 
+  /// Bytes of embedding table the version actually scores with: the
+  /// quantized payload when a QuantizedEmbeddingView is attached, else
+  /// the fp32 bytes of the model's exposed retrieval views (0 for
+  /// models with no view — their working set is not a fixed table).
+  /// Exported as the serve.model_bytes gauge on every publish and
+  /// surfaced in the server's /varz payload.
+  static int64_t ServedTableBytes(const Version& version);
+
  private:
   Status LoadInto(RecModel* model, const std::string& checkpoint_path);
   /// Retriever for `model` under the current retrieval config (null
@@ -89,6 +113,12 @@ class ModelPool {
   /// must not serialize Acquire().
   std::shared_ptr<const retrieval::ItemRetriever> BuildRetriever(
       const RecModel& model) const;
+  /// Quantized view for `model` under the current quant mode (null
+  /// when off/unsupported). Called outside mu_.
+  std::shared_ptr<const QuantizedEmbeddingView> BuildQuant(
+      const RecModel& model) const;
+  /// Publishes the serve.model_bytes gauge for the served version.
+  void ExportModelBytes(const Version& version) const;
 
   Factory factory_;
   mutable std::mutex mu_;
@@ -97,6 +127,7 @@ class ModelPool {
   int64_t swaps_ = 0;
   bool retrieval_enabled_ = false;
   retrieval::TwoStageConfig retrieval_config_;
+  QuantMode quant_mode_ = QuantMode::kFp32;
 };
 
 }  // namespace mgbr::serve

@@ -141,6 +141,13 @@ Server::Server(ModelPool* pool, ServerConfig config)
     // the served one is retrofitted before the first batch runs.
     pool_->EnableRetrieval(config_.retrieval);
   }
+  if (config_.quant != QuantMode::kFp32) {
+    // Same pre-traffic retrofit as retrieval: every served version
+    // carries a quantized table built over its own embeddings, and no
+    // fp32 score can be cached against a version id before its
+    // quantized view exists.
+    pool_->EnableQuantization(config_.quant);
+  }
 
   if (config_.obs.enabled()) {
     obs::SloConfig slo_config;
@@ -524,6 +531,13 @@ void Server::ExecuteBatch(Batch batch) {
     it->second.push_back(idx);
   }
 
+  // The quantized view travels inside the pinned version exactly like
+  // the retriever, so a batch can never score a new model against an
+  // old version's quantized table. Null when quantization is off or
+  // this version's model exposes no retrieval view (fp32 fallback).
+  const QuantizedEmbeddingView* quant =
+      config_.quant != QuantMode::kFp32 ? snapshot->quant.get() : nullptr;
+
   NoGradScope no_grad;
   for (const CacheKey& key : keys) {
     CacheValue value;
@@ -535,17 +549,33 @@ void Server::ExecuteBatch(Batch batch) {
       if (task_a && key.item < 0) {
         cands = retriever->Candidates(*model, key.user, -key.item);
       }
+      std::vector<double> qscores;
       if (!cands.empty()) {
-        // Two-stage: exact re-rank of the ANN candidates through the
-        // same differentiable scorer the brute path lifts (row i of
-        // ScoreAAll is bitwise ScoreA({u},{i})), just restricted to
-        // the candidate set.
-        const std::vector<int64_t> users(cands.size(), key.user);
-        const Var column = model->ScoreA(users, cands);
-        value.scores = std::make_shared<const std::vector<double>>(
-            ColumnToDoubles(column));
+        // Two-stage: re-rank of the ANN candidates — quantized when the
+        // view is attached, else through the same differentiable scorer
+        // the brute path lifts (row i of ScoreAAll is bitwise
+        // ScoreA({u},{i})), restricted to the candidate set.
+        if (quant != nullptr &&
+            quant->ScoreACandidates(*model, key.user, cands, &qscores)) {
+          value.scores = std::make_shared<const std::vector<double>>(
+              std::move(qscores));
+          value.quantized = true;
+        } else {
+          const std::vector<int64_t> users(cands.size(), key.user);
+          const Var column = model->ScoreA(users, cands);
+          value.scores = std::make_shared<const std::vector<double>>(
+              ColumnToDoubles(column));
+        }
         value.ids = std::make_shared<const std::vector<int64_t>>(
             std::move(cands));
+      } else if (quant != nullptr &&
+                 (task_a
+                      ? quant->ScoreAAll(*model, key.user, &qscores)
+                      : quant->ScoreBAll(*model, key.user, key.item,
+                                         &qscores))) {
+        value.scores = std::make_shared<const std::vector<double>>(
+            std::move(qscores));
+        value.quantized = true;
       } else {
         const Var column = task_a ? model->ScoreAAll(key.user)
                                   : model->ScoreBAll(key.user, key.item);
@@ -568,6 +598,10 @@ void Server::ExecuteBatch(Batch batch) {
     if (value.ids != nullptr) {
       two_stage_.fetch_add(static_cast<int64_t>(members.size()),
                            std::memory_order_relaxed);
+    }
+    if (value.quantized) {
+      quant_scored_.fetch_add(static_cast<int64_t>(members.size()),
+                              std::memory_order_relaxed);
     }
     const std::vector<double>& scores = *value.scores;
     for (size_t idx : members) {
@@ -608,6 +642,7 @@ ServerStats Server::stats() const {
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.two_stage = two_stage_.load(std::memory_order_relaxed);
+  s.quant_scored = quant_scored_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -675,7 +710,16 @@ std::string Server::VarzJson(bool include_flight) const {
   out += std::to_string(s.cache_hits);
   out += ",\"two_stage\":";
   out += std::to_string(s.two_stage);
-  out += "},\"metrics\":";
+  out += ",\"quant_scored\":";
+  out += std::to_string(s.quant_scored);
+  out += "},\"quant_mode\":\"";
+  out += QuantModeName(config_.quant);
+  out += "\",\"model_bytes\":";
+  {
+    const std::shared_ptr<ModelPool::Version> v = pool_->Acquire();
+    out += std::to_string(v == nullptr ? 0 : ModelPool::ServedTableBytes(*v));
+  }
+  out += ",\"metrics\":";
   out += MetricsRegistry::Global().ToJson();
   if (include_flight && flight_ != nullptr) {
     out += ",\"flight\":";

@@ -20,6 +20,7 @@
 #include "retrieval/two_stage.h"
 #include "serve/model_pool.h"
 #include "serve/types.h"
+#include "tensor/quant.h"
 
 namespace mgbr::serve {
 
@@ -81,6 +82,14 @@ struct ServerConfig {
   /// embeddings; versions without a retrieval view (or acquired before
   /// the retrofit published) fall back to brute force per batch.
   retrieval::TwoStageConfig retrieval;
+  /// Quantized scoring: kBf16/kInt8 score Task A/B (and the two-stage
+  /// re-rank) off the version's QuantizedEmbeddingView instead of the
+  /// fp32 blocks. kFp32 (default) keeps the reference path bitwise
+  /// unchanged. When set, the server calls pool->EnableQuantization at
+  /// construction; models without a retrieval view (MGBR's MLP head)
+  /// fall back to fp32 per key. Gated on ranking agreement by the
+  /// quant-gate CI job (docs/quantization.md).
+  QuantMode quant = QuantMode::kFp32;
   /// Serving observability stack (off by default).
   ObsOptions obs;
 };
@@ -197,6 +206,10 @@ class Server {
   struct CacheValue {
     std::shared_ptr<const std::vector<double>> scores;
     std::shared_ptr<const std::vector<int64_t>> ids;
+    /// True when `scores` came from the quantized embedding view
+    /// (stats attribution only; the cache keying is unaffected because
+    /// the quant mode is fixed for the server's lifetime).
+    bool quantized = false;
   };
   struct CacheEntry {
     int64_t version = 0;
@@ -255,6 +268,7 @@ class Server {
   std::atomic<int64_t> coalesced_{0};
   std::atomic<int64_t> cache_hits_{0};
   std::atomic<int64_t> two_stage_{0};
+  std::atomic<int64_t> quant_scored_{0};
 
   std::thread batcher_;
   std::vector<std::thread> workers_;

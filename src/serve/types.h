@@ -86,6 +86,10 @@ struct ServerStats {
   /// exact re-rank path (0 when retrieval is off or the served model
   /// exposes no retrieval view).
   int64_t two_stage = 0;
+  /// OK responses whose scores came from the quantized embedding view
+  /// (0 when ServerConfig::quant is kFp32 or the served model exposes
+  /// no retrieval view — those fall back to the fp32 path).
+  int64_t quant_scored = 0;
 };
 
 }  // namespace mgbr::serve

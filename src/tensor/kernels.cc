@@ -112,6 +112,43 @@ void ActGradInPlace(Act act, float* g, const float* y, int64_t n) {
   MGBR_KERNELS_DISPATCH(ActGradInPlace, act, g, y, n);
 }
 
+void Fp32ToBf16(const float* src, uint16_t* dst, int64_t n) {
+  MGBR_KERNELS_DISPATCH(Fp32ToBf16, src, dst, n);
+}
+
+void Bf16ToFp32(const uint16_t* src, float* dst, int64_t n) {
+  MGBR_KERNELS_DISPATCH(Bf16ToFp32, src, dst, n);
+}
+
+void QuantizeInt8Rows(const float* src, int8_t* dst, float* scales,
+                      int64_t rows, int64_t cols) {
+  MGBR_KERNELS_DISPATCH(QuantizeInt8Rows, src, dst, scales, rows, cols);
+}
+
+void DequantizeInt8Row(const int8_t* src, float scale, float* dst,
+                       int64_t n) {
+  MGBR_KERNELS_DISPATCH(DequantizeInt8Row, src, scale, dst, n);
+}
+
+void GemvRowsFp32(const float* table, const float* query, float* out,
+                  int64_t row_begin, int64_t row_end, int64_t d) {
+  MGBR_KERNELS_DISPATCH(GemvRowsFp32, table, query, out, row_begin, row_end,
+                        d);
+}
+
+void GemvRowsBf16(const uint16_t* table, const float* query, float* out,
+                  int64_t row_begin, int64_t row_end, int64_t d) {
+  MGBR_KERNELS_DISPATCH(GemvRowsBf16, table, query, out, row_begin, row_end,
+                        d);
+}
+
+void GemvRowsInt8(const int8_t* table, const float* scales,
+                  const float* query, float* out, int64_t row_begin,
+                  int64_t row_end, int64_t d) {
+  MGBR_KERNELS_DISPATCH(GemvRowsInt8, table, scales, query, out, row_begin,
+                        row_end, d);
+}
+
 #undef MGBR_KERNELS_DISPATCH
 
 }  // namespace kernels

@@ -94,6 +94,42 @@ void BiasActForward(Act act, const float* x, const float* bias, float* y,
 /// derivative of every supported activation is a function of y alone.
 void ActGradInPlace(Act act, float* g, const float* y, int64_t n);
 
+// ---------------------------------------------------------------------------
+// Quantized-table kernels (bf16 / int8 storage, fp32 compute).
+//
+// Storage conversions are elementwise and exactly specified (RNE), so
+// quantized bytes are identical across simd/scalar variants and thread
+// counts. The GEMV kernels reuse the GemmRowsABt fixed-lane reduction
+// (kLanes partial sums + pairwise tree + sequential tail) on the
+// decoded values, so quantized scores carry the same determinism
+// contract as the fp32 path. See docs/quantization.md.
+// ---------------------------------------------------------------------------
+
+/// dst[i] = bf16(src[i]) with round-to-nearest-even (NaNs quieted).
+void Fp32ToBf16(const float* src, uint16_t* dst, int64_t n);
+/// dst[i] = fp32(src[i]); exact — every bf16 value is an fp32 value.
+void Bf16ToFp32(const uint16_t* src, float* dst, int64_t n);
+/// Per-row symmetric int8 quantization of a row-major rows x cols
+/// block: scales[r] = maxabs(row r) / 127 (0 for an all-zero row),
+/// codes = nearbyint(src * (127 / maxabs)) clamped to [-127, 127].
+void QuantizeInt8Rows(const float* src, int8_t* dst, float* scales,
+                      int64_t rows, int64_t cols);
+/// dst[i] = scale * src[i] — the exact decode the int8 GEMV scores with.
+void DequantizeInt8Row(const int8_t* src, float scale, float* dst, int64_t n);
+
+/// out[r] = dot(query, table row r) for r in [row_begin, row_end);
+/// `table` is n x d row-major in the named storage format. Rows are
+/// independent outputs, so ParallelFor may partition [0, n) freely.
+void GemvRowsFp32(const float* table, const float* query, float* out,
+                  int64_t row_begin, int64_t row_end, int64_t d);
+void GemvRowsBf16(const uint16_t* table, const float* query, float* out,
+                  int64_t row_begin, int64_t row_end, int64_t d);
+/// Int8 rows decode as scales[r] * code; the dot accumulates
+/// query[j] * float(code[j]) in fp32 and applies scales[r] once.
+void GemvRowsInt8(const int8_t* table, const float* scales,
+                  const float* query, float* out, int64_t row_begin,
+                  int64_t row_end, int64_t d);
+
 // Variant namespaces (both always compiled; tests compare them
 // bitwise). Signatures mirror the dispatchers above.
 namespace simd {
@@ -113,6 +149,18 @@ void ScaleInPlace(float* dst, float s, int64_t n);
 void BiasActForward(Act act, const float* x, const float* bias, float* y,
                     int64_t rows, int64_t cols);
 void ActGradInPlace(Act act, float* g, const float* y, int64_t n);
+void Fp32ToBf16(const float* src, uint16_t* dst, int64_t n);
+void Bf16ToFp32(const uint16_t* src, float* dst, int64_t n);
+void QuantizeInt8Rows(const float* src, int8_t* dst, float* scales,
+                      int64_t rows, int64_t cols);
+void DequantizeInt8Row(const int8_t* src, float scale, float* dst, int64_t n);
+void GemvRowsFp32(const float* table, const float* query, float* out,
+                  int64_t row_begin, int64_t row_end, int64_t d);
+void GemvRowsBf16(const uint16_t* table, const float* query, float* out,
+                  int64_t row_begin, int64_t row_end, int64_t d);
+void GemvRowsInt8(const int8_t* table, const float* scales,
+                  const float* query, float* out, int64_t row_begin,
+                  int64_t row_end, int64_t d);
 }  // namespace simd
 
 namespace scalar {
@@ -132,6 +180,18 @@ void ScaleInPlace(float* dst, float s, int64_t n);
 void BiasActForward(Act act, const float* x, const float* bias, float* y,
                     int64_t rows, int64_t cols);
 void ActGradInPlace(Act act, float* g, const float* y, int64_t n);
+void Fp32ToBf16(const float* src, uint16_t* dst, int64_t n);
+void Bf16ToFp32(const uint16_t* src, float* dst, int64_t n);
+void QuantizeInt8Rows(const float* src, int8_t* dst, float* scales,
+                      int64_t rows, int64_t cols);
+void DequantizeInt8Row(const int8_t* src, float scale, float* dst, int64_t n);
+void GemvRowsFp32(const float* table, const float* query, float* out,
+                  int64_t row_begin, int64_t row_end, int64_t d);
+void GemvRowsBf16(const uint16_t* table, const float* query, float* out,
+                  int64_t row_begin, int64_t row_end, int64_t d);
+void GemvRowsInt8(const int8_t* table, const float* scales,
+                  const float* query, float* out, int64_t row_begin,
+                  int64_t row_end, int64_t d);
 }  // namespace scalar
 
 }  // namespace kernels

@@ -1,0 +1,164 @@
+#include "tensor/quant.h"
+
+#include <cassert>
+
+#include "common/checksum.h"
+#include "common/parallel.h"
+#include "tensor/kernels.h"
+
+namespace mgbr {
+
+namespace {
+
+// Rows per ParallelFor chunk for the full-table GEMV. Chunks write
+// disjoint out[] ranges, so the partition never affects the scores.
+constexpr int64_t kGemvGrain = 1024;
+
+}  // namespace
+
+const char* QuantModeName(QuantMode mode) {
+  switch (mode) {
+    case QuantMode::kFp32:
+      return "fp32";
+    case QuantMode::kBf16:
+      return "bf16";
+    case QuantMode::kInt8:
+      return "int8";
+  }
+  return "fp32";
+}
+
+bool ParseQuantMode(const std::string& text, QuantMode* mode) {
+  if (text == "off" || text == "fp32") {
+    *mode = QuantMode::kFp32;
+    return true;
+  }
+  if (text == "bf16") {
+    *mode = QuantMode::kBf16;
+    return true;
+  }
+  if (text == "int8") {
+    *mode = QuantMode::kInt8;
+    return true;
+  }
+  return false;
+}
+
+void QuantizedTable::Build(const float* data, int64_t n, int64_t d,
+                           QuantMode mode) {
+  mode_ = mode;
+  n_ = n;
+  d_ = d;
+  fp32_.clear();
+  bf16_.clear();
+  int8_.clear();
+  scales_.clear();
+  const size_t total = static_cast<size_t>(n * d);
+  switch (mode) {
+    case QuantMode::kFp32:
+      fp32_.assign(data, data + total);
+      break;
+    case QuantMode::kBf16:
+      bf16_.resize(total);
+      kernels::Fp32ToBf16(data, bf16_.data(), n * d);
+      break;
+    case QuantMode::kInt8:
+      int8_.resize(total);
+      scales_.resize(static_cast<size_t>(n));
+      kernels::QuantizeInt8Rows(data, int8_.data(), scales_.data(), n, d);
+      break;
+  }
+}
+
+void QuantizedTable::ScoreAll(const float* query, float* out) const {
+  switch (mode_) {
+    case QuantMode::kFp32:
+      ParallelFor(0, n_, kGemvGrain, [&](int64_t b, int64_t e) {
+        kernels::GemvRowsFp32(fp32_.data(), query, out, b, e, d_);
+      });
+      break;
+    case QuantMode::kBf16:
+      ParallelFor(0, n_, kGemvGrain, [&](int64_t b, int64_t e) {
+        kernels::GemvRowsBf16(bf16_.data(), query, out, b, e, d_);
+      });
+      break;
+    case QuantMode::kInt8:
+      ParallelFor(0, n_, kGemvGrain, [&](int64_t b, int64_t e) {
+        kernels::GemvRowsInt8(int8_.data(), scales_.data(), query, out, b, e,
+                              d_);
+      });
+      break;
+  }
+}
+
+void QuantizedTable::ScoreRows(const float* query, const int64_t* ids,
+                               int64_t m, float* out) const {
+  for (int64_t i = 0; i < m; ++i) {
+    const int64_t r = ids[i];
+    assert(r >= 0 && r < n_);
+    switch (mode_) {
+      case QuantMode::kFp32:
+        kernels::GemvRowsFp32(fp32_.data() + r * d_, query, out + i, 0, 1,
+                              d_);
+        break;
+      case QuantMode::kBf16:
+        kernels::GemvRowsBf16(bf16_.data() + r * d_, query, out + i, 0, 1,
+                              d_);
+        break;
+      case QuantMode::kInt8:
+        kernels::GemvRowsInt8(int8_.data() + r * d_, scales_.data() + r,
+                              query, out + i, 0, 1, d_);
+        break;
+    }
+  }
+}
+
+void QuantizedTable::DecodeRow(int64_t r, float* out) const {
+  assert(r >= 0 && r < n_);
+  switch (mode_) {
+    case QuantMode::kFp32:
+      for (int64_t j = 0; j < d_; ++j) out[j] = fp32_[r * d_ + j];
+      break;
+    case QuantMode::kBf16:
+      kernels::Bf16ToFp32(bf16_.data() + r * d_, out, d_);
+      break;
+    case QuantMode::kInt8:
+      kernels::DequantizeInt8Row(int8_.data() + r * d_, scales_[r], out, d_);
+      break;
+  }
+}
+
+int64_t QuantizedTable::storage_bytes() const {
+  switch (mode_) {
+    case QuantMode::kFp32:
+      return n_ * d_ * static_cast<int64_t>(sizeof(float));
+    case QuantMode::kBf16:
+      return n_ * d_ * static_cast<int64_t>(sizeof(uint16_t));
+    case QuantMode::kInt8:
+      return n_ * d_ * static_cast<int64_t>(sizeof(int8_t)) +
+             n_ * static_cast<int64_t>(sizeof(float));
+  }
+  return 0;
+}
+
+uint32_t QuantizedTable::Fingerprint() const {
+  uint32_t crc = Crc32(&n_, sizeof(n_));
+  crc = Crc32(&d_, sizeof(d_), crc);
+  const int mode = static_cast<int>(mode_);
+  crc = Crc32(&mode, sizeof(mode), crc);
+  if (!fp32_.empty()) {
+    crc = Crc32(fp32_.data(), fp32_.size() * sizeof(float), crc);
+  }
+  if (!bf16_.empty()) {
+    crc = Crc32(bf16_.data(), bf16_.size() * sizeof(uint16_t), crc);
+  }
+  if (!int8_.empty()) {
+    crc = Crc32(int8_.data(), int8_.size() * sizeof(int8_t), crc);
+  }
+  if (!scales_.empty()) {
+    crc = Crc32(scales_.data(), scales_.size() * sizeof(float), crc);
+  }
+  return crc;
+}
+
+}  // namespace mgbr

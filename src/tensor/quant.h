@@ -1,0 +1,83 @@
+#ifndef MGBR_TENSOR_QUANT_H_
+#define MGBR_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mgbr {
+
+/// Storage format for a quantized embedding table. kFp32 keeps the
+/// table in fp32 (useful as the like-for-like timing baseline in
+/// bench_quant); kBf16 halves it; kInt8 quarters it with one fp32
+/// scale per row (symmetric, scale = maxabs / 127).
+enum class QuantMode : int { kFp32 = 0, kBf16 = 1, kInt8 = 2 };
+
+/// "fp32" | "bf16" | "int8".
+const char* QuantModeName(QuantMode mode);
+
+/// Parses the names accepted by serving/bench flags ("off" and "fp32"
+/// both mean kFp32). Returns false on anything else.
+bool ParseQuantMode(const std::string& text, QuantMode* mode);
+
+/// An immutable quantized copy of a row-major n x d fp32 block, plus
+/// the fp32-compute GEMV over it.
+///
+/// Determinism contract (docs/quantization.md): Build is elementwise
+/// and exactly specified (bf16 RNE, int8 nearest-even codes), so the
+/// stored bytes are identical across simd/scalar kernel variants and
+/// thread counts; ScoreAll partitions rows with ParallelFor into
+/// disjoint outputs and each row's dot uses the fixed-lane reduction
+/// from kernels_impl.inc, so scores are bit-identical for every thread
+/// count and simd setting.
+class QuantizedTable {
+ public:
+  QuantizedTable() = default;
+
+  /// Quantizes `data` (n x d row-major) into `mode` storage. Replaces
+  /// any previous contents.
+  void Build(const float* data, int64_t n, int64_t d, QuantMode mode);
+
+  bool empty() const { return n_ == 0; }
+  int64_t n() const { return n_; }
+  int64_t d() const { return d_; }
+  QuantMode mode() const { return mode_; }
+
+  /// out[r] = dot(query, decoded row r) for every row; out must hold n
+  /// floats. query must hold d floats.
+  void ScoreAll(const float* query, float* out) const;
+
+  /// out[i] = dot(query, decoded row ids[i]) for i in [0, m). Rows are
+  /// scored one GEMV row at a time, so a candidate subset scores
+  /// bitwise-equal to the same rows of ScoreAll.
+  void ScoreRows(const float* query, const int64_t* ids, int64_t m,
+                 float* out) const;
+
+  /// The exact fp32 values ScoreAll dots against (row r into out[0..d)).
+  void DecodeRow(int64_t r, float* out) const;
+
+  /// Quantized payload bytes: codes plus int8 scales. Excludes the
+  /// std::vector bookkeeping.
+  int64_t storage_bytes() const;
+
+  /// What the same block costs in fp32 (n * d * 4).
+  int64_t fp32_bytes() const { return n_ * d_ * 4; }
+
+  /// CRC32 over shape, mode and payload — distinct table contents give
+  /// distinct fingerprints with overwhelming probability, which the
+  /// hot-swap staleness test keys on.
+  uint32_t Fingerprint() const;
+
+ private:
+  QuantMode mode_ = QuantMode::kFp32;
+  int64_t n_ = 0;
+  int64_t d_ = 0;
+  std::vector<float> fp32_;      // kFp32
+  std::vector<uint16_t> bf16_;   // kBf16
+  std::vector<int8_t> int8_;     // kInt8 codes
+  std::vector<float> scales_;    // kInt8 per-row scales
+};
+
+}  // namespace mgbr
+
+#endif  // MGBR_TENSOR_QUANT_H_
