@@ -14,19 +14,27 @@
 // Honours MGBR_BENCH_FAST=1 (smaller synthetic dataset) and the
 // telemetry flags --trace-out / --trace-stream / --metrics-out.
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <limits>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/harness.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/telemetry.h"
@@ -37,6 +45,7 @@
 #include "serve/server.h"
 #include "tensor/quant.h"
 #include "tensor/variable.h"
+#include "train/checkpoint.h"
 
 namespace mgbr::bench {
 namespace {
@@ -88,6 +97,13 @@ struct LoadgenOptions {
   /// lives until the Server is destroyed) alive after the report is
   /// written, so CI can take a final post-drain scrape.
   double linger_s = 0.0;
+  /// Serving chaos schedule ("corrupt-swap", "worker-stall" or
+  /// "overload"); empty runs the normal open-loop load test. A chaos
+  /// run drives the named failure through the full serving stack and
+  /// emits an "mgbr-chaos-v1" report that
+  /// scripts/check_bench_gate.py --chaos validates (zero crashes, no
+  /// lost requests, schedule-specific recovery counters).
+  std::string chaos;
 };
 
 /// Deterministic request working set: Task A cycles every user, Task B
@@ -228,6 +244,534 @@ QuantReport MeasureQuant(ModelPool* pool, QuantMode mode, int64_t k,
       rep.overlap_users > 0 ? sum / static_cast<double>(rep.overlap_users)
                             : 1.0;
   return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Serving chaos harness (--chaos=<schedule>)
+//
+// Each schedule injects one failure family through the REAL serving
+// stack — no mocks — and asserts the self-healing contract:
+//   corrupt-swap : a bit-flipped checkpoint (CRC) and a NaN-poisoned
+//                  checkpoint (canary) are both rejected, a good swap
+//                  lands, Rollback() restores the prior version, and
+//                  every OK response is bitwise identical to direct
+//                  scoring through the version it names.
+//   worker-stall : an injected delay@serve.score wedges scoring past
+//                  the watchdog timeout; the watchdog replaces the
+//                  worker and every admitted request still completes.
+//   overload     : a sustained burst overruns capacity; the SLO-driven
+//                  ladder climbs to its shed tier, and once the burst
+//                  stops it releases back to normal with hysteresis.
+// A crash writes no report, so the gate's schema check fails loudly;
+// "crashes": 0 in the report is the survivor's signature.
+// ---------------------------------------------------------------------------
+
+struct ChaosOutcome {
+  int64_t offered = 0;
+  int64_t terminal = 0;
+  int64_t ok = 0;
+  int64_t shed_queue_full = 0;
+  int64_t shed_deadline = 0;
+  int64_t shed_load = 0;
+  int64_t other = 0;
+  // corrupt-swap: post-drain bitwise re-verification of OK responses.
+  int64_t sampled = 0;
+  int64_t score_mismatches = 0;
+  // overload: ladder trajectory.
+  int64_t max_degrade_level = 0;
+  int64_t final_degrade_level = 0;
+  int64_t degrade_transitions = 0;
+  std::vector<std::string> violations;
+};
+
+/// One submitted request with its future, kept so the drain can both
+/// classify the terminal status and re-verify OK scores.
+struct ChaosFlight {
+  Request request;
+  std::future<Response> future;
+};
+
+void ChaosSubmit(Server* server, const Request& request,
+                 std::vector<ChaosFlight>* flights) {
+  ChaosFlight flight;
+  flight.request = request;
+  flight.future = server->Submit(request);
+  flights->push_back(std::move(flight));
+}
+
+/// Resolves every future (every admitted request must reach exactly one
+/// terminal status — a hang here is a harness failure CI times out on)
+/// and classifies the outcomes.
+std::vector<std::pair<Request, Response>> ChaosDrain(
+    std::vector<ChaosFlight>* flights, ChaosOutcome* out) {
+  std::vector<std::pair<Request, Response>> resolved;
+  resolved.reserve(flights->size());
+  for (ChaosFlight& flight : *flights) {
+    const Response r = flight.future.get();
+    ++out->terminal;
+    switch (r.code) {
+      case ResponseCode::kOk:
+        ++out->ok;
+        break;
+      case ResponseCode::kShedQueueFull:
+        ++out->shed_queue_full;
+        break;
+      case ResponseCode::kShedDeadline:
+        ++out->shed_deadline;
+        break;
+      case ResponseCode::kShedLoad:
+        ++out->shed_load;
+        break;
+      default:
+        ++out->other;
+        break;
+    }
+    resolved.emplace_back(flight.request, r);
+  }
+  out->offered += static_cast<int64_t>(flights->size());
+  flights->clear();
+  return resolved;
+}
+
+void Expect(bool ok, const std::string& what, ChaosOutcome* out) {
+  if (ok) return;
+  MGBR_LOG_ERROR("chaos violation: ", what);
+  out->violations.push_back(what);
+}
+
+std::string ChaosReadAll(const std::string& path) {
+  std::string bytes;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return bytes;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+
+bool ChaosWriteAll(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return !(std::fclose(f) != 0 || !ok);
+}
+
+/// Brute-force reference scores for one request through `model` — the
+/// same NoGradScope full-catalogue path the server's fp32 brute branch
+/// takes, so an uncorrupted server must match it bitwise.
+std::vector<double> ChaosDirectScores(RecModel* model, const Request& r) {
+  NoGradScope no_grad;
+  const Var column = r.task == TaskKind::kTopKItems
+                         ? model->ScoreAAll(r.user)
+                         : model->ScoreBAll(r.user, r.item);
+  std::vector<double> out(static_cast<size_t>(column.rows()));
+  for (int64_t i = 0; i < column.rows(); ++i) {
+    out[static_cast<size_t>(i)] = column.value().at(i, 0);
+  }
+  return out;
+}
+
+/// Verifies an OK response bitwise against direct scoring through the
+/// model registered for the version the response names.
+void ChaosVerifyScores(
+    const std::map<int64_t, RecModel*>& version_models,
+    const std::vector<std::pair<Request, Response>>& resolved,
+    ChaosOutcome* out) {
+  for (const auto& [request, response] : resolved) {
+    if (response.code != ResponseCode::kOk) continue;
+    ++out->sampled;
+    const auto it = version_models.find(response.version);
+    if (it == version_models.end()) {
+      ++out->score_mismatches;
+      Expect(false,
+             "OK response names unknown version " +
+                 std::to_string(response.version),
+             out);
+      continue;
+    }
+    const std::vector<double> ref = ChaosDirectScores(it->second, request);
+    const std::vector<int64_t> want_ids = TopKIndices(ref, request.k);
+    bool match = response.top_k == want_ids &&
+                 response.scores.size() == want_ids.size();
+    if (match) {
+      for (size_t i = 0; i < want_ids.size(); ++i) {
+        if (response.scores[i] != ref[static_cast<size_t>(want_ids[i])]) {
+          match = false;
+          break;
+        }
+      }
+    }
+    if (!match) ++out->score_mismatches;
+  }
+  Expect(out->score_mismatches == 0,
+         std::to_string(out->score_mismatches) +
+             " OK responses diverged bitwise from their version's direct "
+             "scores",
+         out);
+}
+
+/// corrupt-swap: bad checkpoints must never publish, good ones must,
+/// and rollback must restore last-known-good — all under live traffic,
+/// with every OK response bitwise attributable to the version it names.
+void RunChaosCorruptSwap(ExperimentHarness* harness, ModelPool* pool,
+                         Server* server, ChaosOutcome* out) {
+  std::vector<ChaosFlight> flights;
+  std::vector<std::pair<Request, Response>> resolved;
+  const int64_t n_users = harness->n_users();
+  int64_t cursor = 0;
+  const auto wave = [&](int64_t n) {
+    for (int64_t i = 0; i < n; ++i, ++cursor) {
+      Request r;
+      r.task = TaskKind::kTopKItems;
+      r.user = cursor % n_users;
+      r.k = 10;
+      ChaosSubmit(server, r, &flights);
+    }
+  };
+
+  // Reference models: version 1 is the pool seed (factory default);
+  // version 2 is the checkpoint of an independently trained-looking
+  // model (different init seed). Both kept alive for the post-drain
+  // bitwise check.
+  auto base_model = harness->MakeMgbr(harness->MgbrBenchConfig(), 7);
+  base_model->Refresh();
+  auto good_model = harness->MakeMgbr(harness->MgbrBenchConfig(), 11);
+  good_model->Refresh();
+
+  const std::string dir =
+      "/tmp/mgbr_chaos_" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  const std::string good_path = dir + "/good.mgbr";
+  const std::string corrupt_path = dir + "/corrupt.mgbr";
+  const std::string nan_path = dir + "/nan.mgbr";
+  {
+    const std::vector<Var> params = good_model->Parameters();
+    Expect(SaveParameters(params, good_path).ok(), "save good checkpoint",
+           out);
+  }
+  {
+    // Silent media corruption: one flipped bit mid-file. The per-section
+    // CRC32 is what must catch it at load time.
+    std::string bytes = ChaosReadAll(good_path);
+    Expect(!bytes.empty(), "read back good checkpoint", out);
+    if (!bytes.empty()) bytes[bytes.size() / 2] ^= 0x10;
+    Expect(ChaosWriteAll(corrupt_path, bytes), "write corrupt checkpoint",
+           out);
+  }
+  {
+    // NaN poison with VALID checksums: every parameter's first element
+    // is NaN, so the contamination reaches every probe score. Only the
+    // validation gate's finite-score canary can catch this one.
+    auto poisoned = harness->MakeMgbr(harness->MgbrBenchConfig(), 7);
+    std::vector<Var> params = poisoned->Parameters();
+    for (Var& p : params) {
+      p.mutable_value().at(0, 0) = std::numeric_limits<float>::quiet_NaN();
+    }
+    Expect(SaveParameters(params, nan_path).ok(), "save NaN checkpoint",
+           out);
+  }
+
+  wave(64);
+  const Status corrupt_status = pool->LoadVersion(corrupt_path);
+  Expect(!corrupt_status.ok(), "bit-flipped checkpoint must be rejected",
+         out);
+  Expect(pool->current_id() == 1,
+         "served version untouched after corrupt-load rejection", out);
+  const Status nan_status = pool->LoadVersion(nan_path);
+  Expect(!nan_status.ok(), "NaN-poisoned checkpoint must be rejected", out);
+  Expect(pool->current_id() == 1,
+         "served version untouched after canary rejection", out);
+  wave(64);
+  const Status good_status = pool->LoadVersion(good_path);
+  Expect(good_status.ok(),
+         "good checkpoint must publish: " + good_status.ToString(), out);
+  Expect(pool->current_id() == 2, "good swap serves as version 2", out);
+  wave(64);
+  const Status rollback_status = pool->Rollback();
+  Expect(rollback_status.ok(),
+         "rollback must succeed: " + rollback_status.ToString(), out);
+  Expect(pool->current_id() == 1,
+         "rollback restores version 1 under its original id", out);
+  wave(64);
+
+  server->Stop();
+  resolved = ChaosDrain(&flights, out);
+  Expect(out->ok == out->offered,
+         "no deadline/no overload run must complete every request", out);
+  Expect(pool->rejected_count() >= 2,
+         "both bad checkpoints counted as rejections", out);
+  Expect(pool->rollback_count() == 1, "one rollback counted", out);
+  const std::vector<ModelPool::SwapEvent> events = pool->SwapEvents();
+  int64_t reject_events = 0, rollback_events = 0;
+  for (const ModelPool::SwapEvent& e : events) {
+    reject_events +=
+        e.kind == ModelPool::SwapEvent::Kind::kReject ? 1 : 0;
+    rollback_events +=
+        e.kind == ModelPool::SwapEvent::Kind::kRollback ? 1 : 0;
+  }
+  Expect(reject_events >= 2, "rejections appear in the swap audit log",
+         out);
+  Expect(rollback_events == 1, "rollback appears in the swap audit log",
+         out);
+
+  std::map<int64_t, RecModel*> version_models;
+  version_models[1] = base_model.get();
+  version_models[2] = good_model.get();
+  ChaosVerifyScores(version_models, resolved, out);
+
+  std::remove(good_path.c_str());
+  std::remove(corrupt_path.c_str());
+  std::remove(nan_path.c_str());
+  ::rmdir(dir.c_str());
+}
+
+/// worker-stall: a repeating injected delay on the score path wedges
+/// workers past the watchdog timeout; the watchdog must replace them
+/// while every admitted request still reaches a terminal status.
+void RunChaosWorkerStall(ExperimentHarness* harness, ModelPool* pool,
+                         Server* server, ChaosOutcome* out) {
+  (void)pool;
+  fault::Injection delay;
+  delay.kind = fault::Injection::Kind::kDelay;
+  delay.match = "serve.score";
+  delay.ms = 400;
+  delay.every = 8;  // every 8th scorer call sleeps 400ms
+  fault::Install(delay);
+
+  std::vector<ChaosFlight> flights;
+  const int64_t n_users = harness->n_users();
+  for (int64_t i = 0; i < 64; ++i) {
+    Request r;
+    r.task = TaskKind::kTopKItems;
+    r.user = i % n_users;
+    r.k = 10;
+    ChaosSubmit(server, r, &flights);
+    // Spread the arrivals so batches keep forming while earlier ones
+    // are wedged (the watchdog must restart workers under live load).
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  server->Stop();
+  fault::Clear();
+  ChaosDrain(&flights, out);
+  Expect(out->ok == out->offered,
+         "every admitted request completes despite worker stalls", out);
+  Expect(server->worker_restarts() >= 1,
+         "watchdog replaced at least one stalled worker", out);
+}
+
+/// overload: a sustained burst far over capacity must walk the ladder
+/// up to its shed tier; once the burst stops, clean evaluations must
+/// walk it back down to normal (hysteresis in both directions).
+void RunChaosOverload(ExperimentHarness* harness, ModelPool* pool,
+                      Server* server, ChaosOutcome* out) {
+  (void)pool;
+  std::vector<ChaosFlight> flights;
+  const int64_t n_users = harness->n_users();
+  serve::DegradationController* ladder = server->degrade_controller();
+  Expect(ladder != nullptr, "overload schedule needs the ladder enabled",
+         out);
+  if (ladder == nullptr) {
+    server->Stop();
+    ChaosDrain(&flights, out);
+    return;
+  }
+
+  // Burst until the ladder reaches its shed tier (then a little past
+  // it, so kShedLoad responses actually occur), capped at 20s.
+  const int64_t burst_cap_us = trace::NowMicros() + 20'000'000;
+  int64_t cursor = 0;
+  int bursts_after_shed = 0;
+  while (trace::NowMicros() < burst_cap_us && bursts_after_shed < 40) {
+    for (int i = 0; i < 200; ++i, ++cursor) {
+      Request r;
+      r.task = TaskKind::kTopKItems;
+      r.user = cursor % n_users;
+      r.k = 10;
+      ChaosSubmit(server, r, &flights);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (server->degrade_level() >=
+        static_cast<int>(serve::DegradeLevel::kShed)) {
+      ++bursts_after_shed;
+    }
+  }
+  out->max_degrade_level = ladder->max_level_seen();
+  Expect(out->max_degrade_level >=
+             static_cast<int64_t>(serve::DegradeLevel::kShed),
+         "ladder reached its shed tier under sustained overload", out);
+
+  // Burst over: the fast window drains, evaluations read clean, and
+  // the ladder must release tier by tier (step_down hysteresis).
+  const int64_t release_cap_us = trace::NowMicros() + 30'000'000;
+  while (trace::NowMicros() < release_cap_us && server->degrade_level() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  out->final_degrade_level = server->degrade_level();
+  out->degrade_transitions = ladder->transitions();
+  Expect(out->final_degrade_level == 0,
+         "ladder released back to normal after the burst", out);
+  Expect(out->degrade_transitions >= 2 * out->max_degrade_level,
+         "ladder both engaged and released tier by tier", out);
+
+  server->Stop();
+  ChaosDrain(&flights, out);
+  Expect(server->stats().shed_load > 0,
+         "shed tier actually dropped load at admission", out);
+}
+
+int RunChaos(const LoadgenOptions& opt) {
+  ExperimentHarness harness(HarnessConfig::FromEnv());
+  MGBR_LOG_INFO("chaos[", opt.chaos, "] dataset: ", harness.DataSummary());
+
+  const auto make_model = [&harness]() -> std::unique_ptr<RecModel> {
+    auto m = harness.MakeMgbr(harness.MgbrBenchConfig(), 7);
+    m->Refresh();
+    return std::unique_ptr<RecModel>(std::move(m));
+  };
+  ModelPool pool(make_model);
+  pool.Install(make_model(), "chaos-seed");
+
+  ServerConfig config;
+  config.n_workers = static_cast<int>(opt.workers);
+  config.cache_capacity = 0;  // every request exercises the score path
+  if (opt.chaos == "corrupt-swap") {
+    // Validation on (finite-score canary; no agreement threshold —
+    // independently seeded models legitimately disagree), brute-force
+    // fp32 scoring so responses are bitwise comparable to direct
+    // scoring, generous queue so nothing sheds.
+    config.queue_capacity = 4096;
+    config.validation.enabled = true;
+    config.validation.probe_users = 8;
+    config.validation.probe_k = 10;
+    config.validation.min_ref_overlap = 0.0;
+  } else if (opt.chaos == "worker-stall") {
+    config.queue_capacity = 4096;
+    config.watchdog.enabled = true;
+    config.watchdog.stall_timeout_ms = 150;
+    config.watchdog.check_interval_ms = 25;
+    config.watchdog.max_restarts = 6;
+  } else {  // overload
+    config.queue_capacity = 32;
+    config.max_batch = 8;
+    config.batch_timeout_us = 1000;
+    config.n_workers = 1;
+    config.degrade.enabled = true;
+    config.degrade.step_up_after = 1;
+    config.degrade.step_down_after = 2;
+    config.degrade.shed_keep_one_in = 4;
+    config.degrade.admission_budget_us = 50'000;
+    config.obs.slo_window_s = 4;
+    // The 1 Hz ticker evaluates milliseconds into each second, when the
+    // current-second bucket can still be empty mid-burst; a 2 s fast
+    // window always includes the previous, fully-populated second.
+    config.obs.slo_fast_window_s = 2;
+    // Shed-driven paging signal: the latency target is parked out of
+    // reach so only the shed fraction drives fast_breach.
+    config.obs.slo_target_p99_ms = 1e9;
+    config.obs.slo_max_shed_fraction = 0.05;
+  }
+
+  ChaosOutcome out;
+  {
+    Server server(&pool, config);
+    if (opt.chaos == "corrupt-swap") {
+      RunChaosCorruptSwap(&harness, &pool, &server, &out);
+    } else if (opt.chaos == "worker-stall") {
+      RunChaosWorkerStall(&harness, &pool, &server, &out);
+    } else {
+      RunChaosOverload(&harness, &pool, &server, &out);
+    }
+    const ServerStats stats = server.stats();
+    const int64_t lost = out.offered - out.terminal;
+    const double availability =
+        out.offered > 0 ? static_cast<double>(out.terminal) /
+                              static_cast<double>(out.offered)
+                        : 1.0;
+    Expect(lost == 0, "no request may vanish without a terminal status",
+           &out);
+
+    std::printf(
+        "chaos[%s]: offered %" PRId64 ", terminal %" PRId64 " (ok %" PRId64
+        ", shed q=%" PRId64 " d=%" PRId64 " l=%" PRId64 ", other %" PRId64
+        "), lost %" PRId64 "\n"
+        "  swap: rejected=%" PRId64 " rollbacks=%" PRId64
+        " load_retries=%" PRId64 "; worker_restarts=%" PRId64
+        "; degrade max=%" PRId64 " final=%" PRId64 "\n"
+        "  violations: %zu\n",
+        opt.chaos.c_str(), out.offered, out.terminal, out.ok,
+        out.shed_queue_full, out.shed_deadline, out.shed_load, out.other,
+        lost, pool.rejected_count(), pool.rollback_count(),
+        pool.load_retries(), stats.worker_restarts, out.max_degrade_level,
+        out.final_degrade_level, out.violations.size());
+    for (const std::string& v : out.violations) {
+      std::printf("  VIOLATION: %s\n", v.c_str());
+    }
+
+    if (!opt.json_out.empty()) {
+      std::string js;
+      js += "{\"schema\":\"mgbr-chaos-v1\",";
+      js += "\"config\":{\"schedule\":\"" + opt.chaos + "\"";
+      js += ",\"n_workers\":" + std::to_string(config.n_workers);
+      js += ",\"fast\":" +
+            std::string(harness.config().fast ? "true" : "false");
+      // A crashed process never writes this report: the literal zero
+      // is the survivor's signature the gate checks for.
+      js += "},\"chaos\":{\"crashes\":0";
+      js += ",\"offered\":" + std::to_string(out.offered);
+      js += ",\"terminal\":" + std::to_string(out.terminal);
+      js += ",\"lost\":" + std::to_string(lost);
+      js += ",\"availability\":" + Num(availability);
+      js += ",\"ok\":" + std::to_string(out.ok);
+      js += ",\"shed_queue_full\":" + std::to_string(out.shed_queue_full);
+      js += ",\"shed_deadline\":" + std::to_string(out.shed_deadline);
+      js += ",\"shed_load\":" + std::to_string(out.shed_load);
+      js += ",\"other\":" + std::to_string(out.other);
+      js += ",\"sampled\":" + std::to_string(out.sampled);
+      js += ",\"score_mismatches\":" + std::to_string(out.score_mismatches);
+      js += ",\"worker_restarts\":" + std::to_string(stats.worker_restarts);
+      js +=
+          ",\"max_degrade_level\":" + std::to_string(out.max_degrade_level);
+      js += ",\"final_degrade_level\":" +
+            std::to_string(out.final_degrade_level);
+      js += ",\"degrade_transitions\":" +
+            std::to_string(out.degrade_transitions);
+      js += ",\"violations\":[";
+      for (size_t i = 0; i < out.violations.size(); ++i) {
+        if (i > 0) js += ',';
+        js += '"';
+        for (char c : out.violations[i]) {
+          if (c == '"' || c == '\\') js += '\\';
+          js += c;
+        }
+        js += '"';
+      }
+      js += "]},\"swap\":{";
+      js += "\"swap_count\":" + std::to_string(pool.swap_count());
+      js += ",\"swap_rejected\":" + std::to_string(pool.rejected_count());
+      js += ",\"rollbacks\":" + std::to_string(pool.rollback_count());
+      js += ",\"load_retries\":" + std::to_string(pool.load_retries());
+      js += "},\"server\":{";
+      js += "\"submitted\":" + std::to_string(stats.submitted);
+      js += ",\"admitted\":" + std::to_string(stats.admitted);
+      js += ",\"shed_queue_full\":" + std::to_string(stats.shed_queue_full);
+      js += ",\"shed_deadline\":" + std::to_string(stats.shed_deadline);
+      js += ",\"shed_load\":" + std::to_string(stats.shed_load);
+      js += ",\"completed\":" + std::to_string(stats.completed);
+      js += ",\"invalid\":" + std::to_string(stats.invalid);
+      js += ",\"worker_restarts\":" + std::to_string(stats.worker_restarts);
+      js += "}}\n";
+      std::FILE* f = std::fopen(opt.json_out.c_str(), "w");
+      if (f == nullptr ||
+          std::fwrite(js.data(), 1, js.size(), f) != js.size() ||
+          std::fclose(f) != 0) {
+        MGBR_LOG_ERROR("cannot write chaos report: ", opt.json_out);
+        return 1;
+      }
+      MGBR_LOG_INFO("wrote chaos report to ", opt.json_out);
+    }
+  }
+  return out.violations.empty() ? 0 : 1;
 }
 
 int Run(const LoadgenOptions& opt) {
@@ -434,6 +978,11 @@ int Run(const LoadgenOptions& opt) {
     out += ",\"cache_hits\":" + std::to_string(stats.cache_hits);
     out += ",\"two_stage\":" + std::to_string(stats.two_stage);
     out += ",\"quant_scored\":" + std::to_string(stats.quant_scored);
+    out += ",\"shed_load\":" + std::to_string(stats.shed_load);
+    out += ",\"worker_restarts\":" + std::to_string(stats.worker_restarts);
+    // Final bound port (ephemeral-port runs included), so the CI scrape
+    // reconciliation can verify it scraped THIS server.
+    out += ",\"metrics_port\":" + std::to_string(server.metrics_port());
     // Footprint + Task-A agreement of the served quantized view (all
     // defaults when --quant=off or the model has no retrieval view).
     out += "},\"quant\":{";
@@ -521,6 +1070,8 @@ int main(int argc, char** argv) {
       opt.flight_dump_out = v;
     } else if (mgbr::bench::ParseFlag(arg, "linger-s", &v)) {
       opt.linger_s = std::stod(v);
+    } else if (mgbr::bench::ParseFlag(arg, "chaos", &v)) {
+      opt.chaos = v;
     } else if (arg.rfind("--trace-out", 0) == 0 ||
                arg.rfind("--metrics-out", 0) == 0 || arg == "--trace-stream") {
       if ((arg == "--trace-out" || arg == "--metrics-out") && i + 1 < argc) {
@@ -539,8 +1090,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--model must be mgbr or gbgcn\n");
     return 2;
   }
+  if (!opt.chaos.empty() && opt.chaos != "corrupt-swap" &&
+      opt.chaos != "worker-stall" && opt.chaos != "overload") {
+    std::fprintf(stderr,
+                 "--chaos must be corrupt-swap, worker-stall or overload\n");
+    return 2;
+  }
 
-  const int rc = mgbr::bench::Run(opt);
+  const int rc = opt.chaos.empty() ? mgbr::bench::Run(opt)
+                                   : mgbr::bench::RunChaos(opt);
   const mgbr::Status flush = telemetry.Flush(nullptr);
   return rc != 0 ? rc : (flush.ok() ? 0 : 1);
 }

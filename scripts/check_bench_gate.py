@@ -48,6 +48,21 @@ exactly specified, scoring is bit-identical across thread counts by
 the kernel contract), so those floors hold exactly; the speedup floor
 is a timing ratio and carries large headroom for runner noise.
 
+`--chaos` mode — serving self-healing gate. Reads ONE bench_loadgen
+--chaos JSON report ("mgbr-chaos-v1") and fails when the run crashed
+(crashes != 0 — and a crashed process writes no report at all, which
+fails the schema check), lost any request (every submitted request must
+reach exactly one terminal status), fell below the committed
+availability floor (`ci_gate.chaos.min_availability`), recorded any
+in-run violation, disagrees with the server's own lifetime counters
+(the chaos block is the harness's view, the server block the server's;
+they must reconcile exactly), or misses its schedule's recovery
+signature: corrupt-swap must reject both bad checkpoints, roll back
+once, and verify every OK response bitwise (score_mismatches == 0);
+worker-stall must restart at least one worker and complete every
+request; overload must reach the shed tier, shed actual load, and
+release back to normal.
+
 Every input file is schema-validated before any number is compared, so
 a truncated artifact or a format drift fails loudly instead of gating
 on garbage. `--self-test` runs the built-in unit tests (CI invokes it
@@ -66,6 +81,7 @@ Usage:
     check_bench_gate.py --serving BENCH_baseline.json loadgen.json
     check_bench_gate.py --retrieval BENCH_baseline.json retrieval.json
     check_bench_gate.py --quant BENCH_baseline.json quant.json
+    check_bench_gate.py --chaos BENCH_baseline.json chaos.json
     check_bench_gate.py --self-test
 """
 
@@ -181,6 +197,54 @@ def validate_quant(data, path):
             _require(isinstance(summary.get(key), (int, float)),
                      f"{path}: results.modes.{mode}.{key} missing or not "
                      "numeric")
+
+
+CHAOS_SCHEDULES = ("corrupt-swap", "worker-stall", "overload")
+
+CHAOS_COUNTERS = (
+    "crashes", "offered", "terminal", "lost", "availability", "ok",
+    "shed_queue_full", "shed_deadline", "shed_load", "other", "sampled",
+    "score_mismatches", "worker_restarts", "max_degrade_level",
+    "final_degrade_level", "degrade_transitions",
+)
+
+
+def validate_chaos(data, path):
+    """bench_loadgen --chaos JSON: schema mgbr-chaos-v1 (bench_loadgen.cc)."""
+    _require(isinstance(data, dict), f"{path}: top level is not an object")
+    _require(data.get("schema") == "mgbr-chaos-v1",
+             f"{path}: schema is {data.get('schema')!r}, "
+             "expected 'mgbr-chaos-v1'")
+    config = data.get("config")
+    _require(isinstance(config, dict), f"{path}: missing 'config' object")
+    _require(config.get("schedule") in CHAOS_SCHEDULES,
+             f"{path}: config.schedule is {config.get('schedule')!r}, "
+             f"expected one of {CHAOS_SCHEDULES}")
+    chaos = data.get("chaos")
+    _require(isinstance(chaos, dict), f"{path}: missing 'chaos' object")
+    for key in CHAOS_COUNTERS:
+        _require(isinstance(chaos.get(key), (int, float)),
+                 f"{path}: chaos.{key} missing or not numeric")
+    _require(isinstance(chaos.get("violations"), list),
+             f"{path}: chaos.violations missing or not a list")
+    swap = data.get("swap")
+    _require(isinstance(swap, dict), f"{path}: missing 'swap' object")
+    for key in ("swap_count", "swap_rejected", "rollbacks", "load_retries"):
+        _require(isinstance(swap.get(key), (int, float)),
+                 f"{path}: swap.{key} missing or not numeric")
+    server = data.get("server")
+    _require(isinstance(server, dict), f"{path}: missing 'server' object")
+    for key in ("submitted", "admitted", "shed_queue_full", "shed_deadline",
+                "shed_load", "completed", "invalid", "worker_restarts"):
+        _require(isinstance(server.get(key), (int, float)),
+                 f"{path}: server.{key} missing or not numeric")
+
+
+def validate_chaos_floors(floors, path):
+    """The ci_gate.chaos block of BENCH_baseline.json."""
+    _require(isinstance(floors, dict), f"{path}: ci_gate.chaos missing")
+    _require(isinstance(floors.get("min_availability"), (int, float)),
+             f"{path}: ci_gate.chaos.min_availability missing or not numeric")
 
 
 def validate_quant_floors(floors, path):
@@ -432,6 +496,110 @@ def quant_gate(baseline, quant_path):
     return 0
 
 
+def chaos_gate(baseline, chaos_path):
+    floors = baseline.get("ci_gate", {}).get("chaos")
+    validate_chaos_floors(floors, "baseline")
+    report = load_json(chaos_path, validate_chaos)
+    schedule = report["config"]["schedule"]
+    chaos = report["chaos"]
+    swap = report["swap"]
+    server = report["server"]
+
+    print(f"{'schedule':20s} {schedule}")
+    print(f"{'offered':20s} {chaos['offered']:10.0f}")
+    print(f"{'terminal':20s} {chaos['terminal']:10.0f} "
+          f"(lost {chaos['lost']:.0f})")
+    print(f"{'availability':20s} {chaos['availability']:10.4f} "
+          f"(floor {floors['min_availability']:.4f})")
+    print(f"{'ok/shed q/d/l':20s} {chaos['ok']:.0f} / "
+          f"{chaos['shed_queue_full']:.0f} / {chaos['shed_deadline']:.0f} / "
+          f"{chaos['shed_load']:.0f}")
+
+    failures = []
+    if chaos["crashes"] != 0:
+        failures.append(f"run recorded {chaos['crashes']:.0f} crashes — the "
+                        "serving stack did not survive the schedule")
+    if chaos["lost"] != 0:
+        failures.append(
+            f"{chaos['lost']:.0f} requests vanished without a terminal "
+            "status — the exactly-one-terminal-status contract is broken")
+    if chaos["availability"] < floors["min_availability"]:
+        failures.append(
+            f"availability {chaos['availability']:.4f} is below the floor "
+            f"{floors['min_availability']:.4f}")
+    for violation in chaos["violations"]:
+        failures.append(f"in-run violation: {violation}")
+
+    # The chaos block is the harness's request-by-request accounting, the
+    # server block the server's own lifetime counters: any disagreement
+    # means one of them is lying.
+    recon = (
+        ("terminal", chaos["terminal"],
+         chaos["ok"] + chaos["shed_queue_full"] + chaos["shed_deadline"]
+         + chaos["shed_load"] + chaos["other"], "sum of outcome classes"),
+        ("offered", chaos["offered"], server["submitted"],
+         "server.submitted"),
+        ("shed_queue_full", chaos["shed_queue_full"],
+         server["shed_queue_full"], "server.shed_queue_full"),
+        ("shed_deadline", chaos["shed_deadline"], server["shed_deadline"],
+         "server.shed_deadline"),
+        ("shed_load", chaos["shed_load"], server["shed_load"],
+         "server.shed_load"),
+        ("worker_restarts", chaos["worker_restarts"],
+         server["worker_restarts"], "server.worker_restarts"),
+    )
+    for name, got, want, what in recon:
+        if got != want:
+            failures.append(
+                f"chaos.{name} ({got:.0f}) does not reconcile with "
+                f"{what} ({want:.0f})")
+
+    # Schedule-specific recovery signature, re-asserted independently of
+    # the harness's own in-run Expect()s.
+    if schedule == "corrupt-swap":
+        if swap["swap_rejected"] < 2:
+            failures.append(
+                f"only {swap['swap_rejected']:.0f} swap rejections — both "
+                "the bit-flipped and the NaN checkpoint must be rejected")
+        if swap["rollbacks"] < 1:
+            failures.append("no rollback recorded — Rollback() must restore "
+                            "the last-known-good version")
+        if chaos["sampled"] == 0:
+            failures.append("no OK responses were bitwise-verified")
+        if chaos["score_mismatches"] != 0:
+            failures.append(
+                f"{chaos['score_mismatches']:.0f} responses diverged from "
+                "their version's direct scores — version attribution is "
+                "broken")
+    elif schedule == "worker-stall":
+        if chaos["worker_restarts"] < 1:
+            failures.append("watchdog replaced no workers — the stall was "
+                            "never detected")
+        if chaos["ok"] != chaos["offered"]:
+            failures.append(
+                f"only {chaos['ok']:.0f}/{chaos['offered']:.0f} requests "
+                "completed OK — a watchdog restart dropped admitted work")
+    elif schedule == "overload":
+        if chaos["max_degrade_level"] < 4:
+            failures.append(
+                f"ladder peaked at tier {chaos['max_degrade_level']:.0f} — "
+                "sustained overload must reach the shed tier (4)")
+        if chaos["final_degrade_level"] != 0:
+            failures.append(
+                f"ladder finished at tier {chaos['final_degrade_level']:.0f}"
+                " — it must release to normal once the burst stops")
+        if chaos["shed_load"] == 0:
+            failures.append("shed tier dropped no load — kShedLoad never "
+                            "fired at admission")
+
+    for failure in failures:
+        print(f"ERROR: {failure}")
+    if failures:
+        return 1
+    print(f"OK: serving survived the {schedule} chaos schedule.")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Self-test (pytest-style asserts, zero dependencies; CI runs this first).
 # ---------------------------------------------------------------------------
@@ -619,6 +787,92 @@ def self_test():
     check("quant_rejects_malformed_baseline",
           _expect_schema_error(validate_quant_floors, None, "baseline"))
 
+    # Chaos gate verdicts against an in-memory baseline.
+    def chaos_report(schedule="corrupt-swap", **overrides):
+        offered = overrides.pop("offered", 256)
+        chaos = {
+            "crashes": 0, "offered": offered, "terminal": offered,
+            "lost": 0, "availability": 1.0, "ok": offered,
+            "shed_queue_full": 0, "shed_deadline": 0, "shed_load": 0,
+            "other": 0, "sampled": offered, "score_mismatches": 0,
+            "worker_restarts": 0, "max_degrade_level": 0,
+            "final_degrade_level": 0, "degrade_transitions": 0,
+            "violations": [],
+        }
+        swap = {"swap_count": 2, "swap_rejected": 2, "rollbacks": 1,
+                "load_retries": 0}
+        server = {"submitted": offered, "admitted": offered,
+                  "shed_queue_full": 0, "shed_deadline": 0, "shed_load": 0,
+                  "completed": offered, "invalid": 0, "worker_restarts": 0}
+        if schedule == "worker-stall":
+            chaos["worker_restarts"] = server["worker_restarts"] = 2
+            chaos["sampled"] = 0
+        if schedule == "overload":
+            chaos.update(ok=offered - 60, shed_queue_full=40, shed_load=20,
+                         sampled=0, max_degrade_level=4,
+                         degrade_transitions=8)
+            server.update(admitted=offered - 60, completed=offered - 60,
+                          shed_queue_full=40, shed_load=20)
+        for key, value in overrides.items():
+            (chaos if key in chaos else swap)[key] = value
+        return {"schema": "mgbr-chaos-v1",
+                "config": {"schedule": schedule, "n_workers": 2,
+                           "fast": True},
+                "chaos": chaos, "swap": swap, "server": server}
+
+    validate_chaos(chaos_report(), "mem")
+    check("chaos_accepts_valid", True)
+    check("chaos_rejects_wrong_schema",
+          _expect_schema_error(
+              validate_chaos, {"schema": "mgbr-loadgen-v1"}, "mem"))
+    check("chaos_rejects_unknown_schedule",
+          _expect_schema_error(validate_chaos, chaos_report("smoke"), "mem"))
+    bad = chaos_report()
+    del bad["chaos"]["crashes"]
+    check("chaos_rejects_missing_crashes",
+          _expect_schema_error(validate_chaos, bad, "mem"))
+
+    chaos_baseline = {"ci_gate": {"chaos": {"min_availability": 0.99}}}
+
+    def run_chaos(report):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump(report, f)
+            path = f.name
+        try:
+            return chaos_gate(chaos_baseline, path)
+        finally:
+            os.unlink(path)
+
+    for schedule in CHAOS_SCHEDULES:
+        check(f"chaos_passes_{schedule}",
+              run_chaos(chaos_report(schedule)) == 0)
+    check("chaos_fails_crashed", run_chaos(chaos_report(crashes=1)) == 1)
+    check("chaos_fails_lost_request",
+          run_chaos(chaos_report(lost=1, terminal=255)) == 1)
+    check("chaos_fails_low_availability",
+          run_chaos(chaos_report(availability=0.5)) == 1)
+    check("chaos_fails_in_run_violation",
+          run_chaos(chaos_report(violations=["boom"])) == 1)
+    skewed = chaos_report()
+    skewed["server"]["submitted"] += 10
+    check("chaos_fails_counter_mismatch", run_chaos(skewed) == 1)
+    check("chaos_fails_missing_rejections",
+          run_chaos(chaos_report(swap_rejected=0)) == 1)
+    check("chaos_fails_missing_rollback",
+          run_chaos(chaos_report(rollbacks=0)) == 1)
+    check("chaos_fails_score_mismatch",
+          run_chaos(chaos_report(score_mismatches=3)) == 1)
+    stall = chaos_report("worker-stall")
+    stall["chaos"]["worker_restarts"] = stall["server"]["worker_restarts"] = 0
+    check("chaos_fails_no_restart", run_chaos(stall) == 1)
+    check("chaos_fails_ladder_short",
+          run_chaos(chaos_report("overload", max_degrade_level=3)) == 1)
+    check("chaos_fails_ladder_stuck",
+          run_chaos(chaos_report("overload", final_degrade_level=4)) == 1)
+    check("chaos_rejects_malformed_baseline",
+          _expect_schema_error(validate_chaos_floors, None, "baseline"))
+
     failed = [name for name, ok in checks if not ok]
     print(f"self-test: {len(checks) - len(failed)}/{len(checks)} passed")
     return 1 if failed else 0
@@ -656,6 +910,13 @@ def main(argv):
             with open(argv[2]) as f:
                 baseline = json.load(f)
             return quant_gate(baseline, argv[3])
+        if len(argv) >= 2 and argv[1] == "--chaos":
+            if len(argv) != 4:
+                print(__doc__)
+                return 2
+            with open(argv[2]) as f:
+                baseline = json.load(f)
+            return chaos_gate(baseline, argv[3])
         if len(argv) != 4:
             print(__doc__)
             return 2

@@ -13,15 +13,21 @@ what the server itself counted:
     and that bucket equals `_count`;
   * the scraped serve_* counters equal the `server` object in the
     loadgen report (requests == completed + shed_queue_full +
-    shed_deadline + invalid, and each counter matches field-for-field);
-  * /healthz reported `running` mid-run and `stopped` after the drain.
+    shed_deadline + shed_load + invalid, and each counter matches
+    field-for-field);
+  * /healthz reported `running` mid-run and `stopped` after the drain;
+  * optionally, a /varz scrape's `exporter_port` equals the report's
+    `server.metrics_port` — proof that the port CI actually scraped is
+    the one THIS server bound (the exporter retries a taken port and
+    may fall back to an ephemeral one, so the configured port is not
+    evidence).
 
 A counter that never fired is simply absent from the scrape (metrics
 are registered on first touch), so missing serve_* series read as 0.
 
 Usage:
     check_scrape.py REPORT.json FINAL.prom FINAL_healthz.json \
-        MID_healthz.json
+        MID_healthz.json [VARZ.json]
     check_scrape.py --self-test
 """
 
@@ -111,23 +117,46 @@ RECONCILED = {
     "serve_completed": "completed",
     "serve_batches": "batches",
     "serve_cache_hits": "cache_hits",
+    "serve_shed_load": "shed_load",
+    "serve_worker_restarts": "worker_restarts",
 }
 
 
 def check_reconciliation(values, server):
+    # shed_load/worker_restarts entered the report later; an older
+    # report simply omits them and the scrape must then read 0 too.
+    optional = {"shed_load", "worker_restarts"}
     for series, field in RECONCILED.items():
         scraped = values.get(series, 0.0)
-        reported = server.get(field)
+        reported = server.get(field, 0 if field in optional else None)
         _require(reported is not None,
                  f"report's server object is missing {field!r}")
         _require(scraped == reported,
                  f"{series} scraped {scraped:g} != report "
                  f"{field} {reported}")
     total = (server["completed"] + server["shed_queue_full"] +
-             server["shed_deadline"] + server["invalid"])
+             server["shed_deadline"] + server.get("shed_load", 0) +
+             server["invalid"])
     _require(server["submitted"] == total,
              f"submitted {server['submitted']} != completed + shed + "
              f"invalid {total}")
+
+
+def check_varz(raw, server):
+    """The /varz scrape must come from the server the report describes:
+    its exporter_port is the port the exporter ACTUALLY bound (possibly
+    after bind retries or an ephemeral-port fallback), and the report
+    records the same number."""
+    varz = json.loads(raw)
+    port = varz.get("exporter_port")
+    _require(isinstance(port, int) and port > 0,
+             f"varz exporter_port {port!r} is not a bound port")
+    reported = server.get("metrics_port")
+    _require(isinstance(reported, int),
+             "report's server object is missing metrics_port")
+    _require(port == reported,
+             f"varz exporter_port {port} != report metrics_port "
+             f"{reported} — the scrape hit a different server")
 
 
 def check_healthz(raw, want_status):
@@ -139,7 +168,7 @@ def check_healthz(raw, want_status):
              "healthz is missing an integer model_version")
 
 
-def run_checks(report, final_prom, final_healthz, mid_healthz):
+def run_checks(report, final_prom, final_healthz, mid_healthz, varz=None):
     _require(report.get("schema") == "mgbr-loadgen-v1",
              "report is not an mgbr-loadgen-v1 document")
     server = report.get("server")
@@ -150,12 +179,16 @@ def run_checks(report, final_prom, final_healthz, mid_healthz):
     check_reconciliation(values, server)
     check_healthz(mid_healthz, "running")
     check_healthz(final_healthz, "stopped")
+    if varz is not None:
+        check_varz(varz, server)
+    shed = (server["shed_queue_full"] + server["shed_deadline"] +
+            server.get("shed_load", 0))
     print(f"scrape gate: {len(values)} samples, {histograms} histograms "
           f"valid, {len(RECONCILED)} serve counters reconciled, "
           f"submitted {server['submitted']} == completed "
-          f"{server['completed']} + shed "
-          f"{server['shed_queue_full'] + server['shed_deadline']} + "
-          f"invalid {server['invalid']}")
+          f"{server['completed']} + shed {shed} + "
+          f"invalid {server['invalid']}"
+          + ("" if varz is None else ", exporter port verified"))
 
 
 SELF_TEST_PROM = """\
@@ -185,8 +218,11 @@ SELF_TEST_SERVER = {
     "submitted": 10, "admitted": 9, "shed_queue_full": 1,
     "shed_deadline": 1, "completed": 8, "invalid": 0,
     "late_completions": 0, "batches": 2, "unique_scored": 4,
-    "coalesced": 0, "cache_hits": 3,
+    "coalesced": 0, "cache_hits": 3, "shed_load": 0,
+    "worker_restarts": 0, "metrics_port": 9109,
 }
+
+SELF_TEST_VARZ = '{"state":"stopped","exporter_port":9109}'
 
 
 def self_test():
@@ -204,6 +240,13 @@ def self_test():
         except ScrapeError:
             return True
         return False
+
+    def _varz_ok(varz):
+        try:
+            run_checks(report, SELF_TEST_PROM, stopped, running, varz)
+        except ScrapeError:
+            return False
+        return True
 
     checks = {
         "accepts a consistent scrape": lambda: (
@@ -234,6 +277,21 @@ def self_test():
                     "serve_shed_deadline 1\n", "").replace(
                     "serve_requests 10", "serve_requests 9"),
                 stopped, running) or True),
+        "accepts a report without the newer counters": lambda: (
+            run_checks(
+                {"schema": "mgbr-loadgen-v1",
+                 "server": {k: v for k, v in SELF_TEST_SERVER.items()
+                            if k not in ("shed_load", "worker_restarts")}},
+                SELF_TEST_PROM, stopped, running) or True),
+        "rejects a shed_load mismatch": lambda: fails(
+            lambda r, p, h: r["server"].update(shed_load=1)),
+        "accepts a matching varz port": lambda: (
+            run_checks(report, SELF_TEST_PROM, stopped, running,
+                       SELF_TEST_VARZ) or True),
+        "rejects a varz port mismatch": lambda: not _varz_ok(
+            SELF_TEST_VARZ.replace("9109", "9110")),
+        "rejects an unbound varz port": lambda: not _varz_ok(
+            SELF_TEST_VARZ.replace("9109", "0")),
     }
     failed = [name for name, check in checks.items() if not check()]
     for name in failed:
@@ -245,7 +303,7 @@ def self_test():
 def main(argv):
     if len(argv) >= 2 and argv[1] == "--self-test":
         return self_test()
-    if len(argv) != 5:
+    if len(argv) not in (5, 6):
         print(__doc__, file=sys.stderr)
         return 2
     with open(argv[1], encoding="utf-8") as fh:
@@ -256,8 +314,12 @@ def main(argv):
         final_healthz = fh.read()
     with open(argv[4], encoding="utf-8") as fh:
         mid_healthz = fh.read()
+    varz = None
+    if len(argv) == 6:
+        with open(argv[5], encoding="utf-8") as fh:
+            varz = fh.read()
     try:
-        run_checks(report, final_prom, final_healthz, mid_healthz)
+        run_checks(report, final_prom, final_healthz, mid_healthz, varz)
     except ScrapeError as err:
         print(f"scrape gate FAILED: {err}", file=sys.stderr)
         return 1

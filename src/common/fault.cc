@@ -1,8 +1,10 @@
 #include "common/fault.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
@@ -55,6 +57,8 @@ Counter* InjectedCounter(Injection::Kind kind) {
       MetricsRegistry::Global().GetCounter("fault.injected_bitflip");
   static Counter* reio =
       MetricsRegistry::Global().GetCounter("fault.injected_read_eio");
+  static Counter* delay =
+      MetricsRegistry::Global().GetCounter("fault.injected_delay");
   switch (kind) {
     case Injection::Kind::kKill:
       return kill;
@@ -66,6 +70,8 @@ Counter* InjectedCounter(Injection::Kind kind) {
       return flip;
     case Injection::Kind::kReadEio:
       return reio;
+    case Injection::Kind::kDelay:
+      return delay;
   }
   return kill;
 }
@@ -82,6 +88,8 @@ const char* KindName(Injection::Kind kind) {
       return "flip";
     case Injection::Kind::kReadEio:
       return "eio-read";
+    case Injection::Kind::kDelay:
+      return "delay";
   }
   return "?";
 }
@@ -121,6 +129,19 @@ bool ParseDirective(const std::string& directive, Injection* out) {
     out->bit = bit;
   } else if (kind == "eio-read") {
     out->kind = Injection::Kind::kReadEio;
+  } else if (kind == "delay") {
+    // delay@<point>:<ms>[:<every>] — parts[1] is the duration, not an
+    // occurrence index; the optional parts[2] is the firing period.
+    out->kind = Injection::Kind::kDelay;
+    out->at = 0;
+    out->ms = at;
+    if (out->ms < 0) return false;
+    out->every = 1;
+    if (parts.size() >= 3) {
+      long long every = 0;
+      if (!ParseInt64(parts[2], &every) || every < 1) return false;
+      out->every = every;
+    }
   } else {
     return false;
   }
@@ -169,6 +190,24 @@ bool Consume(Injection::Kind kind, const std::string& target,
       *fired_out = armed;
       return true;
     }
+  }
+  return false;
+}
+
+// Delay variant of Consume: delays fire repeatedly (every `every`-th
+// matching operation, starting with the first) and never set `fired`.
+// Returns true with a copy of the armed state so the caller can sleep
+// and log outside the plan lock.
+bool ConsumeDelay(const std::string& target, ArmedInjection* fired_out) {
+  std::lock_guard<std::mutex> lock(PlanMutex());
+  InstallFromEnvLocked();
+  for (ArmedInjection& armed : Plan()) {
+    if (armed.spec.kind != Injection::Kind::kDelay) continue;
+    if (target != armed.spec.match) continue;
+    const int64_t hit = armed.hits++;
+    if (hit % armed.spec.every != 0) continue;
+    *fired_out = armed;
+    return true;
   }
   return false;
 }
@@ -236,6 +275,16 @@ bool OnRead(const std::string& path) {
   }
   RecordFired(fired, path);
   return true;
+}
+
+void DelayPoint(const char* name) {
+  if (!Active()) return;
+  ArmedInjection fired;
+  if (!ConsumeDelay(name, &fired)) return;
+  RecordFired(fired, name);
+  // Sleep outside the plan lock: a long stall at one delay point must
+  // not serialize every other fault hook in the process behind it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(fired.spec.ms));
 }
 
 }  // namespace fault

@@ -24,9 +24,15 @@ namespace fault {
 ///   * kWriteBitFlip — the matching write flips one bit of the payload
 ///                     and reports success (silent media corruption).
 ///   * kReadEio      — the matching io::File read returns an IoError.
+///   * kDelay        — the matching delay point sleeps `ms`
+///                     milliseconds. Unlike the other kinds a delay
+///                     fires REPEATEDLY: on every `every`-th matching
+///                     operation (starting with the first), so a single
+///                     directive can wedge a scoring loop long enough
+///                     for the serving watchdog to notice.
 ///
 /// For write/read kinds, `match` is a substring of the file path; for
-/// kKill it is the exact kill-point name. Matching operations are
+/// kKill and kDelay it is the exact point name. Matching operations are
 /// counted per injection across the whole process, so `at = 2` on a
 /// checkpoint path fires on the third checkpoint write of the run.
 ///
@@ -37,6 +43,7 @@ namespace fault {
 ///   short@<path-substr>:<at>
 ///   flip@<path-substr>:<at>:<bit>
 ///   eio-read@<path-substr>:<at>
+///   delay@<point>:<ms>[:<every>]
 ///
 /// e.g. MGBR_FAULT="kill@trainer.step:40;flip@ckpt:0:13". Every fired
 /// injection is logged at WARNING level and counted in the metrics
@@ -52,14 +59,20 @@ struct Injection {
     kWriteShort,
     kWriteBitFlip,
     kReadEio,
+    kDelay,
   };
   Kind kind = Kind::kKill;
-  /// Kill-point name (kKill, exact) or file-path substring (io kinds).
+  /// Point name (kKill/kDelay, exact) or file-path substring (io
+  /// kinds).
   std::string match;
-  /// Fires on the `at`-th matching operation, 0-based.
+  /// Fires on the `at`-th matching operation, 0-based (fire-once kinds).
   int64_t at = 0;
   /// kWriteBitFlip only: bit index into the payload (mod payload bits).
   int64_t bit = 0;
+  /// kDelay only: sleep duration in milliseconds.
+  int64_t ms = 0;
+  /// kDelay only: fire on every `every`-th matching operation (>= 1).
+  int64_t every = 1;
 };
 
 /// Exit code used by injected kills (mirrors a SIGKILLed process).
@@ -99,6 +112,13 @@ bool OnWrite(const std::string& path, WriteFault* out);
 /// Returns true when a read fault (injected EIO) fires for this
 /// operation on `path`. Called by io::File reads.
 bool OnRead(const std::string& path);
+
+/// Delay point: if a kDelay injection matches `name` (exact) and this
+/// is one of its firing occurrences, sleeps the injected duration. The
+/// sleep happens OUTSIDE the plan lock so a wedged delay point never
+/// blocks other hooks. Serving calls this on the score path
+/// ("serve.score") and the checkpoint load path ("pool.load").
+void DelayPoint(const char* name);
 
 }  // namespace fault
 }  // namespace mgbr

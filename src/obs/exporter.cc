@@ -6,10 +6,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
+#include "common/logging.h"
 #include "common/metrics.h"
+#include "common/string_util.h"
 #include "obs/prometheus.h"
 
 namespace mgbr::obs {
@@ -59,39 +64,54 @@ Exporter::~Exporter() { Stop(); }
 
 Status Exporter::Start() {
   if (listen_fd_ >= 0) return Status::OK();
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IoError("exporter: socket() failed: " +
-                           std::string(std::strerror(errno)));
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(config_.port));
   if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
       1) {
-    ::close(fd);
     return Status::InvalidArgument("exporter: bad bind address: " +
                                    config_.bind_address);
   }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 16) != 0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd);
-    return Status::IoError("exporter: cannot listen on " +
-                           config_.bind_address + ":" +
-                           std::to_string(config_.port) + ": " + err);
+  // Bounded bind retry: a taken port is frequently transient (TIME_WAIT
+  // remnant, predecessor still winding down). Each attempt gets a fresh
+  // socket; the last failure's errno is what the caller sees.
+  const int attempts = 1 + std::max(0, config_.bind_retries);
+  std::string last_err;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      MGBR_LOG_WARNING("exporter: bind to ", config_.bind_address, ":",
+                       config_.port, " failed (", last_err, "); retry ",
+                       attempt, "/", attempts - 1, " in ",
+                       config_.bind_retry_ms, "ms");
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.bind_retry_ms));
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IoError("exporter: socket() failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+      last_err = std::strerror(errno);
+      ::close(fd);
+      continue;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      port_ = ntohs(bound.sin_port);
+    }
+    listen_fd_ = fd;
+    stop_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread([this] { ServeLoop(); });
+    return Status::OK();
   }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
-    port_ = ntohs(bound.sin_port);
-  }
-  listen_fd_ = fd;
-  stop_.store(false, std::memory_order_relaxed);
-  thread_ = std::thread([this] { ServeLoop(); });
-  return Status::OK();
+  return Status::IoError("exporter: cannot listen on " + config_.bind_address +
+                         ":" + std::to_string(config_.port) + " after " +
+                         std::to_string(attempts) + " attempts: " + last_err);
 }
 
 void Exporter::Stop() {

@@ -17,6 +17,13 @@ struct ExporterConfig {
   /// Listen address. Loopback by default: the exporter is a debugging
   /// and scrape endpoint, not a public API.
   std::string bind_address = "127.0.0.1";
+  /// Extra bind attempts when the port is taken (total attempts =
+  /// 1 + bind_retries), `bind_retry_ms` apart — rides out TIME_WAIT
+  /// remnants and a predecessor process still winding down. Only a
+  /// failed bind/listen retries; socket() failures and bad addresses
+  /// fail fast.
+  int bind_retries = 3;
+  int64_t bind_retry_ms = 50;
 };
 
 /// Minimal self-contained HTTP/1.1 exposition server (POSIX sockets,

@@ -178,6 +178,8 @@ SloWindowStats SloMonitor::Evaluate(int64_t now_us) {
       (stats.fast_completed > 0 &&
        stats.fast_p99_ms > config_.target_p99_ms) ||
       stats.fast_shed_fraction > config_.max_shed_fraction;
+  stats.fast_breach = fast_violated;
+  stats.slow_breach = p99_violated || shed_violated;
   if (p99_violated) MGBR_COUNTER_ADD(P99ViolationsCounter(), 1);
   if (fast_violated) MGBR_COUNTER_ADD(BurnFastCounter(), 1);
   if (p99_violated || shed_violated) MGBR_COUNTER_ADD(BurnSlowCounter(), 1);
@@ -196,6 +198,7 @@ SloWindowStats SloMonitor::Evaluate(int64_t now_us) {
       threshold_armed_ = true;
     }
   }
+  if (evaluation_cb_) evaluation_cb_(stats);
   return stats;
 }
 
@@ -204,6 +207,11 @@ void SloMonitor::SetShedThresholdCallback(
   shed_threshold_ = shed_threshold;
   threshold_cb_ = std::move(cb);
   threshold_armed_ = true;
+}
+
+void SloMonitor::SetEvaluationCallback(
+    std::function<void(const SloWindowStats&)> cb) {
+  evaluation_cb_ = std::move(cb);
 }
 
 void SloMonitor::Start() {

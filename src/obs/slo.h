@@ -37,6 +37,10 @@ struct SloWindowStats {
   int64_t fast_shed = 0;
   double fast_shed_fraction = 0.0;
   double fast_p99_ms = 0.0;
+  // Target verdicts against SloConfig, so consumers (the serving
+  // degradation ladder) need not re-derive the thresholds.
+  bool fast_breach = false;  // fast sub-window breached either target
+  bool slow_breach = false;  // full window breached either target
 };
 
 /// Sliding-window latency/shed monitor: a ring of per-second buckets,
@@ -84,6 +88,11 @@ class SloMonitor {
   void SetShedThresholdCallback(double shed_threshold,
                                 std::function<void(const SloWindowStats&)> cb);
 
+  /// Fires on EVERY Evaluate with the computed window stats (after the
+  /// gauges/counters update). The serving degradation ladder hangs off
+  /// this. Called from the evaluator thread (ticker or test driver).
+  void SetEvaluationCallback(std::function<void(const SloWindowStats&)> cb);
+
   /// Background 1 Hz ticker driving Evaluate(trace::NowMicros()).
   void Start();
   void Stop();
@@ -112,6 +121,7 @@ class SloMonitor {
   double shed_threshold_ = -1.0;  // < 0: callback disabled
   std::function<void(const SloWindowStats&)> threshold_cb_;
   bool threshold_armed_ = true;
+  std::function<void(const SloWindowStats&)> evaluation_cb_;
 
   std::mutex ticker_mu_;
   std::condition_variable ticker_cv_;

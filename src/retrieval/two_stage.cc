@@ -28,12 +28,16 @@ std::shared_ptr<const ItemRetriever> ItemRetriever::BuildFor(
 }
 
 std::vector<int64_t> ItemRetriever::Candidates(const RecModel& model,
-                                               int64_t u, int64_t k) const {
+                                               int64_t u, int64_t k,
+                                               int64_t nprobe_override) const {
   std::vector<float> query;
   if (!model.RetrievalQueryA(u, &query)) return {};
   MGBR_CHECK_EQ(static_cast<int64_t>(query.size()), index_.d());
+  const int64_t nprobe =
+      nprobe_override > 0 ? std::max<int64_t>(1, nprobe_override)
+                          : config_.nprobe;
   std::vector<int64_t> ids =
-      index_.Search(query.data(), k * config_.overfetch, config_.nprobe);
+      index_.Search(query.data(), k * config_.overfetch, nprobe);
   std::sort(ids.begin(), ids.end());
   return ids;
 }

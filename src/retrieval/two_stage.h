@@ -54,8 +54,13 @@ class ItemRetriever {
   /// index hits, returned SORTED ASCENDING BY ID so the exact re-rank
   /// scores them in a canonical order (position-ascending ties in
   /// TopKIndices then equal id-ascending ties of the brute path).
+  /// `nprobe_override` > 0 probes that many lists instead of the
+  /// configured default (clamped to >= 1) — the serving degradation
+  /// ladder narrows the probe budget per call without rebuilding the
+  /// index.
   std::vector<int64_t> Candidates(const RecModel& model, int64_t u,
-                                  int64_t k) const;
+                                  int64_t k,
+                                  int64_t nprobe_override = 0) const;
 
   const IvfIndex& index() const { return index_; }
   const TwoStageConfig& config() const { return config_; }

@@ -1,18 +1,48 @@
 #include "serve/model_pool.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault.h"
+#include "common/logging.h"
 #include "common/metrics.h"
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "tensor/variable.h"
 
 namespace mgbr::serve {
 
 namespace {
 
+/// Swap audit log retention (installs + rejections + rollbacks).
+constexpr size_t kMaxSwapEvents = 64;
+
 #if MGBR_TELEMETRY
 Counter* SwapCounter() {
   static Counter* c =
       MetricsRegistry::Global().GetCounter("serve.model_swaps");
+  return c;
+}
+
+Counter* RejectedCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("serve.swap_rejected");
+  return c;
+}
+
+Counter* RollbacksCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("serve.rollbacks");
+  return c;
+}
+
+Counter* LoadRetriesCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("serve.load_retries");
   return c;
 }
 
@@ -73,9 +103,92 @@ void ModelPool::ExportModelBytes(const Version& version) const {
 #endif
 }
 
+void ModelPool::RecordEvent(SwapEvent event) {
+  std::function<void(const SwapEvent&)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+    while (events_.size() > kMaxSwapEvents) events_.pop_front();
+    hook = event_hook_;
+  }
+  if (hook) hook(event);
+}
+
+Status ModelPool::ValidateCandidate(RecModel* model,
+                                    const ValidationConfig& config,
+                                    const ProbeSignature& reference,
+                                    ProbeSignature* signature) const {
+  NoGradScope no_grad;
+  const int64_t probes = std::min(config.probe_users, model->num_users());
+  signature->clear();
+  signature->reserve(static_cast<size_t>(probes));
+  for (int64_t u = 0; u < probes; ++u) {
+    const Var column = model->ScoreAAll(u);
+    std::vector<double> scores(static_cast<size_t>(column.rows()));
+    for (int64_t r = 0; r < column.rows(); ++r) {
+      const double v = column.value().at(r, 0);
+      if (!std::isfinite(v)) {
+        return Status::FailedPrecondition(
+            "canary: non-finite score for probe user " + std::to_string(u) +
+            " item " + std::to_string(r));
+      }
+      scores[static_cast<size_t>(r)] = v;
+    }
+    signature->push_back(TopKIndices(scores, config.probe_k));
+  }
+  if (config.min_ref_overlap > 0.0 && !reference.empty()) {
+    const size_t n = std::min(signature->size(), reference.size());
+    double overlap_sum = 0.0;
+    for (size_t u = 0; u < n; ++u) {
+      const std::vector<int64_t>& got = (*signature)[u];
+      const std::vector<int64_t>& want = reference[u];
+      int64_t common = 0;
+      for (int64_t id : got) {
+        if (std::find(want.begin(), want.end(), id) != want.end()) ++common;
+      }
+      const size_t denom = std::max(got.size(), want.size());
+      overlap_sum += denom == 0 ? 1.0
+                                : static_cast<double>(common) /
+                                      static_cast<double>(denom);
+    }
+    const double mean = n == 0 ? 1.0 : overlap_sum / static_cast<double>(n);
+    if (mean < config.min_ref_overlap) {
+      return Status::FailedPrecondition(
+          "canary: probe top-k overlap " + std::to_string(mean) +
+          " below reference threshold " +
+          std::to_string(config.min_ref_overlap));
+    }
+  }
+  return Status::OK();
+}
+
 int64_t ModelPool::Install(std::unique_ptr<RecModel> model,
                            std::string source) {
   MGBR_CHECK(model != nullptr);
+  ValidationConfig validation;
+  ProbeSignature reference;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    validation = validation_;
+    reference = reference_signature_;
+  }
+  ProbeSignature signature;
+  if (validation.enabled) {
+    const Status verdict =
+        ValidateCandidate(model.get(), validation, reference, &signature);
+    if (!verdict.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++rejected_;
+      }
+      MGBR_LOG_WARNING("pool: rejected candidate '", source, "': ",
+                       verdict.message());
+      MGBR_COUNTER_ADD(RejectedCounter(), 1);
+      RecordEvent(SwapEvent{SwapEvent::Kind::kReject, 0, source,
+                            verdict.message()});
+      return 0;
+    }
+  }
   auto version = std::make_shared<Version>();
   version->model = std::shared_ptr<RecModel>(std::move(model));
   version->source = std::move(source);
@@ -85,15 +198,96 @@ int64_t ModelPool::Install(std::unique_ptr<RecModel> model,
   version->retriever = BuildRetriever(*version->model);
   version->quant = BuildQuant(*version->model);
   ExportModelBytes(*version);
-  std::lock_guard<std::mutex> lock(mu_);
-  version->id = next_id_++;
-  current_ = std::move(version);
-  ++swaps_;
+  int64_t id = 0;
+  std::string event_source;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    version->id = next_id_++;
+    // The displaced version becomes the last-known-good Rollback()
+    // target.
+    previous_ = current_;
+    current_ = std::move(version);
+    ++swaps_;
+    if (validation.enabled) reference_signature_ = std::move(signature);
+    id = current_->id;
+    event_source = current_->source;
 #if MGBR_TELEMETRY
-  MGBR_COUNTER_ADD(SwapCounter(), 1);
-  MGBR_GAUGE_SET(VersionGauge(), static_cast<double>(current_->id));
+    MGBR_COUNTER_ADD(SwapCounter(), 1);
+    MGBR_GAUGE_SET(VersionGauge(), static_cast<double>(current_->id));
 #endif
-  return current_->id;
+  }
+  RecordEvent(SwapEvent{SwapEvent::Kind::kInstall, id,
+                        std::move(event_source), ""});
+  return id;
+}
+
+Status ModelPool::Rollback() {
+  std::shared_ptr<Version> restored;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (previous_ == nullptr) {
+      return Status::FailedPrecondition(
+          "rollback: no last-known-good version retained");
+    }
+    // Swap current/previous: the restored version keeps its original
+    // id (the model object is unchanged, so cached scores for that id
+    // stay bitwise valid), and a second Rollback undoes the first.
+    std::swap(current_, previous_);
+    restored = current_;
+    ++rollbacks_;
+#if MGBR_TELEMETRY
+    MGBR_GAUGE_SET(VersionGauge(), static_cast<double>(restored->id));
+#endif
+  }
+  ExportModelBytes(*restored);
+  MGBR_LOG_WARNING("pool: rolled back to version ", restored->id, " ('",
+                   restored->source, "')");
+  MGBR_COUNTER_ADD(RollbacksCounter(), 1);
+  RecordEvent(SwapEvent{SwapEvent::Kind::kRollback, restored->id,
+                        restored->source, ""});
+  // Re-anchor the agreement reference on the restored model: the next
+  // candidate must agree with what is actually serving now.
+  ValidationConfig validation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    validation = validation_;
+  }
+  if (validation.enabled) {
+    ProbeSignature signature;
+    if (ValidateCandidate(restored->model.get(), validation, {}, &signature)
+            .ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (current_ == restored) reference_signature_ = std::move(signature);
+    }
+  }
+  return Status::OK();
+}
+
+void ModelPool::EnableValidation(const ValidationConfig& config) {
+  std::shared_ptr<Version> served;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    validation_ = config;
+    validation_.enabled = true;
+    served = current_;
+  }
+  if (served == nullptr) return;
+  // Seed the agreement reference from the already-served version.
+  ProbeSignature signature;
+  if (ValidateCandidate(served->model.get(), config, {}, &signature).ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (current_ == served) reference_signature_ = std::move(signature);
+  }
+}
+
+void ModelPool::SetLoadRetryPolicy(const LoadRetryPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retry_policy_ = policy;
+}
+
+void ModelPool::SetEventHook(std::function<void(const SwapEvent&)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event_hook_ = std::move(hook);
 }
 
 void ModelPool::EnableRetrieval(const retrieval::TwoStageConfig& config) {
@@ -137,12 +331,53 @@ void ModelPool::EnableQuantization(QuantMode mode) {
   if (current_ == served) current_ = std::move(upgraded);
 }
 
+Status ModelPool::LoadWithRetry(const std::string& checkpoint_path,
+                                const CheckpointReadRequest& request) {
+  LoadRetryPolicy policy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    policy = retry_policy_;
+  }
+  Status status;
+  for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff with deterministic seeded jitter: the
+      // schedule of a given (seed, path, attempt) never varies run to
+      // run, so fault-injection tests stay reproducible.
+      const int64_t base = policy.backoff_ms << (attempt - 1);
+      Rng rng(policy.jitter_seed ^
+              std::hash<std::string>{}(checkpoint_path) ^
+              static_cast<uint64_t>(attempt));
+      const int64_t jitter =
+          base > 0 ? static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(base))) : 0;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(base + jitter));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++load_retries_;
+      }
+      MGBR_COUNTER_ADD(LoadRetriesCounter(), 1);
+      MGBR_LOG_WARNING("pool: retrying load of '", checkpoint_path,
+                       "' (attempt ", attempt + 1, "/",
+                       policy.max_retries + 1, ") after: ",
+                       status.message());
+    }
+    status = LoadCheckpoint(checkpoint_path, request);
+    // Retry only transient IO errors; corruption (kDataLoss-class
+    // failures surface as other codes) fails fast — the bytes on disk
+    // will not get better.
+    if (status.ok() || status.code() != StatusCode::kIoError) return status;
+  }
+  return status;
+}
+
 Status ModelPool::LoadInto(RecModel* model,
                            const std::string& checkpoint_path) {
+  fault::DelayPoint("pool.load");
   std::vector<Var> params = model->Parameters();
   CheckpointReadRequest request;
   request.params = &params;
-  Status status = LoadCheckpoint(checkpoint_path, request);
+  Status status = LoadWithRetry(checkpoint_path, request);
   if (!status.ok()) return status;
   model->Refresh();
   return Status::OK();
@@ -153,8 +388,22 @@ Status ModelPool::LoadVersion(const std::string& checkpoint_path) {
   std::unique_ptr<RecModel> model = factory_();
   MGBR_CHECK(model != nullptr);
   Status status = LoadInto(model.get(), checkpoint_path);
-  if (!status.ok()) return status;
-  Install(std::move(model), checkpoint_path);
+  if (!status.ok()) {
+    // A failed load is a rejected swap: count and event-log it so the
+    // serving audit trail shows the candidate that never published.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++rejected_;
+    }
+    MGBR_COUNTER_ADD(RejectedCounter(), 1);
+    RecordEvent(SwapEvent{SwapEvent::Kind::kReject, 0, checkpoint_path,
+                          status.ToString()});
+    return status;
+  }
+  if (Install(std::move(model), checkpoint_path) == 0) {
+    return Status::FailedPrecondition("validation rejected '" +
+                                      checkpoint_path + "'");
+  }
   return Status::OK();
 }
 
@@ -163,14 +412,43 @@ Status ModelPool::LoadLatest(CheckpointManager* manager) {
   MGBR_CHECK(manager != nullptr);
   std::unique_ptr<RecModel> model = factory_();
   MGBR_CHECK(model != nullptr);
+  fault::DelayPoint("pool.load");
   std::vector<Var> params = model->Parameters();
   CheckpointReadRequest request;
   request.params = &params;
+  LoadRetryPolicy policy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    policy = retry_policy_;
+  }
   int64_t epoch = 0;
-  Status status = manager->RestoreLatest(request, &epoch);
+  Status status;
+  // Same bounded kIoError retry as LoadWithRetry, around the whole
+  // newest-first restore (RestoreLatest's own fallback handles
+  // permanent corruption; the retry handles a transiently flaky read
+  // of an otherwise-good file).
+  for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    if (attempt > 0) {
+      const int64_t base = policy.backoff_ms << (attempt - 1);
+      Rng rng(policy.jitter_seed ^ static_cast<uint64_t>(attempt));
+      const int64_t jitter =
+          base > 0 ? static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(base))) : 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(base + jitter));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++load_retries_;
+      }
+      MGBR_COUNTER_ADD(LoadRetriesCounter(), 1);
+    }
+    status = manager->RestoreLatest(request, &epoch);
+    if (status.ok() || status.code() != StatusCode::kIoError) break;
+  }
   if (!status.ok()) return status;
   model->Refresh();
-  Install(std::move(model), manager->PathFor(epoch));
+  if (Install(std::move(model), manager->PathFor(epoch)) == 0) {
+    return Status::FailedPrecondition("validation rejected '" +
+                                      manager->PathFor(epoch) + "'");
+  }
   return Status::OK();
 }
 
@@ -187,6 +465,26 @@ int64_t ModelPool::current_id() const {
 int64_t ModelPool::swap_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return swaps_;
+}
+
+int64_t ModelPool::rejected_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+int64_t ModelPool::rollback_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rollbacks_;
+}
+
+int64_t ModelPool::load_retries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return load_retries_;
+}
+
+std::vector<ModelPool::SwapEvent> ModelPool::SwapEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SwapEvent>(events_.begin(), events_.end());
 }
 
 }  // namespace mgbr::serve

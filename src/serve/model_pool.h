@@ -2,10 +2,12 @@
 #define MGBR_SERVE_MODEL_POOL_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "models/quant_view.h"
@@ -14,6 +16,42 @@
 #include "train/checkpoint.h"
 
 namespace mgbr::serve {
+
+/// Pre-publish validation gate for candidate versions. On top of the
+/// checkpoint format's own per-section CRC32 + config-fingerprint
+/// verification (which LoadVersion already gets for free), an enabled
+/// gate canary-scores a fixed probe set under NoGradScope:
+///   * every probe score must be finite (a NaN/Inf-poisoned parameter
+///     set passes CRC — the canary is what catches it);
+///   * optionally, the probes' top-k must agree with the recorded
+///     reference (the last accepted version) at `min_ref_overlap`
+///     mean overlap — a guard against semantically-wrong checkpoints
+///     of the right shape.
+/// Rejected candidates never publish: Install returns 0 and the served
+/// version is untouched.
+struct ValidationConfig {
+  bool enabled = false;
+  /// Canary probe set: users 0..min(probe_users, n_users)-1.
+  int64_t probe_users = 16;
+  /// Top-k cutoff per probe for the agreement check.
+  int64_t probe_k = 10;
+  /// Minimum mean top-k overlap vs the recorded reference in [0, 1];
+  /// 0 disables the agreement check (finite-score canary only).
+  double min_ref_overlap = 0.0;
+};
+
+/// Bounded retry for kIoError checkpoint-read failures: attempts =
+/// 1 + max_retries, exponential backoff with deterministic seeded
+/// jitter. The checkpoint format reports both transient EIO and
+/// detected corruption as kIoError, so a corrupt file burns the (small,
+/// bounded) retry budget before rejection — a deliberate trade: it also
+/// rides out the it-was-still-being-written window. Every other code
+/// fails fast.
+struct LoadRetryPolicy {
+  int max_retries = 2;
+  int64_t backoff_ms = 5;
+  uint64_t jitter_seed = 0x10adbeef;
+};
 
 /// Double-buffered model versions for zero-downtime refresh.
 ///
@@ -54,19 +92,57 @@ class ModelPool {
     std::string source;      // checkpoint path or a caller-chosen tag
   };
 
+  /// One entry of the bounded swap audit log: installs, validation
+  /// rejections, and rollbacks, oldest first.
+  struct SwapEvent {
+    enum class Kind { kInstall, kReject, kRollback };
+    Kind kind = Kind::kInstall;
+    /// Published version id (kInstall/kRollback); 0 for rejections.
+    int64_t version_id = 0;
+    std::string source;
+    std::string detail;  // rejection reason, empty otherwise
+  };
+
   explicit ModelPool(Factory factory);
 
   /// Wraps an already-built (and Refreshed) model as the next version.
-  /// Returns the new version id.
+  /// Returns the new version id — or 0 when the validation gate is
+  /// enabled and rejects the candidate (the served version is then
+  /// untouched; the rejection is counted and event-logged).
   int64_t Install(std::unique_ptr<RecModel> model, std::string source);
 
   /// Factory -> LoadCheckpoint(params only) -> Refresh -> atomic swap.
-  /// A failed build/load leaves the served version untouched.
+  /// A failed build/load (CRC/fingerprint corruption, exhausted read
+  /// retries) or a validation rejection leaves the served version
+  /// untouched and returns a non-OK status; either way the event is
+  /// recorded in the swap log.
   Status LoadVersion(const std::string& checkpoint_path);
 
   /// LoadVersion from the newest checkpoint in `manager` that fully
   /// verifies (CheckpointManager::RestoreLatest fall-back semantics).
   Status LoadLatest(CheckpointManager* manager);
+
+  /// Re-publishes the last-known-good version (the one displaced by
+  /// the most recent successful Install) under ITS ORIGINAL id — the
+  /// model object is unchanged, so cached scores for that id stay
+  /// bitwise valid. The displaced current version becomes the new
+  /// rollback target (a second Rollback undoes the first). Fails with
+  /// kFailedPrecondition when no previous version is retained.
+  Status Rollback();
+
+  /// Turns on the pre-publish validation gate for every later
+  /// Install/LoadVersion. The currently served version (if any)
+  /// becomes the initial agreement reference.
+  void EnableValidation(const ValidationConfig& config);
+
+  /// Replaces the transient-read retry policy (defaults apply
+  /// otherwise).
+  void SetLoadRetryPolicy(const LoadRetryPolicy& policy);
+
+  /// Observer called synchronously after every swap-log append (the
+  /// server feeds these to the flight recorder). Set before traffic;
+  /// replace with nullptr to detach.
+  void SetEventHook(std::function<void(const SwapEvent&)> hook);
 
   /// Turns on per-version ANN retriever construction: every later
   /// Install/LoadVersion builds the index before publishing, and the
@@ -98,6 +174,18 @@ class ModelPool {
   /// Number of successful Install/LoadVersion swaps so far.
   int64_t swap_count() const;
 
+  /// Candidates rejected by the validation gate or a failed load.
+  int64_t rejected_count() const;
+
+  /// Successful Rollback() calls.
+  int64_t rollback_count() const;
+
+  /// Transient-read retry attempts consumed by LoadVersion/LoadLatest.
+  int64_t load_retries() const;
+
+  /// Copy of the bounded swap audit log, oldest first.
+  std::vector<SwapEvent> SwapEvents() const;
+
   /// Bytes of embedding table the version actually scores with: the
   /// quantized payload when a QuantizedEmbeddingView is attached, else
   /// the fp32 bytes of the model's exposed retrieval views (0 for
@@ -107,7 +195,21 @@ class ModelPool {
   static int64_t ServedTableBytes(const Version& version);
 
  private:
+  /// Per-probe top-k id lists forming a version's canary signature.
+  using ProbeSignature = std::vector<std::vector<int64_t>>;
+
   Status LoadInto(RecModel* model, const std::string& checkpoint_path);
+  /// LoadCheckpoint with the bounded kIoError retry loop.
+  Status LoadWithRetry(const std::string& checkpoint_path,
+                       const CheckpointReadRequest& request);
+  /// Canary-scores the probe set; fills `*signature` and fails on any
+  /// non-finite score or reference disagreement.
+  Status ValidateCandidate(RecModel* model, const ValidationConfig& config,
+                           const ProbeSignature& reference,
+                           ProbeSignature* signature) const;
+  /// Appends to the bounded swap log and fires the event hook.
+  /// Called without mu_ held.
+  void RecordEvent(SwapEvent event);
   /// Retriever for `model` under the current retrieval config (null
   /// when disabled/unsupported). Called outside mu_ — k-means builds
   /// must not serialize Acquire().
@@ -123,11 +225,25 @@ class ModelPool {
   Factory factory_;
   mutable std::mutex mu_;
   std::shared_ptr<Version> current_;
+  /// Last-known-good: the version displaced by the latest successful
+  /// Install, retained as the Rollback() target.
+  std::shared_ptr<Version> previous_;
   int64_t next_id_ = 1;
   int64_t swaps_ = 0;
+  int64_t rejected_ = 0;
+  int64_t rollbacks_ = 0;
+  int64_t load_retries_ = 0;
   bool retrieval_enabled_ = false;
   retrieval::TwoStageConfig retrieval_config_;
   QuantMode quant_mode_ = QuantMode::kFp32;
+  ValidationConfig validation_;
+  /// Canary signature of the last ACCEPTED version (agreement
+  /// reference); empty until validation is enabled and a version
+  /// passes (or the retrofit seeds it from the served version).
+  ProbeSignature reference_signature_;
+  LoadRetryPolicy retry_policy_;
+  std::deque<SwapEvent> events_;  // bounded to kMaxSwapEvents
+  std::function<void(const SwapEvent&)> event_hook_;
 };
 
 }  // namespace mgbr::serve

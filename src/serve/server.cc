@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -35,6 +36,10 @@ Counter* ShedDeadlineCounter() {
       MetricsRegistry::Global().GetCounter("serve.shed_deadline");
   return c;
 }
+Counter* ShedLoadCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("serve.shed_load");
+  return c;
+}
 Counter* CompletedCounter() {
   static Counter* c = MetricsRegistry::Global().GetCounter("serve.completed");
   return c;
@@ -45,6 +50,11 @@ Counter* CacheHitCounter() {
 }
 Counter* BatchesCounter() {
   static Counter* c = MetricsRegistry::Global().GetCounter("serve.batches");
+  return c;
+}
+Counter* WorkerRestartsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("serve.worker_restarts");
   return c;
 }
 Gauge* QueueDepthGauge() {
@@ -106,6 +116,59 @@ std::vector<double> ColumnToDoubles(const Var& column) {
   return out;
 }
 
+/// Minimal JSON string escaping for the hand-built /varz payload
+/// (swap-event sources/details carry file paths and status messages).
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* SwapEventKindName(ModelPool::SwapEvent::Kind kind) {
+  switch (kind) {
+    case ModelPool::SwapEvent::Kind::kInstall:
+      return "install";
+    case ModelPool::SwapEvent::Kind::kReject:
+      return "reject";
+    case ModelPool::SwapEvent::Kind::kRollback:
+      return "rollback";
+  }
+  return "unknown";
+}
+
+/// Flight-recorder outcome codes for the synthetic swap-event records
+/// (task = -1): offset past every ResponseCode so the two spaces never
+/// collide in the dump.
+constexpr int64_t kFlightSwapOutcomeBase = 100;
+
 }  // namespace
 
 const char* ResponseCodeToString(ResponseCode code) {
@@ -120,6 +183,8 @@ const char* ResponseCodeToString(ResponseCode code) {
       return "InvalidArgument";
     case ResponseCode::kShutdown:
       return "Shutdown";
+    case ResponseCode::kShedLoad:
+      return "ShedLoad";
   }
   return "Unknown";
 }
@@ -137,8 +202,13 @@ Server::Server(ModelPool* pool, ServerConfig config)
   if (config_.retrieval.enabled) {
     MGBR_CHECK_GE(config_.retrieval.nprobe, 1);
     MGBR_CHECK_GE(config_.retrieval.overfetch, 1);
+  }
+  if (config_.retrieval.enabled || config_.degrade.enabled) {
     // Every version published from here on carries its own ANN index;
-    // the served one is retrofitted before the first batch runs.
+    // the served one is retrofitted before the first batch runs. The
+    // degradation ladder enables it even with two-stage serving off so
+    // tiers 1-2 have an index to fall to (models without a retrieval
+    // view keep brute force at those tiers).
     pool_->EnableRetrieval(config_.retrieval);
   }
   if (config_.quant != QuantMode::kFp32) {
@@ -148,21 +218,41 @@ Server::Server(ModelPool* pool, ServerConfig config)
     // quantized view exists.
     pool_->EnableQuantization(config_.quant);
   }
+  if (config_.validation.enabled) {
+    // Later swaps pass the canary gate before publishing; the served
+    // version seeds the agreement reference.
+    pool_->EnableValidation(config_.validation);
+  }
+  if (config_.degrade.enabled) {
+    degrade_ = std::make_unique<DegradationController>(config_.degrade);
+  }
 
-  if (config_.obs.enabled()) {
+  if (config_.obs.enabled() || config_.degrade.enabled) {
     obs::SloConfig slo_config;
     slo_config.window_s = config_.obs.slo_window_s;
     slo_config.fast_window_s = config_.obs.slo_fast_window_s;
     slo_config.target_p99_ms = config_.obs.slo_target_p99_ms;
     slo_config.max_shed_fraction = config_.obs.slo_max_shed_fraction;
     slo_ = std::make_unique<obs::SloMonitor>(slo_config);
+  }
+  if (config_.obs.enabled()) {
     if (config_.obs.flight_capacity > 0) {
       flight_ =
           std::make_unique<obs::FlightRecorder>(config_.obs.flight_capacity);
-      flight_->set_outcome_namer([](int64_t v) {
-        return ResponseCodeToString(static_cast<ResponseCode>(v));
+      flight_->set_outcome_namer([](int64_t v) -> const char* {
+        switch (v - kFlightSwapOutcomeBase) {
+          case static_cast<int64_t>(ModelPool::SwapEvent::Kind::kInstall):
+            return "SwapInstall";
+          case static_cast<int64_t>(ModelPool::SwapEvent::Kind::kReject):
+            return "SwapReject";
+          case static_cast<int64_t>(ModelPool::SwapEvent::Kind::kRollback):
+            return "Rollback";
+          default:
+            return ResponseCodeToString(static_cast<ResponseCode>(v));
+        }
       });
       flight_->set_task_namer([](int64_t v) {
+        if (v < 0) return "Swap";
         return v == static_cast<int64_t>(TaskKind::kTopKItems)
                    ? "TopKItems"
                    : "TopKParticipants";
@@ -172,35 +262,89 @@ Server::Server(ModelPool* pool, ServerConfig config)
             config_.obs.flight_dump_shed_threshold,
             [this](const obs::SloWindowStats& s) { MaybeDumpFlight(s); });
       }
+      // Swap-lifecycle events land in the same ring as requests
+      // (task = -1), so a postmortem dump shows installs, rejections
+      // and rollbacks interleaved with the traffic they affected.
+      pool_->SetEventHook([this](const ModelPool::SwapEvent& event) {
+        obs::FlightRecord record;
+        record.task = -1;
+        record.done_us = trace::NowMicros();
+        record.outcome =
+            kFlightSwapOutcomeBase + static_cast<int64_t>(event.kind);
+        record.version = event.version_id;
+        flight_->Record(record);
+      });
+    }
+  }
+  if (slo_ != nullptr) {
+    if (degrade_ != nullptr) {
+      // Wired before Start() so the ladder sees every evaluation from
+      // the first ticker tick.
+      slo_->SetEvaluationCallback([this](const obs::SloWindowStats& stats) {
+        degrade_->OnEvaluate(stats);
+      });
     }
     slo_->Start();
-    if (config_.obs.metrics_port >= 0) {
-      obs::ExporterConfig exporter_config;
-      exporter_config.port = config_.obs.metrics_port;
-      exporter_ = std::make_unique<obs::Exporter>(exporter_config);
-      exporter_->set_healthz_handler([this] { return HealthzJson(); });
-      exporter_->set_varz_handler(
+  }
+  if (config_.obs.enabled() && config_.obs.metrics_port >= 0) {
+    obs::ExporterConfig exporter_config;
+    exporter_config.port = config_.obs.metrics_port;
+    auto wire = [this](obs::Exporter* exporter) {
+      exporter->set_healthz_handler([this] { return HealthzJson(); });
+      exporter->set_varz_handler(
           [this](bool flight) { return VarzJson(flight); });
-      const Status status = exporter_->Start();
-      if (!status.ok()) {
-        // A taken port must not take down serving; run blind instead.
-        MGBR_LOG_WARNING("serve: exporter disabled: ", status.ToString());
-        exporter_.reset();
-      }
+    };
+    exporter_ = std::make_unique<obs::Exporter>(exporter_config);
+    wire(exporter_.get());
+    Status status = exporter_->Start();
+    if (!status.ok() && exporter_config.port > 0) {
+      // The configured port stayed taken through the exporter's own
+      // bounded bind retries. Fall back to an ephemeral port instead of
+      // serving blind: scrapers reconcile the actual port from /varz
+      // ("exporter_port") and the bench report.
+      MGBR_LOG_WARNING("serve: exporter port ", exporter_config.port,
+                       " unavailable (", status.ToString(),
+                       "); retrying on an ephemeral port");
+      exporter_config.port = 0;
+      exporter_ = std::make_unique<obs::Exporter>(exporter_config);
+      wire(exporter_.get());
+      status = exporter_->Start();
+    }
+    if (!status.ok()) {
+      // Even the ephemeral bind failed (fd/socket exhaustion) — that
+      // must not take down serving; run blind instead.
+      MGBR_LOG_WARNING("serve: exporter disabled: ", status.ToString());
+      exporter_.reset();
     }
   }
 
+  batcher_slot_ = std::make_shared<WorkerSlot>();
   batcher_ = std::thread([this] { BatcherLoop(); });
   workers_.reserve(static_cast<size_t>(config_.n_workers));
+  worker_slots_.reserve(static_cast<size_t>(config_.n_workers));
+  const int64_t spawn_us = trace::NowMicros();
   for (int i = 0; i < config_.n_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    auto slot = std::make_shared<WorkerSlot>();
+    slot->heartbeat_us.store(spawn_us, std::memory_order_relaxed);
+    worker_slots_.push_back(slot);
+    workers_.emplace_back([this, slot] { WorkerLoop(slot); });
+  }
+  if (config_.watchdog.enabled) {
+    MGBR_CHECK_GE(config_.watchdog.stall_timeout_ms, 1);
+    MGBR_CHECK_GE(config_.watchdog.check_interval_ms, 1);
+    MGBR_CHECK_GE(config_.watchdog.max_restarts, 0);
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
 }
 
 Server::~Server() {
   Stop();
-  // The exporter's handlers and the SLO ticker's dump callback capture
-  // `this`; shut both threads down before members start destructing.
+  // The pool outlives the server; detach the hook before flight_
+  // (which it captures) destructs.
+  pool_->SetEventHook(nullptr);
+  // The exporter's handlers and the SLO ticker's callbacks capture
+  // `this` (and degrade_); shut both threads down before members start
+  // destructing.
   exporter_.reset();
   if (slo_ != nullptr) slo_->Stop();
 }
@@ -216,12 +360,26 @@ void Server::Stop() {
     state_.store(static_cast<int>(State::kDraining),
                  std::memory_order_release);
   }
+  // Watchdog first: once it has joined, no restart can race the thread
+  // joins below, and workers_/worker_slots_/zombies_ are ours alone.
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   cv_nonempty_.notify_all();
   cv_batch_ready_.notify_all();
   cv_batch_space_.notify_all();
   if (batcher_.joinable()) batcher_.join();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
+  }
+  // Replaced workers drain last: a wedged scorer still owns its
+  // in-flight batch and must deliver every terminal status before the
+  // server reports Stopped.
+  for (std::thread& z : zombies_) {
+    if (z.joinable()) z.join();
   }
   state_.store(static_cast<int>(State::kStopped), std::memory_order_release);
 }
@@ -234,11 +392,27 @@ std::future<Response> Server::Submit(const Request& request) {
                      1;  // ids start at 1; 0 = "never assigned"
   submitted_.fetch_add(1, std::memory_order_relaxed);
   MGBR_COUNTER_ADD(RequestsCounter(), 1);
+  const int dl = degrade_level();
 
   Response shed;
   shed.id = id;
   shed.enqueue_us = now;
   shed.done_us = now;
+  shed.degrade_level = dl;
+  if (dl >= static_cast<int>(DegradeLevel::kShed)) {
+    // Ladder shed tier: admit one request in N (deterministic by id so
+    // the decision is attributable and replayable). These sheds are
+    // deliberately NOT fed into the SLO shed stream — the ladder must
+    // not latch itself at kShed on its own output.
+    const int64_t keep = degrade_->config().shed_keep_one_in;
+    if (keep <= 1 || id % keep != 0) {
+      shed_load_.fetch_add(1, std::memory_order_relaxed);
+      MGBR_COUNTER_ADD(ShedLoadCounter(), 1);
+      shed.code = ResponseCode::kShedLoad;
+      FinishUnadmitted(request, now, std::move(promise), std::move(shed));
+      return future;
+    }
+  }
   if (request.deadline_us > 0 && now >= request.deadline_us) {
     shed_deadline_.fetch_add(1, std::memory_order_relaxed);
     MGBR_COUNTER_ADD(ShedDeadlineCounter(), 1);
@@ -262,6 +436,15 @@ std::future<Response> Server::Submit(const Request& request) {
     }
     Pending pending;
     pending.request = request;
+    if (dl >= static_cast<int>(DegradeLevel::kTightDeadline)) {
+      // Tight-deadline tier: clamp the admission deadline so work that
+      // ages in the queue sheds instead of serving late.
+      const int64_t budget = now + degrade_->config().admission_budget_us;
+      pending.request.deadline_us =
+          pending.request.deadline_us > 0
+              ? std::min(pending.request.deadline_us, budget)
+              : budget;
+    }
     pending.promise = std::move(promise);
     pending.id = id;
     pending.enqueue_us = now;
@@ -277,6 +460,8 @@ std::future<Response> Server::Submit(const Request& request) {
 void Server::FinishUnadmitted(const Request& request, int64_t now_us,
                               std::promise<Response> promise,
                               Response response) {
+  // kShedLoad is intentionally excluded: the ladder's own sheds must
+  // not feed the SLO signal that drives the ladder (self-latch).
   if (slo_ != nullptr && (response.code == ResponseCode::kShedQueueFull ||
                           response.code == ResponseCode::kShedDeadline)) {
     slo_->RecordShed(now_us);
@@ -286,10 +471,15 @@ void Server::FinishUnadmitted(const Request& request, int64_t now_us,
 }
 
 void Server::BatcherLoop() {
+  const std::shared_ptr<WorkerSlot> slot = batcher_slot_;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
+    slot->busy.store(false, std::memory_order_relaxed);
+    slot->heartbeat_us.store(trace::NowMicros(), std::memory_order_relaxed);
     cv_nonempty_.wait(lock, [this] { return stop_ || !queue_.empty(); });
     if (queue_.empty()) break;  // stop_ with a drained queue
+    slot->busy.store(true, std::memory_order_relaxed);
+    slot->heartbeat_us.store(trace::NowMicros(), std::memory_order_relaxed);
 
     // The batch opened when its first request was admitted; close it on
     // size or when batch_timeout_us has elapsed since that admission.
@@ -301,6 +491,7 @@ void Server::BatcherLoop() {
       const int64_t now = trace::NowMicros();
       if (now >= close_us) break;
       cv_nonempty_.wait_for(lock, std::chrono::microseconds(close_us - now));
+      slot->heartbeat_us.store(trace::NowMicros(), std::memory_order_relaxed);
     }
 
     Batch batch;
@@ -318,7 +509,10 @@ void Server::BatcherLoop() {
     // Bounded hand-off: when every worker is busy and the backlog is
     // full, the batcher blocks here; the admission queue then fills and
     // Submit() starts shedding — backpressure instead of memory growth.
-    cv_batch_space_.wait(lock, [this] {
+    // The heartbeat keeps ticking: a backpressured batcher is waiting,
+    // not wedged, and must not trip the watchdog's stall log.
+    cv_batch_space_.wait(lock, [this, &slot] {
+      slot->heartbeat_us.store(trace::NowMicros(), std::memory_order_relaxed);
       return stop_ ||
              static_cast<int64_t>(batches_.size()) < config_.batch_backlog;
     });
@@ -327,22 +521,95 @@ void Server::BatcherLoop() {
     if (stop_ && queue_.empty()) break;
   }
   batcher_done_ = true;
+  slot->busy.store(false, std::memory_order_relaxed);
   cv_batch_ready_.notify_all();
 }
 
-void Server::WorkerLoop() {
+void Server::WorkerLoop(std::shared_ptr<WorkerSlot> slot) {
   for (;;) {
     Batch batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_batch_ready_.wait(
-          lock, [this] { return !batches_.empty() || batcher_done_; });
+      slot->heartbeat_us.store(trace::NowMicros(), std::memory_order_relaxed);
+      cv_batch_ready_.wait(lock, [this, &slot] {
+        return !batches_.empty() || batcher_done_ ||
+               slot->retired.load(std::memory_order_relaxed);
+      });
+      // A retired slot exits without taking another batch — its
+      // replacement owns the logical worker index now.
+      if (slot->retired.load(std::memory_order_relaxed)) return;
       if (batches_.empty()) return;  // batcher done and nothing left
       batch = std::move(batches_.front());
       batches_.pop_front();
     }
     cv_batch_space_.notify_one();
-    ExecuteBatch(std::move(batch));
+    slot->heartbeat_us.store(trace::NowMicros(), std::memory_order_relaxed);
+    slot->busy.store(true, std::memory_order_relaxed);
+    ExecuteBatch(std::move(batch), slot.get());
+    slot->busy.store(false, std::memory_order_relaxed);
+    slot->heartbeat_us.store(trace::NowMicros(), std::memory_order_relaxed);
+    if (slot->retired.load(std::memory_order_relaxed)) return;
+  }
+}
+
+void Server::WatchdogLoop() {
+  const int64_t stall_us = config_.watchdog.stall_timeout_ms * 1000;
+  bool batcher_stalled = false;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(watchdog_mu_);
+      watchdog_cv_.wait_for(
+          lock, std::chrono::milliseconds(config_.watchdog.check_interval_ms),
+          [this] { return watchdog_stop_; });
+      if (watchdog_stop_) return;
+      const int64_t now = trace::NowMicros();
+      for (size_t i = 0; i < worker_slots_.size(); ++i) {
+        WorkerSlot* slot = worker_slots_[i].get();
+        if (!slot->busy.load(std::memory_order_relaxed)) continue;
+        const int64_t beat = slot->heartbeat_us.load(std::memory_order_relaxed);
+        if (beat == 0 || now - beat < stall_us) continue;
+        if (worker_restarts_.load(std::memory_order_relaxed) >=
+            config_.watchdog.max_restarts) {
+          continue;  // lifetime cap: stop leaking zombie threads
+        }
+        // Presumed wedged: retire the slot (the old thread keeps its
+        // in-flight batch and finishes it whenever it unwedges — every
+        // admitted request still gets exactly one terminal status) and
+        // spawn a replacement on a FRESH slot, so the two threads never
+        // share liveness flags.
+        slot->retired.store(true, std::memory_order_relaxed);
+        zombies_.push_back(std::move(workers_[i]));
+        auto fresh = std::make_shared<WorkerSlot>();
+        fresh->heartbeat_us.store(now, std::memory_order_relaxed);
+        worker_slots_[i] = fresh;
+        workers_[i] = std::thread([this, fresh] { WorkerLoop(fresh); });
+        worker_restarts_.fetch_add(1, std::memory_order_relaxed);
+        MGBR_COUNTER_ADD(WorkerRestartsCounter(), 1);
+        MGBR_LOG_WARNING("serve: watchdog replaced stalled worker ", i,
+                         " (no heartbeat for ", (now - beat) / 1000, "ms)");
+      }
+      // Batcher stall detection is LOG-ONLY: the batcher owns the
+      // admission queue, and a false-positive restart there would lose
+      // requests. Stalled = work is waiting, nothing was handed off,
+      // and the heartbeat went silent.
+      bool stalled = false;
+      if (batcher_slot_ != nullptr &&
+          batcher_slot_->busy.load(std::memory_order_relaxed)) {
+        const int64_t beat =
+            batcher_slot_->heartbeat_us.load(std::memory_order_relaxed);
+        if (beat != 0 && now - beat >= stall_us) {
+          std::lock_guard<std::mutex> qlock(mu_);
+          stalled = !queue_.empty() && batches_.empty();
+        }
+      }
+      if (stalled && !batcher_stalled) {
+        batcher_stalls_.fetch_add(1, std::memory_order_relaxed);
+        MGBR_LOG_WARNING(
+            "serve: watchdog detected a stalled batcher (log-only; the "
+            "batcher owns the admission queue and is never restarted)");
+      }
+      batcher_stalled = stalled;
+    }
   }
 }
 
@@ -468,7 +735,7 @@ void Server::CacheInsert(const CacheKey& key, int64_t version,
   cache_.emplace(key, CacheEntry{version, std::move(value), lru_.begin()});
 }
 
-void Server::ExecuteBatch(Batch batch) {
+void Server::ExecuteBatch(Batch batch, WorkerSlot* slot) {
   MGBR_TRACE_SPAN("serve.batch", "serve");
   n_batches_.fetch_add(1, std::memory_order_relaxed);
   MGBR_COUNTER_ADD(BatchesCounter(), 1);
@@ -478,6 +745,15 @@ void Server::ExecuteBatch(Batch batch) {
   // batch up; whatever follows is the score stage.
   const int64_t score_start = trace::NowMicros();
   for (Pending& pending : batch) pending.score_start_us = score_start;
+
+  // Ladder tier pinned for the whole batch, exactly like the model
+  // version: every response is attributable to one (version, tier)
+  // pair even if the ladder steps mid-batch.
+  const int dl = degrade_ != nullptr ? degrade_->level() : 0;
+  // Probe budget at this tier: 0 = the retriever's configured default.
+  const int64_t probe_override =
+      degrade_ != nullptr ? degrade_->EffectiveNprobe(config_.retrieval.nprobe)
+                          : 0;
 
   // One version pinned for the whole batch: every response in it is
   // attributable to this snapshot even if a swap lands mid-batch.
@@ -489,16 +765,23 @@ void Server::ExecuteBatch(Batch batch) {
   // The retriever travels inside the pinned version, so the candidates
   // below always come from the index built over THIS snapshot's
   // embeddings — a hot swap mid-batch can never mix versions. Null for
-  // versions without a retrieval view (brute-force fallback).
+  // versions without a retrieval view (brute-force fallback). The
+  // degradation ladder forces the two-stage path at kTwoStage and
+  // above even when two-stage serving is off in the config.
+  const bool want_retriever =
+      config_.retrieval.enabled ||
+      dl >= static_cast<int>(DegradeLevel::kTwoStage);
   const retrieval::ItemRetriever* retriever =
-      config_.retrieval.enabled ? snapshot->retriever.get() : nullptr;
+      want_retriever ? snapshot->retriever.get() : nullptr;
 
-  // Group requests by (task, user, item) in first-appearance order so
-  // a key shared by several requests is scored exactly once. Two-stage
-  // Task-A keys encode the cutoff as item = -k: the candidate set (and
-  // so the cached value) depends on k, and keying on it keeps the
-  // "results are independent of batch composition" property —
-  // different-k requests never share a candidate set.
+  // Group requests by (task, user, item, probe) in first-appearance
+  // order so a key shared by several requests is scored exactly once.
+  // Two-stage Task-A keys encode the cutoff as item = -k: the candidate
+  // set (and so the cached value) depends on k, and keying on it keeps
+  // the "results are independent of batch composition" property —
+  // different-k requests never share a candidate set. The probe field
+  // carries the tier's nprobe budget so cached vectors never cross
+  // degradation tiers.
   std::vector<CacheKey> keys;
   std::unordered_map<CacheKey, std::vector<size_t>, CacheKeyHash> groups;
   for (size_t idx = 0; idx < batch.size(); ++idx) {
@@ -510,6 +793,7 @@ void Server::ExecuteBatch(Batch batch) {
       MGBR_COUNTER_ADD(ShedDeadlineCounter(), 1);
       Response response;
       response.code = ResponseCode::kShedDeadline;
+      response.degrade_level = dl;
       Finish(&pending, std::move(response));
       continue;
     }
@@ -520,12 +804,14 @@ void Server::ExecuteBatch(Batch batch) {
       Response response;
       response.code = ResponseCode::kInvalidArgument;
       response.version = snapshot->id;
+      response.degrade_level = dl;
       Finish(&pending, std::move(response));
       continue;
     }
     const bool two_stage = task_a && retriever != nullptr && req.k > 0;
     CacheKey key{static_cast<int64_t>(req.task), req.user,
-                 task_a ? (two_stage ? -req.k : int64_t{0}) : req.item};
+                 task_a ? (two_stage ? -req.k : int64_t{0}) : req.item,
+                 two_stage ? probe_override : int64_t{0}};
     auto [it, inserted] = groups.try_emplace(key);
     if (inserted) keys.push_back(key);
     it->second.push_back(idx);
@@ -540,14 +826,20 @@ void Server::ExecuteBatch(Batch batch) {
 
   NoGradScope no_grad;
   for (const CacheKey& key : keys) {
+    // Per-key heartbeat: the watchdog distinguishes a worker grinding
+    // through a large batch from one wedged inside a single score call.
+    if (slot != nullptr) {
+      slot->heartbeat_us.store(trace::NowMicros(), std::memory_order_relaxed);
+    }
     CacheValue value;
     const bool hit = CacheLookup(key, snapshot->id, &value);
     if (!hit) {
       MGBR_TRACE_SPAN("serve.score", "serve");
+      fault::DelayPoint("serve.score");
       const bool task_a = key.task == static_cast<int64_t>(TaskKind::kTopKItems);
       std::vector<int64_t> cands;
       if (task_a && key.item < 0) {
-        cands = retriever->Candidates(*model, key.user, -key.item);
+        cands = retriever->Candidates(*model, key.user, -key.item, key.probe);
       }
       std::vector<double> qscores;
       if (!cands.empty()) {
@@ -610,6 +902,7 @@ void Server::ExecuteBatch(Batch batch) {
       response.code = ResponseCode::kOk;
       response.version = snapshot->id;
       response.cache_hit = hit;
+      response.degrade_level = dl;
       // TopKIndices positions map straight to item ids on the brute
       // path; on the two-stage path they index the ascending candidate
       // list, so position-ascending ties stay id-ascending ties.
@@ -643,6 +936,8 @@ ServerStats Server::stats() const {
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.two_stage = two_stage_.load(std::memory_order_relaxed);
   s.quant_scored = quant_scored_.load(std::memory_order_relaxed);
+  s.shed_load = shed_load_.load(std::memory_order_relaxed);
+  s.worker_restarts = worker_restarts_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -676,6 +971,8 @@ std::string Server::HealthzJson() const {
   out += std::to_string(pool_->current_id());
   out += ",\"swap_count\":";
   out += std::to_string(pool_->swap_count());
+  out += ",\"degrade_level\":";
+  out += std::to_string(degrade_level());
   out += '}';
   return out;
 }
@@ -694,6 +991,8 @@ std::string Server::VarzJson(bool include_flight) const {
   out += std::to_string(s.shed_queue_full);
   out += ",\"shed_deadline\":";
   out += std::to_string(s.shed_deadline);
+  out += ",\"shed_load\":";
+  out += std::to_string(s.shed_load);
   out += ",\"completed\":";
   out += std::to_string(s.completed);
   out += ",\"invalid\":";
@@ -712,7 +1011,48 @@ std::string Server::VarzJson(bool include_flight) const {
   out += std::to_string(s.two_stage);
   out += ",\"quant_scored\":";
   out += std::to_string(s.quant_scored);
-  out += "},\"quant_mode\":\"";
+  out += ",\"worker_restarts\":";
+  out += std::to_string(s.worker_restarts);
+  out += "},\"swap\":{\"swap_count\":";
+  out += std::to_string(pool_->swap_count());
+  out += ",\"swap_rejected\":";
+  out += std::to_string(pool_->rejected_count());
+  out += ",\"rollbacks\":";
+  out += std::to_string(pool_->rollback_count());
+  out += ",\"load_retries\":";
+  out += std::to_string(pool_->load_retries());
+  out += ",\"events\":[";
+  {
+    const std::vector<ModelPool::SwapEvent> events = pool_->SwapEvents();
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"kind\":\"";
+      out += SwapEventKindName(events[i].kind);
+      out += "\",\"version\":";
+      out += std::to_string(events[i].version_id);
+      out += ",\"source\":\"";
+      out += JsonEscape(events[i].source);
+      out += "\",\"detail\":\"";
+      out += JsonEscape(events[i].detail);
+      out += "\"}";
+    }
+  }
+  out += "]},\"degrade\":{\"enabled\":";
+  out += degrade_ != nullptr ? "true" : "false";
+  {
+    const int level = degrade_level();
+    out += ",\"level\":";
+    out += std::to_string(level);
+    out += ",\"level_name\":\"";
+    out += DegradeLevelName(level);
+    out += "\",\"transitions\":";
+    out += std::to_string(degrade_ != nullptr ? degrade_->transitions() : 0);
+    out += ",\"max_level_seen\":";
+    out += std::to_string(degrade_ != nullptr ? degrade_->max_level_seen() : 0);
+  }
+  out += "},\"exporter_port\":";
+  out += std::to_string(metrics_port());
+  out += ",\"quant_mode\":\"";
   out += QuantModeName(config_.quant);
   out += "\",\"model_bytes\":";
   {

@@ -18,6 +18,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/slo.h"
 #include "retrieval/two_stage.h"
+#include "serve/degrade.h"
 #include "serve/model_pool.h"
 #include "serve/types.h"
 #include "tensor/quant.h"
@@ -47,6 +48,24 @@ struct ObsOptions {
   std::string flight_dump_path;
 
   bool enabled() const { return metrics_port >= 0 || flight_capacity > 0; }
+};
+
+/// Stall watchdog over the scoring workers (off by default). Workers
+/// heartbeat before waits, on batch pickup, and per scored key; a
+/// worker that is busy but has not heartbeaten for `stall_timeout_ms`
+/// is presumed wedged and replaced — the wedged thread keeps its
+/// in-flight batch and finishes it whenever it unwedges (every
+/// admitted request still gets exactly one terminal status), it just
+/// stops taking new batches. A stalled BATCHER is detected and logged
+/// but never restarted: the batcher owns the admission queue, and a
+/// false positive there would lose requests.
+struct WatchdogConfig {
+  bool enabled = false;
+  int64_t stall_timeout_ms = 1000;
+  int64_t check_interval_ms = 100;
+  /// Lifetime cap on replacements — a systematically wedging scorer
+  /// must not leak an unbounded number of zombie threads.
+  int max_restarts = 4;
 };
 
 /// Dynamic-batching policy and capacity bounds. See docs/serving.md.
@@ -92,6 +111,18 @@ struct ServerConfig {
   QuantMode quant = QuantMode::kFp32;
   /// Serving observability stack (off by default).
   ObsOptions obs;
+  /// SLO-driven degradation ladder (off by default). When enabled the
+  /// SLO monitor runs even if the obs stack is otherwise off, and the
+  /// server enables pool retrieval so the cheaper two-stage tiers have
+  /// an index to fall to (models without a retrieval view keep brute
+  /// force at those tiers; the deadline/shed tiers still apply).
+  DegradeConfig degrade;
+  /// Pre-publish validation gate (off by default). When enabled the
+  /// server calls pool->EnableValidation at construction, seeding the
+  /// agreement reference from the already-served version.
+  ValidationConfig validation;
+  /// Worker stall watchdog (off by default).
+  WatchdogConfig watchdog;
 };
 
 /// Multi-threaded request router with dynamic batching.
@@ -169,6 +200,20 @@ class Server {
   /// drive Evaluate directly with synthetic clocks.
   obs::SloMonitor* slo_monitor() { return slo_.get(); }
 
+  /// The degradation controller (nullptr when the ladder is off).
+  /// Tests feed it synthetic window stats via OnEvaluate.
+  DegradationController* degrade_controller() { return degrade_.get(); }
+
+  /// Current ladder tier (0 when the ladder is off).
+  int degrade_level() const {
+    return degrade_ == nullptr ? 0 : degrade_->level();
+  }
+
+  /// Stalled workers replaced by the watchdog so far.
+  int64_t worker_restarts() const {
+    return worker_restarts_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Pending {
     Request request;
@@ -184,6 +229,11 @@ class Server {
     int64_t task = 0;
     int64_t user = 0;
     int64_t item = 0;
+    /// Effective nprobe the entry was scored under (0 = configured
+    /// default / brute force). Keyed so degradation-tier results can
+    /// never be served to a request scored at a different tier —
+    /// every cached vector stays bitwise attributable to its tier.
+    int64_t probe = 0;
     bool operator==(const CacheKey&) const = default;
   };
   struct CacheKeyHash {
@@ -191,7 +241,8 @@ class Server {
       uint64_t h = 0x9E3779B97F4A7C15ULL;
       for (uint64_t v : {static_cast<uint64_t>(k.task),
                          static_cast<uint64_t>(k.user),
-                         static_cast<uint64_t>(k.item)}) {
+                         static_cast<uint64_t>(k.item),
+                         static_cast<uint64_t>(k.probe)}) {
         h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
       }
       return static_cast<size_t>(h);
@@ -217,9 +268,22 @@ class Server {
     std::list<CacheKey>::iterator lru_pos;
   };
 
+  /// Liveness state of one scoring worker (or the batcher). Allocated
+  /// per spawned thread and shared with the watchdog; a replaced
+  /// worker keeps its own retired slot alive through the shared_ptr
+  /// its loop captured, so old and new threads never share flags.
+  struct WorkerSlot {
+    std::atomic<int64_t> heartbeat_us{0};
+    std::atomic<bool> busy{false};
+    /// Set by the watchdog: finish the in-flight batch, then exit
+    /// without taking another.
+    std::atomic<bool> retired{false};
+  };
+
   void BatcherLoop();
-  void WorkerLoop();
-  void ExecuteBatch(Batch batch);
+  void WorkerLoop(std::shared_ptr<WorkerSlot> slot);
+  void WatchdogLoop();
+  void ExecuteBatch(Batch batch, WorkerSlot* slot);
   void Finish(Pending* pending, Response response);
   /// Records a request that never entered the pipeline (shed at
   /// admission / shutdown) into the obs stack and resolves `promise`.
@@ -246,10 +310,12 @@ class Server {
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
   std::list<CacheKey> lru_;  // front = most recently used
 
-  // Observability stack (all nullptr when config_.obs is disabled).
+  // Observability stack (all nullptr when config_.obs is disabled;
+  // slo_ also runs when the degradation ladder alone is enabled).
   std::unique_ptr<obs::SloMonitor> slo_;
   std::unique_ptr<obs::FlightRecorder> flight_;
   std::unique_ptr<obs::Exporter> exporter_;
+  std::unique_ptr<DegradationController> degrade_;
   std::atomic<int64_t> flight_dumps_{0};
 
   std::atomic<int> state_{0};  // State enum
@@ -269,9 +335,24 @@ class Server {
   std::atomic<int64_t> cache_hits_{0};
   std::atomic<int64_t> two_stage_{0};
   std::atomic<int64_t> quant_scored_{0};
+  std::atomic<int64_t> shed_load_{0};
+  std::atomic<int64_t> worker_restarts_{0};
+  std::atomic<int64_t> batcher_stalls_{0};
 
   std::thread batcher_;
+  std::shared_ptr<WorkerSlot> batcher_slot_;
+  /// workers_[i] is logical scoring slot i; its liveness state is
+  /// worker_slots_[i] (replaced together on a watchdog restart).
   std::vector<std::thread> workers_;
+  std::vector<std::shared_ptr<WorkerSlot>> worker_slots_;
+  /// Watchdog thread state. watchdog_mu_ guards workers_/worker_slots_
+  /// mutation and zombies_; Stop() joins the watchdog FIRST so no
+  /// restart can race the final thread joins.
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::vector<std::thread> zombies_;  // replaced workers, joined in Stop
 };
 
 }  // namespace mgbr::serve

@@ -29,6 +29,7 @@ enum class ResponseCode {
   kShedDeadline,      // deadline passed before scoring started
   kInvalidArgument,   // user/item outside the served catalogue
   kShutdown,          // server stopped before the request was admitted
+  kShedLoad,          // degradation ladder at its shed tier dropped it
 };
 
 const char* ResponseCodeToString(ResponseCode code);
@@ -48,6 +49,10 @@ struct Response {
   int64_t version = 0;
   /// True when the score vector came from the per-version score cache.
   bool cache_hit = false;
+  /// Degradation-ladder tier the response was produced under (0 when
+  /// the ladder is off or at kNormal). Part of the attribution
+  /// contract: tier + version + request fully determine the scores.
+  int degrade_level = 0;
   // Lifecycle timestamps on the trace::NowMicros() clock; a stage the
   // request never reached stays 0 (e.g. batch_close_us for a request
   // shed at admission). Stage waits:
@@ -90,6 +95,11 @@ struct ServerStats {
   /// (0 when ServerConfig::quant is kFp32 or the served model exposes
   /// no retrieval view — those fall back to the fp32 path).
   int64_t quant_scored = 0;
+  /// Requests dropped at admission by the degradation ladder's shed
+  /// tier (kShedLoad).
+  int64_t shed_load = 0;
+  /// Stalled workers replaced by the watchdog.
+  int64_t worker_restarts = 0;
 };
 
 }  // namespace mgbr::serve

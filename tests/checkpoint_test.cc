@@ -17,6 +17,7 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -943,6 +944,68 @@ TEST_F(FaultInjectionDeathTest, KillBeforeRenameLeavesOldCheckpointIntact) {
   EXPECT_FLOAT_EQ(restore[0].value().at(0, 0), 1.0f);
   std::remove(path.c_str());
   std::remove((path + ".tmp").c_str());
+}
+
+TEST_F(FaultInjectionTest, DelayPointFiresRepeatedlyAtItsCadence) {
+  // Unlike the one-shot kinds, a delay fires on every `every`-th
+  // matching operation starting with the first — the serving watchdog
+  // suite leans on this to wedge a scoring loop more than once.
+  fault::Injection injection;
+  injection.kind = fault::Injection::Kind::kDelay;
+  injection.match = "test.delay_cadence";
+  injection.ms = 30;
+  injection.every = 2;
+  fault::Install(injection);
+
+  const auto timed = [](const char* point) {
+    const auto start = std::chrono::steady_clock::now();
+    fault::DelayPoint(point);
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  EXPECT_GE(timed("test.delay_cadence"), 30);  // occurrence 0 fires
+  EXPECT_LT(timed("test.delay_cadence"), 30);  // occurrence 1 skipped
+  EXPECT_GE(timed("test.delay_cadence"), 30);  // occurrence 2 fires
+  // Exact point-name match only: a different point never sleeps.
+  EXPECT_LT(timed("test.delay_cadence_other"), 30);
+}
+
+TEST_F(FaultInjectionTest, EnvGrammarParsesDelayDirective) {
+  ::setenv("MGBR_FAULT", "delay@env_delay_probe:20:3", 1);
+  fault::Clear();  // discard any previously parsed plan
+  fault::InstallFromEnv();
+  const auto timed = [] {
+    const auto start = std::chrono::steady_clock::now();
+    fault::DelayPoint("env_delay_probe");
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  EXPECT_GE(timed(), 20);  // occurrence 0
+  EXPECT_LT(timed(), 20);  // 1
+  EXPECT_LT(timed(), 20);  // 2
+  EXPECT_GE(timed(), 20);  // 3: every third fires
+  ::unsetenv("MGBR_FAULT");
+}
+
+TEST_F(FaultInjectionTest, MalformedDelayDirectivesAreSkipped) {
+  // Zero/negative cadence and a missing duration are parse errors; the
+  // malformed directive is logged and skipped, never half-armed.
+  for (const char* bad :
+       {"delay@p:20:0", "delay@p:20:-1", "delay@p", "delay@p:x"}) {
+    ::setenv("MGBR_FAULT", bad, 1);
+    fault::Clear();
+    fault::InstallFromEnv();
+    const auto start = std::chrono::steady_clock::now();
+    fault::DelayPoint("p");
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count(),
+              20)
+        << bad;
+  }
+  ::unsetenv("MGBR_FAULT");
 }
 
 TEST_F(FaultInjectionTest, EnvGrammarRoundTrips) {

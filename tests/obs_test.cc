@@ -17,12 +17,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/metrics.h"
@@ -261,6 +263,39 @@ TEST(SloMonitorTest, ShedThresholdCallbackIsEdgeTriggered) {
   EXPECT_EQ(fires, 2);
 }
 
+TEST(SloMonitorTest, EvaluationCallbackSeesEveryWindowVerdict) {
+  // The degradation ladder hangs off this hook: it must fire on EVERY
+  // Evaluate, carry the already-computed breach verdicts, and reflect
+  // the thresholds in SloConfig (consumers never re-derive them).
+  SloConfig config;
+  config.fast_window_s = 2;
+  config.max_shed_fraction = 0.10;
+  SloMonitor monitor(config);
+  std::vector<SloWindowStats> seen;
+  monitor.SetEvaluationCallback(
+      [&seen](const SloWindowStats& stats) { seen.push_back(stats); });
+
+  int64_t now = 400'000'000;
+  for (int i = 0; i < 9; ++i) monitor.RecordLatency(now, 100.0);
+  monitor.RecordShed(now);  // 10% shed: at the threshold, not above
+  monitor.Evaluate(now);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_FALSE(seen[0].fast_breach);
+  EXPECT_EQ(seen[0].fast_completed, 9);
+
+  for (int i = 0; i < 5; ++i) monitor.RecordShed(now);  // now ~40%
+  monitor.Evaluate(now);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(seen[1].fast_breach);
+  EXPECT_TRUE(seen[1].slow_breach);
+
+  // An empty window later: the callback still fires, verdict clean.
+  monitor.Evaluate(now + 120'000'000);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_FALSE(seen[2].fast_breach);
+  EXPECT_EQ(seen[2].completed, 0);
+}
+
 TEST(SloMonitorTest, TickerStartStopIsClean) {
   SloMonitor monitor(SloConfig{});
   monitor.Start();
@@ -432,9 +467,38 @@ TEST(ExporterTest, SecondExporterOnTheSamePortFailsCleanly) {
   ASSERT_TRUE(first.Start().ok());
   ExporterConfig config;
   config.port = first.port();
+  config.bind_retries = 0;  // fail fast: the holder never lets go
   Exporter second(config);
   EXPECT_FALSE(second.Start().ok());
   first.Stop();
+}
+
+TEST(ExporterTest, BindRetryRidesOutATransientPortHolder) {
+  // A predecessor process still winding down holds the port for a few
+  // retry intervals; the successor's bounded bind retry must pick the
+  // port up once it frees instead of failing the whole obs stack.
+  auto first = std::make_unique<Exporter>();
+  ASSERT_TRUE(first->Start().ok());
+  const int port = first->port();
+
+  std::thread releaser([&first] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    first.reset();  // Stop + close: frees the port mid-retry-loop
+  });
+
+  ExporterConfig config;
+  config.port = port;
+  config.bind_retries = 10;
+  config.bind_retry_ms = 30;
+  Exporter second(config);
+  const Status status = second.Start();
+  releaser.join();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(second.port(), port);
+  // The retried exporter actually serves.
+  const std::string response = HttpGet(port, "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  second.Stop();
 }
 
 }  // namespace

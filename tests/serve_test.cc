@@ -17,6 +17,7 @@
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -25,6 +26,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "common/trace.h"
 #include "core/mgbr.h"
@@ -1003,6 +1005,584 @@ TEST_F(ServeObsTest, ShedBurstTriggersFlightDump) {
   // Still breaching on the next evaluation: edge-triggered, no re-dump.
   server.slo_monitor()->Evaluate(trace::NowMicros());
   EXPECT_EQ(server.flight_dumps(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Validation-gated installs, rollback, and the bounded load retry.
+// Runs under TSan in CI.
+// ---------------------------------------------------------------------------
+
+class ServeValidationTest : public ServeTestBase {
+ protected:
+  void TearDown() override { fault::Clear(); }
+
+  static serve::ValidationConfig Gate(double min_ref_overlap = 0.0) {
+    serve::ValidationConfig config;
+    config.enabled = true;
+    config.probe_users = 4;
+    config.probe_k = 3;
+    config.min_ref_overlap = min_ref_overlap;
+    return config;
+  }
+
+  /// Checkpoint of `seed`'s model with every parameter's first element
+  /// NaN-poisoned: the CRCs are VALID (the corruption happened before
+  /// the save), so only the canary can reject it.
+  std::string SaveNanPoisoned(uint64_t seed, const std::string& tag) const {
+    std::unique_ptr<MgbrModel> poisoned = MakeModel(seed);
+    std::vector<Var> params = poisoned->Parameters();
+    for (Var& p : params) {
+      p.mutable_value().at(0, 0) = std::numeric_limits<float>::quiet_NaN();
+    }
+    const std::string path = UniqueTempDir(tag) + ".mgbr";
+    EXPECT_TRUE(SaveParameters(params, path).ok());
+    return path;
+  }
+};
+
+TEST_F(ServeValidationTest, CanaryRejectsNanPoisonedCheckpoint) {
+  const std::string nan_path = SaveNanPoisoned(2, "nan");
+  ModelPool pool(Factory(2));
+  pool.EnableValidation(Gate());
+  ASSERT_EQ(pool.Install(MakeModel(1), "seed"), 1);
+
+  // The poisoned checkpoint round-trips its CRCs, so LoadVersion's
+  // format verification passes — the finite-score canary is the only
+  // line of defence, and the served version must survive the attempt.
+  EXPECT_FALSE(pool.LoadVersion(nan_path).ok());
+  EXPECT_EQ(pool.current_id(), 1);
+  EXPECT_EQ(pool.swap_count(), 1);
+  EXPECT_EQ(pool.rejected_count(), 1);
+
+  // The rejection is event-logged with the checkpoint as its source.
+  const std::vector<ModelPool::SwapEvent> events = pool.SwapEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].kind, ModelPool::SwapEvent::Kind::kReject);
+  EXPECT_EQ(events[1].source, nan_path);
+  EXPECT_FALSE(events[1].detail.empty());
+  std::remove(nan_path.c_str());
+}
+
+TEST_F(ServeValidationTest, CanaryRejectsNanPoisonedInstall) {
+  ModelPool pool(Factory(2));
+  pool.EnableValidation(Gate());
+  ASSERT_EQ(pool.Install(MakeModel(1), "seed"), 1);
+
+  std::unique_ptr<MgbrModel> poisoned = MakeModel(2);
+  for (Var& p : poisoned->Parameters()) {
+    p.mutable_value().at(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  }
+  poisoned->Refresh();
+  EXPECT_EQ(pool.Install(std::move(poisoned), "poisoned"), 0);
+  EXPECT_EQ(pool.current_id(), 1);
+  EXPECT_EQ(pool.rejected_count(), 1);
+}
+
+TEST_F(ServeValidationTest, CorruptCheckpointBurnsRetriesThenRejects) {
+  std::unique_ptr<MgbrModel> source = MakeModel(1);
+  const std::string path = UniqueTempDir("crc") + ".mgbr";
+  ASSERT_TRUE(SaveParameters(source->Parameters(), path).ok());
+  {
+    // One flipped bit mid-file: the per-section CRC32 catches it.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    ASSERT_GT(size, 0);
+    f.seekg(size / 2);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte ^= 0x10;
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+
+  ModelPool pool(Factory(9));
+  pool.Install(MakeModel(1), "seed");
+  serve::LoadRetryPolicy policy;
+  policy.max_retries = 2;
+  policy.backoff_ms = 1;
+  pool.SetLoadRetryPolicy(policy);
+
+  // The checkpoint format reports detected corruption as kIoError —
+  // indistinguishable from a transient EIO — so the corrupt file burns
+  // the full (small, bounded) retry budget before rejection.
+  EXPECT_EQ(pool.LoadVersion(path).code(), StatusCode::kIoError);
+  EXPECT_EQ(pool.current_id(), 1);
+  EXPECT_EQ(pool.load_retries(), 2);
+  EXPECT_EQ(pool.rejected_count(), 1);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeValidationTest, TransientReadEioIsRetriedOnce) {
+  std::unique_ptr<MgbrModel> source = MakeModel(1);
+  const std::string path = UniqueTempDir("eio_retry") + ".mgbr";
+  ASSERT_TRUE(SaveParameters(source->Parameters(), path).ok());
+
+  // The injected EIO is one-shot: attempt 0 fails, the retry reads the
+  // (perfectly healthy) file and the version publishes.
+  fault::Injection injection;
+  injection.kind = fault::Injection::Kind::kReadEio;
+  injection.match = path;
+  fault::Install(injection);
+
+  ModelPool pool(Factory(9));
+  serve::LoadRetryPolicy policy;
+  policy.max_retries = 2;
+  policy.backoff_ms = 1;
+  pool.SetLoadRetryPolicy(policy);
+  ASSERT_TRUE(pool.LoadVersion(path).ok());
+  EXPECT_EQ(pool.current_id(), 1);
+  EXPECT_EQ(pool.load_retries(), 1);
+  EXPECT_EQ(pool.rejected_count(), 0);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeValidationTest, AgreementGateScreensDivergentCandidates) {
+  ModelPool pool(Factory(9));
+  pool.EnableValidation(Gate(/*min_ref_overlap=*/1.0));
+
+  // First accepted version becomes the agreement reference.
+  ASSERT_EQ(pool.Install(MakeModel(1), "ref"), 1);
+
+  // A differently-seeded model ranks the probe set differently; at
+  // overlap 1.0 it must be rejected even though every score is finite.
+  EXPECT_EQ(pool.Install(MakeModel(2), "divergent"), 0);
+  EXPECT_EQ(pool.current_id(), 1);
+  EXPECT_EQ(pool.rejected_count(), 1);
+
+  // A bitwise-identical model trivially reproduces the reference
+  // ranking and publishes.
+  EXPECT_EQ(pool.Install(MakeModel(1), "same"), 2);
+  EXPECT_EQ(pool.current_id(), 2);
+}
+
+TEST_F(ServeValidationTest, RollbackRestoresLastKnownGood) {
+  ModelPool pool(Factory(9));
+  // Nothing to roll back to before (or right after) the first install.
+  EXPECT_EQ(pool.Rollback().code(), StatusCode::kFailedPrecondition);
+  pool.Install(MakeModel(1), "v1");
+  EXPECT_EQ(pool.Rollback().code(), StatusCode::kFailedPrecondition);
+
+  pool.Install(MakeModel(2), "v2");
+  std::shared_ptr<ModelPool::Version> v2 = pool.Acquire();
+
+  // Rollback republishes version 1 under ITS ORIGINAL id...
+  ASSERT_TRUE(pool.Rollback().ok());
+  EXPECT_EQ(pool.current_id(), 1);
+  EXPECT_EQ(pool.rollback_count(), 1);
+  std::shared_ptr<ModelPool::Version> restored = pool.Acquire();
+  EXPECT_EQ(restored->id, 1);
+  EXPECT_EQ(restored->source, "v1");
+
+  // ...and the displaced version becomes the new rollback target, so a
+  // second Rollback undoes the first (same model object as before).
+  ASSERT_TRUE(pool.Rollback().ok());
+  EXPECT_EQ(pool.current_id(), 2);
+  EXPECT_EQ(pool.Acquire()->model.get(), v2->model.get());
+
+  const std::vector<ModelPool::SwapEvent> events = pool.SwapEvents();
+  int rollback_events = 0;
+  for (const ModelPool::SwapEvent& e : events) {
+    rollback_events += e.kind == ModelPool::SwapEvent::Kind::kRollback;
+  }
+  EXPECT_EQ(rollback_events, 2);
+}
+
+// ---------------------------------------------------------------------------
+// SLO-driven degradation ladder. Controller hysteresis is unit-tested
+// with synthetic window stats; the shed tier and response stamping go
+// through a live server. Runs under TSan in CI.
+// ---------------------------------------------------------------------------
+
+class ServeDegradeTest : public ServeTestBase {
+ protected:
+  static obs::SloWindowStats Breach(bool breach) {
+    obs::SloWindowStats stats;
+    stats.fast_breach = breach;
+    return stats;
+  }
+};
+
+TEST_F(ServeDegradeTest, LadderStepsWithHysteresis) {
+  serve::DegradeConfig config;
+  config.enabled = true;
+  config.step_up_after = 2;
+  config.step_down_after = 3;
+  serve::DegradationController ladder(config);
+
+  // One breach is not enough; the second consecutive one engages.
+  ladder.OnEvaluate(Breach(true));
+  EXPECT_EQ(ladder.level(), 0);
+  ladder.OnEvaluate(Breach(true));
+  EXPECT_EQ(ladder.level(), 1);
+
+  // A clean evaluation resets the breach streak: the next breach
+  // starts over and needs a full streak again.
+  ladder.OnEvaluate(Breach(false));
+  ladder.OnEvaluate(Breach(true));
+  EXPECT_EQ(ladder.level(), 1);
+  ladder.OnEvaluate(Breach(true));
+  EXPECT_EQ(ladder.level(), 2);
+
+  // Stepping down needs step_down_after consecutive clean windows; a
+  // breach in the middle resets the clean streak.
+  ladder.OnEvaluate(Breach(false));
+  ladder.OnEvaluate(Breach(false));
+  ladder.OnEvaluate(Breach(true));
+  EXPECT_EQ(ladder.level(), 2);
+  ladder.OnEvaluate(Breach(false));
+  ladder.OnEvaluate(Breach(false));
+  ladder.OnEvaluate(Breach(false));
+  EXPECT_EQ(ladder.level(), 1);
+
+  EXPECT_EQ(ladder.max_level_seen(), 2);
+  EXPECT_EQ(ladder.transitions(), 3);
+}
+
+TEST_F(ServeDegradeTest, LadderClampsAtMaxLevelAndAtNormal) {
+  serve::DegradeConfig config;
+  config.enabled = true;
+  config.max_level = 2;
+  config.step_up_after = 1;
+  config.step_down_after = 1;
+  serve::DegradationController ladder(config);
+
+  for (int i = 0; i < 6; ++i) ladder.OnEvaluate(Breach(true));
+  EXPECT_EQ(ladder.level(), 2);  // clamped at max_level
+  for (int i = 0; i < 6; ++i) ladder.OnEvaluate(Breach(false));
+  EXPECT_EQ(ladder.level(), 0);  // clamped at normal
+  EXPECT_EQ(ladder.transitions(), 4);
+}
+
+TEST_F(ServeDegradeTest, EffectiveNprobeNarrowsOnlyAtReducedTiers) {
+  serve::DegradeConfig config;
+  config.enabled = true;
+  config.step_up_after = 1;
+  config.step_down_after = 1;
+  serve::DegradationController ladder(config);
+
+  // Below kReducedProbe: 0 = "use the configured nprobe".
+  EXPECT_EQ(ladder.EffectiveNprobe(16), 0);
+  ladder.OnEvaluate(Breach(true));  // -> kTwoStage
+  EXPECT_EQ(ladder.EffectiveNprobe(16), 0);
+
+  ladder.OnEvaluate(Breach(true));  // -> kReducedProbe
+  EXPECT_EQ(ladder.EffectiveNprobe(16), 4);  // auto: configured / 4
+  EXPECT_EQ(ladder.EffectiveNprobe(2), 1);   // never below 1
+
+  serve::DegradeConfig fixed = config;
+  fixed.reduced_nprobe = 7;
+  serve::DegradationController explicit_ladder(fixed);
+  explicit_ladder.OnEvaluate(Breach(true));
+  explicit_ladder.OnEvaluate(Breach(true));
+  EXPECT_EQ(explicit_ladder.EffectiveNprobe(16), 7);
+}
+
+TEST_F(ServeDegradeTest, ResponsesCarryTheTierTheyWereProducedUnder) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+  ServerConfig config;
+  config.n_workers = 1;
+  config.degrade.enabled = true;
+  config.degrade.step_up_after = 1;
+  config.degrade.step_down_after = 1;
+  Server server(&pool, config);
+  // Drive the ladder synthetically: stop the 1 Hz ticker so no real
+  // evaluation races the synthetic ones.
+  ASSERT_NE(server.slo_monitor(), nullptr);
+  server.slo_monitor()->Stop();
+  ASSERT_NE(server.degrade_controller(), nullptr);
+
+  Request r;
+  r.user = 1;
+  Response normal = server.Submit(r).get();
+  ASSERT_EQ(normal.code, ResponseCode::kOk);
+  EXPECT_EQ(normal.degrade_level, 0);
+
+  server.degrade_controller()->OnEvaluate(Breach(true));  // -> kTwoStage
+  ASSERT_EQ(server.degrade_level(), 1);
+  // MGBR has no retrieval view, so tier 1 still brute-forces — but the
+  // response is stamped with the tier it was produced under, and the
+  // scores are bitwise those of the served version.
+  Response tiered = server.Submit(r).get();
+  ASSERT_EQ(tiered.code, ResponseCode::kOk);
+  EXPECT_EQ(tiered.degrade_level, 1);
+  EXPECT_EQ(tiered.top_k, normal.top_k);
+  ASSERT_EQ(tiered.scores.size(), normal.scores.size());
+  for (size_t i = 0; i < tiered.scores.size(); ++i) {
+    EXPECT_EQ(tiered.scores[i], normal.scores[i]) << "rank " << i;
+  }
+}
+
+TEST_F(ServeDegradeTest, ShedTierAdmitsOneInNAndReleasesCleanly) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+  ServerConfig config;
+  config.n_workers = 1;
+  config.degrade.enabled = true;
+  config.degrade.step_up_after = 1;
+  config.degrade.step_down_after = 1;
+  config.degrade.shed_keep_one_in = 4;
+  Server server(&pool, config);
+  ASSERT_NE(server.slo_monitor(), nullptr);
+  server.slo_monitor()->Stop();
+
+  for (int i = 0; i < 4; ++i) {
+    server.degrade_controller()->OnEvaluate(Breach(true));
+  }
+  ASSERT_EQ(server.degrade_level(), 4);
+
+  // Request ids are assigned at Submit (starting at 1); the shed tier
+  // keeps exactly the ids divisible by shed_keep_one_in.
+  Request r;
+  r.user = 1;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(server.Submit(r));
+  int64_t ok = 0, shed_load = 0;
+  for (auto& f : futures) {
+    Response response = f.get();
+    if (response.code == ResponseCode::kOk) {
+      ++ok;
+      EXPECT_EQ(response.id % 4, 0);
+      EXPECT_EQ(response.degrade_level, 4);
+    } else {
+      ASSERT_EQ(response.code, ResponseCode::kShedLoad);
+      ++shed_load;
+      EXPECT_EQ(response.degrade_level, 4);
+    }
+  }
+  EXPECT_EQ(ok, 4);
+  EXPECT_EQ(shed_load, 12);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.shed_load, 12);
+  EXPECT_EQ(stats.completed, 4);
+
+  // Clean windows release the ladder; traffic then serves normally.
+  for (int i = 0; i < 4; ++i) {
+    server.degrade_controller()->OnEvaluate(Breach(false));
+  }
+  ASSERT_EQ(server.degrade_level(), 0);
+  Response after = server.Submit(r).get();
+  EXPECT_EQ(after.code, ResponseCode::kOk);
+  EXPECT_EQ(after.degrade_level, 0);
+  EXPECT_EQ(server.stats().shed_load, 12);  // no new load sheds
+}
+
+// ---------------------------------------------------------------------------
+// Worker stall watchdog. Runs under TSan in CI.
+// ---------------------------------------------------------------------------
+
+class WatchdogTest : public ServeTestBase {
+ protected:
+  void TearDown() override { fault::Clear(); }
+};
+
+TEST_F(WatchdogTest, ReplacesStalledWorkersWithoutDroppingRequests) {
+  // Every 2nd scored key sleeps 250 ms — far past the 80 ms stall
+  // timeout — so the watchdog must replace wedged workers while the
+  // wedged threads finish their in-flight batches.
+  fault::Injection injection;
+  injection.kind = fault::Injection::Kind::kDelay;
+  injection.match = "serve.score";
+  injection.ms = 250;
+  injection.every = 2;
+  fault::Install(injection);
+
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+  ServerConfig config;
+  config.n_workers = 2;
+  config.max_batch = 4;
+  config.batch_timeout_us = 500;
+  config.watchdog.enabled = true;
+  config.watchdog.stall_timeout_ms = 80;
+  config.watchdog.check_interval_ms = 10;
+  config.watchdog.max_restarts = 4;
+  Server server(&pool, config);
+
+  std::vector<std::future<Response>> futures;
+  std::vector<Request> requests;
+  for (int i = 0; i < 16; ++i) {
+    Request r;
+    r.task = i % 2 == 0 ? TaskKind::kTopKItems : TaskKind::kTopKParticipants;
+    r.user = i % graphs_.n_users;
+    r.item = i % graphs_.n_items;
+    r.k = 5;
+    requests.push_back(r);
+    futures.push_back(server.Submit(r));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.Stop();
+
+  // Exactly-one-terminal-status: every admitted request completes OK
+  // (no deadlines, no overload — the stalls may only add latency), and
+  // the scores are still bitwise correct.
+  std::shared_ptr<ModelPool::Version> version = pool.Acquire();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Response response = futures[i].get();
+    ASSERT_EQ(response.code, ResponseCode::kOk) << "request " << i;
+    const Response expected = DirectScore(version->model.get(), requests[i]);
+    EXPECT_EQ(response.top_k, expected.top_k) << "request " << i;
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 16);
+  EXPECT_GE(stats.worker_restarts, 1);
+  EXPECT_LE(stats.worker_restarts, config.watchdog.max_restarts);
+  EXPECT_EQ(server.worker_restarts(), stats.worker_restarts);
+}
+
+TEST_F(WatchdogTest, QuietWorkersAreNeverRestarted) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+  ServerConfig config;
+  config.n_workers = 2;
+  config.watchdog.enabled = true;
+  config.watchdog.stall_timeout_ms = 40;
+  config.watchdog.check_interval_ms = 5;
+  Server server(&pool, config);
+
+  // Idle workers park in a condition wait; waiting is not stalling.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  Request r;
+  r.user = 1;
+  EXPECT_EQ(server.Submit(r).get().code, ResponseCode::kOk);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.Stop();
+  EXPECT_EQ(server.worker_restarts(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle: concurrent Submit vs hot swap/rollback vs Stop. Every
+// submitted request gets exactly one terminal status and the counters
+// reconcile exactly. Runs under TSan in CI.
+// ---------------------------------------------------------------------------
+
+class ServeLifecycleTest : public ServeTestBase {};
+
+TEST_F(ServeLifecycleTest, ConcurrentStopSwapSubmitAccountsForEverything) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+  ServerConfig config;
+  config.queue_capacity = 64;
+  config.max_batch = 8;
+  config.batch_timeout_us = 300;
+  config.n_workers = 2;
+  Server server(&pool, config);
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 150;
+  std::atomic<bool> stop_swapping{false};
+
+  // Swapper: install fresh versions and roll back, continuously.
+  std::thread swapper([&] {
+    uint64_t seed = 10;
+    while (!stop_swapping.load(std::memory_order_relaxed)) {
+      pool.Install(MakeModel(seed++), "swap");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      pool.Rollback().ToString();  // best-effort; precondition races ok
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::vector<std::future<Response>>> futures(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Request r;
+        r.task =
+            i % 3 == 0 ? TaskKind::kTopKParticipants : TaskKind::kTopKItems;
+        r.user = (t + i) % graphs_.n_users;
+        r.item = i % graphs_.n_items;
+        r.k = 5;
+        futures[t].push_back(server.Submit(r));
+        if (i % 16 == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    });
+  }
+
+  // Stop mid-traffic: the drain races live submissions and swaps.
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  server.Stop();
+  for (std::thread& t : submitters) t.join();
+  stop_swapping.store(true, std::memory_order_relaxed);
+  swapper.join();
+
+  // Every future resolves with exactly one terminal status; OK
+  // responses are well-formed and attributable to a real version.
+  int64_t ok = 0, shed_queue = 0, shed_deadline = 0, shutdown = 0,
+          invalid = 0, other = 0;
+  for (auto& lane : futures) {
+    for (auto& f : lane) {
+      Response response = f.get();
+      switch (response.code) {
+        case ResponseCode::kOk:
+          ++ok;
+          EXPECT_GT(response.version, 0);
+          EXPECT_EQ(response.top_k.size(), 5u);
+          break;
+        case ResponseCode::kShedQueueFull:
+          ++shed_queue;
+          break;
+        case ResponseCode::kShedDeadline:
+          ++shed_deadline;
+          break;
+        case ResponseCode::kShutdown:
+          ++shutdown;
+          break;
+        case ResponseCode::kInvalidArgument:
+          ++invalid;
+          break;
+        default:
+          ++other;
+          break;
+      }
+    }
+  }
+  EXPECT_EQ(other, 0);
+  EXPECT_EQ(invalid, 0);
+  EXPECT_EQ(ok + shed_queue + shed_deadline + shutdown,
+            kSubmitters * kPerThread);
+
+  // The server's own lifetime counters tell the same story (kShutdown
+  // responses count as submitted but belong to no shed/complete class).
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, kSubmitters * kPerThread);
+  EXPECT_EQ(stats.completed, ok);
+  EXPECT_EQ(stats.shed_queue_full, shed_queue);
+  EXPECT_EQ(stats.shed_deadline, shed_deadline);
+  EXPECT_EQ(stats.submitted - stats.completed - stats.shed_queue_full -
+                stats.shed_deadline - stats.shed_load - stats.invalid,
+            shutdown);
+  EXPECT_EQ(server.state(), Server::State::kStopped);
+}
+
+TEST_F(ServeLifecycleTest, StopIsIdempotentAndDestructorSafeUnderTraffic) {
+  ModelPool pool(Factory(3));
+  pool.Install(MakeModel(1), "seed");
+  std::vector<std::future<Response>> futures;
+  {
+    ServerConfig config;
+    config.n_workers = 2;
+    Server server(&pool, config);
+    Request r;
+    r.user = 1;
+    for (int i = 0; i < 8; ++i) futures.push_back(server.Submit(r));
+    std::thread stopper([&] { server.Stop(); });
+    server.Stop();  // concurrent + idempotent
+    stopper.join();
+    // Destructor runs here with already-resolved state.
+  }
+  int64_t terminal = 0;
+  for (auto& f : futures) {
+    const ResponseCode code = f.get().code;
+    EXPECT_TRUE(code == ResponseCode::kOk || code == ResponseCode::kShutdown);
+    ++terminal;
+  }
+  EXPECT_EQ(terminal, 8);
 }
 
 }  // namespace
